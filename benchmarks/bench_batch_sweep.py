@@ -1,0 +1,100 @@
+"""Batch-size sweep: the crossover the three figures sample.
+
+Figures 2-4 are three batch sizes from a continuum; this bench sweeps
+b in {10, 25, 50, 100, 250, 500} for the two critical cells (DP
+unattacked, DP + ALIE under MDA) and locates the crossover where DP
+and Byzantine resilience start to coexist — the empirical counterpart
+of the b >~ sqrt(8 d)/(C k_F) feasibility threshold (= 1037 at the
+paper's parameters; training becomes acceptable somewhat earlier since
+the VN condition is only sufficient).
+
+Run with ``pytest benchmarks/bench_batch_sweep.py --benchmark-only -s``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.feasibility import min_batch_size_for_gar
+from repro.experiments.ascii_plot import ascii_line_plot
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import phishing_environment, run_grid
+from repro.gars import get_gar
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+BATCHES = (10, 25, 50, 100, 250, 500)
+STEPS = 600
+SEEDS = (1, 2, 3)
+EPSILON = 0.2
+
+
+def run_sweep() -> dict:
+    model, train_set, test_set = phishing_environment()
+    configs = []
+    for batch in BATCHES:
+        configs.append(
+            ExperimentConfig(
+                name=f"dp-clean-b{batch}",
+                num_steps=STEPS,
+                gar="average",
+                f=0,
+                batch_size=batch,
+                epsilon=EPSILON,
+                seeds=SEEDS,
+            )
+        )
+        configs.append(
+            ExperimentConfig(
+                name=f"dp-alie-b{batch}",
+                num_steps=STEPS,
+                gar="mda",
+                f=5,
+                attack="little",
+                batch_size=batch,
+                epsilon=EPSILON,
+                seeds=SEEDS,
+            )
+        )
+    return run_grid(configs, model, train_set, test_set)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_batch_sweep(benchmark):
+    outcomes = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    clean = [float(outcomes[f"dp-clean-b{b}"].accuracy_stats.mean.max()) for b in BATCHES]
+    attacked = [float(outcomes[f"dp-alie-b{b}"].accuracy_stats.mean.max()) for b in BATCHES]
+
+    theory_b = min_batch_size_for_gar(get_gar("mda", 11, 5), 69, EPSILON, 1e-6)
+    header = f"{'b':>6}{'DP unattacked':>15}{'DP + ALIE (MDA)':>17}"
+    lines = [
+        f"Batch sweep at eps={EPSILON}: best accuracy, {STEPS} steps, "
+        f"{len(SEEDS)} seeds  (VN-condition threshold b >= {theory_b:,.0f})",
+        header,
+        "-" * len(header),
+    ]
+    for batch, c, a in zip(BATCHES, clean, attacked):
+        lines.append(f"{batch:>6}{c:>15.3f}{a:>17.3f}")
+    plot = ascii_line_plot(
+        {
+            "dp-clean": (list(BATCHES), clean),
+            "dp-alie": (list(BATCHES), attacked),
+        },
+        title="Best accuracy vs batch size (eps = 0.2)",
+    )
+    report = "\n".join(lines) + "\n\n" + plot
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    (OUTPUT_DIR / "batch_sweep.txt").write_text(report + "\n")
+    print("\n" + report)
+
+    # Shape: both curves rise with b; the attacked curve needs a much
+    # larger batch than the unattacked one (the antagonism), and by
+    # b = 500 both are healthy (Fig. 4).
+    assert attacked[-1] > 0.9 and clean[-1] > 0.9
+    assert clean[2] > attacked[2] + 0.15, "at b=50 the attacked run lags far behind"
+    assert attacked[0] < 0.7, "at b=10 the attacked DP run is broken"
+    assert all(
+        later >= earlier - 0.03
+        for earlier, later in zip(attacked, attacked[1:])
+    ), "attacked curve should (weakly) improve with batch size"

@@ -1,0 +1,80 @@
+"""Ablation: batch-level vs per-example clipping.
+
+The paper's experiments clip the mini-batch averaged gradient
+(Section 5.1); the ``2 G_max / b`` sensitivity bound is airtight under
+per-example clipping (DESIGN.md).  Findings:
+
+* the antagonism is identical at b = 50 (both modes collapse);
+* at b = 500 batch clipping recovers fully, while per-example clipping
+  lags: at the paper's tiny G_max = 1e-2 every per-sample gradient is
+  ~100x over the bound, so per-example clipping normalises all samples
+  (signSGD-like geometry) and biases the average — the price of the
+  airtight sensitivity bound at this G_max.
+
+Run with ``pytest benchmarks/bench_clipping_ablation.py --benchmark-only -s``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import phishing_environment, run_grid
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+STEPS = 500
+SEEDS = (1, 2)
+CELLS = [
+    (batch, clip)
+    for batch in (50, 500)
+    for clip in ("batch", "per_example")
+]
+
+
+def run_ablation() -> dict:
+    model, train_set, test_set = phishing_environment()
+    configs = [
+        ExperimentConfig(
+            name=f"b{batch}-{clip}",
+            num_steps=STEPS,
+            gar="mda",
+            f=5,
+            attack="little",
+            batch_size=batch,
+            epsilon=0.2,
+            clip_mode=clip,
+            seeds=SEEDS,
+        )
+        for batch, clip in CELLS
+    ]
+    return run_grid(configs, model, train_set, test_set)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_clipping_ablation(benchmark):
+    outcomes = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    lines = [
+        f"Clipping mode under MDA + ALIE + DP(0.2), {STEPS} steps, "
+        f"{len(SEEDS)} seeds",
+        f"{'cell':<22}{'max acc':>9}",
+        "-" * 31,
+    ]
+    results = {}
+    for batch, clip in CELLS:
+        name = f"b{batch}-{clip}"
+        results[name] = float(outcomes[name].accuracy_stats.mean.max())
+        lines.append(f"{name:<22}{results[name]:>9.3f}")
+    report = "\n".join(lines)
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    (OUTPUT_DIR / "clipping_ablation.txt").write_text(report + "\n")
+    print("\n" + report)
+
+    # Both modes broken at b=50 (the antagonism is clip-mode agnostic).
+    for clip in ("batch", "per_example"):
+        assert results[f"b50-{clip}"] < 0.75
+    # At b=500 batch clipping recovers fully; per-example clipping pays
+    # a normalisation-bias penalty but still clearly beats its own b=50.
+    assert results["b500-batch"] > 0.88
+    assert results["b500-per_example"] > results["b50-per_example"] + 0.1

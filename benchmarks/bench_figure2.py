@@ -1,0 +1,39 @@
+"""Figure 2 reproduction: b = 50 — the paper's headline configuration.
+
+Expected shape (paper, Section 5.2):
+
+* without DP, the minimum loss is reached quickly no matter which or
+  whether an attack occurred;
+* with DP (eps = 0.2), the unattacked runs stay far better than the
+  attacked MDA runs — the antagonism between privacy noise and
+  (alpha, f)-Byzantine resilience.
+
+Run with ``pytest benchmarks/bench_figure2.py --benchmark-only -s``.
+"""
+
+import pytest
+
+from benchmarks.figure_common import render_figure, run_figure_grid, write_output
+
+BATCH_SIZE = 50
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure2(benchmark):
+    outcomes = benchmark.pedantic(
+        run_figure_grid, args=(BATCH_SIZE,), rounds=1, iterations=1
+    )
+    text = render_figure(outcomes, "figure2", BATCH_SIZE)
+    write_output("figure2", text, outcomes)
+    print("\n" + text)
+
+    # Shape assertions (the paper's qualitative claims).
+    baseline = outcomes["avg-noattack-nodp"].accuracy_stats.mean.max()
+    assert baseline > 0.9, "baseline failed to converge"
+    for attack in ("little", "empire"):
+        no_dp = outcomes[f"mda-{attack}-nodp"].accuracy_stats.mean.max()
+        assert no_dp > baseline - 0.05, f"{attack} should be harmless without DP"
+    attacked_dp = outcomes["mda-little-dp"].accuracy_stats.mean.max()
+    unattacked_dp = outcomes["avg-noattack-dp"].accuracy_stats.mean.max()
+    assert attacked_dp < baseline - 0.15, "DP + attack should visibly degrade"
+    assert unattacked_dp > attacked_dp, "DP alone should beat DP under attack"

@@ -1,0 +1,33 @@
+"""Figure 3 reproduction: b = 10 — DP hampers training even unattacked.
+
+Expected shape: the non-DP unattacked run still converges; adding the
+eps = 0.2 noise at this small batch "significantly hampers the training
+even without attack".
+
+Run with ``pytest benchmarks/bench_figure3.py --benchmark-only -s``.
+"""
+
+import pytest
+
+from benchmarks.figure_common import render_figure, run_figure_grid, write_output
+
+BATCH_SIZE = 10
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure3(benchmark):
+    outcomes = benchmark.pedantic(
+        run_figure_grid, args=(BATCH_SIZE,), rounds=1, iterations=1
+    )
+    text = render_figure(outcomes, "figure3", BATCH_SIZE)
+    write_output("figure3", text, outcomes)
+    print("\n" + text)
+
+    baseline = outcomes["avg-noattack-nodp"].accuracy_stats.mean.max()
+    assert baseline > 0.88, "b=10 without DP should still converge"
+    dp_unattacked = outcomes["avg-noattack-dp"].accuracy_stats.mean.max()
+    assert dp_unattacked < baseline - 0.2, (
+        "at b=10 the DP noise should hamper training even without attack"
+    )
+    dp_attacked = outcomes["mda-little-dp"].accuracy_stats.mean.max()
+    assert dp_attacked < baseline - 0.2

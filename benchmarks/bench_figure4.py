@@ -1,0 +1,33 @@
+"""Figure 4 reproduction: b = 500 — both notions tolerated together.
+
+Expected shape: "the minimum loss and maximum accuracy achieved by the
+unattacked, non differentially-private runs are also achieved under
+attack and/or with the privacy noise" — at the cost of a batch ~50x
+larger than what mere convergence needs (Fig. 3's b = 10).
+
+Run with ``pytest benchmarks/bench_figure4.py --benchmark-only -s``.
+"""
+
+import pytest
+
+from benchmarks.figure_common import render_figure, run_figure_grid, write_output
+
+BATCH_SIZE = 500
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure4(benchmark):
+    outcomes = benchmark.pedantic(
+        run_figure_grid, args=(BATCH_SIZE,), rounds=1, iterations=1
+    )
+    text = render_figure(outcomes, "figure4", BATCH_SIZE)
+    write_output("figure4", text, outcomes)
+    print("\n" + text)
+
+    baseline = outcomes["avg-noattack-nodp"].accuracy_stats.mean.max()
+    assert baseline > 0.9
+    for cell in ("mda-little-dp", "mda-empire-dp", "avg-noattack-dp"):
+        accuracy = outcomes[cell].accuracy_stats.mean.max()
+        assert accuracy > baseline - 0.05, (
+            f"{cell}: at b=500, DP and Byzantine resilience should coexist"
+        )

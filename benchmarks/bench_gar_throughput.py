@@ -1,0 +1,60 @@
+"""Microbenchmark: aggregation throughput of every GAR.
+
+Not a paper experiment, but an engineering datum any adopter wants:
+how each rule scales with the number of workers and the model size.
+MDA's exhaustive subset search is the outlier (C(n, n-f) subsets) —
+exactly why its great robustness constant comes at a compute price.
+
+Run with ``pytest benchmarks/bench_gar_throughput.py --benchmark-only``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gars import get_gar
+
+DIMENSION = 69  # the paper's model size
+
+
+def _gradients(n, d, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, d))
+
+
+@pytest.mark.benchmark(group="gar-throughput-n11")
+@pytest.mark.parametrize(
+    "name,f",
+    [
+        ("average", 0),
+        ("median", 5),
+        ("trimmed-mean", 5),
+        ("meamed", 5),
+        ("phocas", 5),
+        ("mda", 5),
+        ("krum", 4),
+        ("bulyan", 2),
+    ],
+)
+def test_gar_throughput_paper_size(benchmark, name, f):
+    """n = 11 workers, d = 69 — the paper's experimental shape."""
+    gar = get_gar(name, 11, f)
+    gradients = _gradients(11, DIMENSION)
+    benchmark(gar.aggregate, gradients)
+
+
+@pytest.mark.benchmark(group="gar-throughput-large-d")
+@pytest.mark.parametrize("name,f", [("median", 5), ("mda", 5), ("krum", 4)])
+def test_gar_throughput_large_model(benchmark, name, f):
+    """d = 10_000: coordinate-wise vs distance-based scaling in d."""
+    gar = get_gar(name, 11, f)
+    gradients = _gradients(11, 10_000)
+    benchmark(gar.aggregate, gradients)
+
+
+@pytest.mark.benchmark(group="gar-throughput-large-n")
+@pytest.mark.parametrize("name,f", [("median", 12), ("krum", 11), ("mda", 6)])
+def test_gar_throughput_many_workers(benchmark, name, f):
+    """n = 25 workers (MDA capped at f = 6 to keep C(25, 19) tractable)."""
+    gar = get_gar(name, 25, f)
+    gradients = _gradients(25, DIMENSION)
+    benchmark(gar.aggregate, gradients)

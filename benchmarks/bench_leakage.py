@@ -1,0 +1,90 @@
+"""Gradient-inversion leakage vs privacy budget.
+
+Quantifies the threat the paper's DP noise is defending against (the
+curious parameter server of Fig. 1(b), exploiting the Zhu et al. leak):
+single-example gradients of the d = 69 logistic model are inverted
+exactly without noise, and the reconstruction error grows as epsilon
+shrinks.
+
+Run with ``pytest benchmarks/bench_leakage.py --benchmark-only -s``.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.leakage import gradient_inversion_study
+from repro.data.phishing import make_phishing_dataset
+from repro.models.logistic import LogisticRegressionModel
+from repro.privacy.mechanisms import GaussianMechanism
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+EPSILONS = (0.9, 0.5, 0.2, 0.05)
+G_MAX = 1e-2
+TRIALS = 200
+
+
+def run_study() -> list[dict]:
+    dataset = make_phishing_dataset(seed=0)
+    model = LogisticRegressionModel(dataset.num_features, loss_kind="mse")
+    rng = np.random.default_rng(0)
+    parameters = 0.05 * rng.standard_normal(model.dimension)
+    rows = []
+    for epsilon in EPSILONS:
+        mechanism = GaussianMechanism.for_clipped_gradients(epsilon, 1e-6, G_MAX, 1)
+        report = gradient_inversion_study(
+            model,
+            dataset,
+            mechanism,
+            parameters=parameters,
+            g_max=G_MAX,
+            num_trials=TRIALS,
+            seed=1,
+        )
+        rows.append(
+            {
+                "epsilon": epsilon,
+                "clean_error": report.clean_median_error,
+                "noisy_error": report.noisy_median_error,
+                "protection": report.protection_factor,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="privacy")
+def test_leakage(benchmark):
+    rows = benchmark.pedantic(run_study, rounds=1, iterations=1)
+
+    header = f"{'epsilon':>9}{'clean error':>14}{'noisy error':>14}{'protection':>12}"
+    lines = [
+        f"Gradient inversion (batch size 1, {TRIALS} samples): the attack "
+        "DP exists to stop",
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['epsilon']:>9}{row['clean_error']:>14.2e}"
+            f"{row['noisy_error']:>14.2e}{row['protection']:>12.1e}"
+        )
+    lines.append(
+        "note: a relative error of 1.0 equals guessing the zero vector; "
+        "every valid Gaussian budget (eps < 1) already saturates the error "
+        "above that — the calibrated noise fully blunts b=1 inversion."
+    )
+    report = "\n".join(lines)
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    (OUTPUT_DIR / "leakage.txt").write_text(report + "\n")
+    print("\n" + report)
+
+    # Exact reconstruction without noise...
+    assert all(row["clean_error"] < 1e-8 for row in rows)
+    # ...and for EVERY valid Gaussian budget the inversion is destroyed:
+    # reconstruction is worse than trivially guessing the zero vector.
+    # (The noise scale s = 2 G_max sqrt(2 log(1.25/delta))/(b eps) exceeds
+    # the per-coordinate signal ~G_max/sqrt(d) for all eps < 1 at b = 1,
+    # so there is no partial-leakage regime to observe.)
+    assert all(row["noisy_error"] > 1.0 for row in rows)

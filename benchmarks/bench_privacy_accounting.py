@@ -1,0 +1,82 @@
+"""End-to-end privacy accounting over the paper's 1000-step training.
+
+Section 2.3 notes the per-step budget composes linearly classically, or
+more tightly via advanced composition / moments accounting, and that
+amplification by subsampling (Section 7) is a future direction.  This
+bench quantifies all four accountants on the paper's exact setup.
+
+Run with ``pytest benchmarks/bench_privacy_accounting.py --benchmark-only -s``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.data.phishing import PHISHING_TRAIN_SIZE
+from repro.privacy.accountants import (
+    AdvancedCompositionAccountant,
+    BasicCompositionAccountant,
+    RDPAccountant,
+)
+from repro.privacy.amplification import amplify_by_subsampling
+from repro.privacy.mechanisms import GaussianMechanism
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+STEPS = 1000
+EPSILON, DELTA = 0.2, 1e-6
+G_MAX, BATCH = 1e-2, 50
+
+
+def account() -> dict:
+    mechanism = GaussianMechanism.for_clipped_gradients(EPSILON, DELTA, G_MAX, BATCH)
+    basic = BasicCompositionAccountant().compose(EPSILON, DELTA, STEPS)
+    advanced = AdvancedCompositionAccountant(slack_delta=1e-6).compose(
+        EPSILON, DELTA, STEPS
+    )
+    rdp = RDPAccountant()
+    rdp.step_gaussian(mechanism.noise_multiplier, STEPS)
+    rdp_spend = rdp.get_privacy_spent(DELTA)
+
+    amplified = amplify_by_subsampling(EPSILON, DELTA, BATCH, PHISHING_TRAIN_SIZE)
+    amplified_basic = BasicCompositionAccountant().compose(
+        amplified.epsilon, max(amplified.delta, 1e-12), STEPS
+    )
+    return {
+        "sigma": mechanism.sigma,
+        "noise_multiplier": mechanism.noise_multiplier,
+        "basic": basic,
+        "advanced": advanced,
+        "rdp": rdp_spend,
+        "amplified_per_step": amplified,
+        "amplified_basic": amplified_basic,
+    }
+
+
+@pytest.mark.benchmark(group="privacy")
+def test_privacy_accounting(benchmark):
+    report = benchmark.pedantic(account, rounds=1, iterations=1)
+
+    lines = [
+        f"End-to-end privacy over T={STEPS} steps of ({EPSILON}, {DELTA})-DP "
+        f"(G_max={G_MAX}, b={BATCH}):",
+        f"  per-step noise sigma                : {report['sigma']:.4g}",
+        f"  noise multiplier (sigma/sensitivity): {report['noise_multiplier']:.3f}",
+        f"  basic composition                   : eps={report['basic'].epsilon:.1f}, "
+        f"delta={report['basic'].delta:.2e}",
+        f"  advanced composition                : eps={report['advanced'].epsilon:.1f}, "
+        f"delta={report['advanced'].delta:.2e}",
+        f"  RDP / moments accountant            : eps={report['rdp'].epsilon:.1f}, "
+        f"delta={report['rdp'].delta:.2e}",
+        f"  subsampling-amplified per-step      : eps={report['amplified_per_step'].epsilon:.4f}",
+        f"  amplified + basic composition       : eps={report['amplified_basic'].epsilon:.2f}",
+    ]
+    text = "\n".join(lines)
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    (OUTPUT_DIR / "privacy_accounting.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    # Orderings the accountants must respect.
+    assert report["rdp"].epsilon < report["advanced"].epsilon < report["basic"].epsilon
+    assert report["amplified_per_step"].epsilon < EPSILON
+    assert report["basic"].epsilon == pytest.approx(STEPS * EPSILON)

@@ -1,0 +1,87 @@
+"""Proposition 1 reproduction: MDA's tolerable Byzantine fraction vs d.
+
+Sweeps the model size and prints the closed-form bound
+``f/n <= C b / (8 sqrt(d) + C b)`` next to the exact master-inequality
+threshold, confirming the O(b / (sqrt(d) + b)) decay — the reason
+"training large models is practically infeasible".
+
+Run with ``pytest benchmarks/bench_proposition1.py --benchmark-only -s``.
+"""
+
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.core.feasibility import (
+    master_condition_can_hold,
+    mda_max_byzantine_fraction,
+    privacy_constant,
+)
+from repro.experiments.ascii_plot import ascii_line_plot
+from repro.gars.constants import k_mda
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+DIMENSIONS = (69, 1_000, 10_000, 100_000, 1_000_000, 25_600_000)
+N, BATCH, EPSILON, DELTA = 101, 50, 0.2, 1e-6
+
+
+def sweep() -> list[dict]:
+    rows = []
+    for dimension in DIMENSIONS:
+        closed_form = mda_max_byzantine_fraction(dimension, BATCH, EPSILON, DELTA)
+        # Exact: largest f (out of n=101) passing the master inequality.
+        exact_f = 0
+        for f in range(1, (N - 1) // 2 + 1):
+            if master_condition_can_hold(k_mda(N, f), dimension, BATCH, EPSILON, DELTA):
+                exact_f = f
+            else:
+                break
+        rows.append(
+            {
+                "dimension": dimension,
+                "closed_form_fraction": closed_form,
+                "exact_max_f_of_101": exact_f,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="propositions")
+def test_proposition1(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    header = f"{'d':>12}{'closed-form max f/n':>22}{'exact max f (n=101)':>22}"
+    lines = [
+        f"Proposition 1: MDA max Byzantine fraction, b={BATCH}, eps={EPSILON}, "
+        f"delta={DELTA} (C={privacy_constant(EPSILON, DELTA):.4f})",
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['dimension']:>12,}{row['closed_form_fraction']:>22.3e}"
+            f"{row['exact_max_f_of_101']:>22}"
+        )
+    plot = ascii_line_plot(
+        {
+            "log10 max f/n": (
+                [math.log10(r["dimension"]) for r in rows],
+                [math.log10(r["closed_form_fraction"]) for r in rows],
+            )
+        },
+        title="Tolerable Byzantine fraction vs model size (log-log)",
+    )
+    report = "\n".join(lines) + "\n\n" + plot
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    (OUTPUT_DIR / "proposition1.txt").write_text(report + "\n")
+    print("\n" + report)
+
+    # Shape assertions: the fraction decays like 1/sqrt(d).
+    fractions = [row["closed_form_fraction"] for row in rows]
+    assert all(a > b for a, b in zip(fractions, fractions[1:]))
+    ratio = fractions[0] / fractions[3]  # d: 69 -> 100_000
+    assert ratio == pytest.approx(math.sqrt(100_000 / 69), rel=0.05)
+    # At ResNet-50 scale, not even 1 Byzantine worker in 101 is certified.
+    assert rows[-1]["exact_max_f_of_101"] == 0

@@ -1,0 +1,63 @@
+"""Table 1 reproduction: per-GAR necessary conditions under DP.
+
+Prints the table at three scales:
+
+1. the paper's experimental setup (d = 69, n = 11, f = 5, b = 50,
+   eps = 0.2, delta = 1e-6) — showing even the tiny convex model fails
+   the conditions;
+2. a small neural network (d = 1e5), the paper's "even for small
+   neural networks" remark;
+3. ResNet-50 (d = 25.6e6) with the Section 3 corollary b > 5000.
+
+Run with ``pytest benchmarks/bench_table1.py --benchmark-only -s``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.feasibility import sqrt_d_batch_rule
+from repro.experiments.tables import format_table1, table1_rows
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+SCALES = (
+    ("paper experiment (logistic, d=69)", 69, 11, 5, 50),
+    ("small neural network (d=1e5)", 100_000, 11, 5, 50),
+    ("ResNet-50 (d=25.6e6)", 25_600_000, 11, 5, 128),
+)
+EPSILON, DELTA = 0.2, 1e-6
+
+
+def build_report() -> str:
+    sections = []
+    for label, dimension, n, f, batch in SCALES:
+        rows = table1_rows(dimension, n, f, batch, EPSILON, DELTA)
+        sections.append(f"--- {label} ---")
+        sections.append(format_table1(rows, dimension, batch))
+    sections.append(
+        "Section 3 corollary: b must grow like sqrt(d); for ResNet-50 "
+        f"(d = 25.6e6) that is b > {sqrt_d_batch_rule(25_600_000):,.0f}."
+    )
+    return "\n\n".join(sections)
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table1(benchmark):
+    report = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    (OUTPUT_DIR / "table1.txt").write_text(report + "\n")
+    print("\n" + report)
+
+    # Shape assertions.
+    paper_rows = {r.gar: r for r in table1_rows(69, 11, 5, 50, EPSILON, DELTA)}
+    assert paper_rows["mda"].feasible_at_configuration is False
+    assert paper_rows["krum"].applicable is False  # n=11, f=5 violates n > 2f+2
+    resnet_rows = {
+        r.gar: r for r in table1_rows(25_600_000, 11, 5, 128, EPSILON, DELTA)
+    }
+    # At ResNet-50 scale every applicable GAR fails the condition.
+    for row in resnet_rows.values():
+        if row.applicable:
+            assert row.feasible_at_configuration is False
+    assert sqrt_d_batch_rule(25_600_000) > 5000

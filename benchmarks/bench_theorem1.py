@@ -1,0 +1,149 @@
+"""Theorem 1 reproduction: training error Theta(d log(1/delta)/(T b^2 eps^2)).
+
+The lower-bound construction, end to end: the strongly-convex
+mean-estimation landscape ``Q(w) = 1/2 E||w - x||^2`` with
+``x ~ N(x_bar, (sigma^2/d) I_d)``, the hypothetical honest-output GAR
+(:class:`repro.gars.OracleGAR`, footnote 2), the Theorem 1 learning-rate
+schedule ``gamma_t = 1/t``, and the paper's Gaussian DP noise.  With
+this setup SGD computes a running average of noisy observations, so the
+measured error should sit on the Cramér-Rao lower bound and under the
+Eq. (12) upper bound — and scale linearly in d with DP, but be
+d-independent without DP.
+
+Parameters are chosen so clipping never binds (the theory assumes the
+bound G_max is not active): ``b epsilon > 2 sqrt(2 log(1.25/delta) d)``.
+
+Run with ``pytest benchmarks/bench_theorem1.py --benchmark-only -s``.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import theorem1_bounds
+from repro.data.synthetic import make_gaussian_mean_dataset
+from repro.distributed.trainer import train
+from repro.models.quadratic import MeanEstimationModel
+from repro.optim.schedules import theorem1_schedule
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+DIMENSIONS = (8, 32, 128)
+T = 300
+BATCH = 150
+EPSILON, DELTA = 0.9, 1e-6
+G_MAX = 2.0
+SIGMA = 1.0  # total data standard deviation (Assumption 4)
+SEEDS = tuple(range(1, 11))
+NUM_POINTS = 20_000
+
+
+def run_cell(dimension: int, epsilon: float | None) -> float:
+    """Mean final error E[Q(w_{T+1})] - Q* across seeds."""
+    model = MeanEstimationModel(dimension)
+    errors = []
+    for seed in SEEDS:
+        # Fresh cloud per seed; true mean with small norm so w0 = 0
+        # starts near the optimum and clipping never binds.
+        mean = np.zeros(dimension)
+        mean[0] = 0.1
+        dataset = make_gaussian_mean_dataset(
+            dimension, NUM_POINTS, sigma=SIGMA, mean=mean, seed=seed
+        )
+        result = train(
+            model=model,
+            train_dataset=dataset,
+            num_steps=T,
+            n=11,
+            f=5,
+            num_byzantine=0,
+            gar="oracle",
+            batch_size=BATCH,
+            g_max=G_MAX,
+            epsilon=epsilon,
+            delta=DELTA,
+            learning_rate=theorem1_schedule(model.STRONG_CONVEXITY, 0.0),
+            momentum=0.0,
+            seed=seed,
+        )
+        optimum = model.optimum(dataset.features)
+        error = 0.5 * float(np.sum((result.final_parameters - optimum) ** 2))
+        errors.append(error)
+    return float(np.mean(errors))
+
+
+def run_sweep() -> list[dict]:
+    rows = []
+    for dimension in DIMENSIONS:
+        empirical_dp = run_cell(dimension, EPSILON)
+        empirical_clean = run_cell(dimension, None)
+        bounds_dp = theorem1_bounds(
+            T=T, dimension=dimension, batch_size=BATCH, epsilon=EPSILON,
+            delta=DELTA, g_max=G_MAX, sigma=SIGMA,
+        )
+        bounds_clean = theorem1_bounds(
+            T=T, dimension=dimension, batch_size=BATCH, epsilon=None,
+            delta=DELTA, g_max=G_MAX, sigma=SIGMA,
+        )
+        rows.append(
+            {
+                "dimension": dimension,
+                "empirical_dp": empirical_dp,
+                "lower_dp": bounds_dp.lower,
+                "upper_dp": bounds_dp.upper,
+                "empirical_clean": empirical_clean,
+                "lower_clean": bounds_clean.lower,
+                "upper_clean": bounds_clean.upper,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="theorem1")
+def test_theorem1(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    header = (
+        f"{'d':>6}{'empirical (DP)':>16}{'CR lower':>12}{'Eq.12 upper':>13}"
+        f"{'empirical (no DP)':>19}{'no-DP lower':>13}"
+    )
+    lines = [
+        f"Theorem 1: mean estimation, oracle GAR, T={T}, b={BATCH}, "
+        f"eps={EPSILON}, delta={DELTA}, {len(SEEDS)} seeds",
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['dimension']:>6}{row['empirical_dp']:>16.3e}"
+            f"{row['lower_dp']:>12.3e}{row['upper_dp']:>13.3e}"
+            f"{row['empirical_clean']:>19.3e}{row['lower_clean']:>13.3e}"
+        )
+    dp_errors = [row["empirical_dp"] for row in rows]
+    clean_errors = [row["empirical_clean"] for row in rows]
+    lines.append("")
+    lines.append(
+        f"DP error scaling d=8 -> d=128 (theory ~{rows[-1]['lower_dp']/rows[0]['lower_dp']:.1f}x): "
+        f"{dp_errors[-1]/dp_errors[0]:.1f}x"
+    )
+    lines.append(
+        f"no-DP error scaling d=8 -> d=128 (theory 1.0x): "
+        f"{clean_errors[-1]/clean_errors[0]:.2f}x"
+    )
+    report = "\n".join(lines)
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    (OUTPUT_DIR / "theorem1.txt").write_text(report + "\n")
+    print("\n" + report)
+
+    for row in rows:
+        # The running-average estimator sits on the CR bound (MC slack).
+        assert row["empirical_dp"] >= 0.6 * row["lower_dp"]
+        assert row["empirical_dp"] <= row["upper_dp"]
+        assert row["empirical_clean"] <= row["upper_clean"]
+    # Linear-in-d with DP; d-independent without.
+    theory_ratio = rows[-1]["lower_dp"] / rows[0]["lower_dp"]
+    assert dp_errors[-1] / dp_errors[0] == pytest.approx(theory_ratio, rel=0.35)
+    assert clean_errors[-1] / clean_errors[0] < 2.0
+    # DP costs orders of magnitude at d = 128.
+    assert dp_errors[-1] / clean_errors[-1] > 50.0

@@ -1,0 +1,87 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each ``bench_figureN.py`` runs the full grid of one paper figure
+(8 cells x 5 seeds x 1000 steps by default, trimmed via environment
+variables for quick runs), renders the loss/accuracy series as ASCII
+plots, prints a summary table, and writes everything under
+``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.experiments.ascii_plot import ascii_line_plot
+from repro.experiments.figures import figure_configs
+from repro.experiments.io import save_outcomes
+from repro.experiments.runner import RunOutcome, phishing_environment, run_grid
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+# Environment knobs for quick local iterations, e.g.
+#   REPRO_BENCH_STEPS=200 REPRO_BENCH_SEEDS=2 pytest benchmarks/bench_figure2.py
+BENCH_STEPS = int(os.environ.get("REPRO_BENCH_STEPS", "1000"))
+BENCH_SEEDS = tuple(range(1, 1 + int(os.environ.get("REPRO_BENCH_SEEDS", "5"))))
+
+
+def run_figure_grid(batch_size: int) -> dict[str, RunOutcome]:
+    """Run all eight cells of one figure at the given batch size."""
+    model, train_set, test_set = phishing_environment()
+    configs = figure_configs(
+        batch_size=batch_size, num_steps=BENCH_STEPS, seeds=BENCH_SEEDS
+    )
+    return run_grid(configs, model, train_set, test_set)
+
+
+def summary_table(outcomes: dict[str, RunOutcome]) -> str:
+    """Fixed-width per-cell summary (the numbers behind the figure)."""
+    header = (
+        f"{'cell':<22}{'gar':<9}{'attack':<9}{'eps':>6}"
+        f"{'min loss':>10}{'final loss':>12}{'max acc':>9}{'final acc':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, outcome in outcomes.items():
+        config = outcome.config
+        accuracy = outcome.accuracy_stats
+        lines.append(
+            f"{name:<22}{config.gar:<9}{config.attack or 'none':<9}"
+            f"{config.epsilon if config.epsilon is not None else '-':>6}"
+            f"{outcome.min_loss_mean:>10.4f}{outcome.final_loss_mean:>12.4f}"
+            f"{accuracy.mean.max():>9.3f}{accuracy.final_mean:>11.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure(outcomes: dict[str, RunOutcome], figure_name: str, batch_size: int) -> str:
+    """ASCII rendering of both panels (loss curves, accuracy curves)."""
+    sections = [f"=== {figure_name}: b = {batch_size}, {len(BENCH_SEEDS)} seeds, "
+                f"{BENCH_STEPS} steps ==="]
+    for dp_label, dp_suffix in (("Without privacy noise", "nodp"), ("With privacy noise (eps=0.2)", "dp")):
+        loss_series = {}
+        accuracy_series = {}
+        for name, outcome in outcomes.items():
+            if not name.endswith("-" + dp_suffix):
+                continue
+            short = name.rsplit("-", 1)[0]
+            stats = outcome.loss_stats
+            loss_series[short] = (stats.steps.tolist(), stats.mean.tolist())
+            accuracy = outcome.accuracy_stats
+            accuracy_series[short] = (accuracy.steps.tolist(), accuracy.mean.tolist())
+        sections.append(
+            ascii_line_plot(loss_series, title=f"{dp_label} — training loss (mean over seeds)")
+        )
+        sections.append(
+            ascii_line_plot(
+                accuracy_series, title=f"{dp_label} — test accuracy (mean over seeds)"
+            )
+        )
+    sections.append(summary_table(outcomes))
+    return "\n\n".join(sections)
+
+
+def write_output(figure_name: str, text: str, outcomes: dict[str, RunOutcome]) -> None:
+    """Persist the rendered text and the raw series as JSON."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    (OUTPUT_DIR / f"{figure_name}.txt").write_text(text + "\n")
+    save_outcomes(outcomes, OUTPUT_DIR / f"{figure_name}.json")

@@ -1,0 +1,54 @@
+"""Attack/defence matrix: every GAR against every attack.
+
+Exercises the full substrate the paper builds on: five valid GARs at
+the paper's (n=11, f=5) against five gradient-space attacks, without
+DP.  Prints the best test accuracy per cell — a quick map of which
+defences break under which adversaries.
+
+Run:  python examples/attack_defense_matrix.py  (takes ~1 minute)
+"""
+
+from repro import phishing_environment, train
+
+GARS = ["average", "median", "trimmed-mean", "meamed", "phocas", "mda"]
+ATTACKS = ["little", "empire", "signflip", "random", "large-norm"]
+STEPS = 300
+
+
+def main() -> None:
+    model, train_set, test_set = phishing_environment()
+    print(
+        f"Best test accuracy over {STEPS} steps, n=11 workers, "
+        "f=5 Byzantine, b=50, no DP\n"
+    )
+    header = f"{'GAR':<14}" + "".join(f"{attack:>12}" for attack in ATTACKS)
+    print(header)
+    print("-" * len(header))
+    for gar in GARS:
+        cells = []
+        for attack in ATTACKS:
+            result = train(
+                model=model,
+                train_dataset=train_set,
+                test_dataset=test_set,
+                num_steps=STEPS,
+                gar=gar,
+                f=5,
+                attack=attack,
+                batch_size=50,
+                eval_every=50,
+                seed=1,
+            )
+            cells.append(result.history.max_accuracy)
+        print(f"{gar:<14}" + "".join(f"{value:>12.3f}" for value in cells))
+    print(
+        "\nAveraging (top row) collapses under the unbounded attacks "
+        "(random, large-norm) — one worker controls the mean — while the "
+        "robust GARs hold everywhere: without DP noise, Byzantine "
+        "resilience works.  (Worker momentum keeps averaging afloat "
+        "against the bounded in-distribution attacks at this scale.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

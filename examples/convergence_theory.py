@@ -1,0 +1,78 @@
+"""Theorem 1 hands-on: watch the error rate become linear in d.
+
+Runs the strongly-convex mean-estimation task with the oracle GAR
+(the lower-bound construction) for a few model sizes, with and without
+DP noise, and compares the measured training error to the theorem's
+closed-form upper and lower bounds.
+
+Run:  python examples/convergence_theory.py  (takes ~30 seconds)
+"""
+
+import numpy as np
+
+from repro import train
+from repro.core.convergence import theorem1_bounds
+from repro.data.synthetic import make_gaussian_mean_dataset
+from repro.models.quadratic import MeanEstimationModel
+from repro.optim.schedules import theorem1_schedule
+
+T, BATCH = 300, 150
+EPSILON, DELTA, G_MAX, SIGMA = 0.9, 1e-6, 2.0, 1.0
+SEEDS = (1, 2, 3, 4, 5)
+
+
+def measure(dimension: int, epsilon: float | None) -> float:
+    model = MeanEstimationModel(dimension)
+    errors = []
+    for seed in SEEDS:
+        mean = np.zeros(dimension)
+        mean[0] = 0.1
+        dataset = make_gaussian_mean_dataset(dimension, 20_000, SIGMA, mean, seed)
+        result = train(
+            model=model,
+            train_dataset=dataset,
+            num_steps=T,
+            n=11,
+            f=5,
+            num_byzantine=0,
+            gar="oracle",
+            batch_size=BATCH,
+            g_max=G_MAX,
+            epsilon=epsilon,
+            delta=DELTA,
+            learning_rate=theorem1_schedule(model.STRONG_CONVEXITY, 0.0),
+            momentum=0.0,
+            seed=seed,
+        )
+        optimum = model.optimum(dataset.features)
+        errors.append(0.5 * float(np.sum((result.final_parameters - optimum) ** 2)))
+    return float(np.mean(errors))
+
+
+def main() -> None:
+    print(
+        f"Mean estimation, oracle GAR, T={T}, b={BATCH}: "
+        "E[Q(w)] - Q* vs Theorem 1 bounds\n"
+    )
+    header = f"{'d':>6}{'measured (DP)':>16}{'lower':>11}{'upper':>11}{'measured (no DP)':>18}"
+    print(header)
+    print("-" * len(header))
+    for dimension in (8, 32, 128):
+        with_dp = measure(dimension, EPSILON)
+        without = measure(dimension, None)
+        bounds = theorem1_bounds(
+            T=T, dimension=dimension, batch_size=BATCH, epsilon=EPSILON,
+            delta=DELTA, g_max=G_MAX, sigma=SIGMA,
+        )
+        print(
+            f"{dimension:>6}{with_dp:>16.2e}{bounds.lower:>11.2e}"
+            f"{bounds.upper:>11.2e}{without:>18.2e}"
+        )
+    print(
+        "\nWith DP the error grows linearly in d (Theta(d log(1/delta) / "
+        "(T b^2 eps^2))); without DP it is d-independent — Theorem 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

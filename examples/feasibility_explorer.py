@@ -1,0 +1,65 @@
+"""Feasibility explorer: can YOUR configuration combine DP and
+Byzantine resilience?
+
+Walks the closed-form conditions of Table 1 / Propositions 1-3 for a
+few model sizes and answers, per GAR: the minimum batch size, the
+maximum tolerable Byzantine fraction, and the weakest privacy budget
+that keeps the VN-ratio condition satisfiable.
+
+Run:  python examples/feasibility_explorer.py
+"""
+
+from repro.core.feasibility import (
+    master_condition_can_hold,
+    mda_max_byzantine_fraction,
+    min_batch_size_for_gar,
+    sqrt_d_batch_rule,
+)
+from repro.core.tradeoff import min_epsilon_for_gar, tradeoff_summary
+from repro.gars import get_gar
+
+MODELS = [
+    ("paper's logistic regression", 69),
+    ("small CNN", 100_000),
+    ("ResNet-50", 25_600_000),
+]
+N, F = 11, 5
+EPSILON, DELTA = 0.2, 1e-6
+BATCH = 50
+
+
+def main() -> None:
+    gar = get_gar("mda", N, F)
+    print(
+        f"GAR = MDA (n={N}, f={F}, k_F = {gar.k_f():.3f}); "
+        f"budget eps={EPSILON}, delta={DELTA}\n"
+    )
+    header = (
+        f"{'model':<30}{'d':>12}{'feasible@b=50':>15}"
+        f"{'min batch':>12}{'max f/n':>10}{'min eps':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for label, dimension in MODELS:
+        feasible = master_condition_can_hold(gar.k_f(), dimension, BATCH, EPSILON, DELTA)
+        min_batch = min_batch_size_for_gar(gar, dimension, EPSILON, DELTA)
+        max_fraction = mda_max_byzantine_fraction(dimension, BATCH, EPSILON, DELTA)
+        min_epsilon = min_epsilon_for_gar(gar, dimension, BATCH, DELTA)
+        min_eps_text = f"{min_epsilon:.2f}" if min_epsilon != float("inf") else "none<1"
+        print(
+            f"{label:<30}{dimension:>12,}{str(feasible):>15}"
+            f"{min_batch:>12,.0f}{max_fraction:>10.1e}{min_eps_text:>9}"
+        )
+
+    print(
+        f"\nRule of thumb (Section 3): the batch must grow like sqrt(d); "
+        f"for ResNet-50 that is b > {sqrt_d_batch_rule(25_600_000):,.0f}."
+    )
+
+    print("\nFull trade-off report for the paper's configuration:")
+    for key, value in tradeoff_summary(gar, 69, BATCH, EPSILON, DELTA).items():
+        print(f"  {key:<18}: {value}")
+
+
+if __name__ == "__main__":
+    main()

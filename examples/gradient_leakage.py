@@ -1,0 +1,55 @@
+"""Gradient leakage demo: why workers inject DP noise at all.
+
+Plays the honest-but-curious parameter server of Fig. 1(b): intercept a
+worker's single-example gradient and reconstruct the training sample
+exactly (the Zhu et al. 2019 leak, in closed form for linear models) —
+then watch the calibrated Gaussian noise destroy the reconstruction.
+
+Run:  python examples/gradient_leakage.py
+"""
+
+import numpy as np
+
+from repro.analysis.leakage import invert_linear_gradient, reconstruction_error
+from repro.data.phishing import make_phishing_dataset
+from repro.models.logistic import LogisticRegressionModel
+from repro.privacy.clipping import clip_by_l2_norm
+from repro.privacy.mechanisms import GaussianMechanism
+from repro.rng import generator_from_seed
+
+G_MAX = 1e-2
+
+
+def main() -> None:
+    dataset = make_phishing_dataset(seed=0)
+    model = LogisticRegressionModel(dataset.num_features, loss_kind="mse")
+    rng = generator_from_seed(7)
+    parameters = 0.05 * rng.standard_normal(model.dimension)
+
+    victim = 1234
+    features = dataset.features[victim : victim + 1]
+    labels = dataset.labels[victim : victim + 1]
+    gradient = clip_by_l2_norm(model.gradient(parameters, features, labels), G_MAX)
+
+    recovered = invert_linear_gradient(gradient)
+    error = reconstruction_error(features[0], recovered)
+    print("--- without DP noise ---")
+    print(f"true sample (first 8 features):      {features[0][:8]}")
+    print(f"recovered from gradient (first 8):   {np.round(recovered[:8], 6)}")
+    print(f"relative reconstruction error:       {error:.2e}  (exact leak!)\n")
+
+    print("--- with the paper's DP noise (eps=0.2, delta=1e-6, b=1) ---")
+    mechanism = GaussianMechanism.for_clipped_gradients(0.2, 1e-6, G_MAX, 1)
+    noisy = mechanism.privatize(gradient, rng)
+    try:
+        recovered_noisy = invert_linear_gradient(noisy)
+        error_noisy = reconstruction_error(features[0], recovered_noisy)
+        print(f"recovered from noisy gradient (8):   {np.round(recovered_noisy[:8], 3)}")
+        print(f"relative reconstruction error:       {error_noisy:.2f}")
+        print("(error >= 1 means worse than guessing the zero vector)")
+    except Exception as error_:  # zero bias coordinate: nothing to invert
+        print(f"inversion failed outright: {error_}")
+
+
+if __name__ == "__main__":
+    main()

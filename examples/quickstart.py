@@ -1,0 +1,49 @@
+"""Quickstart: Byzantine-resilient, differentially-private distributed SGD.
+
+Reproduces the paper's core experiment in miniature: train logistic
+regression on the phishing task with a parameter server, 11 workers of
+which 5 are Byzantine, MDA aggregation, and (optionally) local DP
+noise — then watch the two defences collide.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import phishing_environment, train
+
+
+def main() -> None:
+    model, train_set, test_set = phishing_environment()
+    print(f"task: {train_set.name}, d = {model.dimension} parameters")
+    print(f"train/test: {train_set.num_points} / {test_set.num_points} points\n")
+
+    cells = [
+        ("honest baseline (averaging)", dict(gar="average", f=0)),
+        ("MDA vs 'A Little Is Enough'", dict(gar="mda", f=5, attack="little")),
+        (
+            "MDA vs ALIE + DP (eps=0.2)",
+            dict(gar="mda", f=5, attack="little", epsilon=0.2),
+        ),
+    ]
+    for label, kwargs in cells:
+        result = train(
+            model=model,
+            train_dataset=train_set,
+            test_dataset=test_set,
+            num_steps=400,
+            batch_size=50,
+            seed=1,
+            **kwargs,
+        )
+        accuracy = result.history.max_accuracy
+        print(f"{label:<32} best test accuracy: {accuracy:.3f}")
+        if result.privacy is not None:
+            print(f"{'':<32} privacy: {result.privacy.summary()}")
+
+    print(
+        "\nTakeaway (the paper's title question): each defence works alone, "
+        "but at this batch size they do not add up."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Watch Eq. (8) happen: live VN-ratio monitoring during training.
+
+Builds two identical clusters — one clean, one with the paper's DP
+noise — and prints the per-round variance-to-norm ratio of what the
+GAR actually aggregates (the workers' momentum vectors) against MDA's
+tolerance k_F(11, 5) = 0.424.  Three regimes appear:
+
+* raw b = 50 gradients: ratio ~1.8, 4x over the threshold — which is
+  why worker momentum (an asymptotically ~14x VN reduction) is needed
+  at all;
+* clean momentum vectors: ratio ~0.5 and falling toward the threshold
+  as the buffer builds up (the reduction factor needs ~1/(1-m) rounds
+  to mature) — the regime where MDA defeats the attacks in practice;
+* DP momentum vectors: ratio ~5.7 — more than 10x the clean value and
+  far back over the threshold — Eq. (8) in action, the certificate
+  evaporates.
+
+Run:  python examples/vn_ratio_monitor.py
+"""
+
+from repro.analysis.monitor import VNRatioMonitor
+from repro.data.batching import BatchSampler
+from repro.distributed.cluster import Cluster
+from repro.distributed.server import ParameterServer
+from repro.distributed.trainer import build_mechanism
+from repro.distributed.worker import HonestWorker
+from repro.experiments.runner import phishing_environment
+from repro.gars import get_gar
+from repro.optim.sgd import SGDOptimizer
+from repro.rng import SeedTree
+
+BATCH, EPSILON, DELTA, G_MAX = 50, 0.2, 1e-6, 1e-2
+ROUNDS = 30
+
+
+def build_cluster(model, train_set, epsilon, worker_momentum=0.99):
+    seeds = SeedTree(1)
+    mechanism = None
+    if epsilon is not None:
+        mechanism = build_mechanism(
+            "gaussian", epsilon, DELTA, G_MAX, BATCH, model.dimension
+        )
+    workers = [
+        HonestWorker(
+            worker_id=index,
+            model=model,
+            sampler=BatchSampler(train_set, BATCH, seeds.generator("batch", index)),
+            noise_rng=seeds.generator("noise", index),
+            g_max=G_MAX,
+            mechanism=mechanism,
+            momentum=worker_momentum,
+        )
+        for index in range(11)
+    ]
+    server = ParameterServer(
+        initial_parameters=model.initial_parameters(),
+        gar=get_gar("mda", 11, 5),
+        optimizer=SGDOptimizer(2.0, momentum=0.0),
+    )
+    return Cluster(server=server, honest_workers=workers)
+
+
+def main() -> None:
+    model, train_set, _ = phishing_environment()
+    gar = get_gar("mda", 11, 5)
+    print(f"MDA tolerance k_F(11, 5) = {gar.k_f():.3f}\n")
+
+    cells = (
+        ("raw gradients, clean", None, 0.0),
+        ("momentum, clean", None, 0.99),
+        (f"momentum, DP eps={EPSILON}", EPSILON, 0.99),
+    )
+    for label, epsilon, worker_momentum in cells:
+        cluster = build_cluster(model, train_set, epsilon, worker_momentum)
+        monitor = VNRatioMonitor(cluster)
+        for _ in range(ROUNDS):
+            monitor.observe(cluster.step())
+        trajectory = monitor.trajectory
+        print(f"[{label}]")
+        print(f"  {trajectory.summary()}")
+        sample = ", ".join(f"{r:.2f}" for r in trajectory.submitted_ratios[-8:])
+        print(f"  late rounds' submitted ratios: {sample}\n")
+
+    print(
+        "Worker momentum cuts the clean ratio ~4x (heading toward the "
+        "threshold as the buffer matures); the DP noise multiplies it "
+        "back up by >10x — Eq. (8) live, matching Proposition 1's verdict "
+        "that no eps < 1 makes b = 50 feasible."
+    )
+
+
+if __name__ == "__main__":
+    main()

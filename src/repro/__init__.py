@@ -1,0 +1,90 @@
+"""repro — reproduction of "Differential Privacy and Byzantine Resilience
+in SGD: Do They Add Up?" (Guerraoui, Gupta, Pinot, Rouault, Stephan;
+PODC 2021).
+
+The package is organised as:
+
+* :mod:`repro.core` — the paper's contribution: VN-ratio analysis
+  (Eq. 2/8), feasibility conditions (Table 1, Propositions 1-3),
+  Theorem 1 convergence bounds, trade-off solvers.
+* Substrates — :mod:`repro.data`, :mod:`repro.models`,
+  :mod:`repro.optim`, :mod:`repro.privacy`, :mod:`repro.gars`,
+  :mod:`repro.attacks`, :mod:`repro.distributed`.
+* :mod:`repro.experiments` — configs and runners regenerating every
+  table and figure; :mod:`repro.analysis` — leakage and variance
+  extras; :mod:`repro.metrics` — histories and aggregation.
+
+Quickstart
+----------
+>>> from repro import phishing_environment, train
+>>> model, train_set, test_set = phishing_environment()
+>>> result = train(
+...     model=model, train_dataset=train_set, test_dataset=test_set,
+...     num_steps=100, gar="mda", attack="little", epsilon=0.2, seed=1,
+... )  # doctest: +SKIP
+"""
+
+from repro.attacks import available_attacks, get_attack
+from repro.core import (
+    certify_vn_condition,
+    empirical_vn_ratio,
+    master_condition_can_hold,
+    min_batch_size_for_gar,
+    theorem1_bounds,
+    theorem1_rate,
+)
+from repro.data import Dataset, make_phishing_dataset, train_test_split
+from repro.distributed import Cluster, ParameterServer, TrainingResult, train
+from repro.exceptions import (
+    AggregationError,
+    ConfigurationError,
+    DataError,
+    PrivacyError,
+    ReproError,
+    ResilienceError,
+    TrainingError,
+)
+from repro.experiments import ExperimentConfig, phishing_environment, run_config, run_grid
+from repro.gars import available_gars, get_gar
+from repro.models import LogisticRegressionModel, MeanEstimationModel
+from repro.privacy import GaussianMechanism, LaplaceMechanism
+from repro.rng import SeedTree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregationError",
+    "Cluster",
+    "ConfigurationError",
+    "DataError",
+    "Dataset",
+    "ExperimentConfig",
+    "GaussianMechanism",
+    "LaplaceMechanism",
+    "LogisticRegressionModel",
+    "MeanEstimationModel",
+    "ParameterServer",
+    "PrivacyError",
+    "ReproError",
+    "ResilienceError",
+    "SeedTree",
+    "TrainingError",
+    "TrainingResult",
+    "available_attacks",
+    "available_gars",
+    "certify_vn_condition",
+    "empirical_vn_ratio",
+    "get_attack",
+    "get_gar",
+    "make_phishing_dataset",
+    "master_condition_can_hold",
+    "min_batch_size_for_gar",
+    "phishing_environment",
+    "run_config",
+    "run_grid",
+    "theorem1_bounds",
+    "theorem1_rate",
+    "train",
+    "train_test_split",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Analysis extras: leakage attacks, gradient variance, variance reduction."""
+
+from repro.analysis.leakage import (
+    LeakageReport,
+    gradient_inversion_study,
+    invert_linear_gradient,
+    reconstruction_error,
+)
+from repro.analysis.monitor import VNRatioMonitor, VNTrajectory
+from repro.analysis.variance import (
+    GradientMoments,
+    estimate_gradient_moments,
+    vn_ratio_for_model,
+)
+from repro.analysis.variance_reduction import (
+    momentum_variance_inflation,
+    momentum_vn_reduction_factor,
+)
+
+__all__ = [
+    "GradientMoments",
+    "LeakageReport",
+    "VNRatioMonitor",
+    "VNTrajectory",
+    "estimate_gradient_moments",
+    "gradient_inversion_study",
+    "invert_linear_gradient",
+    "momentum_variance_inflation",
+    "momentum_vn_reduction_factor",
+    "reconstruction_error",
+    "vn_ratio_for_model",
+]

@@ -1,0 +1,106 @@
+"""Empirical gradient moments and VN ratios for concrete models.
+
+Bridges the theory (Eq. 2 / Eq. 8 need ``E||G - EG||^2`` and
+``||E G||``) with actual model/dataset pairs: Monte-Carlo estimate the
+moments of the batch-gradient distribution at a given parameter vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.vn_ratio import dp_noise_total_variance, vn_ratio_from_moments
+from repro.data.batching import BatchSampler
+from repro.data.datasets import Dataset
+from repro.exceptions import ConfigurationError
+from repro.models.base import Model
+from repro.privacy.clipping import clip_by_l2_norm
+from repro.rng import generator_from_seed
+from repro.typing import Vector
+
+__all__ = ["GradientMoments", "estimate_gradient_moments", "vn_ratio_for_model"]
+
+
+@dataclass(frozen=True)
+class GradientMoments:
+    """Monte-Carlo estimates of the batch-gradient distribution."""
+
+    total_variance: float
+    mean_norm: float
+    num_samples: int
+    batch_size: int
+
+    @property
+    def vn_ratio(self) -> float:
+        """The noise-free VN ratio (Eq. 2's left-hand side)."""
+        return vn_ratio_from_moments(self.total_variance, self.mean_norm)
+
+    def dp_vn_ratio(
+        self, dimension: int, g_max: float, epsilon: float, delta: float
+    ) -> float:
+        """The DP-augmented VN ratio (Eq. 8's left-hand side)."""
+        noise = dp_noise_total_variance(
+            dimension, g_max, self.batch_size, epsilon, delta
+        )
+        return vn_ratio_from_moments(self.total_variance + noise, self.mean_norm)
+
+
+def estimate_gradient_moments(
+    model: Model,
+    dataset: Dataset,
+    parameters: Vector,
+    batch_size: int,
+    num_samples: int = 200,
+    g_max: float | None = None,
+    seed: int = 0,
+) -> GradientMoments:
+    """Sample ``num_samples`` batch gradients and estimate the moments.
+
+    ``g_max`` applies the honest worker's clipping, so the estimate
+    matches what workers actually submit (pre-noise).
+    """
+    if num_samples < 2:
+        raise ConfigurationError(f"num_samples must be >= 2, got {num_samples}")
+    rng = generator_from_seed(seed)
+    sampler = BatchSampler(dataset, batch_size, rng)
+    gradients = np.empty((num_samples, model.dimension))
+    for index in range(num_samples):
+        features, labels = sampler.sample()
+        gradient = model.gradient(parameters, features, labels)
+        if g_max is not None:
+            gradient = clip_by_l2_norm(gradient, g_max)
+        gradients[index] = gradient
+    mean = gradients.mean(axis=0)
+    centered = gradients - mean[None, :]
+    total_variance = float(np.sum(centered**2) / (num_samples - 1))
+    return GradientMoments(
+        total_variance=total_variance,
+        mean_norm=float(np.linalg.norm(mean)),
+        num_samples=num_samples,
+        batch_size=batch_size,
+    )
+
+
+def vn_ratio_for_model(
+    model: Model,
+    dataset: Dataset,
+    parameters: Vector,
+    batch_size: int,
+    *,
+    g_max: float | None = None,
+    epsilon: float | None = None,
+    delta: float | None = None,
+    num_samples: int = 200,
+    seed: int = 0,
+) -> float:
+    """One-call VN ratio (noise-free, or Eq. (8) when epsilon/delta given)."""
+    moments = estimate_gradient_moments(
+        model, dataset, parameters, batch_size, num_samples, g_max, seed
+    )
+    if epsilon is None:
+        return moments.vn_ratio
+    if delta is None or g_max is None:
+        raise ConfigurationError("the DP-augmented VN ratio needs g_max, epsilon and delta")
+    return moments.dp_vn_ratio(model.dimension, g_max, epsilon, delta)

@@ -1,0 +1,71 @@
+"""Byzantine attacks.
+
+The paper evaluates two state-of-the-art attacks — *A Little Is Enough*
+and *Fall of Empires* — plus this package's extra baselines for
+ablations.  Attacks are available through classes or the registry:
+
+>>> from repro.attacks import get_attack
+>>> attack = get_attack("little")
+>>> attack.factor
+1.5
+"""
+
+from repro.attacks.base import AttackContext, ByzantineAttack
+from repro.attacks.empire import FallOfEmpiresAttack
+from repro.attacks.labelflip import flip_binary_labels
+from repro.attacks.little import ALittleIsEnoughAttack
+from repro.attacks.simple import (
+    LargeNormAttack,
+    MimicAttack,
+    RandomGaussianAttack,
+    SignFlipAttack,
+    ZeroGradientAttack,
+)
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "AttackContext",
+    "ByzantineAttack",
+    "ALittleIsEnoughAttack",
+    "FallOfEmpiresAttack",
+    "SignFlipAttack",
+    "RandomGaussianAttack",
+    "ZeroGradientAttack",
+    "LargeNormAttack",
+    "MimicAttack",
+    "flip_binary_labels",
+    "ATTACK_REGISTRY",
+    "available_attacks",
+    "get_attack",
+]
+
+#: Name -> class mapping for every built-in gradient-space attack.
+ATTACK_REGISTRY: dict[str, type[ByzantineAttack]] = {
+    ALittleIsEnoughAttack.name: ALittleIsEnoughAttack,
+    FallOfEmpiresAttack.name: FallOfEmpiresAttack,
+    SignFlipAttack.name: SignFlipAttack,
+    RandomGaussianAttack.name: RandomGaussianAttack,
+    ZeroGradientAttack.name: ZeroGradientAttack,
+    LargeNormAttack.name: LargeNormAttack,
+    MimicAttack.name: MimicAttack,
+}
+
+
+def available_attacks() -> tuple[str, ...]:
+    """Names of all registered attacks, sorted."""
+    return tuple(sorted(ATTACK_REGISTRY))
+
+
+def get_attack(name: str, **kwargs) -> ByzantineAttack:
+    """Instantiate a registered attack by name.
+
+    Extra keyword arguments go to the attack constructor (e.g.
+    ``factor`` for ALIE/FoE, ``knowledge`` for the adversary's view).
+    """
+    try:
+        cls = ATTACK_REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown attack {name!r}; available: {', '.join(available_attacks())}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,109 @@
+"""Byzantine attack interface.
+
+The paper's threat model (Section 5.1): the ``f`` Byzantine workers
+collude and all submit the *same* crafted gradient each step, built
+from knowledge of the honest workers' gradients ("omniscient"
+adversary).  Both state-of-the-art attacks follow the template
+
+.. math::
+
+    g_t + \\nu \\, a_t
+
+where ``g_t`` approximates the true gradient (the mean of the honest
+submissions) and ``a_t`` is an attack direction.
+
+An attack's *knowledge* setting controls which honest view it reads:
+
+* ``"submitted"`` — the gradients as they travel on the wire
+  (post-clipping, post-DP-noise); the default, matching what a network
+  adversary observes.
+* ``"clean"`` — the pre-noise clipped gradients (a strictly stronger,
+  fully omniscient adversary).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.typing import Matrix, Vector
+
+__all__ = ["AttackContext", "ByzantineAttack", "KNOWLEDGE_CHOICES"]
+
+KNOWLEDGE_CHOICES = ("submitted", "clean")
+
+
+@dataclass
+class AttackContext:
+    """Everything an omniscient colluding adversary can see in one step.
+
+    Attributes
+    ----------
+    step:
+        1-indexed training step.
+    honest_submitted:
+        ``(h, d)`` matrix of the gradients honest workers are about to
+        send (after clipping and DP noise).
+    honest_clean:
+        ``(h, d)`` matrix of the same gradients before DP noise.
+    parameters:
+        Current model parameters ``w_t``.
+    num_byzantine:
+        Number of colluding Byzantine workers.
+    rng:
+        The adversary's private random stream.
+    """
+
+    step: int
+    honest_submitted: Matrix
+    honest_clean: Matrix
+    parameters: Vector
+    num_byzantine: int
+    rng: np.random.Generator = field(repr=False)
+
+    def honest_view(self, knowledge: str) -> Matrix:
+        """The honest gradients under the requested knowledge level."""
+        if knowledge == "submitted":
+            return self.honest_submitted
+        if knowledge == "clean":
+            return self.honest_clean
+        raise ConfigurationError(
+            f"knowledge must be one of {KNOWLEDGE_CHOICES}, got {knowledge!r}"
+        )
+
+
+class ByzantineAttack(ABC):
+    """A colluding attack: one crafted gradient submitted by all ``f`` nodes."""
+
+    #: Registry name, set by each subclass (e.g. ``"little"``).
+    name: str = "abstract"
+
+    def __init__(self, knowledge: str = "submitted"):
+        if knowledge not in KNOWLEDGE_CHOICES:
+            raise ConfigurationError(
+                f"knowledge must be one of {KNOWLEDGE_CHOICES}, got {knowledge!r}"
+            )
+        self._knowledge = knowledge
+
+    @property
+    def knowledge(self) -> str:
+        """Which honest view the attack reads (``submitted`` or ``clean``)."""
+        return self._knowledge
+
+    @abstractmethod
+    def craft(self, context: AttackContext) -> Vector:
+        """Return the Byzantine gradient for this step."""
+
+    def _honest(self, context: AttackContext) -> Matrix:
+        honest = context.honest_view(self._knowledge)
+        if honest.shape[0] == 0:
+            raise ConfigurationError(
+                f"{self.name} requires at least one honest gradient to observe"
+            )
+        return honest
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(knowledge={self._knowledge!r})"

@@ -1,0 +1,42 @@
+"""Fall of Empires (Xie, Koyejo & Gupta 2019).
+
+Inner-product manipulation: each Byzantine worker submits
+``(1 - nu) * g_t`` where ``g_t`` is (an approximation of) the true
+gradient, i.e. the attack vector is ``a_t = -g_t``.  The paper's
+experiments use ``nu = 1.1``, corresponding to ``nu' = -(1 - nu) = 0.1``
+in the original paper's notation — "this factor made this attack
+consistently successful in the original paper".
+
+With ``nu > 1`` the submitted vector points *against* the true
+gradient, so if the crafted gradients capture the aggregate, the model
+walks uphill.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackContext, ByzantineAttack
+from repro.exceptions import ConfigurationError
+from repro.typing import Vector
+
+__all__ = ["FallOfEmpiresAttack"]
+
+
+class FallOfEmpiresAttack(ByzantineAttack):
+    """FoE: ``(1 - nu) * mean(honest gradients)``, ``nu = 1.1`` by default."""
+
+    name = "empire"
+
+    def __init__(self, factor: float = 1.1, knowledge: str = "submitted"):
+        super().__init__(knowledge)
+        if factor < 0:
+            raise ConfigurationError(f"factor (nu) must be >= 0, got {factor}")
+        self._factor = float(factor)
+
+    @property
+    def factor(self) -> float:
+        """The attack magnitude ``nu``; the submitted vector is ``(1-nu) g_t``."""
+        return self._factor
+
+    def craft(self, context: AttackContext) -> Vector:
+        honest = self._honest(context)
+        return (1.0 - self._factor) * honest.mean(axis=0)

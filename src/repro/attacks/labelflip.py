@@ -1,0 +1,53 @@
+"""Label-flipping data poisoning.
+
+Unlike the gradient-space attacks, label flipping corrupts a worker's
+*data*: the Byzantine worker behaves exactly like an honest one
+(sampling, clipping, DP noise) but computes gradients against flipped
+labels.  In the paper's taxonomy this is an "erroneous gradient"
+(mislabeling in the local dataset) rather than a forged one.
+
+Use :func:`flip_binary_labels` to build the poisoned dataset and hand
+it to a regular honest worker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.exceptions import DataError
+
+__all__ = ["flip_binary_labels"]
+
+
+def flip_binary_labels(
+    dataset: Dataset, fraction: float = 1.0, rng: np.random.Generator | None = None
+) -> Dataset:
+    """Return a copy of ``dataset`` with a fraction of binary labels flipped.
+
+    Parameters
+    ----------
+    dataset:
+        A dataset with labels in ``{0, 1}``.
+    fraction:
+        Fraction of points whose labels are flipped (1.0 = all).
+    rng:
+        Required when ``fraction < 1`` to pick the flipped points.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise DataError(f"fraction must be in [0, 1], got {fraction}")
+    labels = dataset.labels
+    if not np.all(np.isin(labels, (0.0, 1.0))):
+        raise DataError("flip_binary_labels requires labels in {0, 1}")
+    if fraction == 1.0:
+        mask = np.ones(dataset.num_points, dtype=bool)
+    else:
+        if rng is None:
+            raise DataError("rng is required when fraction < 1")
+        mask = rng.random(dataset.num_points) < fraction
+    flipped = np.where(mask, 1.0 - labels, labels)
+    return Dataset(
+        features=dataset.features.copy(),
+        labels=flipped,
+        name=f"{dataset.name}-labelflip",
+    )

@@ -1,0 +1,47 @@
+"""A Little Is Enough (Baruch, Baruch & Goldberg 2019).
+
+Each Byzantine worker submits ``g_t + nu * a_t`` where ``a_t = -sigma_t``
+is the opposite of the coordinate-wise standard deviation of the honest
+gradient distribution and ``g_t`` is the mean of the honest gradients.
+The paper's experiments use ``nu = 1.5`` "as proposed by the original
+paper".
+
+The idea: shift every coordinate by a small multiple of its natural
+spread, staying inside the cloud of honest gradients so
+distance/median-based defenses cannot flag the Byzantine submissions,
+while the common bias steadily drags the model away from the optimum.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackContext, ByzantineAttack
+from repro.exceptions import ConfigurationError
+from repro.typing import Vector
+
+__all__ = ["ALittleIsEnoughAttack"]
+
+
+class ALittleIsEnoughAttack(ByzantineAttack):
+    """ALIE: ``g_t - nu * std(honest gradients)``, ``nu = 1.5`` by default."""
+
+    name = "little"
+
+    def __init__(self, factor: float = 1.5, knowledge: str = "submitted"):
+        super().__init__(knowledge)
+        if factor < 0:
+            raise ConfigurationError(f"factor (nu) must be >= 0, got {factor}")
+        self._factor = float(factor)
+
+    @property
+    def factor(self) -> float:
+        """The attack magnitude ``nu``."""
+        return self._factor
+
+    def craft(self, context: AttackContext) -> Vector:
+        honest = self._honest(context)
+        mean = honest.mean(axis=0)
+        # Coordinate-wise standard deviation of the honest distribution;
+        # a single observed gradient gives no spread estimate, so the
+        # attack degenerates to submitting the mean.
+        std = honest.std(axis=0)
+        return mean - self._factor * std

@@ -1,0 +1,124 @@
+"""Simple baseline attacks for ablations and GAR stress tests.
+
+None of these appear in the paper's evaluation, but they are the
+standard sanity checks for any Byzantine-resilient pipeline:
+
+* :class:`SignFlipAttack` — submit ``-scale * g_t`` (gradient ascent).
+* :class:`RandomGaussianAttack` — submit pure noise of a chosen scale.
+* :class:`ZeroGradientAttack` — submit zeros, which is also exactly how
+  the paper models *non-received* gradients (Section 2.1).
+* :class:`LargeNormAttack` — submit an enormous vector; any GAR that
+  survives this but fails ALIE demonstrates why "filter the obvious
+  outliers" is insufficient.
+* :class:`MimicAttack` — copy one honest gradient, inflating its weight
+  in the aggregate (tests selection-based GARs such as Krum).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import AttackContext, ByzantineAttack
+from repro.exceptions import ConfigurationError
+from repro.typing import Vector
+
+__all__ = [
+    "SignFlipAttack",
+    "RandomGaussianAttack",
+    "ZeroGradientAttack",
+    "LargeNormAttack",
+    "MimicAttack",
+]
+
+
+class SignFlipAttack(ByzantineAttack):
+    """Submit ``-scale`` times the honest mean gradient."""
+
+    name = "signflip"
+
+    def __init__(self, scale: float = 1.0, knowledge: str = "submitted"):
+        super().__init__(knowledge)
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale}")
+        self._scale = float(scale)
+
+    @property
+    def scale(self) -> float:
+        """Magnitude multiplier applied after flipping."""
+        return self._scale
+
+    def craft(self, context: AttackContext) -> Vector:
+        return -self._scale * self._honest(context).mean(axis=0)
+
+
+class RandomGaussianAttack(ByzantineAttack):
+    """Submit ``N(0, scale^2 I_d)`` noise, fresh each step."""
+
+    name = "random"
+
+    def __init__(self, scale: float = 1.0, knowledge: str = "submitted"):
+        super().__init__(knowledge)
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale}")
+        self._scale = float(scale)
+
+    @property
+    def scale(self) -> float:
+        """Standard deviation of the noise per coordinate."""
+        return self._scale
+
+    def craft(self, context: AttackContext) -> Vector:
+        dimension = context.parameters.shape[0]
+        return self._scale * context.rng.standard_normal(dimension)
+
+
+class ZeroGradientAttack(ByzantineAttack):
+    """Submit the zero vector (equivalently: never deliver a gradient)."""
+
+    name = "zero"
+
+    def craft(self, context: AttackContext) -> Vector:
+        return np.zeros_like(context.parameters)
+
+
+class LargeNormAttack(ByzantineAttack):
+    """Submit a constant direction blown up to a huge norm."""
+
+    name = "large-norm"
+
+    def __init__(self, norm: float = 1e6, knowledge: str = "submitted"):
+        super().__init__(knowledge)
+        if norm <= 0:
+            raise ConfigurationError(f"norm must be positive, got {norm}")
+        self._norm = float(norm)
+
+    @property
+    def norm(self) -> float:
+        """Norm of the submitted vector."""
+        return self._norm
+
+    def craft(self, context: AttackContext) -> Vector:
+        dimension = context.parameters.shape[0]
+        direction = np.ones(dimension) / np.sqrt(dimension)
+        return self._norm * direction
+
+
+class MimicAttack(ByzantineAttack):
+    """All Byzantine workers copy the gradient of one honest worker."""
+
+    name = "mimic"
+
+    def __init__(self, target_index: int = 0, knowledge: str = "submitted"):
+        super().__init__(knowledge)
+        if target_index < 0:
+            raise ConfigurationError(f"target_index must be >= 0, got {target_index}")
+        self._target_index = int(target_index)
+
+    @property
+    def target_index(self) -> int:
+        """Index (among honest workers) of the mimicked victim."""
+        return self._target_index
+
+    def craft(self, context: AttackContext) -> Vector:
+        honest = self._honest(context)
+        return honest[self._target_index % honest.shape[0]].copy()

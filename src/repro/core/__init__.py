@@ -1,0 +1,87 @@
+"""Core contribution: the paper's DP-vs-Byzantine-resilience analysis.
+
+* :mod:`repro.core.vn_ratio` — Eq. (2) and its DP-augmented form Eq. (8);
+* :mod:`repro.core.resilience` — ``(alpha, f)`` certification;
+* :mod:`repro.core.feasibility` — Propositions 1-3 / Table 1;
+* :mod:`repro.core.convergence` — Theorem 1 upper/lower bounds;
+* :mod:`repro.core.tradeoff` — solving the feasibility inequality for
+  each knob (epsilon, batch size, f).
+"""
+
+from repro.core.convergence import (
+    TheoremOneBounds,
+    effective_gradient_second_moment,
+    gaussian_noise_sigma,
+    theorem1_bounds,
+    theorem1_lower_bound,
+    theorem1_rate,
+    theorem1_upper_bound,
+)
+from repro.core.feasibility import (
+    bulyan_min_batch_size,
+    krum_min_batch_size,
+    master_condition_can_hold,
+    max_dimension_for_gar,
+    mda_max_byzantine_fraction,
+    meamed_min_batch_size,
+    median_min_batch_size,
+    min_batch_size_for_gar,
+    phocas_max_byzantine_fraction,
+    privacy_constant,
+    sqrt_d_batch_rule,
+    trimmed_mean_max_byzantine_fraction,
+)
+from repro.core.resilience import (
+    ResilienceCertificate,
+    angle_condition_holds,
+    certify_vn_condition,
+    estimate_alpha,
+)
+from repro.core.tradeoff import (
+    max_tolerable_byzantine,
+    min_epsilon_for_gar,
+    tradeoff_summary,
+)
+from repro.core.vn_ratio import (
+    dp_noise_total_variance,
+    dp_vn_ratio_from_moments,
+    empirical_gradient_moments,
+    empirical_vn_ratio,
+    vn_condition_holds,
+    vn_ratio_from_moments,
+)
+
+__all__ = [
+    "ResilienceCertificate",
+    "TheoremOneBounds",
+    "angle_condition_holds",
+    "bulyan_min_batch_size",
+    "certify_vn_condition",
+    "dp_noise_total_variance",
+    "dp_vn_ratio_from_moments",
+    "effective_gradient_second_moment",
+    "empirical_gradient_moments",
+    "empirical_vn_ratio",
+    "estimate_alpha",
+    "gaussian_noise_sigma",
+    "krum_min_batch_size",
+    "master_condition_can_hold",
+    "max_dimension_for_gar",
+    "max_tolerable_byzantine",
+    "mda_max_byzantine_fraction",
+    "meamed_min_batch_size",
+    "median_min_batch_size",
+    "min_batch_size_for_gar",
+    "min_epsilon_for_gar",
+    "phocas_max_byzantine_fraction",
+    "privacy_constant",
+    "sqrt_d_batch_rule",
+    "theorem1_bounds",
+    "theorem1_lower_bound",
+    "theorem1_rate",
+    "theorem1_upper_bound",
+    "tradeoff_summary",
+    "trimmed_mean_max_byzantine_fraction",
+    "vn_condition_holds",
+    "vn_ratio_from_moments",
+]

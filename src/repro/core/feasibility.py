@@ -1,0 +1,226 @@
+"""Feasibility of combining DP with Byzantine resilience — Table 1.
+
+Propositions 1-3 of the paper derive, per GAR, a *necessary* condition
+for the DP-augmented VN ratio condition (Eq. 8) to hold.  All of them
+flow from one master inequality (Eq. 13 in Appendix A): since the DP
+noise alone contributes ``8 d G_max^2 log(1.25/delta) / (eps^2 b^2)``
+variance and ``||E G_t|| <= G_max``, the VN condition *cannot* hold
+whenever
+
+.. math::
+
+    k_F(n, f) < \\frac{\\sqrt{8 d}}{C b},
+    \\qquad C = \\frac{\\epsilon}{\\sqrt{\\log(1.25/\\delta)}}.
+
+Per-GAR closed forms (Table 1):
+
+* MDA (Prop. 1):       ``f/n <= C b / (8 sqrt(d) + C b)``
+* Krum/Bulyan (Prop. 2):  needs ``C b > sqrt(16 d (n + f^2))`` i.e.
+  ``b in Omega(sqrt(n d))``
+* Median (Prop. 2):    needs ``C b > sqrt(4 d (n + 1))``
+* Meamed (Prop. 2):    needs ``C b > sqrt(40 d (n + 1))``
+* Trimmed Mean (Prop. 3): ``f/n <= C^2 b^2 / (16 d + 2 C^2 b^2)``
+* Phocas (Prop. 3):    ``f/n <= C^2 b^2 / (64 d + 2 C^2 b^2)``
+
+This module implements the master inequality exactly (for any GAR) and
+the closed forms, which tests cross-validate against each other.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ResilienceError
+from repro.gars import constants as gar_constants
+from repro.gars.base import GAR
+
+__all__ = [
+    "privacy_constant",
+    "master_condition_can_hold",
+    "min_batch_size_for_gar",
+    "max_dimension_for_gar",
+    "mda_max_byzantine_fraction",
+    "trimmed_mean_max_byzantine_fraction",
+    "phocas_max_byzantine_fraction",
+    "krum_min_batch_size",
+    "bulyan_min_batch_size",
+    "median_min_batch_size",
+    "meamed_min_batch_size",
+    "sqrt_d_batch_rule",
+]
+
+
+def _validate_budget(epsilon: float, delta: float) -> None:
+    if not 0 < epsilon < 1:
+        raise ResilienceError(
+            f"the paper's analysis assumes epsilon in (0, 1), got {epsilon}"
+        )
+    if not 0 < delta < 1:
+        raise ResilienceError(
+            f"the paper's analysis assumes delta in (0, 1), got {delta}"
+        )
+
+
+def _validate_d_b(dimension: int, batch_size: int | float) -> None:
+    if dimension < 1:
+        raise ResilienceError(f"dimension must be >= 1, got {dimension}")
+    if batch_size < 1:
+        raise ResilienceError(f"batch_size must be >= 1, got {batch_size}")
+
+
+def privacy_constant(epsilon: float, delta: float) -> float:
+    """``C = epsilon / sqrt(log(1.25/delta))`` from the propositions.
+
+    Since ``(epsilon, delta) in (0, 1)^2``, ``C`` is small — which is
+    precisely why the conditions below bite.
+    """
+    _validate_budget(epsilon, delta)
+    return epsilon / math.sqrt(math.log(1.25 / delta))
+
+
+def master_condition_can_hold(
+    k_f: float, dimension: int, batch_size: int, epsilon: float, delta: float
+) -> bool:
+    """Whether Eq. (8) *can* hold for a GAR with constant ``k_f``.
+
+    Implements the contrapositive of Eq. (13): the noisy VN condition
+    is impossible whenever ``k_f < sqrt(8 d) / (C b)``; it *can* hold
+    (for a sufficiently concentrated honest distribution with gradients
+    near the ``G_max`` bound) exactly when ``k_f >= sqrt(8 d) / (C b)``.
+    """
+    if k_f < 0:
+        raise ResilienceError(f"k_f must be >= 0, got {k_f}")
+    _validate_d_b(dimension, batch_size)
+    if math.isinf(k_f):
+        return True
+    constant = privacy_constant(epsilon, delta)
+    return k_f >= math.sqrt(8.0 * dimension) / (constant * batch_size)
+
+
+def min_batch_size_for_gar(
+    gar: GAR, dimension: int, epsilon: float, delta: float
+) -> float:
+    """Smallest (real-valued) batch size for which Eq. (8) can hold.
+
+    Solves the master inequality for ``b``:
+    ``b >= sqrt(8 d) / (C k_F(n, f))``.  Returns 1.0 when the GAR's
+    ``k_F`` is infinite (no constraint).
+    """
+    if dimension < 1:
+        raise ResilienceError(f"dimension must be >= 1, got {dimension}")
+    k_f = gar.k_f()
+    if math.isinf(k_f):
+        return 1.0
+    if k_f <= 0:
+        return math.inf
+    constant = privacy_constant(epsilon, delta)
+    return math.sqrt(8.0 * dimension) / (constant * k_f)
+
+
+def max_dimension_for_gar(
+    gar: GAR, batch_size: int, epsilon: float, delta: float
+) -> float:
+    """Largest model size ``d`` for which Eq. (8) can hold.
+
+    Solves the master inequality for ``d``:
+    ``d <= (C b k_F)^2 / 8``.
+    """
+    if batch_size < 1:
+        raise ResilienceError(f"batch_size must be >= 1, got {batch_size}")
+    k_f = gar.k_f()
+    if math.isinf(k_f):
+        return math.inf
+    constant = privacy_constant(epsilon, delta)
+    return (constant * batch_size * k_f) ** 2 / 8.0
+
+
+def mda_max_byzantine_fraction(
+    dimension: int, batch_size: int, epsilon: float, delta: float
+) -> float:
+    """Proposition 1: MDA needs ``f/n <= C b / (8 sqrt(d) + C b)``."""
+    _validate_d_b(dimension, batch_size)
+    constant = privacy_constant(epsilon, delta)
+    product = constant * batch_size
+    return product / (8.0 * math.sqrt(dimension) + product)
+
+
+def trimmed_mean_max_byzantine_fraction(
+    dimension: int, batch_size: int, epsilon: float, delta: float
+) -> float:
+    """Proposition 3: Trimmed Mean needs
+    ``f/n <= C^2 b^2 / (16 d + 2 C^2 b^2)``."""
+    _validate_d_b(dimension, batch_size)
+    squared = (privacy_constant(epsilon, delta) * batch_size) ** 2
+    return squared / (16.0 * dimension + 2.0 * squared)
+
+
+def phocas_max_byzantine_fraction(
+    dimension: int, batch_size: int, epsilon: float, delta: float
+) -> float:
+    """Proposition 3: Phocas needs ``f/n <= C^2 b^2 / (64 d + 2 C^2 b^2)``."""
+    _validate_d_b(dimension, batch_size)
+    squared = (privacy_constant(epsilon, delta) * batch_size) ** 2
+    return squared / (64.0 * dimension + 2.0 * squared)
+
+
+def krum_min_batch_size(
+    dimension: int, n: int, f: int, epsilon: float, delta: float
+) -> float:
+    """Proposition 2's sufficient-failure threshold for Krum:
+
+    the VN condition fails whenever
+    ``sqrt(16 d (n + f^2)) > C b``, so
+    ``b >= sqrt(16 d (n + f^2)) / C`` is necessary.
+
+    Note this uses the proof's relaxation ``eta(n, f) > n + f^2`` and is
+    therefore *looser* (smaller) than the exact
+    :func:`min_batch_size_for_gar`; both are necessary conditions.
+    """
+    if dimension < 1:
+        raise ResilienceError(f"dimension must be >= 1, got {dimension}")
+    gar_constants.require_krum_valid(n, f)
+    constant = privacy_constant(epsilon, delta)
+    return math.sqrt(16.0 * dimension * (n + f**2)) / constant
+
+
+def bulyan_min_batch_size(
+    dimension: int, n: int, f: int, epsilon: float, delta: float
+) -> float:
+    """Bulyan shares Krum's bound, with the ``n >= 4 f + 3`` precondition."""
+    gar_constants.require_bulyan_valid(n, f)
+    return krum_min_batch_size(dimension, n, f, epsilon, delta)
+
+
+def median_min_batch_size(
+    dimension: int, n: int, epsilon: float, delta: float
+) -> float:
+    """Proposition 2 for Median: ``b >= sqrt(4 d (n + 1)) / C`` is necessary."""
+    if dimension < 1:
+        raise ResilienceError(f"dimension must be >= 1, got {dimension}")
+    if n < 1:
+        raise ResilienceError(f"n must be >= 1, got {n}")
+    constant = privacy_constant(epsilon, delta)
+    return math.sqrt(4.0 * dimension * (n + 1)) / constant
+
+
+def meamed_min_batch_size(
+    dimension: int, n: int, epsilon: float, delta: float
+) -> float:
+    """Proposition 2 for Meamed: ``b >= sqrt(40 d (n + 1)) / C`` is necessary."""
+    if dimension < 1:
+        raise ResilienceError(f"dimension must be >= 1, got {dimension}")
+    if n < 1:
+        raise ResilienceError(f"n must be >= 1, got {n}")
+    constant = privacy_constant(epsilon, delta)
+    return math.sqrt(40.0 * dimension * (n + 1)) / constant
+
+
+def sqrt_d_batch_rule(dimension: int) -> float:
+    """The paper's headline illustration: ``b`` must grow like ``sqrt(d)``.
+
+    For ResNet-50's ``d = 25.6e6`` this gives the "batch size
+    ``b > 5000``" quoted in Section 3.
+    """
+    if dimension < 1:
+        raise ResilienceError(f"dimension must be >= 1, got {dimension}")
+    return math.sqrt(dimension)

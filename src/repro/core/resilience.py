@@ -1,0 +1,160 @@
+"""``(alpha, f)``-Byzantine resilience certification.
+
+Two complementary tools:
+
+* :func:`certify_vn_condition` — the theoretical route: check the
+  (noisy) VN ratio against the GAR's ``k_F(n, f)`` constant
+  (Eq. 2 / Eq. 8) and report the margin.
+* :func:`estimate_alpha` / :func:`angle_condition_holds` — the
+  empirical route: given Monte-Carlo estimates of ``E[R_t]`` (the
+  GAR's expected output) and the true gradient, measure the angle
+  condition (1) of the resilience definition directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.vn_ratio import (
+    dp_vn_ratio_from_moments,
+    vn_ratio_from_moments,
+)
+from repro.exceptions import ResilienceError
+from repro.gars.base import GAR
+from repro.typing import Vector
+
+__all__ = [
+    "ResilienceCertificate",
+    "certify_vn_condition",
+    "estimate_alpha",
+    "angle_condition_holds",
+]
+
+
+@dataclass(frozen=True)
+class ResilienceCertificate:
+    """Outcome of a VN-ratio resilience check.
+
+    Attributes
+    ----------
+    satisfied:
+        Whether ``vn_ratio <= k_f`` — i.e. whether the *sufficient*
+        condition for ``(alpha, f)``-resilience holds.
+    vn_ratio:
+        The (noise-augmented, when DP is on) VN ratio.
+    k_f:
+        The GAR's tolerance constant.
+    margin:
+        ``k_f - vn_ratio``; negative when the condition fails.
+    dp_enabled:
+        Whether the DP noise term was included.
+    """
+
+    satisfied: bool
+    vn_ratio: float
+    k_f: float
+    margin: float
+    dp_enabled: bool
+
+    def __str__(self) -> str:
+        status = "SATISFIED" if self.satisfied else "VIOLATED"
+        noise = "with DP noise" if self.dp_enabled else "without DP"
+        return (
+            f"VN condition {status} {noise}: ratio {self.vn_ratio:.4g} "
+            f"vs k_F {self.k_f:.4g} (margin {self.margin:+.4g})"
+        )
+
+
+def certify_vn_condition(
+    gar: GAR,
+    variance: float,
+    mean_norm: float,
+    *,
+    dimension: int | None = None,
+    g_max: float | None = None,
+    batch_size: int | None = None,
+    epsilon: float | None = None,
+    delta: float | None = None,
+) -> ResilienceCertificate:
+    """Check Eq. (2) — or Eq. (8) when the DP arguments are given.
+
+    Parameters
+    ----------
+    gar:
+        The aggregation rule (provides ``k_F(n, f)``).
+    variance, mean_norm:
+        The honest gradient distribution's total variance
+        ``E||G - EG||^2`` and true-gradient norm ``||E G||``
+        (e.g. from :func:`repro.core.vn_ratio.empirical_gradient_moments`).
+    dimension, g_max, batch_size, epsilon, delta:
+        Provide all five to include the DP noise term; provide none for
+        the noise-free condition.
+    """
+    dp_arguments = (dimension, g_max, batch_size, epsilon, delta)
+    provided = [argument is not None for argument in dp_arguments]
+    if any(provided) and not all(provided):
+        raise ResilienceError(
+            "either provide all of (dimension, g_max, batch_size, epsilon, "
+            "delta) for the DP-augmented check, or none of them"
+        )
+    dp_enabled = all(provided)
+    if dp_enabled:
+        ratio = dp_vn_ratio_from_moments(
+            variance, mean_norm, dimension, g_max, batch_size, epsilon, delta
+        )
+    else:
+        ratio = vn_ratio_from_moments(variance, mean_norm)
+    k_f = gar.k_f()
+    return ResilienceCertificate(
+        satisfied=ratio <= k_f,
+        vn_ratio=ratio,
+        k_f=k_f,
+        margin=k_f - ratio,
+        dp_enabled=dp_enabled,
+    )
+
+
+def estimate_alpha(expected_output: Vector, true_gradient: Vector) -> float:
+    """Smallest ``alpha`` for which condition (1) holds, in radians.
+
+    Condition (1) requires
+    ``<E[R_t], grad Q> >= (1 - sin alpha) ||grad Q||^2 > 0``.
+    Solving for equality gives
+    ``sin alpha = 1 - <E[R_t], grad Q> / ||grad Q||^2``.
+
+    Raises
+    ------
+    ResilienceError
+        If no ``alpha in [0, pi/2)`` works — the expected output points
+        too far away from (or against) the true gradient.
+    """
+    expected_output = np.asarray(expected_output, dtype=np.float64)
+    true_gradient = np.asarray(true_gradient, dtype=np.float64)
+    norm_squared = float(np.dot(true_gradient, true_gradient))
+    if norm_squared <= 0:
+        raise ResilienceError("true gradient is zero; the angle condition is undefined")
+    sine = 1.0 - float(np.dot(expected_output, true_gradient)) / norm_squared
+    if sine >= 1.0:
+        raise ResilienceError(
+            f"no alpha in [0, pi/2) satisfies condition (1): required "
+            f"sin(alpha) = {sine:.4g} >= 1"
+        )
+    return math.asin(max(sine, 0.0))
+
+
+def angle_condition_holds(
+    expected_output: Vector, true_gradient: Vector, alpha: float
+) -> bool:
+    """Check condition (1) of ``(alpha, f)``-resilience at a given ``alpha``."""
+    if not 0 <= alpha < math.pi / 2:
+        raise ResilienceError(f"alpha must be in [0, pi/2), got {alpha}")
+    expected_output = np.asarray(expected_output, dtype=np.float64)
+    true_gradient = np.asarray(true_gradient, dtype=np.float64)
+    norm_squared = float(np.dot(true_gradient, true_gradient))
+    if norm_squared <= 0:
+        raise ResilienceError("true gradient is zero; the angle condition is undefined")
+    inner = float(np.dot(expected_output, true_gradient))
+    return inner >= (1.0 - math.sin(alpha)) * norm_squared and inner > 0

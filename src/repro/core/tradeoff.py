@@ -1,0 +1,122 @@
+"""Privacy/robustness trade-off solvers.
+
+Inverts the master feasibility inequality of
+:mod:`repro.core.feasibility` — ``k_F(n, f) >= sqrt(8 d) / (C b)`` with
+``C = eps / sqrt(log(1.25/delta))`` — for each variable in turn, so a
+practitioner can ask:
+
+* "Given my model size and batch, what's the weakest privacy I must
+  settle for?"  (:func:`min_epsilon_for_gar`)
+* "Given my privacy target, how big must batches be?"
+  (delegated to :func:`repro.core.feasibility.min_batch_size_for_gar`)
+* "Given everything, how many Byzantine workers can I tolerate?"
+  (:func:`max_tolerable_byzantine`)
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.feasibility import master_condition_can_hold, privacy_constant
+from repro.exceptions import ResilienceError
+from repro.gars.base import GAR
+
+__all__ = [
+    "min_epsilon_for_gar",
+    "max_tolerable_byzantine",
+    "tradeoff_summary",
+]
+
+
+def min_epsilon_for_gar(
+    gar: GAR, dimension: int, batch_size: int, delta: float
+) -> float:
+    """Smallest per-step ``epsilon`` for which Eq. (8) can hold.
+
+    Solves ``C >= sqrt(8 d) / (b k_F)`` for ``epsilon``.  Returns
+    ``math.inf`` when the answer exceeds 1 — i.e. no valid Gaussian-
+    mechanism budget exists at all (the mechanism needs
+    ``epsilon < 1``), which is the paper's "do not add up" regime.
+    """
+    if dimension < 1:
+        raise ResilienceError(f"dimension must be >= 1, got {dimension}")
+    if batch_size < 1:
+        raise ResilienceError(f"batch_size must be >= 1, got {batch_size}")
+    if not 0 < delta < 1:
+        raise ResilienceError(f"delta must be in (0, 1), got {delta}")
+    k_f = gar.k_f()
+    if math.isinf(k_f):
+        return 0.0
+    if k_f <= 0:
+        return math.inf
+    epsilon = math.sqrt(math.log(1.25 / delta)) * math.sqrt(8.0 * dimension) / (
+        batch_size * k_f
+    )
+    return epsilon if epsilon < 1.0 else math.inf
+
+
+def max_tolerable_byzantine(
+    gar_class: type[GAR],
+    n: int,
+    dimension: int,
+    batch_size: int,
+    epsilon: float,
+    delta: float,
+) -> int:
+    """Largest ``f`` for which ``gar_class(n, f)`` can satisfy Eq. (8).
+
+    Scans ``f`` upward until either the GAR's own precondition breaks
+    or the master feasibility inequality fails; returns the last ``f``
+    that works (possibly 0).
+    """
+    if n < 1:
+        raise ResilienceError(f"n must be >= 1, got {n}")
+    best = -1
+    for f in range(0, n):
+        if not gar_class.supports(n, f):
+            break
+        gar = gar_class(n, f)
+        if not master_condition_can_hold(gar.k_f(), dimension, batch_size, epsilon, delta):
+            break
+        best = f
+    if best < 0:
+        raise ResilienceError(
+            f"{gar_class.name} cannot satisfy the noisy VN condition even "
+            f"with f=0 for d={dimension}, b={batch_size}, eps={epsilon}, "
+            f"delta={delta}"
+        )
+    return best
+
+
+def tradeoff_summary(
+    gar: GAR, dimension: int, batch_size: int, epsilon: float, delta: float
+) -> dict:
+    """One-stop report for a configuration.
+
+    Returns a dict with the privacy constant ``C``, the GAR's ``k_F``,
+    the master-inequality threshold, whether the condition can hold,
+    and the minimum epsilon/batch fixes when it cannot.
+    """
+    from repro.core.feasibility import min_batch_size_for_gar  # local: avoid cycle
+
+    constant = privacy_constant(epsilon, delta)
+    k_f = gar.k_f()
+    threshold = (
+        0.0 if math.isinf(k_f) else math.sqrt(8.0 * dimension) / (constant * batch_size)
+    )
+    feasible = master_condition_can_hold(k_f, dimension, batch_size, epsilon, delta)
+    return {
+        "gar": gar.name,
+        "n": gar.n,
+        "f": gar.f,
+        "dimension": dimension,
+        "batch_size": batch_size,
+        "epsilon": epsilon,
+        "delta": delta,
+        "privacy_constant": constant,
+        "k_f": k_f,
+        "required_k_f": threshold,
+        "feasible": feasible,
+        "min_batch_size": min_batch_size_for_gar(gar, dimension, epsilon, delta),
+        "min_epsilon": min_epsilon_for_gar(gar, dimension, batch_size, delta),
+    }

@@ -1,0 +1,126 @@
+"""The variance-to-norm (VN) ratio — Eq. (2) and Eq. (8) of the paper.
+
+The VN ratio of the honest gradient distribution ``G_t`` is
+
+.. math::
+
+    \\rho = \\frac{\\sqrt{E ||G_t - E G_t||^2}}{||E G_t||}
+
+and the *VN ratio condition* ``rho <= k_F(n, f)`` is the only known
+sufficient test for ``(alpha, f)``-Byzantine resilience of a
+statistically-robust GAR.
+
+When each worker adds DP noise ``y ~ N(0, s^2 I_d)``, the submitted
+gradient's variance gains ``d s^2``; with the Gaussian calibration of
+Section 2.3 this is exactly
+
+.. math::
+
+    d s^2 = \\frac{8 d G_{max}^2 \\log(1.25/\\delta)}{\\epsilon^2 b^2},
+
+giving the noisy condition of Eq. (8).  This module computes all three
+views: empirical (from sampled gradients), theoretical (from moments),
+and the DP-augmented combination.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ResilienceError
+from repro.typing import as_gradient_matrix
+
+__all__ = [
+    "vn_ratio_from_moments",
+    "empirical_gradient_moments",
+    "empirical_vn_ratio",
+    "dp_noise_total_variance",
+    "dp_vn_ratio_from_moments",
+    "vn_condition_holds",
+]
+
+
+def vn_ratio_from_moments(variance: float, mean_norm: float) -> float:
+    """``sqrt(variance) / mean_norm`` with input validation.
+
+    ``variance`` is the *total* variance ``E ||G - E G||^2`` (the trace
+    of the covariance), not per-coordinate.
+    """
+    if variance < 0:
+        raise ResilienceError(f"variance must be >= 0, got {variance}")
+    if mean_norm <= 0:
+        raise ResilienceError(
+            f"mean_norm must be positive (a zero true gradient makes the "
+            f"VN ratio undefined), got {mean_norm}"
+        )
+    return math.sqrt(variance) / mean_norm
+
+
+def empirical_gradient_moments(gradients) -> tuple[float, float]:
+    """Estimate ``(E ||G - E G||^2, ||E G||)`` from sampled gradients.
+
+    ``gradients`` is an ``(m, d)`` stack of i.i.d. draws from the
+    honest gradient distribution.  The variance estimate is the
+    unbiased (``ddof=1``) total variance when ``m > 1``; a single draw
+    yields variance 0.
+    """
+    matrix = as_gradient_matrix(gradients)
+    mean = matrix.mean(axis=0)
+    if matrix.shape[0] > 1:
+        centered = matrix - mean[None, :]
+        variance = float(np.sum(centered**2) / (matrix.shape[0] - 1))
+    else:
+        variance = 0.0
+    return variance, float(np.linalg.norm(mean))
+
+
+def empirical_vn_ratio(gradients) -> float:
+    """VN ratio estimated from an ``(m, d)`` sample of honest gradients."""
+    variance, mean_norm = empirical_gradient_moments(gradients)
+    return vn_ratio_from_moments(variance, mean_norm)
+
+
+def dp_noise_total_variance(
+    dimension: int, g_max: float, batch_size: int, epsilon: float, delta: float
+) -> float:
+    """The ``8 d G_max^2 log(1.25/delta) / (epsilon^2 b^2)`` term of Eq. (8)."""
+    if dimension < 1:
+        raise ResilienceError(f"dimension must be >= 1, got {dimension}")
+    if g_max <= 0:
+        raise ResilienceError(f"g_max must be positive, got {g_max}")
+    if batch_size < 1:
+        raise ResilienceError(f"batch_size must be >= 1, got {batch_size}")
+    if epsilon <= 0:
+        raise ResilienceError(f"epsilon must be positive, got {epsilon}")
+    if not 0 < delta < 1:
+        raise ResilienceError(f"delta must be in (0, 1), got {delta}")
+    return (
+        8.0
+        * dimension
+        * g_max**2
+        * math.log(1.25 / delta)
+        / (epsilon**2 * batch_size**2)
+    )
+
+
+def dp_vn_ratio_from_moments(
+    variance: float,
+    mean_norm: float,
+    dimension: int,
+    g_max: float,
+    batch_size: int,
+    epsilon: float,
+    delta: float,
+) -> float:
+    """Left-hand side of Eq. (8): the VN ratio after DP noise injection."""
+    noise = dp_noise_total_variance(dimension, g_max, batch_size, epsilon, delta)
+    return vn_ratio_from_moments(variance + noise, mean_norm)
+
+
+def vn_condition_holds(ratio: float, k_f: float) -> bool:
+    """Whether the (possibly noisy) VN ratio satisfies ``ratio <= k_F``."""
+    if ratio < 0:
+        raise ResilienceError(f"ratio must be >= 0, got {ratio}")
+    return ratio <= k_f

@@ -1,0 +1,31 @@
+"""Dataset substrate: containers, generators, splits and batch sampling.
+
+The paper's experiments use the LIBSVM ``phishing`` dataset; this
+package provides a calibrated synthetic stand-in (see
+:mod:`repro.data.phishing` and DESIGN.md §2) plus the Gaussian
+mean-estimation data used by Theorem 1's lower-bound construction.
+"""
+
+from repro.data.batching import BatchSampler
+from repro.data.datasets import Dataset, train_test_split
+from repro.data.phishing import PHISHING_NUM_FEATURES, PHISHING_NUM_POINTS, make_phishing_dataset
+from repro.data.sharding import shard_by_label, shard_iid
+from repro.data.synthetic import (
+    make_gaussian_mean_dataset,
+    make_linearly_separable_dataset,
+    make_two_blobs_dataset,
+)
+
+__all__ = [
+    "BatchSampler",
+    "Dataset",
+    "train_test_split",
+    "PHISHING_NUM_FEATURES",
+    "PHISHING_NUM_POINTS",
+    "make_phishing_dataset",
+    "make_gaussian_mean_dataset",
+    "make_linearly_separable_dataset",
+    "make_two_blobs_dataset",
+    "shard_by_label",
+    "shard_iid",
+]

@@ -1,0 +1,72 @@
+"""Mini-batch sampling.
+
+Each honest worker owns a :class:`BatchSampler` over the training set
+and draws an i.i.d. batch per step, matching the paper's model where
+every worker samples its batch from the same data distribution ``D``
+(Section 2.1).  Sampling is with replacement across steps — successive
+batches are independent, which is the assumption behind the i.i.d.
+gradient model and behind the DP subsampling analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.exceptions import DataError
+
+__all__ = ["BatchSampler"]
+
+
+class BatchSampler:
+    """Draws uniform random mini-batches from a dataset.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset.
+    batch_size:
+        Number of points per batch; must be in ``[1, len(dataset)]``.
+    rng:
+        Private random stream of the owning worker.
+    replace_within_batch:
+        If ``True``, a single batch may contain the same point twice
+        (Poisson-style sampling); the default ``False`` samples each
+        batch without replacement, like the paper's implementation.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int,
+        rng: np.random.Generator,
+        replace_within_batch: bool = False,
+    ):
+        if batch_size < 1:
+            raise DataError(f"batch_size must be >= 1, got {batch_size}")
+        if not replace_within_batch and batch_size > dataset.num_points:
+            raise DataError(
+                f"batch_size {batch_size} exceeds dataset size {dataset.num_points} "
+                "(use replace_within_batch=True to allow this)"
+            )
+        self._dataset = dataset
+        self._batch_size = int(batch_size)
+        self._rng = rng
+        self._replace = bool(replace_within_batch)
+
+    @property
+    def batch_size(self) -> int:
+        """Points per batch."""
+        return self._batch_size
+
+    @property
+    def dataset(self) -> Dataset:
+        """The dataset batches are drawn from."""
+        return self._dataset
+
+    def sample(self) -> tuple[np.ndarray, np.ndarray]:
+        """Draw one batch; returns ``(features, labels)`` views."""
+        indices = self._rng.choice(
+            self._dataset.num_points, size=self._batch_size, replace=self._replace
+        )
+        return self._dataset.features[indices], self._dataset.labels[indices]

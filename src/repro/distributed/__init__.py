@@ -1,0 +1,23 @@
+"""Distributed substrate: the simulated parameter-server deployment."""
+
+from repro.distributed.cluster import Cluster, StepResult
+from repro.distributed.messages import GradientMessage, WorkerSubmission
+from repro.distributed.network import LossyNetwork, PerfectNetwork
+from repro.distributed.server import ParameterServer
+from repro.distributed.trainer import PrivacyReport, TrainingResult, build_mechanism, train
+from repro.distributed.worker import HonestWorker
+
+__all__ = [
+    "Cluster",
+    "GradientMessage",
+    "HonestWorker",
+    "LossyNetwork",
+    "ParameterServer",
+    "PerfectNetwork",
+    "PrivacyReport",
+    "StepResult",
+    "TrainingResult",
+    "WorkerSubmission",
+    "build_mechanism",
+    "train",
+]

@@ -1,0 +1,183 @@
+"""Synchronous cluster driver.
+
+One :meth:`Cluster.step` is one synchronous round of the paper's
+protocol (Fig. 1(b)):
+
+1. every honest worker computes its (clipped, noised) gradient for the
+   current parameters;
+2. the colluding adversary observes the honest submissions and crafts
+   *one* Byzantine gradient, submitted identically by all ``f``
+   Byzantine workers (Section 5.1's attack setup);
+3. the network delivers the ``n`` messages (dropped ones become zero);
+4. the server aggregates with its GAR and updates the parameters.
+
+The cluster also exposes per-round instrumentation (honest clean /
+submitted matrices, the crafted vector, the aggregate) that the VN
+ratio and resilience analyses consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.attacks.base import AttackContext, ByzantineAttack
+from repro.distributed.network import PerfectNetwork
+from repro.distributed.server import ParameterServer
+from repro.distributed.worker import HonestWorker
+from repro.exceptions import ConfigurationError
+from repro.typing import Matrix, Vector
+
+__all__ = ["Cluster", "StepResult"]
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Instrumentation for one synchronous round."""
+
+    step: int
+    aggregated: Vector = field(repr=False)
+    honest_submitted: Matrix = field(repr=False)
+    honest_clean: Matrix = field(repr=False)
+    byzantine_gradient: Vector | None = field(repr=False, default=None)
+
+    @property
+    def num_honest(self) -> int:
+        """Number of honest submissions this round."""
+        return int(self.honest_submitted.shape[0])
+
+
+class Cluster:
+    """Wires workers, adversary, network and server into rounds."""
+
+    def __init__(
+        self,
+        server: ParameterServer,
+        honest_workers: Sequence[HonestWorker],
+        num_byzantine: int = 0,
+        attack: ByzantineAttack | None = None,
+        attack_rng: np.random.Generator | None = None,
+        network: PerfectNetwork | None = None,
+    ):
+        honest_workers = list(honest_workers)
+        if not honest_workers:
+            raise ConfigurationError("need at least one honest worker")
+        if num_byzantine < 0:
+            raise ConfigurationError(f"num_byzantine must be >= 0, got {num_byzantine}")
+        if num_byzantine > 0 and attack is None:
+            raise ConfigurationError(
+                "num_byzantine > 0 requires an attack (use ZeroGradientAttack "
+                "for crash-style Byzantine workers)"
+            )
+        if attack is not None and attack_rng is None:
+            raise ConfigurationError("an attack requires attack_rng")
+        total = len(honest_workers) + num_byzantine
+        if total != server.gar.n:
+            raise ConfigurationError(
+                f"server GAR expects n={server.gar.n} workers but the cluster "
+                f"has {len(honest_workers)} honest + {num_byzantine} Byzantine = {total}"
+            )
+        if num_byzantine > server.gar.f:
+            raise ConfigurationError(
+                f"cluster has {num_byzantine} Byzantine workers but the GAR "
+                f"only tolerates f={server.gar.f}"
+            )
+        self._server = server
+        self._honest_workers = honest_workers
+        self._num_byzantine = int(num_byzantine)
+        self._attack = attack
+        self._attack_rng = attack_rng
+        self._network = network if network is not None else PerfectNetwork()
+        self._step = 0
+
+    @property
+    def server(self) -> ParameterServer:
+        """The parameter server."""
+        return self._server
+
+    @property
+    def honest_workers(self) -> list[HonestWorker]:
+        """The honest workers (a copy of the list)."""
+        return list(self._honest_workers)
+
+    @property
+    def parameters(self) -> Vector:
+        """Current model parameters held by the server."""
+        return self._server.parameters
+
+    @property
+    def n(self) -> int:
+        """Total workers (honest + Byzantine)."""
+        return len(self._honest_workers) + self._num_byzantine
+
+    @property
+    def num_honest(self) -> int:
+        """Number of honest workers."""
+        return len(self._honest_workers)
+
+    @property
+    def num_byzantine(self) -> int:
+        """Number of Byzantine workers actually attacking."""
+        return self._num_byzantine
+
+    @property
+    def step_count(self) -> int:
+        """Rounds completed so far."""
+        return self._step
+
+    def step(self) -> StepResult:
+        """Run one synchronous round and return its instrumentation."""
+        self._step += 1
+        parameters = self._server.parameters
+
+        submissions = [
+            worker.compute(parameters, self._step) for worker in self._honest_workers
+        ]
+        honest_submitted = np.stack([s.submitted for s in submissions])
+        honest_clean = np.stack([s.clean for s in submissions])
+
+        byzantine_gradient: Vector | None = None
+        if self._num_byzantine > 0:
+            assert self._attack is not None and self._attack_rng is not None
+            context = AttackContext(
+                step=self._step,
+                honest_submitted=honest_submitted,
+                honest_clean=honest_clean,
+                parameters=parameters,
+                num_byzantine=self._num_byzantine,
+                rng=self._attack_rng,
+            )
+            byzantine_gradient = np.asarray(
+                self._attack.craft(context), dtype=np.float64
+            )
+            if byzantine_gradient.shape != parameters.shape:
+                raise ConfigurationError(
+                    f"attack produced shape {byzantine_gradient.shape}, "
+                    f"expected {parameters.shape}"
+                )
+            byzantine_block = np.tile(byzantine_gradient, (self._num_byzantine, 1))
+            all_gradients = np.vstack([honest_submitted, byzantine_block])
+        else:
+            all_gradients = honest_submitted
+
+        delivered = self._network.deliver(all_gradients, self._step)
+        aggregated = self._server.step(delivered)
+        return StepResult(
+            step=self._step,
+            aggregated=aggregated,
+            honest_submitted=honest_submitted,
+            honest_clean=honest_clean,
+            byzantine_gradient=byzantine_gradient,
+        )
+
+    def run(self, num_steps: int) -> StepResult:
+        """Run ``num_steps`` rounds; returns the last round's result."""
+        if num_steps < 1:
+            raise ConfigurationError(f"num_steps must be >= 1, got {num_steps}")
+        result: StepResult | None = None
+        for _ in range(num_steps):
+            result = self.step()
+        assert result is not None
+        return result

@@ -1,0 +1,49 @@
+"""Message types exchanged between workers and the parameter server."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.typing import Vector
+
+__all__ = ["GradientMessage", "WorkerSubmission"]
+
+
+@dataclass(frozen=True)
+class GradientMessage:
+    """A gradient in flight from a worker to the server.
+
+    ``byzantine`` is simulation-side instrumentation — the server never
+    reads it (an honest-but-curious server has no way to know).
+    """
+
+    worker_id: int
+    step: int
+    gradient: Vector = field(repr=False)
+    byzantine: bool = False
+
+    def __post_init__(self) -> None:
+        gradient = np.asarray(self.gradient, dtype=np.float64)
+        if gradient.ndim != 1:
+            raise ValueError(f"gradient must be 1-D, got shape {gradient.shape}")
+        object.__setattr__(self, "gradient", gradient)
+
+
+@dataclass(frozen=True)
+class WorkerSubmission:
+    """An honest worker's output for one step.
+
+    Attributes
+    ----------
+    submitted:
+        What goes on the wire (post-clipping, post-DP-noise).
+    clean:
+        The clipped gradient before DP noise — used for the omniscient
+        attack view and for VN-ratio instrumentation; never visible to
+        the server.
+    """
+
+    submitted: Vector
+    clean: Vector

@@ -1,0 +1,70 @@
+"""Simulated lossy network between workers and the server.
+
+Section 2.1: "the training is divided into sequential synchronous
+steps, hence the parameter server considers any non-received gradient
+to be 0."  The network model drops each worker->server message
+independently with a fixed probability and replaces it by the zero
+vector, which is both a realism knob and a mild availability attack
+(a dropped honest gradient looks exactly like a zero-submitting
+Byzantine worker to the GAR).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.typing import Matrix
+
+__all__ = ["LossyNetwork", "PerfectNetwork"]
+
+
+class PerfectNetwork:
+    """Delivers every gradient unchanged."""
+
+    def deliver(self, gradients: Matrix, step: int) -> Matrix:
+        """Return the gradients exactly as submitted."""
+        del step
+        return gradients
+
+    @property
+    def drop_probability(self) -> float:
+        """Always zero for the perfect network."""
+        return 0.0
+
+
+class LossyNetwork:
+    """Drops each message independently with probability ``drop_probability``."""
+
+    def __init__(self, drop_probability: float, rng: np.random.Generator):
+        if not 0.0 <= drop_probability < 1.0:
+            raise ConfigurationError(
+                f"drop_probability must be in [0, 1), got {drop_probability}"
+            )
+        self._drop_probability = float(drop_probability)
+        self._rng = rng
+        self._dropped_total = 0
+
+    @property
+    def drop_probability(self) -> float:
+        """Per-message drop probability."""
+        return self._drop_probability
+
+    @property
+    def dropped_total(self) -> int:
+        """Total messages dropped so far."""
+        return self._dropped_total
+
+    def deliver(self, gradients: Matrix, step: int) -> Matrix:
+        """Zero out dropped rows; returns a new matrix when anything drops."""
+        del step
+        if self._drop_probability == 0.0:
+            return gradients
+        dropped = self._rng.random(gradients.shape[0]) < self._drop_probability
+        count = int(dropped.sum())
+        if count == 0:
+            return gradients
+        self._dropped_total += count
+        delivered = gradients.copy()
+        delivered[dropped] = 0.0
+        return delivered

@@ -1,0 +1,90 @@
+"""The honest-but-curious parameter server.
+
+The server performs the protocol of Section 2.1 faithfully: gather
+``n`` gradients, aggregate with the configured GAR, update the model
+parameters with the optimizer, broadcast (implicitly — workers read
+``parameters``).  *Curiosity* is modelled by an optional tap that
+retains every received gradient, which the leakage analysis
+(:mod:`repro.analysis.leakage`) then exploits — exactly the threat the
+paper's DP noise is there to blunt.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.gars.base import GAR
+from repro.optim.sgd import SGDOptimizer
+from repro.typing import Matrix, Vector
+
+__all__ = ["ParameterServer"]
+
+
+class ParameterServer:
+    """Aggregates worker gradients and owns the model parameters."""
+
+    def __init__(
+        self,
+        initial_parameters: Vector,
+        gar: GAR,
+        optimizer: SGDOptimizer,
+        record_received: bool = False,
+    ):
+        initial_parameters = np.asarray(initial_parameters, dtype=np.float64)
+        if initial_parameters.ndim != 1:
+            raise ConfigurationError(
+                f"initial_parameters must be 1-D, got shape {initial_parameters.shape}"
+            )
+        self._parameters = initial_parameters.copy()
+        self._gar = gar
+        self._optimizer = optimizer
+        self._record_received = bool(record_received)
+        self._received_log: list[Matrix] = []
+        self._step = 0
+
+    @property
+    def parameters(self) -> Vector:
+        """Current model parameters (a copy; workers cannot mutate them)."""
+        return self._parameters.copy()
+
+    @property
+    def gar(self) -> GAR:
+        """The configured aggregation rule."""
+        return self._gar
+
+    @property
+    def optimizer(self) -> SGDOptimizer:
+        """The configured optimizer."""
+        return self._optimizer
+
+    @property
+    def step_count(self) -> int:
+        """Number of aggregation/update rounds performed."""
+        return self._step
+
+    @property
+    def received_log(self) -> list[Matrix]:
+        """Every gradient matrix the curious server has retained.
+
+        Empty unless constructed with ``record_received=True``.
+        """
+        return list(self._received_log)
+
+    def step(self, gradients: Matrix) -> Vector:
+        """One round: aggregate ``gradients`` and update the parameters.
+
+        Returns the aggregated gradient (before the optimizer update),
+        which instrumentation uses for VN-ratio and resilience checks.
+        """
+        matrix = np.asarray(gradients, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != self._gar.n:
+            raise ConfigurationError(
+                f"expected an ({self._gar.n}, d) gradient matrix, got shape {matrix.shape}"
+            )
+        if self._record_received:
+            self._received_log.append(matrix.copy())
+        aggregated = self._gar.aggregate(matrix)
+        self._parameters = self._optimizer.step(self._parameters, aggregated)
+        self._step += 1
+        return aggregated

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can use a single ``except`` clause to
+distinguish library errors from programming mistakes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or component was configured with invalid parameters."""
+
+
+class PrivacyError(ReproError):
+    """A differential-privacy parameter or mechanism is invalid.
+
+    Examples: a privacy budget outside the ``(0, 1)`` range required by
+    the Gaussian mechanism, a non-positive sensitivity, or an accountant
+    asked to compose zero steps.
+    """
+
+
+class AggregationError(ReproError):
+    """A gradient aggregation rule received inputs it cannot handle.
+
+    Examples: an empty gradient list, mismatched gradient dimensions, or
+    an ``(n, f)`` pair violating the GAR's precondition (for instance
+    Krum requires ``n > 2 f + 2``).
+    """
+
+
+class ResilienceError(ReproError):
+    """A Byzantine-resilience precondition does not hold."""
+
+
+class DataError(ReproError):
+    """A dataset is malformed or a requested split/batch is impossible."""
+
+
+class TrainingError(ReproError):
+    """The distributed training loop entered an unrecoverable state.
+
+    Raised, for instance, when the model parameters become non-finite
+    (NaN or infinity), which indicates divergence.
+    """

@@ -1,0 +1,43 @@
+"""Experiment harness: configs, runner, figure/table builders, plotting, IO."""
+
+from repro.experiments.ascii_plot import ascii_line_plot
+from repro.experiments.config import PAPER_SEEDS, ExperimentConfig
+from repro.experiments.figures import (
+    FIGURE_BATCH_SIZES,
+    PAPER_EPSILON,
+    figure2_configs,
+    figure3_configs,
+    figure4_configs,
+    figure_configs,
+)
+from repro.experiments.io import (
+    load_outcomes,
+    outcome_from_dict,
+    outcome_to_dict,
+    save_outcomes,
+)
+from repro.experiments.runner import RunOutcome, phishing_environment, run_config, run_grid
+from repro.experiments.tables import Table1Row, format_table1, table1_rows
+
+__all__ = [
+    "FIGURE_BATCH_SIZES",
+    "PAPER_EPSILON",
+    "PAPER_SEEDS",
+    "ExperimentConfig",
+    "RunOutcome",
+    "Table1Row",
+    "ascii_line_plot",
+    "figure2_configs",
+    "figure3_configs",
+    "figure4_configs",
+    "figure_configs",
+    "format_table1",
+    "load_outcomes",
+    "outcome_from_dict",
+    "outcome_to_dict",
+    "phishing_environment",
+    "run_config",
+    "run_grid",
+    "save_outcomes",
+    "table1_rows",
+]

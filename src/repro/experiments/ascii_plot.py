@@ -1,0 +1,100 @@
+"""Minimal ASCII line plots for terminal-friendly figure output.
+
+The benchmark harness prints the figures' loss/accuracy series as text
+so the reproduction is inspectable without matplotlib (not available
+offline).  This is intentionally small: multiple named series, linear
+or log y-axis, fixed-size character canvas.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_line_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float, size: int) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(size - 1, max(0, int(round(position * (size - 1)))))
+
+
+def ascii_line_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    log_y: bool = False,
+) -> str:
+    """Render named ``(x, y)`` series on one character canvas.
+
+    Parameters
+    ----------
+    series:
+        ``{label: (xs, ys)}``; all series share the axes.
+    width, height:
+        Canvas size in characters (axes excluded).
+    title:
+        Optional heading line.
+    log_y:
+        Plot ``log10(y)``; non-positive values are dropped.
+    """
+    if width < 8 or height < 4:
+        raise ValueError("canvas must be at least 8x4")
+    if not series:
+        raise ValueError("need at least one series")
+
+    cleaned: dict[str, tuple[list[float], list[float]]] = {}
+    for label, (xs, ys) in series.items():
+        xs = [float(x) for x in xs]
+        ys = [float(y) for y in ys]
+        if len(xs) != len(ys):
+            raise ValueError(f"series {label!r} has mismatched x/y lengths")
+        if log_y:
+            pairs = [(x, math.log10(y)) for x, y in zip(xs, ys) if y > 0]
+        else:
+            pairs = [(x, y) for x, y in zip(xs, ys) if math.isfinite(y)]
+        if pairs:
+            cleaned[label] = ([p[0] for p in pairs], [p[1] for p in pairs])
+    if not cleaned:
+        raise ValueError("no finite data to plot")
+
+    all_x = [x for xs, _ in cleaned.values() for x in xs]
+    all_y = [y for _, ys in cleaned.values() for y in ys]
+    x_low, x_high = min(all_x), max(all_x)
+    y_low, y_high = min(all_y), max(all_y)
+    if y_low == y_high:
+        y_low -= 0.5
+        y_high += 0.5
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (label, (xs, ys)) in enumerate(cleaned.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(xs, ys):
+            column = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            canvas[row][column] = marker
+
+    y_label_high = f"{y_high:.3g}" if not log_y else f"1e{y_high:.2f}"
+    y_label_low = f"{y_low:.3g}" if not log_y else f"1e{y_low:.2f}"
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label_high:>10} +" + "-" * width)
+    for row_index, row in enumerate(canvas):
+        prefix = " " * 10 + " |"
+        if row_index == height - 1:
+            prefix = f"{y_label_low:>10} +"
+        lines.append(prefix + "".join(row))
+    lines.append(
+        " " * 12 + f"{x_low:<12.4g}" + " " * max(0, width - 24) + f"{x_high:>12.4g}"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}" for i, label in enumerate(cleaned)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Command-line interface: regenerate paper artifacts without pytest.
+
+Usage (installed package)::
+
+    python -m repro table1
+    python -m repro figure2 --steps 200 --seeds 2
+    python -m repro figure4 --output out/fig4.txt
+    python -m repro list
+
+Figures print the same ASCII panels + summary tables the benchmark
+harness produces; ``--steps``/``--seeds`` trim the grid for quick looks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments.ascii_plot import ascii_line_plot
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import FIGURE_BATCH_SIZES, figure_configs
+from repro.experiments.runner import RunOutcome, phishing_environment, run_grid
+from repro.experiments.tables import format_table1, table1_rows
+
+__all__ = ["main", "build_parser", "render_figure_text"]
+
+FIGURES = tuple(FIGURE_BATCH_SIZES)  # ("figure2", "figure3", "figure4")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI definition (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables and figures from 'DP and Byzantine "
+        "Resilience in SGD: Do They Add Up?' (PODC 2021).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available artifacts")
+
+    table = subparsers.add_parser("table1", help="necessary conditions per GAR")
+    table.add_argument("--dimension", type=int, default=69)
+    table.add_argument("--batch-size", type=int, default=50)
+    table.add_argument("--epsilon", type=float, default=0.2)
+    table.add_argument("--delta", type=float, default=1e-6)
+    table.add_argument("--n", type=int, default=11)
+    table.add_argument("--f", type=int, default=5)
+    table.add_argument("--output", type=Path, default=None)
+
+    for name in FIGURES:
+        figure = subparsers.add_parser(
+            name, help=f"reproduce {name} (b = {FIGURE_BATCH_SIZES[name]})"
+        )
+        figure.add_argument("--steps", type=int, default=1000)
+        figure.add_argument("--seeds", type=int, default=5, help="number of seeds (1..k)")
+        figure.add_argument("--output", type=Path, default=None)
+    return parser
+
+
+def _figure_outcomes(name: str, steps: int, num_seeds: int) -> dict[str, RunOutcome]:
+    model, train_set, test_set = phishing_environment()
+    configs: list[ExperimentConfig] = figure_configs(
+        batch_size=FIGURE_BATCH_SIZES[name],
+        num_steps=steps,
+        seeds=tuple(range(1, num_seeds + 1)),
+    )
+    return run_grid(configs, model, train_set, test_set, verbose=True)
+
+
+def render_figure_text(name: str, outcomes: dict[str, RunOutcome]) -> str:
+    """ASCII panels + summary rows for one reproduced figure."""
+    sections = [f"=== {name} (b = {FIGURE_BATCH_SIZES[name]}) ==="]
+    for dp_label, suffix in (("without DP", "nodp"), ("with DP (eps=0.2)", "dp")):
+        series = {}
+        for cell_name, outcome in outcomes.items():
+            if cell_name.endswith("-" + suffix):
+                stats = outcome.accuracy_stats
+                series[cell_name.rsplit("-", 1)[0]] = (
+                    stats.steps.tolist(),
+                    stats.mean.tolist(),
+                )
+        sections.append(
+            ascii_line_plot(series, title=f"{dp_label} — test accuracy (mean)")
+        )
+    rows = [f"{'cell':<24}{'min loss':>10}{'max acc':>9}"]
+    for cell_name, outcome in outcomes.items():
+        rows.append(
+            f"{cell_name:<24}{outcome.min_loss_mean:>10.4f}"
+            f"{float(outcome.accuracy_stats.mean.max()):>9.3f}"
+        )
+    sections.append("\n".join(rows))
+    return "\n\n".join(sections)
+
+
+def _emit(text: str, output: Path | None) -> None:
+    if output is not None:
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(text + "\n")
+        print(f"wrote {output}")
+    else:
+        print(text)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    arguments = build_parser().parse_args(argv)
+
+    if arguments.command == "list":
+        print("available artifacts: table1, " + ", ".join(FIGURES))
+        return 0
+
+    if arguments.command == "table1":
+        rows = table1_rows(
+            arguments.dimension,
+            arguments.n,
+            arguments.f,
+            arguments.batch_size,
+            arguments.epsilon,
+            arguments.delta,
+        )
+        _emit(format_table1(rows, arguments.dimension, arguments.batch_size), arguments.output)
+        return 0
+
+    if arguments.command in FIGURES:
+        outcomes = _figure_outcomes(arguments.command, arguments.steps, arguments.seeds)
+        _emit(render_figure_text(arguments.command, outcomes), arguments.output)
+        return 0
+
+    raise AssertionError(f"unhandled command {arguments.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Experiment configuration.
+
+An :class:`ExperimentConfig` captures one cell of the paper's
+experimental grid — the training hyperparameters, the GAR, the attack,
+the DP budget — plus the seed list over which it is repeated (the paper
+uses seeds 1..5).  Defaults reproduce Section 5.1's setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ExperimentConfig", "PAPER_SEEDS"]
+
+#: The paper's "specified seeds (in 1 to 5)".
+PAPER_SEEDS: tuple[int, ...] = (1, 2, 3, 4, 5)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One experimental cell, repeated over ``seeds``."""
+
+    name: str
+    num_steps: int = 1000
+    n: int = 11
+    f: int = 5
+    num_byzantine: int | None = None
+    gar: str = "mda"
+    attack: str | None = None
+    attack_kwargs: tuple[tuple[str, object], ...] = ()
+    batch_size: int = 50
+    g_max: float = 1e-2
+    epsilon: float | None = None
+    delta: float = 1e-6
+    noise_kind: str = "gaussian"
+    learning_rate: float = 2.0
+    momentum: float = 0.99
+    momentum_at: str = "worker"
+    clip_mode: str = "batch"
+    drop_probability: float = 0.0
+    eval_every: int = 50
+    seeds: tuple[int, ...] = PAPER_SEEDS
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("config name must be non-empty")
+        if not self.seeds:
+            raise ConfigurationError("config needs at least one seed")
+        if self.num_steps < 1:
+            raise ConfigurationError(f"num_steps must be >= 1, got {self.num_steps}")
+        if self.batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {self.batch_size}")
+
+    @property
+    def uses_dp(self) -> bool:
+        """Whether this cell injects DP noise."""
+        return self.epsilon is not None
+
+    @property
+    def under_attack(self) -> bool:
+        """Whether this cell has active Byzantine workers."""
+        if self.attack is None:
+            return False
+        return self.num_byzantine is None or self.num_byzantine > 0
+
+    def train_kwargs(self, seed: int) -> dict:
+        """Keyword arguments for :func:`repro.distributed.train`."""
+        return {
+            "num_steps": self.num_steps,
+            "n": self.n,
+            "f": self.f,
+            "num_byzantine": self.num_byzantine,
+            "gar": self.gar,
+            "attack": self.attack,
+            "attack_kwargs": dict(self.attack_kwargs) or None,
+            "batch_size": self.batch_size,
+            "g_max": self.g_max,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "noise_kind": self.noise_kind,
+            "learning_rate": self.learning_rate,
+            "momentum": self.momentum,
+            "momentum_at": self.momentum_at,
+            "clip_mode": self.clip_mode,
+            "drop_probability": self.drop_probability,
+            "eval_every": self.eval_every,
+            "seed": seed,
+        }
+
+    def with_updates(self, **changes) -> "ExperimentConfig":
+        """A copy with some fields replaced (dataclasses.replace wrapper)."""
+        payload = asdict(self)
+        payload.update(changes)
+        return ExperimentConfig(**payload)
+
+    def describe(self) -> str:
+        """Compact human-readable summary."""
+        dp = f"eps={self.epsilon}" if self.uses_dp else "no-DP"
+        attack = self.attack if self.attack is not None else "no-attack"
+        return (
+            f"{self.name}: {self.gar} (n={self.n}, f={self.f}), {attack}, "
+            f"b={self.batch_size}, {dp}, T={self.num_steps}, "
+            f"{len(self.seeds)} seeds"
+        )

@@ -1,0 +1,110 @@
+"""Config builders for the paper's Figures 2, 3 and 4.
+
+Each figure is the same 2 x 4 grid at a different batch size:
+
+* columns: without DP noise / with DP noise (eps = 0.2, delta = 1e-6);
+* curves: averaging with no attack (the honest baseline — the paper's
+  "when averaging is used, the f workers behave as honest workers"),
+  MDA with no attack, MDA under *A Little Is Enough*, MDA under
+  *Fall of Empires*.
+
+Figure 2 uses b = 50 (the "reasonable" batch), Figure 3 b = 10 (DP
+hurts even unattacked), Figure 4 b = 500 (everything tolerated).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.config import PAPER_SEEDS, ExperimentConfig
+
+__all__ = [
+    "FIGURE_BATCH_SIZES",
+    "PAPER_EPSILON",
+    "figure_configs",
+    "figure2_configs",
+    "figure3_configs",
+    "figure4_configs",
+]
+
+#: Batch size per paper figure.
+FIGURE_BATCH_SIZES: dict[str, int] = {"figure2": 50, "figure3": 10, "figure4": 500}
+
+#: The privacy parameter the figures use.
+PAPER_EPSILON = 0.2
+
+
+def figure_configs(
+    batch_size: int,
+    epsilon: float = PAPER_EPSILON,
+    num_steps: int = 1000,
+    seeds: tuple[int, ...] = PAPER_SEEDS,
+    eval_every: int = 50,
+) -> list[ExperimentConfig]:
+    """The eight cells of one figure at the given batch size."""
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    shared = {
+        "num_steps": num_steps,
+        "batch_size": batch_size,
+        "seeds": seeds,
+        "eval_every": eval_every,
+    }
+    cells: list[ExperimentConfig] = []
+    for dp_label, dp_epsilon in (("nodp", None), ("dp", epsilon)):
+        cells.append(
+            ExperimentConfig(
+                name=f"avg-noattack-{dp_label}",
+                gar="average",
+                f=0,
+                attack=None,
+                epsilon=dp_epsilon,
+                **shared,
+            )
+        )
+        cells.append(
+            ExperimentConfig(
+                name=f"mda-noattack-{dp_label}",
+                gar="mda",
+                f=5,
+                num_byzantine=0,
+                attack=None,
+                epsilon=dp_epsilon,
+                **shared,
+            )
+        )
+        cells.append(
+            ExperimentConfig(
+                name=f"mda-little-{dp_label}",
+                gar="mda",
+                f=5,
+                attack="little",
+                epsilon=dp_epsilon,
+                **shared,
+            )
+        )
+        cells.append(
+            ExperimentConfig(
+                name=f"mda-empire-{dp_label}",
+                gar="mda",
+                f=5,
+                attack="empire",
+                epsilon=dp_epsilon,
+                **shared,
+            )
+        )
+    return cells
+
+
+def figure2_configs(**overrides) -> list[ExperimentConfig]:
+    """Figure 2: b = 50."""
+    return figure_configs(FIGURE_BATCH_SIZES["figure2"], **overrides)
+
+
+def figure3_configs(**overrides) -> list[ExperimentConfig]:
+    """Figure 3: b = 10."""
+    return figure_configs(FIGURE_BATCH_SIZES["figure3"], **overrides)
+
+
+def figure4_configs(**overrides) -> list[ExperimentConfig]:
+    """Figure 4: b = 500."""
+    return figure_configs(FIGURE_BATCH_SIZES["figure4"], **overrides)

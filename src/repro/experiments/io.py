@@ -1,0 +1,81 @@
+"""Result persistence: save/load experiment outcomes as JSON.
+
+Keeps EXPERIMENTS.md honest: every number in the write-up can be
+regenerated and diffed against a stored artifact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import RunOutcome
+from repro.metrics.aggregate import SeriesStats
+from repro.metrics.history import TrainingHistory
+
+__all__ = ["outcome_to_dict", "outcome_from_dict", "save_outcomes", "load_outcomes"]
+
+
+def outcome_to_dict(outcome: RunOutcome) -> dict:
+    """JSON-serialisable representation of a :class:`RunOutcome`."""
+    config_payload = dataclasses.asdict(outcome.config)
+    config_payload["seeds"] = list(outcome.config.seeds)
+    config_payload["attack_kwargs"] = [list(item) for item in outcome.config.attack_kwargs]
+    payload = {
+        "config": config_payload,
+        "histories": [history.to_dict() for history in outcome.histories],
+        "loss_stats": outcome.loss_stats.to_dict(),
+        "accuracy_stats": (
+            outcome.accuracy_stats.to_dict() if outcome.accuracy_stats is not None else None
+        ),
+        "privacy": None,
+    }
+    if outcome.privacy is not None:
+        payload["privacy"] = {
+            "per_step": list(outcome.privacy.per_step),
+            "noise_sigma": outcome.privacy.noise_sigma,
+            "basic": list(outcome.privacy.basic),
+            "advanced": list(outcome.privacy.advanced),
+            "rdp": list(outcome.privacy.rdp) if outcome.privacy.rdp is not None else None,
+        }
+    return payload
+
+
+def outcome_from_dict(payload: dict) -> RunOutcome:
+    """Inverse of :func:`outcome_to_dict` (privacy report is not restored)."""
+    config_payload = dict(payload["config"])
+    config_payload["seeds"] = tuple(config_payload["seeds"])
+    config_payload["attack_kwargs"] = tuple(
+        tuple(item) for item in config_payload.get("attack_kwargs", [])
+    )
+    config = ExperimentConfig(**config_payload)
+    histories = [TrainingHistory.from_dict(entry) for entry in payload["histories"]]
+    loss_stats = SeriesStats.from_dict(payload["loss_stats"])
+    accuracy_stats = (
+        SeriesStats.from_dict(payload["accuracy_stats"])
+        if payload.get("accuracy_stats") is not None
+        else None
+    )
+    return RunOutcome(
+        config=config,
+        histories=histories,
+        loss_stats=loss_stats,
+        accuracy_stats=accuracy_stats,
+        privacy=None,
+    )
+
+
+def save_outcomes(outcomes: dict[str, RunOutcome], path: str | Path) -> None:
+    """Write ``{name: outcome}`` to ``path`` as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {name: outcome_to_dict(outcome) for name, outcome in outcomes.items()}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_outcomes(path: str | Path) -> dict[str, RunOutcome]:
+    """Inverse of :func:`save_outcomes`."""
+    payload = json.loads(Path(path).read_text())
+    return {name: outcome_from_dict(entry) for name, entry in payload.items()}

@@ -1,0 +1,132 @@
+"""Experiment runner: config -> multi-seed results.
+
+:func:`phishing_environment` builds the paper's task (synthetic
+phishing stand-in + logistic regression with MSE loss);
+:func:`run_config` repeats one cell over its seeds and aggregates the
+curves; :func:`run_grid` handles a list of cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.datasets import Dataset, train_test_split
+from repro.data.phishing import PHISHING_TRAIN_SIZE, make_phishing_dataset
+from repro.distributed.trainer import PrivacyReport, TrainingResult, train
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.aggregate import SeriesStats, aggregate_accuracy, aggregate_losses
+from repro.metrics.history import TrainingHistory
+from repro.models.base import Model
+from repro.models.logistic import LogisticRegressionModel
+from repro.rng import generator_from_seed
+
+__all__ = ["RunOutcome", "phishing_environment", "run_config", "run_grid"]
+
+
+@dataclass
+class RunOutcome:
+    """Aggregated results of one config across its seeds."""
+
+    config: ExperimentConfig
+    histories: list[TrainingHistory] = field(repr=False)
+    loss_stats: SeriesStats = field(repr=False)
+    accuracy_stats: SeriesStats | None = field(repr=False)
+    privacy: PrivacyReport | None
+
+    @property
+    def final_loss_mean(self) -> float:
+        """Mean final training loss across seeds."""
+        return self.loss_stats.final_mean
+
+    @property
+    def min_loss_mean(self) -> float:
+        """Mean of per-seed minimum losses."""
+        return float(sum(h.min_loss for h in self.histories) / len(self.histories))
+
+    @property
+    def final_accuracy_mean(self) -> float | None:
+        """Mean final test accuracy across seeds (None if not measured)."""
+        if self.accuracy_stats is None:
+            return None
+        return self.accuracy_stats.final_mean
+
+    def summary_row(self) -> dict:
+        """Flat dict for table printing / JSON export."""
+        return {
+            "name": self.config.name,
+            "gar": self.config.gar,
+            "attack": self.config.attack or "none",
+            "batch_size": self.config.batch_size,
+            "epsilon": self.config.epsilon,
+            "final_loss": self.final_loss_mean,
+            "min_loss": self.min_loss_mean,
+            "final_accuracy": self.final_accuracy_mean,
+        }
+
+
+def phishing_environment(
+    data_seed: int = 0,
+) -> tuple[LogisticRegressionModel, Dataset, Dataset]:
+    """The paper's task: phishing (synthetic stand-in), 8400/2655 split,
+    logistic regression with MSE loss (d = 69).
+
+    ``data_seed`` fixes the dataset; the paper varies only the training
+    seeds, keeping the data fixed, so all experiment cells should share
+    one ``data_seed``.
+    """
+    dataset = make_phishing_dataset(seed=data_seed)
+    train_set, test_set = train_test_split(
+        dataset, PHISHING_TRAIN_SIZE, generator_from_seed(data_seed + 1)
+    )
+    model = LogisticRegressionModel(num_features=dataset.num_features, loss_kind="mse")
+    return model, train_set, test_set
+
+
+def run_config(
+    config: ExperimentConfig,
+    model: Model,
+    train_dataset: Dataset,
+    test_dataset: Dataset | None = None,
+) -> RunOutcome:
+    """Run one cell over all its seeds and aggregate the curves."""
+    results: list[TrainingResult] = []
+    for seed in config.seeds:
+        results.append(
+            train(
+                model=model,
+                train_dataset=train_dataset,
+                test_dataset=test_dataset,
+                **config.train_kwargs(seed),
+            )
+        )
+    histories = [result.history for result in results]
+    loss_stats = aggregate_losses(histories)
+    if test_dataset is not None and len(histories[0].accuracies) > 0:
+        accuracy_stats = aggregate_accuracy(histories)
+    else:
+        accuracy_stats = None
+    return RunOutcome(
+        config=config,
+        histories=histories,
+        loss_stats=loss_stats,
+        accuracy_stats=accuracy_stats,
+        privacy=results[0].privacy,
+    )
+
+
+def run_grid(
+    configs: list[ExperimentConfig],
+    model: Model,
+    train_dataset: Dataset,
+    test_dataset: Dataset | None = None,
+    verbose: bool = False,
+) -> dict[str, RunOutcome]:
+    """Run several cells; returns ``{config.name: outcome}``."""
+    outcomes: dict[str, RunOutcome] = {}
+    for config in configs:
+        if config.name in outcomes:
+            raise ValueError(f"duplicate config name {config.name!r}")
+        if verbose:
+            print(f"running {config.describe()}")
+        outcomes[config.name] = run_config(config, model, train_dataset, test_dataset)
+    return outcomes

@@ -1,0 +1,143 @@
+"""Table 1 reproduction: per-GAR necessary conditions under DP.
+
+For each of the paper's seven GARs, produce the symbolic condition
+(Table 1), its numeric value for a concrete ``(d, n, f, b, eps,
+delta)``, and whether the master feasibility inequality says the noisy
+VN condition can hold.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core import feasibility
+from repro.gars import GAR_REGISTRY
+
+__all__ = ["Table1Row", "table1_rows", "format_table1"]
+
+# (gar registry name, Table-1 condition as printed in the paper)
+_TABLE1_GARS: tuple[tuple[str, str], ...] = (
+    ("krum", "b in Omega(sqrt(n d))"),
+    ("median", "b in Omega(sqrt(n d))"),
+    ("bulyan", "b in Omega(sqrt(n d))"),
+    ("meamed", "b in Omega(sqrt(n d))"),
+    ("mda", "f/n in O(b / (sqrt(d) + b))"),
+    ("trimmed-mean", "f/n in O(b^2 / (d + b^2))"),
+    ("phocas", "f/n in O(b^2 / (d + b^2))"),
+)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One GAR's row of the reproduced Table 1."""
+
+    gar: str
+    symbolic_condition: str
+    applicable: bool
+    k_f: float | None
+    min_batch_size: float | None
+    max_byzantine_fraction: float | None
+    feasible_at_configuration: bool | None
+    note: str = ""
+
+
+def _closed_form_threshold(
+    name: str, dimension: int, n: int, f: int, batch_size: int, epsilon: float, delta: float
+) -> tuple[float | None, float | None]:
+    """Returns (min batch size, max Byzantine fraction) from the
+    propositions' closed forms; ``None`` where the proposition bounds
+    the other quantity."""
+    if name in ("krum", "bulyan"):
+        min_b = feasibility.krum_min_batch_size(dimension, n, f, epsilon, delta)
+        return min_b, None
+    if name == "median":
+        return feasibility.median_min_batch_size(dimension, n, epsilon, delta), None
+    if name == "meamed":
+        return feasibility.meamed_min_batch_size(dimension, n, epsilon, delta), None
+    if name == "mda":
+        return None, feasibility.mda_max_byzantine_fraction(
+            dimension, batch_size, epsilon, delta
+        )
+    if name == "trimmed-mean":
+        return None, feasibility.trimmed_mean_max_byzantine_fraction(
+            dimension, batch_size, epsilon, delta
+        )
+    if name == "phocas":
+        return None, feasibility.phocas_max_byzantine_fraction(
+            dimension, batch_size, epsilon, delta
+        )
+    raise ValueError(f"no Table 1 closed form for {name!r}")
+
+
+def table1_rows(
+    dimension: int,
+    n: int,
+    f: int,
+    batch_size: int,
+    epsilon: float,
+    delta: float,
+) -> list[Table1Row]:
+    """Reproduce Table 1 numerically at a concrete configuration."""
+    rows: list[Table1Row] = []
+    for name, symbolic in _TABLE1_GARS:
+        gar_class = GAR_REGISTRY[name]
+        if not gar_class.supports(n, f):
+            rows.append(
+                Table1Row(
+                    gar=name,
+                    symbolic_condition=symbolic,
+                    applicable=False,
+                    k_f=None,
+                    min_batch_size=None,
+                    max_byzantine_fraction=None,
+                    feasible_at_configuration=None,
+                    note=f"precondition fails for (n={n}, f={f})",
+                )
+            )
+            continue
+        gar = gar_class(n, f)
+        min_b, max_tau = _closed_form_threshold(
+            name, dimension, n, f, batch_size, epsilon, delta
+        )
+        feasible = feasibility.master_condition_can_hold(
+            gar.k_f(), dimension, batch_size, epsilon, delta
+        )
+        rows.append(
+            Table1Row(
+                gar=name,
+                symbolic_condition=symbolic,
+                applicable=True,
+                k_f=gar.k_f(),
+                min_batch_size=min_b,
+                max_byzantine_fraction=max_tau,
+                feasible_at_configuration=feasible,
+            )
+        )
+    return rows
+
+
+def format_table1(rows: list[Table1Row], dimension: int, batch_size: int) -> str:
+    """Render the reproduced Table 1 as fixed-width text."""
+    header = (
+        f"{'GAR':<14}{'condition':<30}{'k_F':>10}{'min b':>14}"
+        f"{'max f/n':>10}{'holds?':>8}"
+    )
+    lines = [f"Table 1 at d={dimension}, b={batch_size}", header, "-" * len(header)]
+    for row in rows:
+        if not row.applicable:
+            lines.append(f"{row.gar:<14}{row.symbolic_condition:<30}{row.note:>42}")
+            continue
+        k_f = f"{row.k_f:.4g}" if row.k_f is not None and math.isfinite(row.k_f) else "inf"
+        min_b = f"{row.min_batch_size:,.0f}" if row.min_batch_size is not None else "-"
+        max_tau = (
+            f"{row.max_byzantine_fraction:.2e}"
+            if row.max_byzantine_fraction is not None
+            else "-"
+        )
+        holds = "yes" if row.feasible_at_configuration else "NO"
+        lines.append(
+            f"{row.gar:<14}{row.symbolic_condition:<30}{k_f:>10}{min_b:>14}"
+            f"{max_tau:>10}{holds:>8}"
+        )
+    return "\n".join(lines)

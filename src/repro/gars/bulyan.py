@@ -1,0 +1,65 @@
+"""Bulyan (El-Mhamdi et al. 2018).
+
+A two-stage meta-aggregator: first select ``theta = n - 2 f`` gradients
+by repeatedly applying Krum and removing the winner; then output, per
+coordinate, the average of the ``beta = theta - 2 f`` values closest to
+the coordinate-wise median of the selection.
+
+Valid for ``n >= 4 f + 3`` (which guarantees ``beta >= 3``); shares
+Krum's VN constant ``k_F``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gars.base import GAR
+from repro.gars.constants import k_bulyan, require_bulyan_valid
+from repro.gars.krum import krum_scores, rank_by_score_then_value
+from repro.typing import Matrix, Vector
+
+__all__ = ["BulyanGAR"]
+
+
+class BulyanGAR(GAR):
+    """Bulyan: iterated-Krum selection + trimmed closest-to-median average."""
+
+    name = "bulyan"
+
+    @classmethod
+    def check_preconditions(cls, n: int, f: int) -> None:
+        require_bulyan_valid(n, f)
+
+    def k_f(self) -> float:
+        """Krum's constant, under the stricter ``n >= 4 f + 3`` precondition."""
+        return k_bulyan(self._n, self._f)
+
+    def _aggregate(self, gradients: Matrix) -> Vector:
+        theta = self._n - 2 * self._f
+        beta = theta - 2 * self._f
+
+        # Stage 1: iterated Krum selection.
+        remaining = list(range(self._n))
+        selected: list[int] = []
+        for _ in range(theta):
+            subset = gradients[remaining]
+            if len(remaining) - self._f - 2 >= 1:
+                scores = krum_scores(subset, self._f)
+            else:
+                # Too few rows left for Krum scoring; fall back to
+                # distance-to-mean, which ranks the remaining honest
+                # cluster consistently.
+                center = subset.mean(axis=0)
+                scores = np.sum((subset - center) ** 2, axis=1)
+            winner_position = int(rank_by_score_then_value(scores, subset)[0])
+            selected.append(remaining.pop(winner_position))
+        selection = gradients[selected]  # (theta, d)
+
+        # Stage 2: per coordinate, average the beta values closest to
+        # the median of the selection (ties broken by value so the rule
+        # stays permutation-invariant).
+        medians = np.median(selection, axis=0)  # (d,)
+        deviation = np.abs(selection - medians[None, :])  # (theta, d)
+        closest = np.lexsort((selection, deviation), axis=0)[:beta]  # (beta, d)
+        picked = np.take_along_axis(selection, closest, axis=0)
+        return picked.mean(axis=0)

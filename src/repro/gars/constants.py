@@ -1,0 +1,134 @@
+"""VN-ratio constants ``k_F(n, f)`` and validity preconditions per GAR.
+
+These are the multiplicative constants of the sufficient condition for
+``(alpha, f)``-Byzantine resilience (Eq. 2 of the paper):
+
+.. math::
+
+    \\frac{\\sqrt{E ||G_t - E G_t||^2}}{||E G_t||} \\le k_F(n, f)
+
+The closed forms below are the ones the paper's Appendix A uses:
+
+===============  =====================================================
+GAR              ``k_F(n, f)``
+===============  =====================================================
+MDA              ``(n - f) / (sqrt(8) f)``  (infinite when ``f = 0``)
+Krum, Bulyan     ``1 / sqrt(2 eta(n, f))`` with
+                 ``eta = n - f + (f (n-f-2) + f^2 (n-f-1)) / (n-2f-2)``
+Median           ``1 / sqrt(n - f)``
+Meamed           ``1 / sqrt(10 (n - f))``
+Trimmed Mean     ``sqrt((n - 2f)^2 / (2 (f+1) (n-f)))``
+Phocas           ``sqrt(4 + (n - 2f)^2 / (12 (f+1) (n-f)))``
+===============  =====================================================
+
+Validity preconditions (from the defining papers, also re-stated in the
+paper's Section 2.2 and Appendix A):
+
+* MDA, Median, Meamed, Phocas, Trimmed Mean: ``2 f <= n - 1``
+* Krum (and Multi-Krum): ``n > 2 f + 2``
+* Bulyan: ``n >= 4 f + 3``
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import AggregationError
+
+__all__ = [
+    "krum_eta",
+    "k_mda",
+    "k_krum",
+    "k_bulyan",
+    "k_median",
+    "k_meamed",
+    "k_trimmed_mean",
+    "k_phocas",
+    "require_majority_honest",
+    "require_krum_valid",
+    "require_bulyan_valid",
+]
+
+
+def _validate_pair(n: int, f: int) -> None:
+    if n < 1:
+        raise AggregationError(f"n must be >= 1, got {n}")
+    if f < 0:
+        raise AggregationError(f"f must be >= 0, got {f}")
+    if f >= n:
+        raise AggregationError(f"f must be < n, got f={f}, n={n}")
+
+
+def require_majority_honest(n: int, f: int, gar_name: str) -> None:
+    """Enforce ``2 f <= n - 1`` (a strict honest majority)."""
+    _validate_pair(n, f)
+    if 2 * f > n - 1:
+        raise AggregationError(
+            f"{gar_name} requires 2 f <= n - 1 (honest majority); "
+            f"got n={n}, f={f}"
+        )
+
+
+def require_krum_valid(n: int, f: int, gar_name: str = "krum") -> None:
+    """Enforce Krum's ``n > 2 f + 2``."""
+    _validate_pair(n, f)
+    if n <= 2 * f + 2:
+        raise AggregationError(
+            f"{gar_name} requires n > 2 f + 2; got n={n}, f={f}"
+        )
+
+
+def require_bulyan_valid(n: int, f: int) -> None:
+    """Enforce Bulyan's ``n >= 4 f + 3``."""
+    _validate_pair(n, f)
+    if n < 4 * f + 3:
+        raise AggregationError(f"bulyan requires n >= 4 f + 3; got n={n}, f={f}")
+
+
+def k_mda(n: int, f: int) -> float:
+    """``(n - f) / (sqrt(8) f)``; infinite for ``f = 0``."""
+    require_majority_honest(n, f, "mda")
+    if f == 0:
+        return math.inf
+    return (n - f) / (math.sqrt(8.0) * f)
+
+
+def krum_eta(n: int, f: int) -> float:
+    """Blanchard et al.'s ``eta(n, f)`` appearing in Krum's bound."""
+    require_krum_valid(n, f)
+    return n - f + (f * (n - f - 2) + f**2 * (n - f - 1)) / (n - 2 * f - 2)
+
+
+def k_krum(n: int, f: int) -> float:
+    """``1 / sqrt(2 eta(n, f))``."""
+    return 1.0 / math.sqrt(2.0 * krum_eta(n, f))
+
+
+def k_bulyan(n: int, f: int) -> float:
+    """Bulyan shares Krum's constant but needs ``n >= 4 f + 3``."""
+    require_bulyan_valid(n, f)
+    return 1.0 / math.sqrt(2.0 * krum_eta(n, f))
+
+
+def k_median(n: int, f: int) -> float:
+    """``1 / sqrt(n - f)``."""
+    require_majority_honest(n, f, "median")
+    return 1.0 / math.sqrt(n - f)
+
+
+def k_meamed(n: int, f: int) -> float:
+    """``1 / sqrt(10 (n - f))``."""
+    require_majority_honest(n, f, "meamed")
+    return 1.0 / math.sqrt(10.0 * (n - f))
+
+
+def k_trimmed_mean(n: int, f: int) -> float:
+    """``sqrt((n - 2f)^2 / (2 (f+1) (n-f)))``."""
+    require_majority_honest(n, f, "trimmed-mean")
+    return math.sqrt((n - 2 * f) ** 2 / (2.0 * (f + 1) * (n - f)))
+
+
+def k_phocas(n: int, f: int) -> float:
+    """``sqrt(4 + (n - 2f)^2 / (12 (f+1) (n-f)))`` (as in Appendix A)."""
+    require_majority_honest(n, f, "phocas")
+    return math.sqrt(4.0 + (n - 2 * f) ** 2 / (12.0 * (f + 1) * (n - f)))

@@ -1,0 +1,94 @@
+"""Krum and Multi-Krum (Blanchard et al. 2017).
+
+Krum scores each gradient by the sum of squared distances to its
+``n - f - 2`` nearest neighbours (among the other submissions) and
+outputs the gradient with the lowest score.  Multi-Krum averages the
+``m`` best-scoring gradients (``m = 1`` recovers Krum).
+
+Valid for ``n > 2 f + 2`` with
+``k_F(n, f) = 1 / sqrt(2 eta(n, f))``,
+``eta = n - f + (f (n-f-2) + f^2 (n-f-1)) / (n - 2f - 2)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import AggregationError
+from repro.gars.base import GAR
+from repro.gars.constants import k_krum, require_krum_valid
+from repro.typing import Matrix, Vector
+
+__all__ = ["KrumGAR", "krum_scores", "rank_by_score_then_value"]
+
+
+def krum_scores(gradients: Matrix, f: int) -> np.ndarray:
+    """Krum score of each row: sum of its ``n - f - 2`` smallest squared
+    distances to the other rows.
+
+    Exposed as a function because Bulyan reuses it.
+    """
+    n = gradients.shape[0]
+    neighbours = n - f - 2
+    if neighbours < 1:
+        raise AggregationError(
+            f"krum scoring needs n - f - 2 >= 1, got n={n}, f={f}"
+        )
+    # Squared Euclidean distance matrix via the Gram expansion.
+    squared_norms = np.sum(gradients**2, axis=1)
+    distances = squared_norms[:, None] + squared_norms[None, :] - 2.0 * (gradients @ gradients.T)
+    distances = np.maximum(distances, 0.0)  # clamp numerical negatives
+    np.fill_diagonal(distances, np.inf)  # a gradient is not its own neighbour
+    nearest = np.sort(distances, axis=1)[:, :neighbours]
+    return nearest.sum(axis=1)
+
+
+def rank_by_score_then_value(scores: np.ndarray, gradients: Matrix) -> np.ndarray:
+    """Indices sorted by score, breaking exact ties lexicographically.
+
+    Exact score ties are structural, not just numerical flukes: with a
+    single Krum neighbour (``n - f - 2 = 1``), mutually-nearest rows
+    share the same score.  Breaking ties by the gradient *values*
+    (instead of the submission order) keeps every selection-based GAR
+    permutation-invariant.
+    """
+    order = sorted(
+        range(len(scores)), key=lambda index: (scores[index], tuple(gradients[index]))
+    )
+    return np.asarray(order)
+
+
+class KrumGAR(GAR):
+    """Krum (``m = 1``) or Multi-Krum (``m > 1``)."""
+
+    name = "krum"
+
+    def __init__(self, n: int, f: int, m: int = 1):
+        if m < 1:
+            raise AggregationError(f"m must be >= 1, got {m}")
+        if m > n - f:
+            raise AggregationError(
+                f"multi-krum m must be <= n - f, got m={m}, n={n}, f={f}"
+            )
+        self._m = int(m)
+        super().__init__(n, f)
+
+    @property
+    def m(self) -> int:
+        """Number of selected gradients to average (1 = classic Krum)."""
+        return self._m
+
+    @classmethod
+    def check_preconditions(cls, n: int, f: int) -> None:
+        require_krum_valid(n, f, cls.name)
+
+    def k_f(self) -> float:
+        """``1 / sqrt(2 eta(n, f))`` (Blanchard et al.)."""
+        return k_krum(self._n, self._f)
+
+    def _aggregate(self, gradients: Matrix) -> Vector:
+        scores = krum_scores(gradients, self._f)
+        order = rank_by_score_then_value(scores, gradients)
+        if self._m == 1:
+            return gradients[int(order[0])].copy()
+        return gradients[order[: self._m]].mean(axis=0)

@@ -1,0 +1,48 @@
+"""Meamed — mean around the median (Xie et al. 2018, "Generalized
+Byzantine-tolerant SGD").
+
+Per coordinate: compute the median of the ``n`` submitted values, then
+average the ``n - f`` values closest to that median.  Valid for
+``2 f <= n - 1`` with ``k_F(n, f) = 1 / sqrt(10 (n - f))``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gars.base import GAR
+from repro.gars.constants import k_meamed, require_majority_honest
+from repro.typing import Matrix, Vector
+
+__all__ = ["MeamedGAR", "mean_around_anchor"]
+
+
+def mean_around_anchor(gradients: Matrix, anchor: Vector, keep: int) -> Vector:
+    """Per coordinate, average the ``keep`` values closest to ``anchor``.
+
+    Shared by Meamed (anchor = median) and Phocas (anchor = trimmed
+    mean).  Distance ties are broken by the value itself (via lexsort)
+    so the rule is permutation-invariant even on equidistant inputs.
+    """
+    deviation = np.abs(gradients - anchor[None, :])  # (n, d)
+    closest = np.lexsort((gradients, deviation), axis=0)[:keep]  # (keep, d)
+    picked = np.take_along_axis(gradients, closest, axis=0)
+    return picked.mean(axis=0)
+
+
+class MeamedGAR(GAR):
+    """Coordinate-wise mean of the ``n - f`` values nearest the median."""
+
+    name = "meamed"
+
+    @classmethod
+    def check_preconditions(cls, n: int, f: int) -> None:
+        require_majority_honest(n, f, cls.name)
+
+    def k_f(self) -> float:
+        """``1 / sqrt(10 (n - f))``."""
+        return k_meamed(self._n, self._f)
+
+    def _aggregate(self, gradients: Matrix) -> Vector:
+        medians = np.median(gradients, axis=0)
+        return mean_around_anchor(gradients, medians, self._n - self._f)

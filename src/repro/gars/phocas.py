@@ -1,0 +1,42 @@
+"""Phocas (Xie et al. 2018, "Phocas: dimensional Byzantine-resilient
+stochastic gradient descent").
+
+Per coordinate: compute the ``f``-trimmed mean, then average the
+``n - f`` values closest to it.  Valid for ``2 f <= n - 1``; Appendix A
+of the paper uses ``k_F(n, f) = sqrt(4 + (n-2f)^2 / (12 (f+1) (n-f)))``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gars.base import GAR
+from repro.gars.constants import k_phocas, require_majority_honest
+from repro.gars.meamed import mean_around_anchor
+from repro.typing import Matrix, Vector
+
+__all__ = ["PhocasGAR"]
+
+
+class PhocasGAR(GAR):
+    """Coordinate-wise mean of the ``n - f`` values nearest the trimmed mean."""
+
+    name = "phocas"
+
+    @classmethod
+    def check_preconditions(cls, n: int, f: int) -> None:
+        require_majority_honest(n, f, cls.name)
+
+    def k_f(self) -> float:
+        """``sqrt(4 + (n - 2f)^2 / (12 (f+1) (n-f)))`` (Appendix A)."""
+        return k_phocas(self._n, self._f)
+
+    def _trimmed_mean(self, gradients: Matrix) -> Vector:
+        if self._f == 0:
+            return gradients.mean(axis=0)
+        ordered = np.sort(gradients, axis=0)
+        return ordered[self._f : self._n - self._f].mean(axis=0)
+
+    def _aggregate(self, gradients: Matrix) -> Vector:
+        anchor = self._trimmed_mean(gradients)
+        return mean_around_anchor(gradients, anchor, self._n - self._f)

@@ -1,0 +1,11 @@
+"""Metrics: per-run training history and cross-seed aggregation."""
+
+from repro.metrics.aggregate import SeriesStats, aggregate_accuracy, aggregate_losses
+from repro.metrics.history import TrainingHistory
+
+__all__ = [
+    "SeriesStats",
+    "TrainingHistory",
+    "aggregate_accuracy",
+    "aggregate_losses",
+]

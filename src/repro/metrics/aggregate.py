@@ -1,0 +1,82 @@
+"""Cross-seed aggregation of training histories.
+
+The paper repeats every setup over 5 seeds and reports mean and
+standard deviation of the loss and accuracy curves; these helpers
+compute exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.metrics.history import TrainingHistory
+
+__all__ = ["SeriesStats", "aggregate_losses", "aggregate_accuracy"]
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Mean/std of a metric across seeds, aligned on steps."""
+
+    steps: np.ndarray
+    mean: np.ndarray
+    std: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.steps) == len(self.mean) == len(self.std)):
+            raise ValueError("steps, mean and std must have equal lengths")
+
+    @property
+    def final_mean(self) -> float:
+        """Mean metric value at the last step."""
+        if len(self.mean) == 0:
+            raise ValueError("empty series")
+        return float(self.mean[-1])
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "steps": self.steps.tolist(),
+            "mean": self.mean.tolist(),
+            "std": self.std.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SeriesStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            steps=np.asarray(payload["steps"], dtype=np.int64),
+            mean=np.asarray(payload["mean"], dtype=np.float64),
+            std=np.asarray(payload["std"], dtype=np.float64),
+        )
+
+
+def _stack(series: Sequence[np.ndarray], steps: Sequence[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    if not series:
+        raise ValueError("need at least one history to aggregate")
+    reference = steps[0]
+    for other in steps[1:]:
+        if len(other) != len(reference) or not np.array_equal(other, reference):
+            raise ValueError("histories record metrics at different steps; cannot align")
+    return np.stack([np.asarray(run, dtype=np.float64) for run in series]), np.asarray(reference)
+
+
+def aggregate_losses(histories: Sequence[TrainingHistory]) -> SeriesStats:
+    """Mean/std loss curve across runs (seeds)."""
+    stacked, steps = _stack(
+        [history.losses for history in histories],
+        [history.loss_steps for history in histories],
+    )
+    return SeriesStats(steps=steps, mean=stacked.mean(axis=0), std=stacked.std(axis=0))
+
+
+def aggregate_accuracy(histories: Sequence[TrainingHistory]) -> SeriesStats:
+    """Mean/std accuracy curve across runs (seeds)."""
+    stacked, steps = _stack(
+        [history.accuracies for history in histories],
+        [history.accuracy_steps for history in histories],
+    )
+    return SeriesStats(steps=steps, mean=stacked.mean(axis=0), std=stacked.std(axis=0))

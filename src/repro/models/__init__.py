@@ -1,0 +1,22 @@
+"""Model substrate: pure-numpy differentiable models.
+
+Every model exposes batch loss, batch (mean) gradients and per-example
+gradients for a flat parameter vector of dimension ``d`` — the quantity
+the paper's analysis revolves around.
+"""
+
+from repro.models.base import Model
+from repro.models.linear import LinearRegressionModel
+from repro.models.logistic import LogisticRegressionModel
+from repro.models.mlp import MLPClassifierModel
+from repro.models.quadratic import MeanEstimationModel
+from repro.models.softmax import SoftmaxClassifierModel
+
+__all__ = [
+    "Model",
+    "LinearRegressionModel",
+    "LogisticRegressionModel",
+    "MLPClassifierModel",
+    "MeanEstimationModel",
+    "SoftmaxClassifierModel",
+]

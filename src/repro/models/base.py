@@ -1,0 +1,77 @@
+"""Abstract model interface.
+
+A *model* here is a differentiable loss landscape over a flat parameter
+vector ``w`` of dimension ``d``, evaluated on ``(features, labels)``
+batches.  Workers never mutate models; models are stateless functions
+of ``(w, batch)``, which keeps the distributed simulation free of
+hidden shared state.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.typing import Vector
+
+__all__ = ["Model"]
+
+
+class Model(ABC):
+    """Stateless differentiable model over a flat parameter vector."""
+
+    @property
+    @abstractmethod
+    def dimension(self) -> int:
+        """Number of trainable parameters ``d``."""
+
+    @abstractmethod
+    def loss(self, parameters: Vector, features: np.ndarray, labels: np.ndarray) -> float:
+        """Mean loss of ``parameters`` over the batch."""
+
+    @abstractmethod
+    def gradient(self, parameters: Vector, features: np.ndarray, labels: np.ndarray) -> Vector:
+        """Mean gradient of the loss over the batch; shape ``(d,)``."""
+
+    @abstractmethod
+    def per_example_gradients(
+        self, parameters: Vector, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        """Per-example gradients; shape ``(batch_size, d)``.
+
+        The mean over axis 0 equals :meth:`gradient` up to rounding.
+        Needed for per-example clipping (the airtight route to the
+        ``2 G_max / b`` sensitivity bound of Section 2.3).
+        """
+
+    def initial_parameters(self, rng: np.random.Generator | None = None) -> Vector:
+        """Starting parameter vector; zeros unless a model overrides it.
+
+        Zero initialisation is what the paper's convex experiments use;
+        non-convex models (the MLP) override this with a seeded random
+        initialisation.
+        """
+        del rng  # deterministic default
+        return np.zeros(self.dimension)
+
+    def accuracy(self, parameters: Vector, features: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy, when the model defines predictions.
+
+        Models that are not classifiers (e.g. mean estimation) raise
+        ``NotImplementedError``.
+        """
+        predictions = self.predict(parameters, features)
+        return float(np.mean(predictions == np.asarray(labels)))
+
+    def predict(self, parameters: Vector, features: np.ndarray) -> np.ndarray:
+        """Hard label predictions; classifiers override this."""
+        raise NotImplementedError(f"{type(self).__name__} is not a classifier")
+
+    def _check_parameters(self, parameters: Vector) -> Vector:
+        parameters = np.asarray(parameters, dtype=np.float64)
+        if parameters.shape != (self.dimension,):
+            raise ValueError(
+                f"parameters must have shape ({self.dimension},), got {parameters.shape}"
+            )
+        return parameters

@@ -1,0 +1,73 @@
+"""Linear (least-squares) regression.
+
+Loss per example is ``1/2 (x . w - y)^2`` with the bias folded in as a
+constant feature.  Convex (though not strongly convex unless the
+feature covariance is full-rank), globally Lipschitz gradient on
+bounded data — a simple well-understood landscape for tests and for
+convergence-rate sanity checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.models.base import Model
+from repro.typing import Vector
+
+__all__ = ["LinearRegressionModel"]
+
+
+class LinearRegressionModel(Model):
+    """Least-squares linear regression with a bias term."""
+
+    def __init__(self, num_features: int):
+        if num_features <= 0:
+            raise ConfigurationError(f"num_features must be positive, got {num_features}")
+        self._num_features = int(num_features)
+
+    @property
+    def dimension(self) -> int:
+        return self._num_features + 1
+
+    @property
+    def num_features(self) -> int:
+        """Raw input features (excluding the bias column)."""
+        return self._num_features
+
+    def _augment(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != self._num_features:
+            raise ValueError(
+                f"features must have shape (batch, {self._num_features}), "
+                f"got {features.shape}"
+            )
+        return np.hstack([features, np.ones((features.shape[0], 1))])
+
+    def loss(self, parameters: Vector, features: np.ndarray, labels: np.ndarray) -> float:
+        parameters = self._check_parameters(parameters)
+        labels = np.asarray(labels, dtype=np.float64)
+        residuals = self._augment(features) @ parameters - labels
+        return float(0.5 * np.mean(residuals**2))
+
+    def gradient(self, parameters: Vector, features: np.ndarray, labels: np.ndarray) -> Vector:
+        parameters = self._check_parameters(parameters)
+        labels = np.asarray(labels, dtype=np.float64)
+        augmented = self._augment(features)
+        residuals = augmented @ parameters - labels
+        return (augmented.T @ residuals) / len(labels)
+
+    def per_example_gradients(
+        self, parameters: Vector, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        parameters = self._check_parameters(parameters)
+        labels = np.asarray(labels, dtype=np.float64)
+        augmented = self._augment(features)
+        residuals = augmented @ parameters - labels
+        return residuals[:, None] * augmented
+
+    def solve_exact(self, features: np.ndarray, labels: np.ndarray) -> Vector:
+        """Closed-form least-squares optimum (pseudo-inverse)."""
+        augmented = self._augment(features)
+        solution, *_ = np.linalg.lstsq(augmented, np.asarray(labels, dtype=np.float64), rcond=None)
+        return solution

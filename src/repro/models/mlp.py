@@ -1,0 +1,137 @@
+"""One-hidden-layer MLP binary classifier (non-convex extension).
+
+The paper's general-setting results (Section 3) make no convexity
+assumption; this model provides a small non-convex landscape so those
+results can be exercised end-to-end.  Architecture:
+
+``x -> tanh(W1 x + b1) -> sigmoid(w2 . h + b2)`` with MSE loss,
+matching the paper's choice of squared error on sigmoid outputs.
+
+Parameters are packed row-major as ``[W1 (h x in), b1 (h), w2 (h),
+b2 (1)]`` so ``d = h * in + 2 h + 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.models.base import Model
+from repro.models.logistic import sigmoid
+from repro.typing import Vector
+
+__all__ = ["MLPClassifierModel"]
+
+
+class MLPClassifierModel(Model):
+    """Binary classifier: tanh hidden layer, sigmoid output, MSE loss."""
+
+    def __init__(self, num_features: int, hidden_units: int = 16):
+        if num_features <= 0:
+            raise ConfigurationError(f"num_features must be positive, got {num_features}")
+        if hidden_units <= 0:
+            raise ConfigurationError(f"hidden_units must be positive, got {hidden_units}")
+        self._num_features = int(num_features)
+        self._hidden = int(hidden_units)
+
+    @property
+    def dimension(self) -> int:
+        return self._hidden * self._num_features + 2 * self._hidden + 1
+
+    @property
+    def num_features(self) -> int:
+        """Raw input features."""
+        return self._num_features
+
+    @property
+    def hidden_units(self) -> int:
+        """Width of the hidden layer."""
+        return self._hidden
+
+    def initial_parameters(self, rng: np.random.Generator | None = None) -> Vector:
+        """Glorot-style random initialisation (zeros would be a saddle)."""
+        if rng is None:
+            rng = np.random.default_rng(0)
+        scale_1 = np.sqrt(2.0 / (self._num_features + self._hidden))
+        weights_1 = scale_1 * rng.standard_normal((self._hidden, self._num_features))
+        bias_1 = np.zeros(self._hidden)
+        scale_2 = np.sqrt(2.0 / (self._hidden + 1))
+        weights_2 = scale_2 * rng.standard_normal(self._hidden)
+        bias_2 = np.zeros(1)
+        return self._pack(weights_1, bias_1, weights_2, bias_2)
+
+    def _pack(
+        self,
+        weights_1: np.ndarray,
+        bias_1: np.ndarray,
+        weights_2: np.ndarray,
+        bias_2: np.ndarray,
+    ) -> Vector:
+        return np.concatenate(
+            [weights_1.reshape(-1), bias_1, weights_2, np.atleast_1d(bias_2)]
+        )
+
+    def _unpack(self, parameters: Vector) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        parameters = self._check_parameters(parameters)
+        h, n = self._hidden, self._num_features
+        offset = 0
+        weights_1 = parameters[offset : offset + h * n].reshape(h, n)
+        offset += h * n
+        bias_1 = parameters[offset : offset + h]
+        offset += h
+        weights_2 = parameters[offset : offset + h]
+        offset += h
+        bias_2 = float(parameters[offset])
+        return weights_1, bias_1, weights_2, bias_2
+
+    def _check_features(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != self._num_features:
+            raise ValueError(
+                f"features must have shape (batch, {self._num_features}), "
+                f"got {features.shape}"
+            )
+        return features
+
+    def _forward(
+        self, parameters: Vector, features: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, tuple[np.ndarray, np.ndarray, np.ndarray, float]]:
+        """Returns (probabilities, hidden activations, unpacked params)."""
+        unpacked = self._unpack(parameters)
+        weights_1, bias_1, weights_2, bias_2 = unpacked
+        features = self._check_features(features)
+        hidden = np.tanh(features @ weights_1.T + bias_1[None, :])
+        probabilities = sigmoid(hidden @ weights_2 + bias_2)
+        return probabilities, hidden, unpacked
+
+    def loss(self, parameters: Vector, features: np.ndarray, labels: np.ndarray) -> float:
+        labels = np.asarray(labels, dtype=np.float64)
+        probabilities, _, _ = self._forward(parameters, features)
+        return float(np.mean((probabilities - labels) ** 2))
+
+    def per_example_gradients(
+        self, parameters: Vector, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        labels = np.asarray(labels, dtype=np.float64)
+        features = self._check_features(features)
+        probabilities, hidden, (weights_1, _, weights_2, _) = self._forward(
+            parameters, features
+        )
+        batch = len(labels)
+        # d(loss)/d(output logit) for MSE-on-sigmoid.
+        delta_out = 2.0 * (probabilities - labels) * probabilities * (1.0 - probabilities)
+        grad_w2 = delta_out[:, None] * hidden  # (batch, h)
+        grad_b2 = delta_out[:, None]  # (batch, 1)
+        delta_hidden = (delta_out[:, None] * weights_2[None, :]) * (1.0 - hidden**2)
+        grad_w1 = delta_hidden[:, :, None] * features[:, None, :]  # (batch, h, in)
+        grad_b1 = delta_hidden  # (batch, h)
+        return np.concatenate(
+            [grad_w1.reshape(batch, -1), grad_b1, grad_w2, grad_b2], axis=1
+        )
+
+    def gradient(self, parameters: Vector, features: np.ndarray, labels: np.ndarray) -> Vector:
+        return self.per_example_gradients(parameters, features, labels).mean(axis=0)
+
+    def predict(self, parameters: Vector, features: np.ndarray) -> np.ndarray:
+        probabilities, _, _ = self._forward(parameters, features)
+        return (probabilities >= 0.5).astype(np.float64)

@@ -1,0 +1,81 @@
+"""Mean-estimation model: ``Q(w) = 1/2 E ||w - x||^2``.
+
+This is the strongly-convex cost function used in the proof of the
+lower bound of Theorem 1.  Its properties are known in closed form,
+which makes it the reference landscape for validating the theory
+module:
+
+* strongly convex with ``lambda = 1`` (Assumption 2);
+* gradient Lipschitz with ``mu = 1`` (Assumption 3);
+* per-sample gradient ``grad Q(w, x) = w - x`` so the stochastic
+  gradient variance equals the data variance (Assumption 4 holds with
+  ``sigma^2 = E ||x - x_bar||^2``);
+* optimum ``w* = x_bar`` (the data mean), ``Q* = 1/2 E ||x_bar - x||^2``.
+
+Data points are the dataset's feature vectors; labels are ignored.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.models.base import Model
+from repro.typing import Vector
+
+__all__ = ["MeanEstimationModel"]
+
+
+class MeanEstimationModel(Model):
+    """Estimate the mean of a point cloud by minimising ``1/2 E||w - x||^2``."""
+
+    # Closed-form landscape constants (see module docstring).
+    STRONG_CONVEXITY = 1.0
+    LIPSCHITZ = 1.0
+
+    def __init__(self, dimension: int):
+        if dimension <= 0:
+            raise ConfigurationError(f"dimension must be positive, got {dimension}")
+        self._dimension = int(dimension)
+
+    @property
+    def dimension(self) -> int:
+        return self._dimension
+
+    def _check_features(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != self._dimension:
+            raise ValueError(
+                f"features must have shape (batch, {self._dimension}), got {features.shape}"
+            )
+        return features
+
+    def loss(self, parameters: Vector, features: np.ndarray, labels: np.ndarray) -> float:
+        del labels  # unused: unsupervised estimation task
+        parameters = self._check_parameters(parameters)
+        features = self._check_features(features)
+        return float(0.5 * np.mean(np.sum((parameters[None, :] - features) ** 2, axis=1)))
+
+    def gradient(self, parameters: Vector, features: np.ndarray, labels: np.ndarray) -> Vector:
+        del labels
+        parameters = self._check_parameters(parameters)
+        features = self._check_features(features)
+        return parameters - features.mean(axis=0)
+
+    def per_example_gradients(
+        self, parameters: Vector, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        del labels
+        parameters = self._check_parameters(parameters)
+        features = self._check_features(features)
+        return parameters[None, :] - features
+
+    def optimum(self, features: np.ndarray) -> Vector:
+        """The empirical minimiser: the mean of the points."""
+        return self._check_features(features).mean(axis=0)
+
+    def optimal_loss(self, features: np.ndarray) -> float:
+        """``Q*`` on the given empirical cloud."""
+        features = self._check_features(features)
+        mean = features.mean(axis=0)
+        return float(0.5 * np.mean(np.sum((mean[None, :] - features) ** 2, axis=1)))

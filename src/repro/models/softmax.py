@@ -1,0 +1,109 @@
+"""Multiclass softmax (multinomial logistic) classifier.
+
+An extension beyond the paper's binary task: the library supports
+multiclass problems with the same worker/server/GAR plumbing.  The
+parameter vector is the row-major flattening of a ``(num_classes,
+num_features + 1)`` weight matrix, so ``d = num_classes *
+(num_features + 1)`` — handy for experiments that need to scale ``d``
+without changing the data (Theorem 1's *d*-dependence).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.models.base import Model
+from repro.typing import Vector
+
+__all__ = ["SoftmaxClassifierModel"]
+
+
+class SoftmaxClassifierModel(Model):
+    """Softmax classifier with cross-entropy loss and a bias per class."""
+
+    def __init__(self, num_features: int, num_classes: int):
+        if num_features <= 0:
+            raise ConfigurationError(f"num_features must be positive, got {num_features}")
+        if num_classes < 2:
+            raise ConfigurationError(f"num_classes must be >= 2, got {num_classes}")
+        self._num_features = int(num_features)
+        self._num_classes = int(num_classes)
+
+    @property
+    def dimension(self) -> int:
+        return self._num_classes * (self._num_features + 1)
+
+    @property
+    def num_features(self) -> int:
+        """Raw input features (excluding the bias column)."""
+        return self._num_features
+
+    @property
+    def num_classes(self) -> int:
+        """Number of output classes."""
+        return self._num_classes
+
+    def _augment(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != self._num_features:
+            raise ValueError(
+                f"features must have shape (batch, {self._num_features}), "
+                f"got {features.shape}"
+            )
+        return np.hstack([features, np.ones((features.shape[0], 1))])
+
+    def _weights(self, parameters: Vector) -> np.ndarray:
+        parameters = self._check_parameters(parameters)
+        return parameters.reshape(self._num_classes, self._num_features + 1)
+
+    def _probabilities(self, parameters: Vector, features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        augmented = self._augment(features)
+        logits = augmented @ self._weights(parameters).T
+        logits -= logits.max(axis=1, keepdims=True)  # stability shift
+        exp_logits = np.exp(logits)
+        return exp_logits / exp_logits.sum(axis=1, keepdims=True), augmented
+
+    def _check_labels(self, labels: np.ndarray) -> np.ndarray:
+        labels = np.asarray(labels)
+        as_int = labels.astype(np.int64)
+        if np.any(as_int != labels) or as_int.min(initial=0) < 0 or (
+            as_int.size and as_int.max() >= self._num_classes
+        ):
+            raise ValueError(
+                f"labels must be integers in [0, {self._num_classes}), "
+                f"got range [{labels.min()}, {labels.max()}]"
+            )
+        return as_int
+
+    def loss(self, parameters: Vector, features: np.ndarray, labels: np.ndarray) -> float:
+        labels = self._check_labels(labels)
+        probabilities, _ = self._probabilities(parameters, features)
+        eps = 1e-12
+        picked = np.clip(probabilities[np.arange(len(labels)), labels], eps, None)
+        return float(-np.mean(np.log(picked)))
+
+    def gradient(self, parameters: Vector, features: np.ndarray, labels: np.ndarray) -> Vector:
+        labels = self._check_labels(labels)
+        probabilities, augmented = self._probabilities(parameters, features)
+        one_hot = np.zeros_like(probabilities)
+        one_hot[np.arange(len(labels)), labels] = 1.0
+        delta = probabilities - one_hot  # (batch, classes)
+        grad_matrix = delta.T @ augmented / len(labels)  # (classes, features+1)
+        return grad_matrix.reshape(-1)
+
+    def per_example_gradients(
+        self, parameters: Vector, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        labels = self._check_labels(labels)
+        probabilities, augmented = self._probabilities(parameters, features)
+        one_hot = np.zeros_like(probabilities)
+        one_hot[np.arange(len(labels)), labels] = 1.0
+        delta = probabilities - one_hot  # (batch, classes)
+        # Outer product per example: (batch, classes, features+1) flattened.
+        grads = delta[:, :, None] * augmented[:, None, :]
+        return grads.reshape(len(labels), self.dimension)
+
+    def predict(self, parameters: Vector, features: np.ndarray) -> np.ndarray:
+        probabilities, _ = self._probabilities(parameters, features)
+        return probabilities.argmax(axis=1).astype(np.float64)

@@ -1,0 +1,19 @@
+"""Optimizer substrate: SGD with momentum and learning-rate schedules."""
+
+from repro.optim.schedules import (
+    ConstantSchedule,
+    InverseTimeSchedule,
+    LearningRateSchedule,
+    StepDecaySchedule,
+    theorem1_schedule,
+)
+from repro.optim.sgd import SGDOptimizer
+
+__all__ = [
+    "ConstantSchedule",
+    "InverseTimeSchedule",
+    "LearningRateSchedule",
+    "SGDOptimizer",
+    "StepDecaySchedule",
+    "theorem1_schedule",
+]

@@ -1,0 +1,120 @@
+"""Learning-rate schedules.
+
+The paper uses two schedules:
+
+* a constant rate (``eta = 2`` in the experiments of Section 5);
+* the Robbins-Monro-style ``gamma_t = 1 / (lambda (1 - sin alpha) t)``
+  required by Theorem 1 — provided here via
+  :func:`theorem1_schedule`.
+
+Steps are 1-indexed throughout, matching the paper's ``t = 1 ... T``.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "LearningRateSchedule",
+    "ConstantSchedule",
+    "InverseTimeSchedule",
+    "StepDecaySchedule",
+    "theorem1_schedule",
+]
+
+
+class LearningRateSchedule(ABC):
+    """Maps a 1-indexed step number to a learning rate."""
+
+    @abstractmethod
+    def rate(self, step: int) -> float:
+        """Learning rate ``gamma_t`` for step ``step`` (1-indexed)."""
+
+    def _check_step(self, step: int) -> int:
+        if step < 1:
+            raise ValueError(f"steps are 1-indexed, got {step}")
+        return int(step)
+
+
+class ConstantSchedule(LearningRateSchedule):
+    """A fixed learning rate, as in the paper's experiments (eta = 2)."""
+
+    def __init__(self, learning_rate: float):
+        if learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be positive, got {learning_rate}")
+        self._learning_rate = float(learning_rate)
+
+    def rate(self, step: int) -> float:
+        self._check_step(step)
+        return self._learning_rate
+
+    def __repr__(self) -> str:
+        return f"ConstantSchedule({self._learning_rate})"
+
+
+class InverseTimeSchedule(LearningRateSchedule):
+    """``gamma_t = scale / t`` — the classic Robbins-Monro decay."""
+
+    def __init__(self, scale: float):
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale}")
+        self._scale = float(scale)
+
+    @property
+    def scale(self) -> float:
+        """The numerator of ``scale / t``."""
+        return self._scale
+
+    def rate(self, step: int) -> float:
+        return self._scale / self._check_step(step)
+
+    def __repr__(self) -> str:
+        return f"InverseTimeSchedule(scale={self._scale})"
+
+
+class StepDecaySchedule(LearningRateSchedule):
+    """Multiply the rate by ``factor`` every ``period`` steps."""
+
+    def __init__(self, initial_rate: float, factor: float, period: int):
+        if initial_rate <= 0:
+            raise ConfigurationError(f"initial_rate must be positive, got {initial_rate}")
+        if not 0 < factor <= 1:
+            raise ConfigurationError(f"factor must be in (0, 1], got {factor}")
+        if period < 1:
+            raise ConfigurationError(f"period must be >= 1, got {period}")
+        self._initial_rate = float(initial_rate)
+        self._factor = float(factor)
+        self._period = int(period)
+
+    def rate(self, step: int) -> float:
+        step = self._check_step(step)
+        decays = (step - 1) // self._period
+        return self._initial_rate * self._factor**decays
+
+    def __repr__(self) -> str:
+        return (
+            f"StepDecaySchedule(initial_rate={self._initial_rate}, "
+            f"factor={self._factor}, period={self._period})"
+        )
+
+
+def theorem1_schedule(strong_convexity: float, alpha: float) -> InverseTimeSchedule:
+    """The schedule Theorem 1 requires: ``gamma_t = 1/(lambda (1-sin alpha) t)``.
+
+    Parameters
+    ----------
+    strong_convexity:
+        The strong-convexity constant ``lambda`` (Assumption 2).
+    alpha:
+        The resilience angle ``alpha`` in radians, ``0 <= alpha < pi/2``.
+    """
+    if strong_convexity <= 0:
+        raise ConfigurationError(
+            f"strong_convexity must be positive, got {strong_convexity}"
+        )
+    if not 0 <= alpha < math.pi / 2:
+        raise ConfigurationError(f"alpha must be in [0, pi/2), got {alpha}")
+    return InverseTimeSchedule(scale=1.0 / (strong_convexity * (1.0 - math.sin(alpha))))

@@ -1,0 +1,40 @@
+"""Differential-privacy substrate.
+
+Implements Section 2.3 of the paper from first principles: L2 gradient
+clipping, the sensitivity of the batch-mean gradient, the Gaussian
+mechanism with the paper's exact calibration
+
+.. math::
+
+    s = \\frac{2 G_{max} \\sqrt{2 \\log(1.25/\\delta)}}{b \\epsilon},
+
+the Laplace alternative mentioned in Remark 3, and composition
+accounting (basic, advanced, and RDP/moments style) for end-to-end
+budgets over ``T`` steps.
+"""
+
+from repro.privacy.accountants import (
+    AdvancedCompositionAccountant,
+    BasicCompositionAccountant,
+    PrivacySpend,
+    RDPAccountant,
+)
+from repro.privacy.amplification import amplify_by_subsampling
+from repro.privacy.clipping import clip_by_l2_norm, clip_per_example
+from repro.privacy.mechanisms import GaussianMechanism, LaplaceMechanism, NoiseMechanism
+from repro.privacy.sensitivity import batch_mean_l1_sensitivity, batch_mean_l2_sensitivity
+
+__all__ = [
+    "AdvancedCompositionAccountant",
+    "BasicCompositionAccountant",
+    "GaussianMechanism",
+    "LaplaceMechanism",
+    "NoiseMechanism",
+    "PrivacySpend",
+    "RDPAccountant",
+    "amplify_by_subsampling",
+    "batch_mean_l1_sensitivity",
+    "batch_mean_l2_sensitivity",
+    "clip_by_l2_norm",
+    "clip_per_example",
+]

@@ -1,0 +1,52 @@
+"""Privacy amplification by subsampling.
+
+When each step's batch is a uniform random subsample of rate
+``q = b / N`` from a worker's local dataset, an ``(epsilon, delta)``-DP
+mechanism on the batch is
+
+.. math::
+
+    (\\log(1 + q (e^{\\epsilon} - 1)),\\; q \\delta)\\text{-DP}
+
+with respect to the full local dataset (Balle, Barthe & Gaboardi 2018;
+the paper's Section 7 points to amplification techniques as a future
+direction — this module lets the benchmarks quantify how much
+amplification buys).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import PrivacyError
+from repro.privacy.accountants import PrivacySpend
+
+__all__ = ["amplify_by_subsampling"]
+
+
+def amplify_by_subsampling(
+    epsilon: float, delta: float, batch_size: int, dataset_size: int
+) -> PrivacySpend:
+    """Amplified budget for a subsampled ``(epsilon, delta)`` mechanism.
+
+    Parameters
+    ----------
+    epsilon, delta:
+        The mechanism's guarantee on the batch.
+    batch_size, dataset_size:
+        Define the sampling rate ``q = batch_size / dataset_size``;
+        requires ``batch_size <= dataset_size``.
+    """
+    if epsilon <= 0:
+        raise PrivacyError(f"epsilon must be positive, got {epsilon}")
+    if not 0 <= delta < 1:
+        raise PrivacyError(f"delta must be in [0, 1), got {delta}")
+    if batch_size < 1:
+        raise PrivacyError(f"batch_size must be >= 1, got {batch_size}")
+    if dataset_size < batch_size:
+        raise PrivacyError(
+            f"dataset_size ({dataset_size}) must be >= batch_size ({batch_size})"
+        )
+    rate = batch_size / dataset_size
+    amplified_epsilon = math.log(1.0 + rate * (math.exp(epsilon) - 1.0))
+    return PrivacySpend(epsilon=amplified_epsilon, delta=rate * delta)

@@ -1,0 +1,51 @@
+"""L2-norm gradient clipping.
+
+Clipping enforces Assumption 1 (bounded gradient norm ``G_max``), which
+the DP noise calibration requires.  The paper clips the mini-batch
+averaged gradient ("stochastic gradients are clipped to a maximum
+l2-norm of G_max", Section 5.1); per-example clipping is also provided
+because it is the variant under which the ``2 G_max / b`` sensitivity
+bound holds without further assumptions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import PrivacyError
+from repro.typing import Vector
+
+__all__ = ["clip_by_l2_norm", "clip_per_example"]
+
+
+def clip_by_l2_norm(vector: Vector, max_norm: float) -> Vector:
+    """Scale ``vector`` down so its L2 norm is at most ``max_norm``.
+
+    Returns the input unchanged (not a copy) when already within the
+    bound; otherwise returns ``vector * max_norm / ||vector||``.
+    """
+    if max_norm <= 0:
+        raise PrivacyError(f"max_norm must be positive, got {max_norm}")
+    vector = np.asarray(vector, dtype=np.float64)
+    norm = float(np.linalg.norm(vector))
+    if norm <= max_norm or norm == 0.0:
+        return vector
+    return vector * (max_norm / norm)
+
+
+def clip_per_example(gradients: np.ndarray, max_norm: float) -> np.ndarray:
+    """Clip each row of an ``(batch, d)`` matrix to L2 norm ``max_norm``.
+
+    Vectorised: computes all row norms at once and rescales only the
+    rows that exceed the bound.
+    """
+    if max_norm <= 0:
+        raise PrivacyError(f"max_norm must be positive, got {max_norm}")
+    gradients = np.asarray(gradients, dtype=np.float64)
+    if gradients.ndim != 2:
+        raise ValueError(f"gradients must be 2-D (batch, d), got shape {gradients.shape}")
+    norms = np.linalg.norm(gradients, axis=1)
+    # Avoid division by zero on all-zero rows; their scale stays 1.
+    safe_norms = np.where(norms > 0.0, norms, 1.0)
+    scales = np.minimum(1.0, max_norm / safe_norms)
+    return gradients * scales[:, None]

@@ -1,0 +1,46 @@
+"""Sensitivity of the batch-mean gradient map.
+
+Section 2.3 of the paper: with batches adjacent when they differ in at
+most one sample, and per-sample gradients bounded in L2 norm by
+``G_max``, the map
+
+.. math::
+
+    h : \\xi \\mapsto \\frac{1}{b} \\sum_{j=1}^{b} \\nabla Q(w, x_j)
+
+has L2 sensitivity at most ``2 G_max / b``: swapping one sample changes
+one summand, and two vectors of norm at most ``G_max`` differ by at
+most ``2 G_max``, scaled by ``1/b``.
+
+The L1 sensitivity (needed by the Laplace mechanism) follows from the
+norm inequality ``||v||_1 <= sqrt(d) ||v||_2``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import PrivacyError
+
+__all__ = ["batch_mean_l2_sensitivity", "batch_mean_l1_sensitivity"]
+
+
+def _validate(g_max: float, batch_size: int) -> None:
+    if g_max <= 0:
+        raise PrivacyError(f"g_max must be positive, got {g_max}")
+    if batch_size < 1:
+        raise PrivacyError(f"batch_size must be >= 1, got {batch_size}")
+
+
+def batch_mean_l2_sensitivity(g_max: float, batch_size: int) -> float:
+    """L2 sensitivity ``2 G_max / b`` of the batch-mean gradient."""
+    _validate(g_max, batch_size)
+    return 2.0 * g_max / batch_size
+
+
+def batch_mean_l1_sensitivity(g_max: float, batch_size: int, dimension: int) -> float:
+    """L1 sensitivity ``2 sqrt(d) G_max / b`` of the batch-mean gradient."""
+    _validate(g_max, batch_size)
+    if dimension < 1:
+        raise PrivacyError(f"dimension must be >= 1, got {dimension}")
+    return 2.0 * math.sqrt(dimension) * g_max / batch_size

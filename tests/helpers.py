@@ -1,0 +1,26 @@
+"""Shared test utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def numerical_gradient(function, point: np.ndarray, epsilon: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of a scalar function."""
+    point = np.asarray(point, dtype=np.float64)
+    gradient = np.zeros_like(point)
+    for index in range(point.size):
+        shift = np.zeros_like(point)
+        shift[index] = epsilon
+        gradient[index] = (function(point + shift) - function(point - shift)) / (
+            2.0 * epsilon
+        )
+    return gradient
+
+
+def random_gradient_matrix(
+    n: int, d: int, seed: int = 0, scale: float = 1.0, center: float = 0.0
+) -> np.ndarray:
+    """An (n, d) matrix of Gaussian rows for GAR/attack tests."""
+    rng = np.random.default_rng(seed)
+    return center + scale * rng.standard_normal((n, d))

@@ -1,0 +1,166 @@
+"""Tests for privacy composition accountants and amplification."""
+
+import math
+
+import pytest
+
+from repro.exceptions import PrivacyError
+from repro.privacy.accountants import (
+    AdvancedCompositionAccountant,
+    BasicCompositionAccountant,
+    RDPAccountant,
+)
+from repro.privacy.amplification import amplify_by_subsampling
+from repro.privacy.mechanisms import GaussianMechanism
+
+
+class TestBasicComposition:
+    def test_linear(self):
+        spend = BasicCompositionAccountant().compose(0.2, 1e-6, 1000)
+        assert spend.epsilon == pytest.approx(200.0)
+        assert spend.delta == pytest.approx(1e-3)
+
+    def test_single_step_identity(self):
+        spend = BasicCompositionAccountant().compose(0.3, 1e-6, 1)
+        assert spend.epsilon == pytest.approx(0.3)
+        assert spend.delta == pytest.approx(1e-6)
+
+    def test_max_steps(self):
+        accountant = BasicCompositionAccountant()
+        assert accountant.max_steps(0.2, 1e-6, epsilon_budget=10.0) == 50
+
+    def test_max_steps_zero_when_budget_tiny(self):
+        assert BasicCompositionAccountant().max_steps(0.5, 1e-6, 0.1) == 0
+
+    @pytest.mark.parametrize("steps", [0, -3])
+    def test_steps_validated(self, steps):
+        with pytest.raises(PrivacyError):
+            BasicCompositionAccountant().compose(0.2, 1e-6, steps)
+
+    def test_epsilon_validated(self):
+        with pytest.raises(PrivacyError):
+            BasicCompositionAccountant().compose(0.0, 1e-6, 10)
+
+
+class TestAdvancedComposition:
+    def test_beats_basic_for_many_steps(self):
+        basic = BasicCompositionAccountant().compose(0.1, 1e-7, 10_000)
+        advanced = AdvancedCompositionAccountant(slack_delta=1e-6).compose(
+            0.1, 1e-7, 10_000
+        )
+        assert advanced.epsilon < basic.epsilon
+
+    def test_formula(self):
+        epsilon, delta, steps, slack = 0.1, 1e-7, 100, 1e-6
+        spend = AdvancedCompositionAccountant(slack_delta=slack).compose(
+            epsilon, delta, steps
+        )
+        expected = epsilon * math.sqrt(2 * steps * math.log(1 / slack)) + steps * epsilon * (
+            math.exp(epsilon) - 1
+        )
+        assert spend.epsilon == pytest.approx(expected)
+        assert spend.delta == pytest.approx(steps * delta + slack)
+
+    def test_slack_validated(self):
+        with pytest.raises(PrivacyError):
+            AdvancedCompositionAccountant(slack_delta=0.0)
+
+    def test_delta_accumulates(self):
+        spend = AdvancedCompositionAccountant(slack_delta=1e-6).compose(0.1, 1e-8, 100)
+        assert spend.delta > 1e-6
+
+
+class TestRDPAccountant:
+    def test_zero_steps_zero_epsilon(self):
+        accountant = RDPAccountant()
+        spend = accountant.get_privacy_spent(1e-6)
+        assert spend.epsilon == 0.0
+
+    def test_single_gaussian_close_to_analytic(self):
+        """One Gaussian query with multiplier sigma has eps roughly
+        sqrt(2 log(1.25/delta)) / sigma; RDP conversion should be the
+        same order of magnitude."""
+        multiplier = 4.0
+        accountant = RDPAccountant()
+        accountant.step_gaussian(multiplier, steps=1)
+        spend = accountant.get_privacy_spent(1e-6)
+        analytic = math.sqrt(2 * math.log(1.25 / 1e-6)) / multiplier
+        assert 0.3 * analytic < spend.epsilon < 3.0 * analytic
+
+    def test_beats_basic_composition_over_training(self):
+        """The moments-accountant advantage the paper cites [2]."""
+        mechanism = GaussianMechanism.for_clipped_gradients(0.2, 1e-6, 1e-2, 50)
+        steps = 1000
+        accountant = RDPAccountant()
+        accountant.step_gaussian(mechanism.noise_multiplier, steps)
+        rdp = accountant.get_privacy_spent(1e-6)
+        basic = BasicCompositionAccountant().compose(0.2, 1e-6, steps)
+        assert rdp.epsilon < basic.epsilon
+
+    def test_epsilon_grows_sublinearly(self):
+        """Composing k Gaussians costs O(sqrt(k)) epsilon, not O(k)."""
+        def epsilon_after(steps):
+            accountant = RDPAccountant()
+            accountant.step_gaussian(2.0, steps)
+            return accountant.get_privacy_spent(1e-6).epsilon
+
+        e100, e400 = epsilon_after(100), epsilon_after(400)
+        assert e400 < 4 * e100  # sublinear
+        assert e400 > e100  # but growing
+
+    def test_accumulates_across_calls(self):
+        split = RDPAccountant()
+        split.step_gaussian(2.0, 50)
+        split.step_gaussian(2.0, 50)
+        joint = RDPAccountant()
+        joint.step_gaussian(2.0, 100)
+        assert split.get_privacy_spent(1e-6).epsilon == pytest.approx(
+            joint.get_privacy_spent(1e-6).epsilon
+        )
+
+    def test_reset(self):
+        accountant = RDPAccountant()
+        accountant.step_gaussian(2.0, 100)
+        accountant.reset()
+        assert accountant.get_privacy_spent(1e-6).epsilon == 0.0
+
+    def test_invalid_multiplier(self):
+        with pytest.raises(PrivacyError):
+            RDPAccountant().step_gaussian(0.0)
+
+    def test_invalid_delta(self):
+        with pytest.raises(PrivacyError):
+            RDPAccountant().get_privacy_spent(0.0)
+
+    def test_invalid_orders(self):
+        with pytest.raises(PrivacyError):
+            RDPAccountant(orders=(0.5,))
+
+
+class TestAmplification:
+    def test_amplified_epsilon_smaller(self):
+        amplified = amplify_by_subsampling(0.5, 1e-6, batch_size=50, dataset_size=8400)
+        assert amplified.epsilon < 0.5
+
+    def test_full_batch_no_amplification(self):
+        amplified = amplify_by_subsampling(0.5, 1e-6, batch_size=100, dataset_size=100)
+        assert amplified.epsilon == pytest.approx(0.5)
+        assert amplified.delta == pytest.approx(1e-6)
+
+    def test_formula(self):
+        rate = 50 / 8400
+        amplified = amplify_by_subsampling(0.5, 1e-6, 50, 8400)
+        assert amplified.epsilon == pytest.approx(
+            math.log(1 + rate * (math.exp(0.5) - 1))
+        )
+        assert amplified.delta == pytest.approx(rate * 1e-6)
+
+    def test_small_rate_linearises(self):
+        """For q << 1, amplified epsilon ~ q (e^eps - 1)."""
+        amplified = amplify_by_subsampling(0.1, 0.0, 1, 100_000)
+        expected = (math.exp(0.1) - 1.0) / 100_000
+        assert amplified.epsilon == pytest.approx(expected, rel=0.01)
+
+    def test_batch_larger_than_dataset_rejected(self):
+        with pytest.raises(PrivacyError):
+            amplify_by_subsampling(0.5, 1e-6, 101, 100)

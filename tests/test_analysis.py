@@ -1,0 +1,188 @@
+"""Tests for the analysis extras: leakage, variance, variance reduction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.leakage import (
+    gradient_inversion_study,
+    invert_linear_gradient,
+    reconstruction_error,
+)
+from repro.analysis.variance import estimate_gradient_moments, vn_ratio_for_model
+from repro.analysis.variance_reduction import (
+    momentum_variance_inflation,
+    momentum_vn_reduction_factor,
+)
+from repro.data.datasets import Dataset
+from repro.data.phishing import make_phishing_dataset
+from repro.data.synthetic import make_gaussian_mean_dataset
+from repro.exceptions import ConfigurationError
+from repro.models.logistic import LogisticRegressionModel
+from repro.models.quadratic import MeanEstimationModel
+from repro.privacy.mechanisms import GaussianMechanism
+
+
+class TestInversion:
+    def test_exact_recovery_from_clean_gradient(self):
+        """The Zhu-et-al. leak in closed form: b = 1 gradients of a
+        linear model reveal the sample exactly."""
+        model = LogisticRegressionModel(5, loss_kind="mse")
+        rng = np.random.default_rng(0)
+        features = rng.random((1, 5))
+        labels = np.array([1.0])
+        w = rng.standard_normal(6)
+        gradient = model.gradient(w, features, labels)
+        recovered = invert_linear_gradient(gradient)
+        assert np.allclose(recovered, features[0], atol=1e-8)
+
+    def test_scaling_invariance(self):
+        """Clipping (a scalar rescale) does not impede the inversion."""
+        gradient = np.array([0.2, 0.4, 0.1])
+        assert np.allclose(
+            invert_linear_gradient(gradient), invert_linear_gradient(5.0 * gradient)
+        )
+
+    def test_zero_bias_rejected(self):
+        with pytest.raises(ConfigurationError, match="bias"):
+            invert_linear_gradient(np.array([1.0, 0.0]))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ConfigurationError):
+            invert_linear_gradient(np.array([1.0]))
+
+    def test_reconstruction_error_zero_for_exact(self):
+        x = np.array([1.0, 2.0])
+        assert reconstruction_error(x, x) == 0.0
+
+    def test_reconstruction_error_relative(self):
+        x = np.array([3.0, 4.0])  # norm 5
+        assert reconstruction_error(x, np.zeros(2)) == pytest.approx(1.0)
+
+
+class TestInversionStudy:
+    def test_dp_degrades_reconstruction(self):
+        dataset = make_phishing_dataset(seed=0, num_points=300, num_features=10)
+        model = LogisticRegressionModel(10, loss_kind="mse")
+        mechanism = GaussianMechanism.for_clipped_gradients(0.2, 1e-6, 1e-2, 1)
+        rng = np.random.default_rng(1)
+        report = gradient_inversion_study(
+            model,
+            dataset,
+            mechanism,
+            parameters=0.1 * rng.standard_normal(model.dimension),
+            g_max=1e-2,
+            num_trials=60,
+            seed=0,
+        )
+        assert report.noisy_median_error > 10 * report.clean_median_error
+        assert report.protection_factor > 10
+
+    def test_clean_reconstruction_is_tight(self):
+        dataset = make_phishing_dataset(seed=0, num_points=300, num_features=10)
+        model = LogisticRegressionModel(10, loss_kind="mse")
+        mechanism = GaussianMechanism.for_clipped_gradients(0.2, 1e-6, 1e-2, 1)
+        rng = np.random.default_rng(2)
+        report = gradient_inversion_study(
+            model,
+            dataset,
+            mechanism,
+            parameters=0.1 * rng.standard_normal(model.dimension),
+            num_trials=60,
+            seed=0,
+        )
+        assert report.clean_median_error < 1e-6
+
+
+class TestGradientMoments:
+    def test_mean_estimation_moments_known(self):
+        """For Q(w) = 1/2 E||w - x||^2 with x ~ N(mean, (sigma^2/d) I):
+        batch gradient at w has variance sigma^2 / b and mean w - x_bar."""
+        d, sigma, b = 8, 1.0, 4
+        dataset = make_gaussian_mean_dataset(d, 40_000, sigma=sigma, seed=0)
+        model = MeanEstimationModel(d)
+        w = np.full(d, 10.0)
+        moments = estimate_gradient_moments(
+            model, dataset, w, batch_size=b, num_samples=3000, seed=1
+        )
+        assert moments.total_variance == pytest.approx(sigma**2 / b, rel=0.1)
+        expected_norm = float(np.linalg.norm(w - dataset.features.mean(axis=0)))
+        assert moments.mean_norm == pytest.approx(expected_norm, rel=0.01)
+
+    def test_dp_ratio_larger(self):
+        d = 8
+        dataset = make_gaussian_mean_dataset(d, 5000, seed=0)
+        model = MeanEstimationModel(d)
+        w = np.full(d, 5.0)
+        moments = estimate_gradient_moments(model, dataset, w, 4, num_samples=200, seed=1)
+        assert moments.dp_vn_ratio(d, 1.0, 0.2, 1e-6) > moments.vn_ratio
+
+    def test_vn_ratio_for_model_wrapper(self):
+        d = 4
+        dataset = make_gaussian_mean_dataset(d, 2000, seed=0)
+        model = MeanEstimationModel(d)
+        w = np.full(d, 5.0)
+        clean = vn_ratio_for_model(model, dataset, w, 4, num_samples=100, seed=2)
+        noisy = vn_ratio_for_model(
+            model, dataset, w, 4, g_max=1.0, epsilon=0.2, delta=1e-6,
+            num_samples=100, seed=2,
+        )
+        assert noisy > clean
+
+    def test_missing_dp_arguments_rejected(self):
+        d = 4
+        dataset = make_gaussian_mean_dataset(d, 100, seed=0)
+        model = MeanEstimationModel(d)
+        with pytest.raises(ConfigurationError):
+            vn_ratio_for_model(
+                model, dataset, np.ones(d), 4, epsilon=0.2, num_samples=10
+            )
+
+    def test_clipping_respected(self):
+        d = 4
+        dataset = make_gaussian_mean_dataset(d, 2000, seed=0)
+        model = MeanEstimationModel(d)
+        w = np.full(d, 100.0)  # enormous gradients
+        moments = estimate_gradient_moments(
+            model, dataset, w, 4, num_samples=100, g_max=0.01, seed=3
+        )
+        assert moments.mean_norm <= 0.01 * (1 + 1e-9)
+
+
+class TestVarianceReduction:
+    def test_no_momentum_no_change(self):
+        assert momentum_vn_reduction_factor(0.0) == 1.0
+
+    def test_paper_momentum_reduces_14x(self):
+        """beta = 0.99 divides the stationary VN ratio by ~14.1."""
+        factor = momentum_vn_reduction_factor(0.99)
+        assert 1 / factor == pytest.approx(math.sqrt(1.99 / 0.01), rel=1e-6)
+        assert 13.0 < 1 / factor < 15.0
+
+    def test_monotone_in_beta(self):
+        values = [momentum_vn_reduction_factor(b) for b in (0.0, 0.5, 0.9, 0.99)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_inflation_converges(self):
+        limit = 1 / (1 - 0.9**2)
+        assert momentum_variance_inflation(0.9, 10_000) == pytest.approx(limit)
+
+    def test_inflation_starts_at_one(self):
+        assert momentum_variance_inflation(0.9, 1) == pytest.approx(1.0)
+
+    def test_empirical_stationary_variance(self):
+        """Monte-Carlo check of the 1/(1-beta^2) variance formula."""
+        beta, steps, runs = 0.9, 300, 2000
+        rng = np.random.default_rng(0)
+        noise = rng.standard_normal((runs, steps))
+        velocity = np.zeros(runs)
+        for t in range(steps):
+            velocity = beta * velocity + noise[:, t]
+        assert float(velocity.var()) == pytest.approx(1 / (1 - beta**2), rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            momentum_vn_reduction_factor(1.0)
+        with pytest.raises(ConfigurationError):
+            momentum_variance_inflation(0.5, 0)

@@ -1,0 +1,63 @@
+"""Tests for the ASCII plotting helper."""
+
+import pytest
+
+from repro.experiments.ascii_plot import ascii_line_plot
+
+
+class TestAsciiLinePlot:
+    def test_renders_title_and_legend(self):
+        text = ascii_line_plot(
+            {"loss": ([1, 2, 3], [0.5, 0.4, 0.3])}, title="Figure 2"
+        )
+        assert "Figure 2" in text
+        assert "loss" in text
+
+    def test_multiple_series_get_distinct_markers(self):
+        text = ascii_line_plot(
+            {
+                "a": ([1, 2], [1.0, 2.0]),
+                "b": ([1, 2], [2.0, 1.0]),
+            }
+        )
+        assert "o a" in text
+        assert "x b" in text
+
+    def test_log_scale_drops_nonpositive(self):
+        text = ascii_line_plot(
+            {"s": ([1, 2, 3], [0.0, 1.0, 10.0])}, log_y=True
+        )
+        assert "s" in text  # renders despite the zero
+
+    def test_flat_series_handled(self):
+        text = ascii_line_plot({"flat": ([1, 2, 3], [1.0, 1.0, 1.0])})
+        assert "flat" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ascii_line_plot({})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="mismatched"):
+            ascii_line_plot({"bad": ([1, 2], [1.0])})
+
+    def test_all_nonfinite_rejected(self):
+        with pytest.raises(ValueError, match="no finite"):
+            ascii_line_plot({"bad": ([1], [float("nan")])})
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ValueError, match="canvas"):
+            ascii_line_plot({"s": ([1], [1.0])}, width=2, height=2)
+
+    def test_dimensions(self):
+        text = ascii_line_plot({"s": ([1, 2], [1.0, 2.0])}, width=40, height=10)
+        lines = text.split("\n")
+        # 1 top axis + 10 canvas rows + x labels + legend.
+        assert len(lines) == 13
+
+    def test_markers_land_at_extremes(self):
+        text = ascii_line_plot({"s": ([0, 1], [0.0, 1.0])}, width=20, height=5)
+        lines = text.split("\n")
+        canvas = lines[1:6]
+        assert "o" in canvas[0]  # max value on top row
+        assert "o" in canvas[-1]  # min value on bottom row

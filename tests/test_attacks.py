@@ -1,0 +1,200 @@
+"""Tests for the Byzantine attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    ALittleIsEnoughAttack,
+    AttackContext,
+    FallOfEmpiresAttack,
+    LargeNormAttack,
+    MimicAttack,
+    RandomGaussianAttack,
+    SignFlipAttack,
+    ZeroGradientAttack,
+    available_attacks,
+    flip_binary_labels,
+    get_attack,
+)
+from repro.data.datasets import Dataset
+from repro.exceptions import ConfigurationError, DataError
+from repro.rng import generator_from_seed
+from tests.helpers import random_gradient_matrix
+
+
+def make_context(submitted=None, clean=None, d=6, num_honest=6, seed=0):
+    if submitted is None:
+        submitted = random_gradient_matrix(num_honest, d, seed=seed)
+    if clean is None:
+        clean = submitted + 0.5  # distinguishable clean view
+    return AttackContext(
+        step=1,
+        honest_submitted=submitted,
+        honest_clean=clean,
+        parameters=np.zeros(submitted.shape[1]),
+        num_byzantine=5,
+        rng=generator_from_seed(seed),
+    )
+
+
+class TestAttackContext:
+    def test_views(self):
+        context = make_context()
+        assert np.array_equal(context.honest_view("submitted"), context.honest_submitted)
+        assert np.array_equal(context.honest_view("clean"), context.honest_clean)
+
+    def test_invalid_view(self):
+        with pytest.raises(ConfigurationError, match="knowledge"):
+            make_context().honest_view("psychic")
+
+
+class TestALittleIsEnough:
+    def test_paper_formula(self):
+        """Byzantine gradient = mean - 1.5 * coordinate-wise std."""
+        context = make_context()
+        crafted = ALittleIsEnoughAttack().craft(context)
+        honest = context.honest_submitted
+        expected = honest.mean(axis=0) - 1.5 * honest.std(axis=0)
+        assert np.allclose(crafted, expected)
+
+    def test_default_factor_is_paper_value(self):
+        assert ALittleIsEnoughAttack().factor == 1.5
+
+    def test_custom_factor(self):
+        context = make_context()
+        crafted = ALittleIsEnoughAttack(factor=3.0).craft(context)
+        honest = context.honest_submitted
+        assert np.allclose(crafted, honest.mean(axis=0) - 3.0 * honest.std(axis=0))
+
+    def test_zero_factor_submits_mean(self):
+        context = make_context()
+        crafted = ALittleIsEnoughAttack(factor=0.0).craft(context)
+        assert np.allclose(crafted, context.honest_submitted.mean(axis=0))
+
+    def test_clean_knowledge_uses_clean_view(self):
+        context = make_context()
+        crafted = ALittleIsEnoughAttack(knowledge="clean").craft(context)
+        clean = context.honest_clean
+        assert np.allclose(crafted, clean.mean(axis=0) - 1.5 * clean.std(axis=0))
+
+    def test_stays_inside_honest_spread(self):
+        """The attack's point: per coordinate the crafted value is only
+        1.5 sigma from the mean — within the plausible range."""
+        context = make_context(num_honest=10, seed=3)
+        crafted = ALittleIsEnoughAttack().craft(context)
+        honest = context.honest_submitted
+        deviation = np.abs(crafted - honest.mean(axis=0))
+        assert np.all(deviation <= 1.5 * honest.std(axis=0) + 1e-12)
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ALittleIsEnoughAttack(factor=-1.0)
+
+
+class TestFallOfEmpires:
+    def test_paper_formula(self):
+        """Byzantine gradient = (1 - nu) g_t with nu = 1.1 -> -0.1 g_t."""
+        context = make_context()
+        crafted = FallOfEmpiresAttack().craft(context)
+        expected = -0.1 * context.honest_submitted.mean(axis=0)
+        assert np.allclose(crafted, expected)
+
+    def test_default_factor_is_paper_value(self):
+        assert FallOfEmpiresAttack().factor == 1.1
+
+    def test_factor_one_zeroes(self):
+        context = make_context()
+        assert np.allclose(FallOfEmpiresAttack(factor=1.0).craft(context), 0.0)
+
+    def test_large_factor_reverses_gradient(self):
+        context = make_context()
+        crafted = FallOfEmpiresAttack(factor=2.0).craft(context)
+        mean = context.honest_submitted.mean(axis=0)
+        assert np.dot(crafted, mean) < 0
+
+
+class TestSimpleAttacks:
+    def test_signflip(self):
+        context = make_context()
+        crafted = SignFlipAttack(scale=2.0).craft(context)
+        assert np.allclose(crafted, -2.0 * context.honest_submitted.mean(axis=0))
+
+    def test_random_gaussian_scale(self):
+        context = make_context(d=20000, num_honest=2)
+        crafted = RandomGaussianAttack(scale=3.0).craft(context)
+        assert crafted.std() == pytest.approx(3.0, rel=0.05)
+
+    def test_random_deterministic_per_rng(self):
+        a = RandomGaussianAttack().craft(make_context(seed=5))
+        b = RandomGaussianAttack().craft(make_context(seed=5))
+        assert np.array_equal(a, b)
+
+    def test_zero(self):
+        crafted = ZeroGradientAttack().craft(make_context())
+        assert np.array_equal(crafted, np.zeros_like(crafted))
+
+    def test_large_norm(self):
+        crafted = LargeNormAttack(norm=123.0).craft(make_context())
+        assert np.linalg.norm(crafted) == pytest.approx(123.0)
+
+    def test_mimic_copies_target(self):
+        context = make_context()
+        crafted = MimicAttack(target_index=2).craft(context)
+        assert np.array_equal(crafted, context.honest_submitted[2])
+
+    def test_mimic_wraps_index(self):
+        context = make_context(num_honest=4)
+        crafted = MimicAttack(target_index=6).craft(context)
+        assert np.array_equal(crafted, context.honest_submitted[2])
+
+
+class TestRegistry:
+    def test_available(self):
+        names = available_attacks()
+        assert "little" in names and "empire" in names
+        assert list(names) == sorted(names)
+
+    def test_get_with_kwargs(self):
+        attack = get_attack("little", factor=2.5, knowledge="clean")
+        assert attack.factor == 2.5
+        assert attack.knowledge == "clean"
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError, match="unknown attack"):
+            get_attack("nope")
+
+    def test_invalid_knowledge(self):
+        with pytest.raises(ConfigurationError):
+            get_attack("little", knowledge="other")
+
+
+class TestLabelFlip:
+    def make_dataset(self):
+        return Dataset(
+            features=np.zeros((6, 2)),
+            labels=np.array([0.0, 1.0, 0.0, 1.0, 1.0, 0.0]),
+        )
+
+    def test_full_flip(self):
+        flipped = flip_binary_labels(self.make_dataset())
+        assert np.array_equal(flipped.labels, [1.0, 0.0, 1.0, 0.0, 0.0, 1.0])
+
+    def test_partial_flip_counts(self):
+        rng = generator_from_seed(0)
+        flipped = flip_binary_labels(self.make_dataset(), fraction=0.5, rng=rng)
+        changed = int(np.sum(flipped.labels != self.make_dataset().labels))
+        assert 0 <= changed <= 6
+
+    def test_partial_needs_rng(self):
+        with pytest.raises(DataError, match="rng"):
+            flip_binary_labels(self.make_dataset(), fraction=0.5)
+
+    def test_nonbinary_rejected(self):
+        dataset = Dataset(features=np.zeros((2, 1)), labels=np.array([0.0, 2.0]))
+        with pytest.raises(DataError, match="0, 1"):
+            flip_binary_labels(dataset)
+
+    def test_original_untouched(self):
+        dataset = self.make_dataset()
+        flip_binary_labels(dataset)
+        assert np.array_equal(dataset.labels, [0.0, 1.0, 0.0, 1.0, 1.0, 0.0])

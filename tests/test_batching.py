@@ -1,0 +1,76 @@
+"""Tests for repro.data.batching."""
+
+import numpy as np
+import pytest
+
+from repro.data.batching import BatchSampler
+from repro.data.datasets import Dataset
+from repro.exceptions import DataError
+from repro.rng import generator_from_seed
+
+
+def dataset(n=20, d=3):
+    rng = np.random.default_rng(1)
+    return Dataset(features=rng.random((n, d)), labels=np.arange(n, dtype=float))
+
+
+class TestBatchSampler:
+    def test_batch_shapes(self):
+        sampler = BatchSampler(dataset(), 5, generator_from_seed(0))
+        features, labels = sampler.sample()
+        assert features.shape == (5, 3)
+        assert labels.shape == (5,)
+
+    def test_no_duplicates_within_batch_by_default(self):
+        sampler = BatchSampler(dataset(n=10), 10, generator_from_seed(0))
+        _, labels = sampler.sample()
+        assert len(set(labels.tolist())) == 10
+
+    def test_replacement_allows_oversized_batches(self):
+        sampler = BatchSampler(
+            dataset(n=5), 20, generator_from_seed(0), replace_within_batch=True
+        )
+        features, labels = sampler.sample()
+        assert features.shape == (20, 3)
+
+    def test_oversized_batch_rejected_without_replacement(self):
+        with pytest.raises(DataError, match="exceeds"):
+            BatchSampler(dataset(n=5), 6, generator_from_seed(0))
+
+    def test_batch_size_one_allowed(self):
+        sampler = BatchSampler(dataset(), 1, generator_from_seed(0))
+        features, _ = sampler.sample()
+        assert features.shape == (1, 3)
+
+    def test_zero_batch_rejected(self):
+        with pytest.raises(DataError):
+            BatchSampler(dataset(), 0, generator_from_seed(0))
+
+    def test_deterministic_given_rng(self):
+        a = BatchSampler(dataset(), 4, generator_from_seed(3))
+        b = BatchSampler(dataset(), 4, generator_from_seed(3))
+        for _ in range(5):
+            fa, la = a.sample()
+            fb, lb = b.sample()
+            assert np.array_equal(fa, fb)
+            assert np.array_equal(la, lb)
+
+    def test_successive_batches_differ(self):
+        sampler = BatchSampler(dataset(n=100), 10, generator_from_seed(0))
+        _, first = sampler.sample()
+        _, second = sampler.sample()
+        assert not np.array_equal(first, second)
+
+    def test_batch_rows_come_from_dataset(self):
+        data = dataset(n=30)
+        sampler = BatchSampler(data, 8, generator_from_seed(2))
+        features, labels = sampler.sample()
+        for row, label in zip(features, labels):
+            index = int(label)  # labels are arange, so they identify rows
+            assert np.array_equal(row, data.features[index])
+
+    def test_properties(self):
+        data = dataset()
+        sampler = BatchSampler(data, 4, generator_from_seed(0))
+        assert sampler.batch_size == 4
+        assert sampler.dataset is data

@@ -1,0 +1,75 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main, render_figure_text
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        arguments = build_parser().parse_args(["table1"])
+        assert arguments.dimension == 69
+        assert arguments.batch_size == 50
+        assert arguments.epsilon == 0.2
+
+    def test_figure_options(self):
+        arguments = build_parser().parse_args(["figure3", "--steps", "100", "--seeds", "2"])
+        assert arguments.command == "figure3"
+        assert arguments.steps == 100
+        assert arguments.seeds == 2
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure9"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "table1" in output and "figure2" in output
+
+    def test_table1_prints(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "mda" in output and "Table 1" in output
+
+    def test_table1_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "t1.txt"
+        assert main(["table1", "--output", str(target)]) == 0
+        assert target.exists()
+        assert "mda" in target.read_text()
+
+    def test_table1_custom_dimension(self, capsys):
+        assert main(["table1", "--dimension", "500"]) == 0
+        assert "d=500" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_figure_tiny_run(self, tmp_path, capsys):
+        target = tmp_path / "fig.txt"
+        code = main(
+            ["figure3", "--steps", "10", "--seeds", "1", "--output", str(target)]
+        )
+        assert code == 0
+        text = target.read_text()
+        assert "figure3" in text
+        assert "mda-little" in text
+
+
+class TestRenderFigureText:
+    @pytest.mark.slow
+    def test_contains_both_panels(self):
+        from repro.experiments.figures import figure_configs
+        from repro.experiments.runner import phishing_environment, run_grid
+
+        model, train_set, test_set = phishing_environment()
+        configs = figure_configs(batch_size=20, num_steps=5, seeds=(1,))
+        outcomes = run_grid(configs, model, train_set, test_set)
+        text = render_figure_text("figure2", outcomes)
+        assert "without DP" in text
+        assert "with DP" in text
+        assert "avg-noattack" in text

@@ -1,0 +1,98 @@
+"""Tests for L2 clipping, including hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import PrivacyError
+from repro.privacy.clipping import clip_by_l2_norm, clip_per_example
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestClipByL2Norm:
+    def test_within_bound_unchanged(self):
+        vector = np.array([0.3, 0.4])  # norm 0.5
+        assert np.array_equal(clip_by_l2_norm(vector, 1.0), vector)
+
+    def test_scaled_to_bound(self):
+        vector = np.array([3.0, 4.0])  # norm 5
+        clipped = clip_by_l2_norm(vector, 1.0)
+        assert np.linalg.norm(clipped) == pytest.approx(1.0)
+        # Direction preserved.
+        assert np.allclose(clipped / np.linalg.norm(clipped), vector / 5.0)
+
+    def test_zero_vector_unchanged(self):
+        vector = np.zeros(4)
+        assert np.array_equal(clip_by_l2_norm(vector, 0.01), vector)
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(PrivacyError):
+            clip_by_l2_norm(np.ones(2), 0.0)
+
+    @given(arrays(np.float64, st.integers(1, 20), elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_property_norm_bounded(self, vector):
+        clipped = clip_by_l2_norm(vector, 0.5)
+        assert np.linalg.norm(clipped) <= 0.5 * (1 + 1e-9)
+
+    @given(arrays(np.float64, st.integers(1, 20), elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_property_idempotent(self, vector):
+        once = clip_by_l2_norm(vector, 0.5)
+        twice = clip_by_l2_norm(once, 0.5)
+        assert np.allclose(once, twice)
+
+    @given(arrays(np.float64, st.integers(1, 20), elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_property_direction_preserved(self, vector):
+        norm = np.linalg.norm(vector)
+        clipped = clip_by_l2_norm(vector, 0.5)
+        if norm > 0:
+            cosine = float(np.dot(vector, clipped))
+            assert cosine >= 0
+
+
+class TestClipPerExample:
+    def test_rows_clipped_independently(self):
+        gradients = np.array([[3.0, 4.0], [0.03, 0.04]])
+        clipped = clip_per_example(gradients, 1.0)
+        assert np.linalg.norm(clipped[0]) == pytest.approx(1.0)
+        assert np.array_equal(clipped[1], gradients[1])
+
+    def test_zero_rows_survive(self):
+        gradients = np.vstack([np.zeros(3), np.ones(3)])
+        clipped = clip_per_example(gradients, 0.1)
+        assert np.array_equal(clipped[0], np.zeros(3))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            clip_per_example(np.ones(3), 1.0)
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(PrivacyError):
+            clip_per_example(np.ones((2, 2)), -1.0)
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 8), st.integers(1, 8)),
+            elements=finite_floats,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_all_rows_bounded(self, gradients):
+        clipped = clip_per_example(gradients, 0.7)
+        norms = np.linalg.norm(clipped, axis=1)
+        assert np.all(norms <= 0.7 * (1 + 1e-9))
+
+    def test_matches_vector_clipping_row_by_row(self):
+        rng = np.random.default_rng(0)
+        gradients = rng.standard_normal((5, 4))
+        clipped = clip_per_example(gradients, 0.3)
+        for row, clipped_row in zip(gradients, clipped):
+            assert np.allclose(clipped_row, clip_by_l2_norm(row, 0.3))

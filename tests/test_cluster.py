@@ -1,0 +1,173 @@
+"""Tests for the synchronous cluster driver."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import get_attack
+from repro.data.batching import BatchSampler
+from repro.data.datasets import Dataset
+from repro.distributed.cluster import Cluster
+from repro.distributed.server import ParameterServer
+from repro.distributed.worker import HonestWorker
+from repro.exceptions import ConfigurationError
+from repro.gars import get_gar
+from repro.models.linear import LinearRegressionModel
+from repro.optim.sgd import SGDOptimizer
+from repro.rng import SeedTree
+
+
+def build_cluster(
+    n=7,
+    f=2,
+    num_byzantine=2,
+    gar="median",
+    attack="little",
+    seed=0,
+    g_max=None,
+):
+    seeds = SeedTree(seed)
+    rng = np.random.default_rng(1)
+    dataset = Dataset(features=rng.standard_normal((60, 3)), labels=rng.standard_normal(60))
+    model = LinearRegressionModel(3)
+    workers = [
+        HonestWorker(
+            worker_id=i,
+            model=model,
+            sampler=BatchSampler(dataset, 8, seeds.generator("batch", i)),
+            noise_rng=seeds.generator("noise", i),
+            g_max=g_max,
+        )
+        for i in range(n - num_byzantine)
+    ]
+    server = ParameterServer(
+        initial_parameters=np.zeros(model.dimension),
+        gar=get_gar(gar, n, f),
+        optimizer=SGDOptimizer(0.1),
+    )
+    resolved_attack = get_attack(attack) if attack else None
+    return Cluster(
+        server=server,
+        honest_workers=workers,
+        num_byzantine=num_byzantine,
+        attack=resolved_attack,
+        attack_rng=seeds.generator("attack") if resolved_attack else None,
+    )
+
+
+class TestClusterConstruction:
+    def test_worker_count_must_match_gar(self):
+        seeds = SeedTree(0)
+        rng = np.random.default_rng(1)
+        dataset = Dataset(
+            features=rng.standard_normal((20, 3)), labels=np.zeros(20)
+        )
+        model = LinearRegressionModel(3)
+        workers = [
+            HonestWorker(
+                worker_id=i,
+                model=model,
+                sampler=BatchSampler(dataset, 4, seeds.generator("b", i)),
+                noise_rng=seeds.generator("n", i),
+            )
+            for i in range(3)
+        ]
+        server = ParameterServer(
+            initial_parameters=np.zeros(4),
+            gar=get_gar("median", 8, 3),  # expects 8 workers, gets 3
+            optimizer=SGDOptimizer(0.1),
+        )
+        with pytest.raises(ConfigurationError, match="n=8"):
+            Cluster(server=server, honest_workers=workers)
+
+    def test_byzantine_requires_attack(self):
+        with pytest.raises(ConfigurationError, match="requires an attack"):
+            build_cluster(attack=None)
+
+    def test_byzantine_cannot_exceed_f(self):
+        with pytest.raises(ConfigurationError, match="tolerates"):
+            build_cluster(n=7, f=1, num_byzantine=2)
+
+    def test_attack_requires_rng(self):
+        seeds = SeedTree(0)
+        rng = np.random.default_rng(1)
+        dataset = Dataset(features=rng.standard_normal((20, 3)), labels=np.zeros(20))
+        model = LinearRegressionModel(3)
+        workers = [
+            HonestWorker(
+                worker_id=0,
+                model=model,
+                sampler=BatchSampler(dataset, 4, seeds.generator("b")),
+                noise_rng=seeds.generator("n"),
+            )
+        ]
+        server = ParameterServer(
+            initial_parameters=np.zeros(4),
+            gar=get_gar("median", 2, 0),
+            optimizer=SGDOptimizer(0.1),
+        )
+        with pytest.raises(ConfigurationError, match="attack_rng"):
+            Cluster(
+                server=server,
+                honest_workers=workers,
+                num_byzantine=1,
+                attack=get_attack("zero"),
+            )
+
+    def test_properties(self):
+        cluster = build_cluster()
+        assert cluster.n == 7
+        assert cluster.num_honest == 5
+        assert cluster.num_byzantine == 2
+
+
+class TestClusterStepping:
+    def test_step_result_shapes(self):
+        cluster = build_cluster()
+        result = cluster.step()
+        assert result.step == 1
+        assert result.honest_submitted.shape == (5, 4)
+        assert result.honest_clean.shape == (5, 4)
+        assert result.byzantine_gradient.shape == (4,)
+        assert result.num_honest == 5
+
+    def test_no_attack_no_byzantine_gradient(self):
+        cluster = build_cluster(num_byzantine=0, n=5, attack=None)
+        result = cluster.step()
+        assert result.byzantine_gradient is None
+
+    def test_byzantine_gradient_matches_attack_formula(self):
+        cluster = build_cluster(attack="little")
+        result = cluster.step()
+        honest = result.honest_submitted
+        expected = honest.mean(axis=0) - 1.5 * honest.std(axis=0)
+        assert np.allclose(result.byzantine_gradient, expected)
+
+    def test_parameters_change_after_step(self):
+        cluster = build_cluster()
+        before = cluster.parameters
+        cluster.step()
+        assert not np.allclose(before, cluster.parameters)
+
+    def test_run_counts_steps(self):
+        cluster = build_cluster()
+        result = cluster.run(5)
+        assert result.step == 5
+        assert cluster.step_count == 5
+
+    def test_run_validates_steps(self):
+        with pytest.raises(ConfigurationError):
+            build_cluster().run(0)
+
+    def test_deterministic_given_seed(self):
+        a = build_cluster(seed=42)
+        b = build_cluster(seed=42)
+        a.run(3)
+        b.run(3)
+        assert np.array_equal(a.parameters, b.parameters)
+
+    def test_different_seeds_differ(self):
+        a = build_cluster(seed=1)
+        b = build_cluster(seed=2)
+        a.run(3)
+        b.run(3)
+        assert not np.array_equal(a.parameters, b.parameters)

@@ -1,0 +1,150 @@
+"""Tests for the Theorem 1 convergence bounds."""
+
+import math
+
+import pytest
+
+from repro.core.convergence import (
+    TheoremOneBounds,
+    effective_gradient_second_moment,
+    gaussian_noise_sigma,
+    theorem1_bounds,
+    theorem1_lower_bound,
+    theorem1_rate,
+    theorem1_upper_bound,
+)
+from repro.exceptions import ResilienceError
+
+
+class TestNoiseSigma:
+    def test_matches_mechanism(self):
+        from repro.privacy.mechanisms import GaussianMechanism
+
+        mechanism = GaussianMechanism.for_clipped_gradients(0.2, 1e-6, 1e-2, 50)
+        assert gaussian_noise_sigma(1e-2, 50, 0.2, 1e-6) == pytest.approx(mechanism.sigma)
+
+
+class TestRate:
+    def test_linear_in_d(self):
+        assert theorem1_rate(200, 100, 10, 0.5, 1e-6) == pytest.approx(
+            2 * theorem1_rate(100, 100, 10, 0.5, 1e-6)
+        )
+
+    def test_inverse_in_T(self):
+        assert theorem1_rate(100, 400, 10, 0.5, 1e-6) == pytest.approx(
+            0.25 * theorem1_rate(100, 100, 10, 0.5, 1e-6)
+        )
+
+    def test_inverse_square_in_b(self):
+        assert theorem1_rate(100, 100, 20, 0.5, 1e-6) == pytest.approx(
+            0.25 * theorem1_rate(100, 100, 10, 0.5, 1e-6)
+        )
+
+    def test_inverse_square_in_epsilon(self):
+        assert theorem1_rate(100, 100, 10, 0.25, 1e-6) == pytest.approx(
+            4 * theorem1_rate(100, 100, 10, 0.5, 1e-6)
+        )
+
+
+class TestUpperBound:
+    COMMON = dict(T=1000, dimension=69, batch_size=50, sigma=0.1, g_max=1e-2)
+
+    def test_decreases_in_T(self):
+        a = theorem1_upper_bound(**{**self.COMMON, "T": 100})
+        b = theorem1_upper_bound(**{**self.COMMON, "T": 1000})
+        assert b < a
+
+    def test_dp_free_bound_independent_of_d(self):
+        """The paper's contrast: without DP noise the bound does not
+        grow with the model size."""
+        small = theorem1_upper_bound(**{**self.COMMON, "dimension": 10})
+        large = theorem1_upper_bound(**{**self.COMMON, "dimension": 10_000_000})
+        assert small == pytest.approx(large)
+
+    def test_dp_bound_linear_in_d(self):
+        noise = gaussian_noise_sigma(1e-2, 50, 0.2, 1e-6)
+        kwargs = {**self.COMMON, "sigma": 0.0, "g_max": 0.0, "noise_sigma": noise}
+        small = theorem1_upper_bound(**{**kwargs, "dimension": 100})
+        large = theorem1_upper_bound(**{**kwargs, "dimension": 200})
+        assert large == pytest.approx(2 * small)
+
+    def test_alpha_inflates_bound(self):
+        aligned = theorem1_upper_bound(**self.COMMON, alpha=0.0)
+        tilted = theorem1_upper_bound(**self.COMMON, alpha=math.pi / 4)
+        assert tilted > aligned
+
+    def test_moment_term(self):
+        assert effective_gradient_second_moment(
+            sigma=0.2, batch_size=4, dimension=10, noise_sigma=0.3, g_max=0.5
+        ) == pytest.approx(0.04 / 4 + 10 * 0.09 + 0.25)
+
+    def test_validation(self):
+        with pytest.raises(ResilienceError):
+            theorem1_upper_bound(**{**self.COMMON, "alpha": math.pi / 2})
+        with pytest.raises(ResilienceError):
+            theorem1_upper_bound(**{**self.COMMON, "strong_convexity": 0.0})
+
+
+class TestLowerBound:
+    def test_formula(self):
+        value = theorem1_lower_bound(
+            T=100, dimension=10, batch_size=5, sigma=0.5, noise_sigma=0.2
+        )
+        assert value == pytest.approx((0.25 / 5 + 10 * 0.04) / 200)
+
+    def test_dp_free_independent_of_d(self):
+        small = theorem1_lower_bound(T=10, dimension=1, batch_size=5, sigma=0.5)
+        large = theorem1_lower_bound(T=10, dimension=10**6, batch_size=5, sigma=0.5)
+        assert small == pytest.approx(large)
+
+
+class TestCombinedBounds:
+    def test_lower_never_exceeds_upper(self):
+        for d in (1, 69, 1000):
+            for b in (1, 10, 500):
+                for eps in (0.1, 0.5, None):
+                    bounds = theorem1_bounds(
+                        T=100,
+                        dimension=d,
+                        batch_size=b,
+                        epsilon=eps,
+                        delta=1e-6,
+                        g_max=1e-2,
+                        sigma=0.1,
+                    )
+                    assert bounds.lower <= bounds.upper
+
+    def test_dp_widens_both_bounds(self):
+        clean = theorem1_bounds(
+            T=100, dimension=69, batch_size=50, epsilon=None, delta=1e-6,
+            g_max=1e-2, sigma=0.1,
+        )
+        noisy = theorem1_bounds(
+            T=100, dimension=69, batch_size=50, epsilon=0.2, delta=1e-6,
+            g_max=1e-2, sigma=0.1,
+        )
+        assert noisy.upper > clean.upper
+        assert noisy.lower > clean.lower
+        assert noisy.noise_sigma > 0
+        assert clean.noise_sigma == 0
+
+    def test_inconsistent_bounds_rejected(self):
+        with pytest.raises(ResilienceError):
+            TheoremOneBounds(upper=1.0, lower=2.0, noise_sigma=0.0)
+
+    def test_width_property(self):
+        bounds = TheoremOneBounds(upper=4.0, lower=2.0, noise_sigma=0.0)
+        assert bounds.width == pytest.approx(2.0)
+
+    def test_rate_matches_bounds_scaling(self):
+        """Both bounds, at large d, scale like the Theta rate in d."""
+        def lower_at(d):
+            return theorem1_bounds(
+                T=100, dimension=d, batch_size=50, epsilon=0.2, delta=1e-6,
+                g_max=1e-2, sigma=0.0,
+            ).lower
+
+        assert lower_at(2000) == pytest.approx(2 * lower_at(1000))
+        assert theorem1_rate(2000, 100, 50, 0.2, 1e-6) == pytest.approx(
+            2 * theorem1_rate(1000, 100, 50, 0.2, 1e-6)
+        )

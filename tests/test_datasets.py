@@ -1,0 +1,111 @@
+"""Tests for repro.data.datasets: the Dataset container and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import Dataset, train_test_split
+from repro.exceptions import DataError
+from repro.rng import generator_from_seed
+
+
+def small_dataset(n=10, d=3, name="toy"):
+    rng = np.random.default_rng(0)
+    return Dataset(
+        features=rng.random((n, d)),
+        labels=(rng.random(n) < 0.5).astype(float),
+        name=name,
+    )
+
+
+class TestDataset:
+    def test_shapes_exposed(self):
+        dataset = small_dataset(n=7, d=4)
+        assert dataset.num_points == 7
+        assert dataset.num_features == 4
+        assert len(dataset) == 7
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(DataError, match="2-D"):
+            Dataset(features=np.zeros(5), labels=np.zeros(5))
+
+    def test_rejects_2d_labels(self):
+        with pytest.raises(DataError, match="1-D"):
+            Dataset(features=np.zeros((5, 2)), labels=np.zeros((5, 1)))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(DataError, match="disagree"):
+            Dataset(features=np.zeros((5, 2)), labels=np.zeros(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError, match="at least one"):
+            Dataset(features=np.zeros((0, 2)), labels=np.zeros(0))
+
+    def test_coerces_to_float64(self):
+        dataset = Dataset(
+            features=np.ones((3, 2), dtype=np.float32),
+            labels=np.ones(3, dtype=np.int64),
+        )
+        assert dataset.features.dtype == np.float64
+        assert dataset.labels.dtype == np.float64
+
+    def test_subset_preserves_order(self):
+        dataset = small_dataset(n=10)
+        indices = np.array([3, 1, 7])
+        subset = dataset.subset(indices)
+        assert np.array_equal(subset.features, dataset.features[indices])
+        assert np.array_equal(subset.labels, dataset.labels[indices])
+
+    def test_subset_rejects_2d_indices(self):
+        with pytest.raises(DataError, match="1-D"):
+            small_dataset().subset(np.zeros((2, 2), dtype=int))
+
+    def test_subset_rename(self):
+        subset = small_dataset().subset(np.array([0]), name="renamed")
+        assert subset.name == "renamed"
+
+    def test_class_balance_sums_to_one(self):
+        balance = small_dataset(n=50).class_balance()
+        assert pytest.approx(sum(balance.values())) == 1.0
+
+    def test_class_balance_single_class(self):
+        dataset = Dataset(features=np.zeros((4, 2)), labels=np.ones(4))
+        assert dataset.class_balance() == {1.0: 1.0}
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        train, test = train_test_split(small_dataset(n=10), 7, generator_from_seed(0))
+        assert train.num_points == 7
+        assert test.num_points == 3
+
+    def test_partition_is_exact(self):
+        dataset = small_dataset(n=20)
+        train, test = train_test_split(dataset, 12, generator_from_seed(0))
+        combined = np.vstack([train.features, test.features])
+        assert combined.shape == dataset.features.shape
+        # Every original row appears exactly once.
+        original = {tuple(row) for row in dataset.features}
+        recombined = {tuple(row) for row in combined}
+        assert original == recombined
+
+    def test_deterministic_given_rng(self):
+        dataset = small_dataset(n=20)
+        a_train, _ = train_test_split(dataset, 12, generator_from_seed(5))
+        b_train, _ = train_test_split(dataset, 12, generator_from_seed(5))
+        assert np.array_equal(a_train.features, b_train.features)
+
+    def test_no_shuffle_keeps_order(self):
+        dataset = small_dataset(n=10)
+        train, test = train_test_split(dataset, 6, generator_from_seed(0), shuffle=False)
+        assert np.array_equal(train.features, dataset.features[:6])
+        assert np.array_equal(test.features, dataset.features[6:])
+
+    @pytest.mark.parametrize("bad_size", [0, 10, 11, -1])
+    def test_invalid_sizes_rejected(self, bad_size):
+        with pytest.raises(DataError):
+            train_test_split(small_dataset(n=10), bad_size, generator_from_seed(0))
+
+    def test_split_names(self):
+        train, test = train_test_split(small_dataset(name="abc"), 5, generator_from_seed(0))
+        assert train.name == "abc-train"
+        assert test.name == "abc-test"

@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    AggregationError,
+    ConfigurationError,
+    DataError,
+    PrivacyError,
+    ReproError,
+    ResilienceError,
+    TrainingError,
+)
+
+ALL_ERRORS = [
+    AggregationError,
+    ConfigurationError,
+    DataError,
+    PrivacyError,
+    ResilienceError,
+    TrainingError,
+]
+
+
+@pytest.mark.parametrize("error_class", ALL_ERRORS)
+def test_all_derive_from_repro_error(error_class):
+    assert issubclass(error_class, ReproError)
+
+
+@pytest.mark.parametrize("error_class", ALL_ERRORS)
+def test_catchable_as_repro_error(error_class):
+    with pytest.raises(ReproError):
+        raise error_class("boom")
+
+
+def test_repro_error_is_exception():
+    assert issubclass(ReproError, Exception)
+
+
+def test_errors_are_distinct(_pairs=[(a, b) for a in ALL_ERRORS for b in ALL_ERRORS if a is not b]):
+    for a, b in _pairs:
+        assert not issubclass(a, b)

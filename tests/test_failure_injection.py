@@ -1,0 +1,102 @@
+"""Failure-injection tests: crashes, message loss, and mixed adversity.
+
+The paper's model treats non-received gradients as zero vectors
+(Section 2.1) and distinguishes "erroneous" Byzantine gradients
+(crashes, asynchrony) from forged ones.  These tests drive the cluster
+through those degraded modes and check the robust pipeline survives
+them while the naive one does not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import train_test_split
+from repro.data.phishing import make_phishing_dataset
+from repro.distributed.trainer import train
+from repro.models.logistic import LogisticRegressionModel
+from repro.rng import generator_from_seed
+
+STEPS = 150
+
+
+@pytest.fixture(scope="module")
+def environment():
+    dataset = make_phishing_dataset(seed=0, num_points=1500, num_features=12)
+    train_set, test_set = train_test_split(dataset, 1100, generator_from_seed(1))
+    model = LogisticRegressionModel(12, loss_kind="mse")
+    return model, train_set, test_set
+
+
+def run(environment, **kwargs):
+    model, train_set, test_set = environment
+    defaults = dict(
+        model=model,
+        train_dataset=train_set,
+        test_dataset=test_set,
+        num_steps=STEPS,
+        n=11,
+        f=5,
+        batch_size=20,
+        eval_every=50,
+        seed=1,
+    )
+    defaults.update(kwargs)
+    return train(**defaults)
+
+
+class TestCrashFaults:
+    def test_zero_attack_models_crashed_workers(self, environment):
+        """f workers permanently sending zeros (crash/asynchrony) should
+        not stop MDA training."""
+        result = run(environment, gar="mda", attack="zero")
+        baseline = run(environment, gar="average", f=0)
+        assert result.history.max_accuracy > baseline.history.max_accuracy - 0.06
+
+    def test_zero_attack_slows_averaging_but_not_fatally(self, environment):
+        """Zeros only shrink the average by (n-f)/n — a benign fault."""
+        result = run(environment, gar="average", f=5, attack="zero")
+        assert result.history.max_accuracy > 0.8
+
+
+class TestMessageLoss:
+    @pytest.mark.parametrize("drop", [0.05, 0.2])
+    def test_training_survives_random_drops(self, environment, drop):
+        result = run(environment, gar="mda", drop_probability=drop)
+        assert result.history.max_accuracy > 0.82
+
+    def test_heavy_loss_degrades_averaging(self, environment):
+        lossy = run(environment, gar="average", f=0, drop_probability=0.6)
+        clean = run(environment, gar="average", f=0)
+        # Dropped gradients scale the mean down; training is slower.
+        assert lossy.history.final_loss >= clean.history.final_loss - 1e-9
+
+    def test_drops_are_seeded(self, environment):
+        a = run(environment, gar="mda", drop_probability=0.3, seed=9)
+        b = run(environment, gar="mda", drop_probability=0.3, seed=9)
+        assert np.array_equal(a.final_parameters, b.final_parameters)
+
+
+class TestMixedAdversity:
+    def test_attack_plus_message_loss(self, environment):
+        """ALIE + 10% message loss: MDA still trains."""
+        result = run(environment, gar="mda", attack="little", drop_probability=0.1)
+        assert result.history.max_accuracy > 0.82
+
+    def test_fewer_attackers_than_declared(self, environment):
+        """Declaring f=5 but facing only 2 attackers still trains fine
+        (the GAR's tolerance is an upper bound, not a requirement)."""
+        few = run(environment, gar="mda", attack="little", num_byzantine=2)
+        assert few.history.max_accuracy > 0.82
+
+    def test_large_norm_attack_with_dp(self, environment):
+        """Unbounded attacks stay filtered even with DP noise on."""
+        result = run(
+            environment,
+            gar="mda",
+            attack="large-norm",
+            epsilon=0.9,
+            batch_size=100,
+        )
+        # MDA excludes the enormous vectors; training proceeds (the DP
+        # noise itself still costs accuracy, which is the paper's point).
+        assert result.history.final_loss < 0.3

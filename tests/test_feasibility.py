@@ -1,0 +1,193 @@
+"""Tests for the Table 1 / Propositions 1-3 feasibility conditions."""
+
+import math
+
+import pytest
+
+from repro.core import feasibility
+from repro.exceptions import ResilienceError
+from repro.gars import get_gar
+
+# The paper's experimental budget.
+EPS, DELTA = 0.2, 1e-6
+
+
+class TestPrivacyConstant:
+    def test_formula(self):
+        expected = EPS / math.sqrt(math.log(1.25 / DELTA))
+        assert feasibility.privacy_constant(EPS, DELTA) == pytest.approx(expected)
+
+    def test_small_for_valid_budgets(self):
+        """C << 1 in the (0,1)^2 budget range — why the conditions bite."""
+        for eps in (0.1, 0.5, 0.9):
+            for delta in (1e-9, 1e-6, 1e-3):
+                assert feasibility.privacy_constant(eps, delta) < 1.0
+
+    @pytest.mark.parametrize("eps", [0.0, 1.0, 2.0])
+    def test_epsilon_range_enforced(self, eps):
+        with pytest.raises(ResilienceError):
+            feasibility.privacy_constant(eps, DELTA)
+
+
+class TestMasterCondition:
+    def test_exact_threshold(self):
+        # can hold  <=>  k_f >= sqrt(8 d) / (C b)
+        d, b = 69, 50
+        threshold = math.sqrt(8 * d) / (feasibility.privacy_constant(EPS, DELTA) * b)
+        assert feasibility.master_condition_can_hold(threshold * 1.01, d, b, EPS, DELTA)
+        assert not feasibility.master_condition_can_hold(threshold * 0.99, d, b, EPS, DELTA)
+
+    def test_infinite_k_always_feasible(self):
+        assert feasibility.master_condition_can_hold(math.inf, 10**9, 1, EPS, DELTA)
+
+    def test_paper_configuration_infeasible_for_mda(self):
+        """Section 5's point: at d = 69, b = 50, eps = 0.2 even MDA
+        cannot satisfy the noisy VN condition."""
+        gar = get_gar("mda", 11, 5)
+        assert not feasibility.master_condition_can_hold(gar.k_f(), 69, 50, EPS, DELTA)
+
+    def test_large_batch_restores_feasibility(self):
+        gar = get_gar("mda", 11, 5)
+        b = feasibility.min_batch_size_for_gar(gar, 69, EPS, DELTA)
+        assert feasibility.master_condition_can_hold(gar.k_f(), 69, math.ceil(b), EPS, DELTA)
+        assert not feasibility.master_condition_can_hold(
+            gar.k_f(), 69, math.floor(b * 0.9), EPS, DELTA
+        )
+
+
+class TestMinBatchAndMaxDimension:
+    def test_min_batch_scales_with_sqrt_d(self):
+        gar = get_gar("mda", 11, 5)
+        b_small = feasibility.min_batch_size_for_gar(gar, 100, EPS, DELTA)
+        b_large = feasibility.min_batch_size_for_gar(gar, 10_000, EPS, DELTA)
+        assert b_large == pytest.approx(10 * b_small)
+
+    def test_max_dimension_inverse(self):
+        gar = get_gar("mda", 11, 5)
+        d_max = feasibility.max_dimension_for_gar(gar, 2000, EPS, DELTA)
+        # At that dimension, b=2000 is (just) feasible.
+        assert feasibility.master_condition_can_hold(
+            gar.k_f(), math.floor(d_max), 2000, EPS, DELTA
+        )
+        assert not feasibility.master_condition_can_hold(
+            gar.k_f(), math.ceil(d_max * 1.1), 2000, EPS, DELTA
+        )
+
+    def test_oracle_unconstrained(self):
+        gar = get_gar("oracle", 11, 5)
+        assert feasibility.min_batch_size_for_gar(gar, 10**8, EPS, DELTA) == 1.0
+        assert feasibility.max_dimension_for_gar(gar, 1, EPS, DELTA) == math.inf
+
+
+class TestProposition1MDA:
+    def test_closed_form(self):
+        d, b = 69, 50
+        constant = feasibility.privacy_constant(EPS, DELTA)
+        expected = constant * b / (8 * math.sqrt(d) + constant * b)
+        assert feasibility.mda_max_byzantine_fraction(d, b, EPS, DELTA) == pytest.approx(
+            expected
+        )
+
+    def test_consistent_with_master_inequality(self):
+        """tau <= closed-form bound  <=>  master inequality holds for
+        MDA's k_F (up to the integer granularity of f)."""
+        d, b, n = 400, 64, 101
+        tau_max = feasibility.mda_max_byzantine_fraction(d, b, EPS, DELTA)
+        from repro.gars.constants import k_mda
+
+        for f in range(1, n // 2):
+            tau = f / n
+            can_hold = feasibility.master_condition_can_hold(
+                k_mda(n, f), d, b, EPS, DELTA
+            )
+            assert can_hold == (tau <= tau_max + 1e-12), f"disagreement at f={f}"
+
+    def test_decreases_with_dimension(self):
+        values = [
+            feasibility.mda_max_byzantine_fraction(d, 50, EPS, DELTA)
+            for d in (10, 100, 1000, 10_000)
+        ]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_resnet50_example(self):
+        """Section 3: at ResNet-50 scale the tolerable fraction is tiny."""
+        tau = feasibility.mda_max_byzantine_fraction(25_600_000, 128, EPS, DELTA)
+        assert tau < 0.001
+
+
+class TestProposition2DistanceBased:
+    def test_krum_formula(self):
+        d, n, f = 69, 11, 4
+        constant = feasibility.privacy_constant(EPS, DELTA)
+        expected = math.sqrt(16 * d * (n + f**2)) / constant
+        assert feasibility.krum_min_batch_size(d, n, f, EPS, DELTA) == pytest.approx(
+            expected
+        )
+
+    def test_krum_proof_relaxation_is_looser(self):
+        """The proof's bound (via eta > n + f^2) must not exceed the
+        exact master-inequality bound."""
+        d, n, f = 69, 11, 4
+        gar = get_gar("krum", n, f)
+        exact = feasibility.min_batch_size_for_gar(gar, d, EPS, DELTA)
+        relaxed = feasibility.krum_min_batch_size(d, n, f, EPS, DELTA)
+        assert relaxed <= exact
+
+    def test_median_formula(self):
+        d, n = 69, 11
+        constant = feasibility.privacy_constant(EPS, DELTA)
+        assert feasibility.median_min_batch_size(d, n, EPS, DELTA) == pytest.approx(
+            math.sqrt(4 * d * (n + 1)) / constant
+        )
+
+    def test_meamed_is_sqrt10_of_median(self):
+        d, n = 69, 11
+        ratio = feasibility.meamed_min_batch_size(d, n, EPS, DELTA) / \
+            feasibility.median_min_batch_size(d, n, EPS, DELTA)
+        assert ratio == pytest.approx(math.sqrt(10))
+
+    def test_bulyan_precondition_checked(self):
+        with pytest.raises(Exception):
+            feasibility.bulyan_min_batch_size(69, 11, 5, EPS, DELTA)
+
+    def test_omega_sqrt_nd_scaling(self):
+        """Table 1's headline: b grows like sqrt(n d) for Krum."""
+        b_1 = feasibility.krum_min_batch_size(100, 11, 4, EPS, DELTA)
+        b_4 = feasibility.krum_min_batch_size(400, 11, 4, EPS, DELTA)
+        assert b_4 == pytest.approx(2 * b_1)
+
+
+class TestProposition3:
+    def test_trimmed_mean_formula(self):
+        d, b = 69, 50
+        squared = (feasibility.privacy_constant(EPS, DELTA) * b) ** 2
+        assert feasibility.trimmed_mean_max_byzantine_fraction(
+            d, b, EPS, DELTA
+        ) == pytest.approx(squared / (16 * d + 2 * squared))
+
+    def test_phocas_formula(self):
+        d, b = 69, 50
+        squared = (feasibility.privacy_constant(EPS, DELTA) * b) ** 2
+        assert feasibility.phocas_max_byzantine_fraction(
+            d, b, EPS, DELTA
+        ) == pytest.approx(squared / (64 * d + 2 * squared))
+
+    def test_phocas_stricter_than_trimmed_mean(self):
+        assert feasibility.phocas_max_byzantine_fraction(
+            69, 50, EPS, DELTA
+        ) < feasibility.trimmed_mean_max_byzantine_fraction(69, 50, EPS, DELTA)
+
+    def test_quadratic_in_b(self):
+        """f/n in O(b^2 / (d + b^2)) — for small b the bound is ~b^2."""
+        small = feasibility.trimmed_mean_max_byzantine_fraction(10_000, 10, EPS, DELTA)
+        double = feasibility.trimmed_mean_max_byzantine_fraction(10_000, 20, EPS, DELTA)
+        assert double == pytest.approx(4 * small, rel=0.01)
+
+
+class TestSqrtDRule:
+    def test_resnet50_batch_over_5000(self):
+        """The paper's Section 3 illustration: d = 25.6e6 => b > 5000."""
+        assert feasibility.sqrt_d_batch_rule(25_600_000) > 5000
+
+    def test_small_model(self):
+        assert feasibility.sqrt_d_batch_rule(69) == pytest.approx(math.sqrt(69))

@@ -1,0 +1,110 @@
+"""Tests for the k_F(n, f) constants and preconditions (Appendix A)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import AggregationError
+from repro.gars.constants import (
+    k_bulyan,
+    k_krum,
+    k_mda,
+    k_meamed,
+    k_median,
+    k_phocas,
+    k_trimmed_mean,
+    krum_eta,
+    require_bulyan_valid,
+    require_krum_valid,
+    require_majority_honest,
+)
+
+
+class TestPreconditions:
+    def test_majority(self):
+        require_majority_honest(11, 5, "x")  # ok
+        with pytest.raises(AggregationError):
+            require_majority_honest(10, 5, "x")
+
+    def test_krum(self):
+        require_krum_valid(11, 4)  # 11 > 10
+        with pytest.raises(AggregationError):
+            require_krum_valid(11, 5)
+
+    def test_bulyan(self):
+        require_bulyan_valid(11, 2)  # 11 >= 11
+        with pytest.raises(AggregationError):
+            require_bulyan_valid(11, 3)
+
+    def test_f_below_n_everywhere(self):
+        with pytest.raises(AggregationError):
+            require_majority_honest(3, 3, "x")
+
+
+class TestFormulas:
+    def test_mda_paper_values(self):
+        # n=11, f=5: (11-5)/(sqrt(8)*5).
+        assert k_mda(11, 5) == pytest.approx(6.0 / (math.sqrt(8) * 5))
+
+    def test_mda_infinite_at_f0(self):
+        assert k_mda(11, 0) == math.inf
+
+    def test_krum_eta_formula(self):
+        n, f = 11, 4
+        expected = n - f + (f * (n - f - 2) + f**2 * (n - f - 1)) / (n - 2 * f - 2)
+        assert krum_eta(n, f) == pytest.approx(expected)
+
+    def test_krum_eta_exceeds_n_plus_f_squared(self):
+        """The relaxation eta > n + f^2 used in Proposition 2's proof."""
+        for n, f in [(11, 4), (15, 5), (23, 8), (9, 3)]:
+            assert krum_eta(n, f) > n + f**2
+
+    def test_krum_formula(self):
+        assert k_krum(11, 4) == pytest.approx(1.0 / math.sqrt(2 * krum_eta(11, 4)))
+
+    def test_bulyan_equals_krum_constant(self):
+        assert k_bulyan(11, 2) == pytest.approx(k_krum(11, 2))
+
+    def test_median_formula(self):
+        assert k_median(11, 5) == pytest.approx(1.0 / math.sqrt(6))
+
+    def test_meamed_formula(self):
+        assert k_meamed(11, 5) == pytest.approx(1.0 / math.sqrt(60))
+
+    def test_trimmed_mean_formula(self):
+        n, f = 11, 5
+        assert k_trimmed_mean(n, f) == pytest.approx(
+            math.sqrt((n - 2 * f) ** 2 / (2 * (f + 1) * (n - f)))
+        )
+
+    def test_phocas_formula(self):
+        n, f = 11, 5
+        assert k_phocas(n, f) == pytest.approx(
+            math.sqrt(4 + (n - 2 * f) ** 2 / (12 * (f + 1) * (n - f)))
+        )
+
+
+class TestOrderings:
+    def test_mda_beats_distance_based_at_paper_setup(self):
+        """Footnote 7: MDA has the largest tolerance among the
+        distance/median-style GARs valid at n=11, f=5."""
+        n, f = 11, 5
+        mda = k_mda(n, f)
+        assert mda > k_median(n, f)
+        assert mda > k_meamed(n, f)
+        assert mda > k_trimmed_mean(n, f)
+
+    def test_mda_decreasing_in_f(self):
+        values = [k_mda(11, f) for f in range(1, 6)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_median_increasing_in_f(self):
+        """1/sqrt(n - f) grows with f — the formula conditions on fewer
+        honest submissions, so the per-honest-gradient requirement
+        loosens (contrast with MDA, which tightens)."""
+        values = [k_median(11, f) for f in range(0, 6)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_meamed_below_median(self):
+        """Meamed's constant is the median's divided by sqrt(10)."""
+        assert k_meamed(11, 5) == pytest.approx(k_median(11, 5) / math.sqrt(10))

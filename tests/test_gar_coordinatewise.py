@@ -1,0 +1,179 @@
+"""Tests for the coordinate-wise GARs: Median, Trimmed Mean, Meamed, Phocas."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AggregationError
+from repro.gars.meamed import MeamedGAR, mean_around_anchor
+from repro.gars.median import MedianGAR
+from repro.gars.phocas import PhocasGAR
+from repro.gars.trimmed_mean import TrimmedMeanGAR
+from tests.helpers import random_gradient_matrix
+
+
+class TestMedian:
+    def test_matches_numpy(self):
+        gradients = random_gradient_matrix(9, 6, seed=0)
+        assert np.allclose(
+            MedianGAR(9, 4).aggregate(gradients), np.median(gradients, axis=0)
+        )
+
+    def test_resists_minority_extremes(self):
+        gradients = random_gradient_matrix(9, 3, seed=1, scale=0.1)
+        gradients[:4] = 1e9  # 4 < majority
+        output = MedianGAR(9, 4).aggregate(gradients)
+        assert np.all(np.abs(output) < 1.0)
+
+    def test_precondition(self):
+        assert MedianGAR.supports(11, 5)
+        assert not MedianGAR.supports(10, 5)
+
+
+class TestTrimmedMean:
+    def test_known_values(self):
+        # Single coordinate, n=5, f=1: drop min and max, average rest.
+        gradients = np.array([[1.0], [2.0], [3.0], [4.0], [100.0]])
+        output = TrimmedMeanGAR(5, 1).aggregate(gradients)
+        assert output[0] == pytest.approx((2 + 3 + 4) / 3)
+
+    def test_f_zero_is_mean(self):
+        gradients = random_gradient_matrix(5, 3, seed=2)
+        assert np.allclose(
+            TrimmedMeanGAR(5, 0).aggregate(gradients), gradients.mean(axis=0)
+        )
+
+    def test_trims_each_coordinate_independently(self):
+        gradients = np.array(
+            [[0.0, 100.0], [1.0, 1.0], [2.0, 2.0], [3.0, 3.0], [100.0, 0.0]]
+        )
+        output = TrimmedMeanGAR(5, 1).aggregate(gradients)
+        assert output[0] == pytest.approx(2.0)
+        assert output[1] == pytest.approx(2.0)
+
+    def test_resists_f_extremes(self):
+        gradients = random_gradient_matrix(11, 4, seed=3, scale=0.1)
+        gradients[:5] = -1e8
+        output = TrimmedMeanGAR(11, 5).aggregate(gradients)
+        assert np.all(np.abs(output) < 10.0)
+
+
+class TestMeanAroundAnchor:
+    def test_keep_all_is_mean(self):
+        gradients = random_gradient_matrix(5, 3, seed=4)
+        anchor = np.zeros(3)
+        assert np.allclose(
+            mean_around_anchor(gradients, anchor, 5), gradients.mean(axis=0)
+        )
+
+    def test_keep_one_is_closest(self):
+        gradients = np.array([[1.0], [5.0], [-3.0]])
+        assert mean_around_anchor(gradients, np.array([4.0]), 1)[0] == 5.0
+
+    def test_known_selection(self):
+        gradients = np.array([[0.0], [1.0], [2.0], [10.0]])
+        # Anchor 1.0, keep 3 -> {0, 1, 2}, mean 1.
+        assert mean_around_anchor(gradients, np.array([1.0]), 3)[0] == pytest.approx(1.0)
+
+
+class TestMeamed:
+    def test_single_coordinate_example(self):
+        gradients = np.array([[1.0], [2.0], [3.0], [4.0], [1000.0]])
+        # Median 3; keep n - f = 4 closest: {1, 2, 3, 4}; mean 2.5.
+        output = MeamedGAR(5, 1).aggregate(gradients)
+        assert output[0] == pytest.approx(2.5)
+
+    def test_resists_f_extremes(self):
+        gradients = random_gradient_matrix(11, 4, seed=5, scale=0.1)
+        gradients[:5] = 1e7
+        output = MeamedGAR(11, 5).aggregate(gradients)
+        assert np.all(np.abs(output) < 10.0)
+
+    def test_f_zero_is_mean(self):
+        gradients = random_gradient_matrix(5, 3, seed=6)
+        assert np.allclose(MeamedGAR(5, 0).aggregate(gradients), gradients.mean(axis=0))
+
+
+class TestPhocas:
+    def test_single_coordinate_example(self):
+        gradients = np.array([[1.0], [2.0], [3.0], [4.0], [1000.0]])
+        # Trimmed mean (f=1): mean of {2,3,4} = 3; keep 4 closest to 3:
+        # {1,2,3,4}; mean 2.5.
+        output = PhocasGAR(5, 1).aggregate(gradients)
+        assert output[0] == pytest.approx(2.5)
+
+    def test_resists_f_extremes(self):
+        gradients = random_gradient_matrix(11, 4, seed=7, scale=0.1)
+        gradients[:5] = -1e7
+        output = PhocasGAR(11, 5).aggregate(gradients)
+        assert np.all(np.abs(output) < 10.0)
+
+    def test_f_zero_is_mean(self):
+        gradients = random_gradient_matrix(5, 3, seed=8)
+        assert np.allclose(PhocasGAR(5, 0).aggregate(gradients), gradients.mean(axis=0))
+
+    def test_differs_from_meamed_on_some_input(self):
+        """Phocas anchors on the trimmed mean, Meamed on the median; the
+        anchors select different keep-sets on some inputs.  Scan a fixed
+        family of seeds and require at least one disagreement."""
+        rng = np.random.default_rng(0)
+        meamed_gar, phocas_gar = MeamedGAR(7, 2), PhocasGAR(7, 2)
+        for _ in range(300):
+            gradients = rng.standard_normal((7, 1)) ** 3  # skewed values
+            if not np.allclose(
+                meamed_gar.aggregate(gradients), phocas_gar.aggregate(gradients)
+            ):
+                return
+        pytest.fail("meamed and phocas agreed on 300 random skewed inputs")
+
+
+class TestAverage:
+    def test_is_mean(self):
+        from repro.gars.average import AverageGAR
+
+        gradients = random_gradient_matrix(7, 3, seed=9)
+        assert np.allclose(AverageGAR(7, 0).aggregate(gradients), gradients.mean(axis=0))
+
+    def test_byzantine_guard(self):
+        from repro.gars.average import AverageGAR
+
+        with pytest.raises(AggregationError, match="not Byzantine resilient"):
+            AverageGAR(7, 2)
+        gar = AverageGAR(7, 2, allow_byzantine=True)
+        assert gar.f == 2
+
+    def test_single_large_value_corrupts(self):
+        """Blanchard et al.'s observation: one Byzantine worker fully
+        controls the average."""
+        from repro.gars.average import AverageGAR
+
+        gradients = np.zeros((7, 2))
+        gradients[0] = 7e9
+        output = AverageGAR(7, 1, allow_byzantine=True).aggregate(gradients)
+        assert np.all(output == 1e9)
+
+
+class TestBulyan:
+    def test_precondition(self):
+        from repro.gars.bulyan import BulyanGAR
+
+        assert BulyanGAR.supports(11, 2)
+        assert not BulyanGAR.supports(11, 3)  # needs n >= 4f + 3 = 15
+
+    def test_resists_f_extremes(self):
+        from repro.gars.bulyan import BulyanGAR
+
+        gradients = random_gradient_matrix(11, 4, seed=10, scale=0.1)
+        gradients[:2] = 1e8
+        output = BulyanGAR(11, 2).aggregate(gradients)
+        assert np.all(np.abs(output) < 10.0)
+
+    def test_output_averages_beta_values(self):
+        from repro.gars.bulyan import BulyanGAR
+
+        # n=11, f=2: theta = 7, beta = 3.
+        gar = BulyanGAR(11, 2)
+        gradients = random_gradient_matrix(11, 5, seed=11)
+        output = gar.aggregate(gradients)
+        assert output.shape == (5,)
+        assert np.all(output >= gradients.min(axis=0))
+        assert np.all(output <= gradients.max(axis=0))

@@ -1,0 +1,99 @@
+"""Tests for the geometric-median GAR (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AggregationError
+from repro.gars import get_gar
+from repro.gars.geometric_median import GeometricMedianGAR, geometric_median
+from tests.helpers import random_gradient_matrix
+
+
+class TestGeometricMedianFunction:
+    def test_single_point(self):
+        point = np.array([[1.0, 2.0]])
+        assert np.allclose(geometric_median(point), [1.0, 2.0])
+
+    def test_collinear_points_median(self):
+        """For 1-D data the geometric median is the coordinate median."""
+        points = np.array([[0.0], [1.0], [10.0]])
+        assert geometric_median(points)[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_symmetric_cloud_center(self):
+        rng = np.random.default_rng(0)
+        cloud = rng.standard_normal((2000, 3))
+        symmetric = np.vstack([cloud, -cloud])  # exactly symmetric around 0
+        assert np.allclose(geometric_median(symmetric), 0.0, atol=1e-6)
+
+    def test_minimises_distance_sum(self):
+        rng = np.random.default_rng(1)
+        points = rng.standard_normal((20, 4))
+        median = geometric_median(points)
+
+        def objective(candidate):
+            return float(np.linalg.norm(points - candidate[None, :], axis=1).sum())
+
+        best = objective(median)
+        for _ in range(20):
+            perturbed = median + 0.01 * rng.standard_normal(4)
+            assert objective(perturbed) >= best - 1e-9
+
+    def test_robust_to_minority_outliers(self):
+        rng = np.random.default_rng(2)
+        honest = 0.1 * rng.standard_normal((7, 3))
+        outliers = 1e6 + rng.standard_normal((4, 3))
+        median = geometric_median(np.vstack([honest, outliers]))
+        assert np.linalg.norm(median) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(AggregationError):
+            geometric_median(np.zeros(3))
+        with pytest.raises(AggregationError):
+            geometric_median(np.zeros((2, 2)), max_iterations=0)
+
+
+class TestGeometricMedianGAR:
+    def test_registry(self):
+        gar = get_gar("geometric-median", 11, 5)
+        assert isinstance(gar, GeometricMedianGAR)
+
+    def test_precondition(self):
+        assert GeometricMedianGAR.supports(11, 5)
+        assert not GeometricMedianGAR.supports(10, 5)
+
+    def test_k_f_conservative_zero(self):
+        assert get_gar("geometric-median", 11, 5).k_f() == 0.0
+
+    def test_aggregates_around_honest_cluster(self):
+        gar = get_gar("geometric-median", 11, 5)
+        rng = np.random.default_rng(3)
+        honest = 1.0 + 0.05 * rng.standard_normal((6, 4))
+        byzantine = np.tile(np.full(4, -50.0), (5, 1))
+        output = gar.aggregate(np.vstack([honest, byzantine]))
+        assert np.allclose(output, 1.0, atol=0.5)
+
+    def test_structural_properties(self):
+        gar = get_gar("geometric-median", 7, 3)
+        gradients = random_gradient_matrix(7, 5, seed=4)
+        base = gar.aggregate(gradients)
+        # Permutation invariance.
+        permuted = gradients[np.random.default_rng(5).permutation(7)]
+        assert np.allclose(gar.aggregate(permuted), base, atol=1e-7)
+        # Translation equivariance.
+        shift = np.array([3.0, -1.0, 0.0, 2.0, 5.0])
+        assert np.allclose(gar.aggregate(gradients + shift), base + shift, atol=1e-6)
+        # Positive scale equivariance.
+        assert np.allclose(gar.aggregate(2.0 * gradients), 2.0 * base, atol=1e-6)
+
+    def test_end_to_end_training(self):
+        from repro.data.phishing import make_phishing_dataset
+        from repro.distributed.trainer import train
+        from repro.models.logistic import LogisticRegressionModel
+
+        data = make_phishing_dataset(seed=0, num_points=1200, num_features=10)
+        model = LogisticRegressionModel(10, loss_kind="mse")
+        result = train(
+            model=model, train_dataset=data, num_steps=80, n=7, f=3,
+            gar="geometric-median", attack="little", batch_size=10, seed=1,
+        )
+        assert result.history.min_loss < result.history.losses[0]

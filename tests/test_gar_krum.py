@@ -1,0 +1,115 @@
+"""Tests specific to Krum / Multi-Krum."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AggregationError
+from repro.gars.krum import KrumGAR, krum_scores
+from tests.helpers import random_gradient_matrix
+
+
+def brute_force_scores(gradients, f):
+    """Direct O(n^2) re-implementation for cross-checking."""
+    n = gradients.shape[0]
+    neighbours = n - f - 2
+    scores = []
+    for i in range(n):
+        distances = sorted(
+            float(np.sum((gradients[i] - gradients[j]) ** 2))
+            for j in range(n)
+            if j != i
+        )
+        scores.append(sum(distances[:neighbours]))
+    return np.array(scores)
+
+
+class TestKrumScores:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_brute_force(self, seed):
+        gradients = random_gradient_matrix(9, 5, seed=seed)
+        assert np.allclose(krum_scores(gradients, 2), brute_force_scores(gradients, 2))
+
+    def test_outlier_gets_worst_score(self):
+        gradients = random_gradient_matrix(9, 5, seed=3, scale=0.1)
+        gradients[4] += 100.0
+        scores = krum_scores(gradients, 2)
+        assert int(np.argmax(scores)) == 4
+
+    def test_too_few_neighbours_rejected(self):
+        with pytest.raises(AggregationError):
+            krum_scores(random_gradient_matrix(5, 3, seed=0), 3)
+
+
+class TestKrum:
+    def test_precondition(self):
+        # Krum needs n > 2f + 2.
+        assert KrumGAR.supports(11, 4)
+        assert not KrumGAR.supports(11, 5)
+        with pytest.raises(AggregationError, match="2 f"):
+            KrumGAR(11, 5)
+
+    def test_paper_setup_invalid_for_krum(self):
+        """The paper's n=11, f=5 rules Krum out — one reason MDA is the
+        experimental GAR."""
+        assert not KrumGAR.supports(11, 5)
+
+    def test_returns_one_of_the_inputs(self):
+        gar = KrumGAR(9, 2)
+        gradients = random_gradient_matrix(9, 6, seed=0)
+        output = gar.aggregate(gradients)
+        assert any(np.array_equal(output, row) for row in gradients)
+
+    def test_ignores_far_outliers(self):
+        gar = KrumGAR(9, 2)
+        gradients = random_gradient_matrix(9, 6, seed=1, scale=0.1)
+        gradients[0] += 1000.0
+        gradients[1] -= 1000.0
+        output = gar.aggregate(gradients)
+        assert np.linalg.norm(output) < 10.0
+
+    def test_selects_cluster_member(self):
+        """With 7 near-identical gradients and 2 outliers, Krum's pick is
+        in the cluster."""
+        rng = np.random.default_rng(2)
+        cluster = 0.01 * rng.standard_normal((7, 4)) + 1.0
+        outliers = 50.0 + rng.standard_normal((2, 4))
+        gradients = np.vstack([cluster, outliers])
+        output = KrumGAR(9, 2).aggregate(gradients)
+        assert np.allclose(output, 1.0, atol=0.1)
+
+
+class TestMultiKrum:
+    def test_m1_equals_krum(self):
+        gradients = random_gradient_matrix(9, 5, seed=4)
+        assert np.array_equal(
+            KrumGAR(9, 2, m=1).aggregate(gradients),
+            KrumGAR(9, 2).aggregate(gradients),
+        )
+
+    def test_m_full_honest_averages_best(self):
+        gar = KrumGAR(9, 2, m=7)
+        gradients = random_gradient_matrix(9, 5, seed=5)
+        scores = krum_scores(gradients, 2)
+        chosen = np.argsort(scores, kind="stable")[:7]
+        assert np.allclose(gar.aggregate(gradients), gradients[chosen].mean(axis=0))
+
+    def test_m_validation(self):
+        with pytest.raises(AggregationError, match="m"):
+            KrumGAR(9, 2, m=0)
+        with pytest.raises(AggregationError, match="m"):
+            KrumGAR(9, 2, m=8)  # m > n - f
+
+    def test_m_property(self):
+        assert KrumGAR(9, 2, m=3).m == 3
+
+    def test_multikrum_smooths_more_than_krum(self):
+        """Averaging m selections reduces variance vs a single pick."""
+        rng = np.random.default_rng(6)
+        krum_outputs, multi_outputs = [], []
+        for _ in range(50):
+            gradients = rng.standard_normal((9, 4))
+            krum_outputs.append(KrumGAR(9, 2).aggregate(gradients))
+            multi_outputs.append(KrumGAR(9, 2, m=7).aggregate(gradients))
+        krum_var = np.var(np.stack(krum_outputs), axis=0).sum()
+        multi_var = np.var(np.stack(multi_outputs), axis=0).sum()
+        assert multi_var < krum_var

@@ -1,0 +1,108 @@
+"""Tests specific to MDA (Minimum Diameter Averaging)."""
+
+import math
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AggregationError
+from repro.gars.mda import MDAGAR
+from tests.helpers import random_gradient_matrix
+
+
+def brute_force_mda(gradients, f):
+    """Reference implementation: scan all subsets, no pruning.
+
+    Mirrors the library's tie-break contract: among subsets whose
+    diameters tie (to float equality), the lexicographically smallest
+    averaged vector wins.
+    """
+    n = gradients.shape[0]
+    squared_norms = np.sum(gradients**2, axis=1)
+    squared = (
+        squared_norms[:, None] + squared_norms[None, :] - 2.0 * (gradients @ gradients.T)
+    )
+    distances = np.sqrt(np.maximum(squared, 0.0))
+    best_diameter, best_mean = math.inf, None
+    for subset in combinations(range(n), n - f):
+        diameter = max(
+            (float(distances[i, j]) for i, j in combinations(subset, 2)),
+            default=0.0,
+        )
+        if diameter > best_diameter:
+            continue
+        mean = gradients[list(subset)].mean(axis=0)
+        if diameter < best_diameter or tuple(mean) < tuple(best_mean):
+            best_diameter, best_mean = diameter, mean
+    return best_mean
+
+
+class TestMDA:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_brute_force(self, seed):
+        gradients = random_gradient_matrix(9, 4, seed=seed)
+        gar = MDAGAR(9, 3)
+        assert np.allclose(gar.aggregate(gradients), brute_force_mda(gradients, 3))
+
+    def test_paper_setup_supported(self):
+        """n=11, f=5 — the experiments' configuration — is valid for MDA."""
+        assert MDAGAR.supports(11, 5)
+        gar = MDAGAR(11, 5)
+        gradients = random_gradient_matrix(11, 69, seed=0)
+        assert gar.aggregate(gradients).shape == (69,)
+
+    def test_majority_precondition(self):
+        assert not MDAGAR.supports(10, 5)  # 2f > n - 1
+        with pytest.raises(AggregationError, match="majority"):
+            MDAGAR(10, 5)
+
+    def test_f_zero_is_mean(self):
+        gradients = random_gradient_matrix(6, 4, seed=4)
+        gar = MDAGAR(6, 0)
+        assert np.allclose(gar.aggregate(gradients), gradients.mean(axis=0))
+
+    def test_excludes_far_outliers(self):
+        rng = np.random.default_rng(5)
+        cluster = 0.01 * rng.standard_normal((6, 4))
+        outliers = 100.0 + rng.standard_normal((5, 4))
+        gradients = np.vstack([cluster, outliers])
+        output = MDAGAR(11, 5).aggregate(gradients)
+        # The minimum-diameter 6-subset is the tight cluster.
+        assert np.allclose(output, cluster.mean(axis=0))
+
+    def test_identical_byzantine_block_can_capture(self):
+        """The ALIE geometry: f identical vectors near the cluster edge
+        form a tiny-diameter subset — documenting the known failure
+        mode the paper's Fig. 2 (DP column) exhibits."""
+        rng = np.random.default_rng(6)
+        honest = rng.standard_normal((6, 4))  # wide spread
+        byzantine = np.tile(honest.mean(axis=0) - 1.5 * honest.std(axis=0), (5, 1))
+        gradients = np.vstack([honest, byzantine])
+        output = MDAGAR(11, 5).aggregate(gradients)
+        # Output is pulled toward the Byzantine point: closer to it than
+        # to the honest mean.
+        to_byzantine = np.linalg.norm(output - byzantine[0])
+        to_honest = np.linalg.norm(output - honest.mean(axis=0))
+        assert to_byzantine < to_honest
+
+    def test_k_f_formula(self):
+        gar = MDAGAR(11, 5)
+        assert gar.k_f() == pytest.approx((11 - 5) / (math.sqrt(8) * 5))
+
+    def test_k_f_infinite_without_byzantine(self):
+        assert MDAGAR(6, 0).k_f() == math.inf
+
+    def test_subset_explosion_guarded(self):
+        # n=40, f=19 satisfies the majority precondition but C(40, 21)
+        # is ~1.3e11 subsets — far past the exhaustive-search limit.
+        with pytest.raises(AggregationError, match="infeasible"):
+            MDAGAR(40, 19)
+
+    def test_diameter_zero_subset_wins(self):
+        """A subset of identical vectors (diameter 0) always wins."""
+        gradients = np.vstack(
+            [np.tile(np.array([5.0, 5.0]), (4, 1)), random_gradient_matrix(3, 2, seed=7)]
+        )
+        output = MDAGAR(7, 3).aggregate(gradients)
+        assert np.allclose(output, [5.0, 5.0])

@@ -1,0 +1,159 @@
+"""Cross-cutting property tests every GAR must satisfy.
+
+These are the structural invariants of aggregation rules:
+unanimity, permutation invariance, translation equivariance, positive
+scale equivariance, coordinate-range boundedness, and input validation.
+Property-based variants use hypothesis.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import AggregationError
+from repro.gars import GAR_REGISTRY, available_gars, get_gar
+from tests.helpers import random_gradient_matrix
+
+# (name, n, f, kwargs) — a valid instantiation per rule.
+VALID_SETUPS = [
+    ("average", 11, 0, {}),
+    ("median", 11, 5, {}),
+    ("trimmed-mean", 11, 5, {}),
+    ("krum", 11, 4, {}),
+    ("krum", 11, 3, {"m": 3}),
+    ("mda", 11, 5, {}),
+    ("bulyan", 11, 2, {}),
+    ("meamed", 11, 5, {}),
+    ("phocas", 11, 5, {}),
+    ("oracle", 11, 5, {"honest_index": 2}),
+]
+
+IDS = [f"{name}-n{n}-f{f}{'-' + str(kw) if kw else ''}" for name, n, f, kw in VALID_SETUPS]
+
+
+@pytest.fixture(params=VALID_SETUPS, ids=IDS)
+def gar(request):
+    name, n, f, kwargs = request.param
+    return get_gar(name, n, f, **kwargs)
+
+
+class TestStructuralProperties:
+    def test_unanimity(self, gar):
+        """All workers submitting v must aggregate to exactly v."""
+        vector = np.array([1.5, -2.0, 0.0, 3.25])
+        gradients = np.tile(vector, (gar.n, 1))
+        assert np.allclose(gar.aggregate(gradients), vector)
+
+    def test_permutation_invariance(self, gar):
+        if gar.name == "oracle":
+            pytest.skip("oracle is index-based by design")
+        gradients = random_gradient_matrix(gar.n, 6, seed=1)
+        base = gar.aggregate(gradients)
+        rng = np.random.default_rng(2)
+        for _ in range(3):
+            permuted = gradients[rng.permutation(gar.n)]
+            assert np.allclose(gar.aggregate(permuted), base)
+
+    def test_translation_equivariance(self, gar):
+        """F(g + c) = F(g) + c for a constant shift c."""
+        gradients = random_gradient_matrix(gar.n, 5, seed=3)
+        shift = np.array([10.0, -5.0, 0.5, 2.0, -1.0])
+        base = gar.aggregate(gradients)
+        shifted = gar.aggregate(gradients + shift[None, :])
+        assert np.allclose(shifted, base + shift, atol=1e-9)
+
+    def test_positive_scale_equivariance(self, gar):
+        """F(c g) = c F(g) for c > 0."""
+        gradients = random_gradient_matrix(gar.n, 5, seed=4)
+        base = gar.aggregate(gradients)
+        assert np.allclose(gar.aggregate(3.0 * gradients), 3.0 * base, atol=1e-9)
+
+    def test_output_within_coordinate_range(self, gar):
+        """Each output coordinate lies in the submitted values' range."""
+        gradients = random_gradient_matrix(gar.n, 7, seed=5)
+        output = gar.aggregate(gradients)
+        low = gradients.min(axis=0) - 1e-12
+        high = gradients.max(axis=0) + 1e-12
+        assert np.all(output >= low)
+        assert np.all(output <= high)
+
+    def test_output_shape_and_dtype(self, gar):
+        output = gar.aggregate(random_gradient_matrix(gar.n, 9, seed=6))
+        assert output.shape == (9,)
+        assert output.dtype == np.float64
+
+    def test_deterministic(self, gar):
+        gradients = random_gradient_matrix(gar.n, 4, seed=7)
+        assert np.array_equal(gar.aggregate(gradients), gar.aggregate(gradients))
+
+    def test_accepts_list_of_vectors(self, gar):
+        gradients = random_gradient_matrix(gar.n, 4, seed=8)
+        as_list = [row for row in gradients]
+        assert np.allclose(gar.aggregate(as_list), gar.aggregate(gradients))
+
+
+class TestValidation:
+    def test_wrong_worker_count_rejected(self, gar):
+        with pytest.raises(AggregationError, match="n="):
+            gar.aggregate(random_gradient_matrix(gar.n + 1, 4, seed=0))
+
+    def test_non_finite_rejected(self, gar):
+        gradients = random_gradient_matrix(gar.n, 4, seed=0)
+        gradients[0, 0] = np.nan
+        with pytest.raises(AggregationError, match="non-finite"):
+            gar.aggregate(gradients)
+
+    def test_k_f_nonnegative(self, gar):
+        assert gar.k_f() >= 0.0
+
+
+class TestRegistry:
+    def test_available_sorted(self):
+        names = available_gars()
+        assert list(names) == sorted(names)
+        assert "mda" in names and "krum" in names
+
+    def test_unknown_name(self):
+        with pytest.raises(AggregationError, match="unknown GAR"):
+            get_gar("does-not-exist", 11, 5)
+
+    def test_registry_names_match_classes(self):
+        for name, cls in GAR_REGISTRY.items():
+            assert cls.name == name
+
+    def test_f_at_least_zero(self):
+        with pytest.raises(AggregationError):
+            get_gar("median", 11, -1)
+
+    def test_f_below_n(self):
+        with pytest.raises(AggregationError):
+            get_gar("median", 5, 5)
+
+
+class TestHypothesisProperties:
+    @given(
+        data=st.data(),
+        n_and_f=st.sampled_from([("median", 5, 2), ("trimmed-mean", 7, 3), ("mda", 7, 3)]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_unanimity_random_vectors(self, data, n_and_f):
+        name, n, f = n_and_f
+        gar = get_gar(name, n, f)
+        vector = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(-100, 100, allow_nan=False), min_size=3, max_size=3
+                )
+            )
+        )
+        assert np.allclose(gar.aggregate(np.tile(vector, (n, 1))), vector)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_median_between_extremes(self, seed):
+        gar = get_gar("median", 9, 4)
+        gradients = random_gradient_matrix(9, 5, seed=seed)
+        output = gar.aggregate(gradients)
+        assert np.all(output >= gradients.min(axis=0))
+        assert np.all(output <= gradients.max(axis=0))

@@ -1,0 +1,140 @@
+"""Integration tests reproducing the paper's qualitative claims.
+
+Each test runs a short (but real) distributed training and checks the
+*shape* of the result the corresponding figure reports.  Batch sizes
+and step counts are scaled down to keep the suite fast; the full-scale
+reproduction lives in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import train_test_split
+from repro.data.phishing import make_phishing_dataset
+from repro.distributed.trainer import train
+from repro.models.logistic import LogisticRegressionModel
+from repro.rng import generator_from_seed
+
+STEPS = 400
+
+
+@pytest.fixture(scope="module")
+def environment():
+    """A reduced phishing task (fewer points/features) for fast runs."""
+    dataset = make_phishing_dataset(seed=0)
+    train_set, test_set = train_test_split(dataset, 8400, generator_from_seed(1))
+    model = LogisticRegressionModel(dataset.num_features, loss_kind="mse")
+    return model, train_set, test_set
+
+
+def run(environment, **kwargs):
+    model, train_set, test_set = environment
+    defaults = dict(
+        model=model,
+        train_dataset=train_set,
+        test_dataset=test_set,
+        num_steps=STEPS,
+        n=11,
+        f=5,
+        batch_size=50,
+        eval_every=100,
+        seed=1,
+    )
+    defaults.update(kwargs)
+    return train(**defaults)
+
+
+@pytest.mark.slow
+class TestFigure2Shape:
+    """b = 50: attacks harmless without DP, harmful with DP."""
+
+    def test_baseline_converges(self, environment):
+        result = run(environment, gar="average", f=0)
+        assert result.history.max_accuracy > 0.9
+
+    @pytest.mark.parametrize("attack", ["little", "empire"])
+    def test_mda_resists_attacks_without_dp(self, environment, attack):
+        result = run(environment, gar="mda", attack=attack)
+        assert result.history.max_accuracy > 0.88
+
+    def test_mda_under_alie_with_dp_degrades(self, environment):
+        attacked = run(environment, gar="mda", attack="little", epsilon=0.2)
+        baseline = run(environment, gar="average", f=0)
+        assert attacked.history.max_accuracy < baseline.history.max_accuracy - 0.15
+
+    def test_dp_alone_much_better_than_dp_plus_attack(self, environment):
+        dp_only = run(environment, gar="average", f=0, epsilon=0.2)
+        dp_attacked = run(environment, gar="mda", attack="little", epsilon=0.2)
+        assert dp_only.history.max_accuracy > dp_attacked.history.max_accuracy + 0.1
+
+
+@pytest.mark.slow
+class TestFigure3Shape:
+    """b = 10: DP noise hampers training even without any attack."""
+
+    def test_no_dp_converges(self, environment):
+        result = run(environment, gar="average", f=0, batch_size=10)
+        assert result.history.max_accuracy > 0.88
+
+    def test_dp_hampers_even_unattacked(self, environment):
+        result = run(environment, gar="average", f=0, batch_size=10, epsilon=0.2)
+        clean = run(environment, gar="average", f=0, batch_size=10)
+        assert result.history.max_accuracy < clean.history.max_accuracy - 0.2
+
+
+@pytest.mark.slow
+class TestFigure4Shape:
+    """b = 500: DP and Byzantine resilience coexist."""
+
+    @pytest.mark.parametrize("attack", ["little", "empire"])
+    def test_dp_plus_attack_tolerated_at_large_batch(self, environment, attack):
+        result = run(environment, gar="mda", attack=attack, batch_size=500, epsilon=0.2)
+        assert result.history.max_accuracy > 0.88
+
+    def test_crossover_between_b50_and_b500(self, environment):
+        """The antagonism is batch-size dependent: same attack + DP,
+        only b changes."""
+        small = run(environment, gar="mda", attack="little", batch_size=50, epsilon=0.2)
+        large = run(environment, gar="mda", attack="little", batch_size=500, epsilon=0.2)
+        assert large.history.max_accuracy > small.history.max_accuracy + 0.2
+
+
+@pytest.mark.slow
+class TestAveragingFailsUnderAttack:
+    """Blanchard et al.'s premise: plain averaging is not resilient."""
+
+    def test_signflip_breaks_averaging(self, environment):
+        result = run(
+            environment,
+            gar="average",
+            f=5,
+            attack="signflip",
+            attack_kwargs={"scale": 5.0},
+        )
+        baseline = run(environment, gar="average", f=0)
+        assert result.history.final_loss > baseline.history.final_loss
+
+    def test_mda_survives_the_same_attack(self, environment):
+        result = run(
+            environment,
+            gar="mda",
+            f=5,
+            attack="signflip",
+            attack_kwargs={"scale": 5.0},
+        )
+        assert result.history.max_accuracy > 0.88
+
+
+@pytest.mark.slow
+class TestWorkerMomentumMatters:
+    """Ablation: worker-side momentum is what defeats ALIE at b = 50
+    without DP (El-Mhamdi et al. 2021); server-side momentum leaves MDA
+    exposed."""
+
+    def test_server_momentum_weaker_against_alie(self, environment):
+        worker_side = run(environment, gar="mda", attack="little", momentum_at="worker")
+        server_side = run(environment, gar="mda", attack="little", momentum_at="server")
+        assert (
+            worker_side.history.max_accuracy
+            > server_side.history.max_accuracy + 0.03
+        )

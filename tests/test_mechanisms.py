@@ -1,0 +1,160 @@
+"""Tests for the Gaussian and Laplace mechanisms and sensitivity calculus."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrivacyError
+from repro.privacy.mechanisms import GaussianMechanism, LaplaceMechanism
+from repro.privacy.sensitivity import (
+    batch_mean_l1_sensitivity,
+    batch_mean_l2_sensitivity,
+)
+from repro.rng import generator_from_seed
+
+
+class TestSensitivity:
+    def test_l2_formula(self):
+        assert batch_mean_l2_sensitivity(0.01, 50) == pytest.approx(2 * 0.01 / 50)
+
+    def test_l2_decreases_with_batch(self):
+        assert batch_mean_l2_sensitivity(1.0, 100) < batch_mean_l2_sensitivity(1.0, 10)
+
+    def test_l1_formula(self):
+        assert batch_mean_l1_sensitivity(0.01, 50, 69) == pytest.approx(
+            2 * math.sqrt(69) * 0.01 / 50
+        )
+
+    def test_l1_at_least_l2(self):
+        assert batch_mean_l1_sensitivity(1.0, 10, 4) >= batch_mean_l2_sensitivity(1.0, 10)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"g_max": 0.0, "batch_size": 10},
+        {"g_max": 1.0, "batch_size": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(PrivacyError):
+            batch_mean_l2_sensitivity(**kwargs)
+
+
+class TestGaussianMechanism:
+    def test_paper_noise_scale(self):
+        """Section 5.1's setup: G_max = 1e-2, b = 50, eps = 0.2, delta = 1e-6."""
+        mechanism = GaussianMechanism.for_clipped_gradients(0.2, 1e-6, 1e-2, 50)
+        expected = 2 * 1e-2 * math.sqrt(2 * math.log(1.25 / 1e-6)) / (50 * 0.2)
+        assert mechanism.sigma == pytest.approx(expected)
+
+    def test_sigma_decreases_with_epsilon(self):
+        low = GaussianMechanism(0.1, 1e-6, 1.0)
+        high = GaussianMechanism(0.9, 1e-6, 1.0)
+        assert high.sigma < low.sigma
+
+    def test_sigma_decreases_with_delta(self):
+        strict = GaussianMechanism(0.5, 1e-9, 1.0)
+        loose = GaussianMechanism(0.5, 1e-3, 1.0)
+        assert loose.sigma < strict.sigma
+
+    def test_sigma_scales_with_sensitivity(self):
+        a = GaussianMechanism(0.5, 1e-6, 1.0)
+        b = GaussianMechanism(0.5, 1e-6, 2.0)
+        assert b.sigma == pytest.approx(2 * a.sigma)
+
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, 1.5, -0.1])
+    def test_epsilon_must_be_in_unit_interval(self, epsilon):
+        with pytest.raises(PrivacyError, match="epsilon"):
+            GaussianMechanism(epsilon, 1e-6, 1.0)
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0, -0.1])
+    def test_delta_must_be_in_unit_interval(self, delta):
+        with pytest.raises(PrivacyError, match="delta"):
+            GaussianMechanism(0.5, delta, 1.0)
+
+    def test_noise_is_zero_mean_with_right_std(self):
+        mechanism = GaussianMechanism(0.5, 1e-6, 1.0)
+        rng = generator_from_seed(0)
+        noise = mechanism.sample_noise(200_000, rng)
+        assert abs(float(noise.mean())) < 0.05 * mechanism.sigma + 1e-3
+        assert float(noise.std()) == pytest.approx(mechanism.sigma, rel=0.02)
+
+    def test_privatize_adds_noise(self):
+        mechanism = GaussianMechanism(0.5, 1e-6, 1.0)
+        gradient = np.ones(10)
+        noisy = mechanism.privatize(gradient, generator_from_seed(1))
+        assert noisy.shape == gradient.shape
+        assert not np.array_equal(noisy, gradient)
+
+    def test_privatize_does_not_mutate(self):
+        mechanism = GaussianMechanism(0.5, 1e-6, 1.0)
+        gradient = np.ones(5)
+        mechanism.privatize(gradient, generator_from_seed(1))
+        assert np.array_equal(gradient, np.ones(5))
+
+    def test_privatize_deterministic_given_rng(self):
+        mechanism = GaussianMechanism(0.5, 1e-6, 1.0)
+        a = mechanism.privatize(np.zeros(8), generator_from_seed(2))
+        b = mechanism.privatize(np.zeros(8), generator_from_seed(2))
+        assert np.array_equal(a, b)
+
+    def test_total_noise_variance_linear_in_d(self):
+        """The 'curse of dimensionality': E||y||^2 = d s^2 (Eq. 8's term)."""
+        mechanism = GaussianMechanism(0.5, 1e-6, 1.0)
+        assert mechanism.total_noise_variance(100) == pytest.approx(
+            100 * mechanism.sigma**2
+        )
+        assert mechanism.total_noise_variance(200) == pytest.approx(
+            2 * mechanism.total_noise_variance(100)
+        )
+
+    def test_noise_multiplier(self):
+        mechanism = GaussianMechanism(0.5, 1e-6, 2.0)
+        assert mechanism.noise_multiplier == pytest.approx(mechanism.sigma / 2.0)
+
+    def test_rejects_2d_gradient(self):
+        mechanism = GaussianMechanism(0.5, 1e-6, 1.0)
+        with pytest.raises(ValueError):
+            mechanism.privatize(np.zeros((2, 2)), generator_from_seed(0))
+
+
+class TestLaplaceMechanism:
+    def test_scale_formula(self):
+        mechanism = LaplaceMechanism(0.5, 2.0)
+        assert mechanism.scale == pytest.approx(4.0)
+
+    def test_pure_dp(self):
+        assert LaplaceMechanism(0.5, 1.0).delta == 0.0
+
+    def test_variance_formula(self):
+        mechanism = LaplaceMechanism(0.5, 1.0)
+        assert mechanism.per_coordinate_variance == pytest.approx(2 * mechanism.scale**2)
+
+    def test_empirical_variance(self):
+        mechanism = LaplaceMechanism(0.5, 1.0)
+        noise = mechanism.sample_noise(200_000, generator_from_seed(3))
+        assert float(noise.var()) == pytest.approx(
+            mechanism.per_coordinate_variance, rel=0.05
+        )
+
+    def test_for_clipped_gradients_uses_l1(self):
+        mechanism = LaplaceMechanism.for_clipped_gradients(0.5, 0.01, 50, 69)
+        assert mechanism.l1_sensitivity == pytest.approx(
+            batch_mean_l1_sensitivity(0.01, 50, 69)
+        )
+
+    def test_epsilon_above_one_allowed(self):
+        """Unlike Gaussian, Laplace has no epsilon < 1 restriction."""
+        mechanism = LaplaceMechanism(2.0, 1.0)
+        assert mechanism.epsilon == 2.0
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(PrivacyError):
+            LaplaceMechanism(0.0, 1.0)
+
+    def test_laplace_noisier_than_gaussian_same_budget(self):
+        """For the same (eps, delta<1) budget on a d-dim gradient the
+        Laplace route (L1 = sqrt(d) L2) injects more total variance —
+        Remark 3's observation that the findings transfer."""
+        d, g_max, b = 69, 0.01, 50
+        gaussian = GaussianMechanism.for_clipped_gradients(0.5, 1e-6, g_max, b)
+        laplace = LaplaceMechanism.for_clipped_gradients(0.5, g_max, b, d)
+        assert laplace.total_noise_variance(d) > gaussian.total_noise_variance(d)

@@ -1,0 +1,47 @@
+"""Tests for the message types."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.messages import GradientMessage, WorkerSubmission
+
+
+class TestGradientMessage:
+    def test_construction(self):
+        message = GradientMessage(worker_id=3, step=7, gradient=np.ones(4))
+        assert message.worker_id == 3
+        assert message.step == 7
+        assert not message.byzantine
+
+    def test_gradient_coerced_to_float64(self):
+        message = GradientMessage(0, 1, np.array([1, 2], dtype=np.int32))
+        assert message.gradient.dtype == np.float64
+
+    def test_2d_gradient_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            GradientMessage(0, 1, np.zeros((2, 2)))
+
+    def test_frozen(self):
+        message = GradientMessage(0, 1, np.ones(2))
+        with pytest.raises(AttributeError):
+            message.worker_id = 5
+
+    def test_byzantine_flag(self):
+        message = GradientMessage(0, 1, np.ones(2), byzantine=True)
+        assert message.byzantine
+
+    def test_repr_hides_gradient(self):
+        message = GradientMessage(0, 1, np.ones(1000))
+        assert len(repr(message)) < 200
+
+
+class TestWorkerSubmission:
+    def test_holds_both_views(self):
+        submission = WorkerSubmission(submitted=np.ones(3), clean=np.zeros(3))
+        assert np.array_equal(submission.submitted, np.ones(3))
+        assert np.array_equal(submission.clean, np.zeros(3))
+
+    def test_frozen(self):
+        submission = WorkerSubmission(submitted=np.ones(3), clean=np.zeros(3))
+        with pytest.raises(AttributeError):
+            submission.submitted = np.zeros(3)

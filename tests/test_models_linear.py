@@ -1,0 +1,71 @@
+"""Tests for the linear regression model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.models.linear import LinearRegressionModel
+from tests.helpers import numerical_gradient
+
+
+@pytest.fixture
+def batch():
+    rng = np.random.default_rng(0)
+    features = rng.standard_normal((15, 3))
+    true_weights = np.array([1.0, -2.0, 0.5, 0.3])  # includes bias
+    labels = np.hstack([features, np.ones((15, 1))]) @ true_weights
+    return features, labels, true_weights
+
+
+class TestLinearRegression:
+    def test_dimension(self):
+        assert LinearRegressionModel(3).dimension == 4
+
+    def test_invalid_features(self):
+        with pytest.raises(ConfigurationError):
+            LinearRegressionModel(-1)
+
+    def test_gradient_matches_numerical(self, batch):
+        features, labels, _ = batch
+        model = LinearRegressionModel(3)
+        w = np.random.default_rng(1).standard_normal(4)
+        numeric = numerical_gradient(lambda p: model.loss(p, features, labels), w)
+        assert np.allclose(model.gradient(w, features, labels), numeric, atol=1e-6)
+
+    def test_per_example_mean_equals_batch(self, batch):
+        features, labels, _ = batch
+        model = LinearRegressionModel(3)
+        w = np.random.default_rng(2).standard_normal(4)
+        per_example = model.per_example_gradients(w, features, labels)
+        assert np.allclose(per_example.mean(axis=0), model.gradient(w, features, labels))
+
+    def test_zero_loss_at_true_weights(self, batch):
+        features, labels, true_weights = batch
+        model = LinearRegressionModel(3)
+        assert model.loss(true_weights, features, labels) == pytest.approx(0.0, abs=1e-20)
+
+    def test_zero_gradient_at_true_weights(self, batch):
+        features, labels, true_weights = batch
+        model = LinearRegressionModel(3)
+        assert np.linalg.norm(model.gradient(true_weights, features, labels)) < 1e-12
+
+    def test_solve_exact_recovers_weights(self, batch):
+        features, labels, true_weights = batch
+        model = LinearRegressionModel(3)
+        solution = model.solve_exact(features, labels)
+        assert np.allclose(solution, true_weights, atol=1e-8)
+
+    def test_solve_exact_minimises_loss(self, batch):
+        features, labels, _ = batch
+        model = LinearRegressionModel(3)
+        solution = model.solve_exact(features, labels)
+        best = model.loss(solution, features, labels)
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            other = solution + 0.1 * rng.standard_normal(4)
+            assert model.loss(other, features, labels) >= best
+
+    def test_not_a_classifier(self, batch):
+        features, _, _ = batch
+        with pytest.raises(NotImplementedError):
+            LinearRegressionModel(3).predict(np.zeros(4), features)

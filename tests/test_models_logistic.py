@@ -1,0 +1,156 @@
+"""Tests for the logistic regression model (MSE and NLL losses)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.models.logistic import LogisticRegressionModel, sigmoid
+from tests.helpers import numerical_gradient
+
+
+@pytest.fixture
+def batch():
+    rng = np.random.default_rng(0)
+    features = rng.random((12, 4))
+    labels = (rng.random(12) < 0.5).astype(float)
+    return features, labels
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        z = np.linspace(-5, 5, 11)
+        assert np.allclose(sigmoid(z) + sigmoid(-z), 1.0)
+
+    def test_extreme_values_stable(self):
+        out = sigmoid(np.array([-1000.0, 1000.0]))
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(1.0)
+        assert np.all(np.isfinite(out))
+
+    def test_monotonic(self):
+        z = np.linspace(-10, 10, 101)
+        assert np.all(np.diff(sigmoid(z)) > 0)
+
+
+class TestConstruction:
+    def test_dimension_includes_bias(self):
+        assert LogisticRegressionModel(68).dimension == 69
+
+    def test_paper_dimension(self):
+        """68 phishing features give exactly the paper's d = 69."""
+        model = LogisticRegressionModel(num_features=68, loss_kind="mse")
+        assert model.dimension == 69
+
+    def test_invalid_features(self):
+        with pytest.raises(ConfigurationError):
+            LogisticRegressionModel(0)
+
+    def test_invalid_loss(self):
+        with pytest.raises(ConfigurationError, match="loss_kind"):
+            LogisticRegressionModel(3, loss_kind="hinge")
+
+    def test_initial_parameters_zero(self):
+        model = LogisticRegressionModel(4)
+        assert np.array_equal(model.initial_parameters(), np.zeros(5))
+
+
+@pytest.mark.parametrize("loss_kind", ["mse", "nll"])
+class TestGradients:
+    def test_gradient_matches_numerical(self, batch, loss_kind):
+        features, labels = batch
+        model = LogisticRegressionModel(4, loss_kind=loss_kind)
+        rng = np.random.default_rng(1)
+        w = rng.standard_normal(model.dimension)
+        analytic = model.gradient(w, features, labels)
+        numeric = numerical_gradient(lambda p: model.loss(p, features, labels), w)
+        assert np.allclose(analytic, numeric, atol=1e-6)
+
+    def test_per_example_mean_equals_batch(self, batch, loss_kind):
+        features, labels = batch
+        model = LogisticRegressionModel(4, loss_kind=loss_kind)
+        w = np.random.default_rng(2).standard_normal(model.dimension)
+        per_example = model.per_example_gradients(w, features, labels)
+        assert per_example.shape == (12, model.dimension)
+        assert np.allclose(per_example.mean(axis=0), model.gradient(w, features, labels))
+
+    def test_gradient_zero_at_perfect_fit(self, batch, loss_kind):
+        """A saturated perfect classifier has (near-)zero gradient."""
+        features, labels = batch
+        model = LogisticRegressionModel(4, loss_kind=loss_kind)
+        # Build weights that perfectly separate using the labels directly:
+        # giant bias sign driven by a fabricated feature = labels.
+        fabricated = np.hstack([labels[:, None], features[:, 1:]])
+        w = np.array([1000.0, 0.0, 0.0, 0.0, -500.0])
+        gradient = model.gradient(w, fabricated, labels)
+        assert np.linalg.norm(gradient) < 1e-6
+
+
+class TestLosses:
+    def test_mse_loss_range(self, batch):
+        features, labels = batch
+        model = LogisticRegressionModel(4, loss_kind="mse")
+        loss = model.loss(np.zeros(5), features, labels)
+        assert 0.0 <= loss <= 1.0
+
+    def test_mse_at_zero_weights(self, batch):
+        """Zero weights predict 0.5 everywhere, so MSE = 0.25 exactly."""
+        features, labels = batch
+        model = LogisticRegressionModel(4, loss_kind="mse")
+        assert model.loss(np.zeros(5), features, labels) == pytest.approx(0.25)
+
+    def test_nll_at_zero_weights(self, batch):
+        features, labels = batch
+        model = LogisticRegressionModel(4, loss_kind="nll")
+        assert model.loss(np.zeros(5), features, labels) == pytest.approx(np.log(2.0))
+
+    def test_nll_never_negative(self, batch):
+        features, labels = batch
+        model = LogisticRegressionModel(4, loss_kind="nll")
+        w = np.random.default_rng(3).standard_normal(5)
+        assert model.loss(w, features, labels) >= 0.0
+
+
+class TestPrediction:
+    def test_predict_binary(self, batch):
+        features, _ = batch
+        model = LogisticRegressionModel(4)
+        predictions = model.predict(np.ones(5), features)
+        assert set(np.unique(predictions)) <= {0.0, 1.0}
+
+    def test_predict_proba_in_unit_interval(self, batch):
+        features, _ = batch
+        model = LogisticRegressionModel(4)
+        probabilities = model.predict_proba(np.ones(5), features)
+        assert np.all((probabilities >= 0) & (probabilities <= 1))
+
+    def test_accuracy_perfect_on_own_predictions(self, batch):
+        features, _ = batch
+        model = LogisticRegressionModel(4)
+        w = np.random.default_rng(4).standard_normal(5)
+        predictions = model.predict(w, features)
+        assert model.accuracy(w, features, predictions) == 1.0
+
+    def test_bias_changes_predictions(self):
+        model = LogisticRegressionModel(2)
+        features = np.zeros((3, 2))
+        high_bias = np.array([0.0, 0.0, 5.0])
+        low_bias = np.array([0.0, 0.0, -5.0])
+        assert np.all(model.predict(high_bias, features) == 1.0)
+        assert np.all(model.predict(low_bias, features) == 0.0)
+
+
+class TestValidation:
+    def test_wrong_feature_width_rejected(self, batch):
+        features, labels = batch
+        model = LogisticRegressionModel(7)
+        with pytest.raises(ValueError, match="features"):
+            model.loss(np.zeros(8), features, labels)
+
+    def test_wrong_parameter_shape_rejected(self, batch):
+        features, labels = batch
+        model = LogisticRegressionModel(4)
+        with pytest.raises(ValueError, match="parameters"):
+            model.loss(np.zeros(3), features, labels)

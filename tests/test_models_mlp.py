@@ -1,0 +1,84 @@
+"""Tests for the one-hidden-layer MLP (non-convex extension)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.models.mlp import MLPClassifierModel
+from tests.helpers import numerical_gradient
+
+
+@pytest.fixture
+def batch():
+    rng = np.random.default_rng(0)
+    features = rng.standard_normal((8, 3))
+    labels = (rng.random(8) < 0.5).astype(float)
+    return features, labels
+
+
+class TestMLP:
+    def test_dimension_formula(self):
+        model = MLPClassifierModel(num_features=3, hidden_units=5)
+        assert model.dimension == 5 * 3 + 2 * 5 + 1
+
+    def test_invalid_hidden(self):
+        with pytest.raises(ConfigurationError):
+            MLPClassifierModel(3, hidden_units=0)
+
+    def test_gradient_matches_numerical(self, batch):
+        features, labels = batch
+        model = MLPClassifierModel(3, hidden_units=4)
+        w = model.initial_parameters(np.random.default_rng(1))
+        numeric = numerical_gradient(
+            lambda p: model.loss(p, features, labels), w, epsilon=1e-6
+        )
+        assert np.allclose(model.gradient(w, features, labels), numeric, atol=1e-5)
+
+    def test_per_example_mean_equals_batch(self, batch):
+        features, labels = batch
+        model = MLPClassifierModel(3, hidden_units=4)
+        w = model.initial_parameters(np.random.default_rng(2))
+        per_example = model.per_example_gradients(w, features, labels)
+        assert per_example.shape == (8, model.dimension)
+        assert np.allclose(per_example.mean(axis=0), model.gradient(w, features, labels))
+
+    def test_initialisation_seeded(self):
+        model = MLPClassifierModel(3, hidden_units=4)
+        a = model.initial_parameters(np.random.default_rng(7))
+        b = model.initial_parameters(np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_initialisation_not_zero(self):
+        model = MLPClassifierModel(3, hidden_units=4)
+        w = model.initial_parameters(np.random.default_rng(0))
+        assert np.linalg.norm(w) > 0
+
+    def test_predictions_binary(self, batch):
+        features, _ = batch
+        model = MLPClassifierModel(3, hidden_units=4)
+        w = model.initial_parameters(np.random.default_rng(3))
+        assert set(np.unique(model.predict(w, features))) <= {0.0, 1.0}
+
+    def test_loss_bounded(self, batch):
+        features, labels = batch
+        model = MLPClassifierModel(3, hidden_units=4)
+        w = model.initial_parameters(np.random.default_rng(4))
+        assert 0.0 <= model.loss(w, features, labels) <= 1.0
+
+    def test_learns_xor(self):
+        """The classic non-linearly-separable task a linear model cannot do."""
+        features = np.array(
+            [[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]] * 25
+        )
+        labels = np.array([0.0, 1.0, 1.0, 0.0] * 25)
+        model = MLPClassifierModel(2, hidden_units=8)
+        w = model.initial_parameters(np.random.default_rng(5))
+        for _ in range(3000):
+            w -= 2.0 * model.gradient(w, features, labels)
+        assert model.accuracy(w, features, labels) == 1.0
+
+    def test_feature_width_validated(self, batch):
+        features, labels = batch
+        model = MLPClassifierModel(5, hidden_units=4)
+        with pytest.raises(ValueError):
+            model.loss(model.initial_parameters(), features, labels)

@@ -1,0 +1,94 @@
+"""Tests for the mean-estimation model (Theorem 1's landscape)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.models.quadratic import MeanEstimationModel
+from tests.helpers import numerical_gradient
+
+
+@pytest.fixture
+def cloud():
+    rng = np.random.default_rng(0)
+    return rng.standard_normal((40, 5)) + np.array([1.0, -1.0, 0.5, 0.0, 2.0])
+
+
+class TestMeanEstimation:
+    def test_dimension(self):
+        assert MeanEstimationModel(7).dimension == 7
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ConfigurationError):
+            MeanEstimationModel(0)
+
+    def test_gradient_matches_numerical(self, cloud):
+        model = MeanEstimationModel(5)
+        w = np.random.default_rng(1).standard_normal(5)
+        numeric = numerical_gradient(lambda p: model.loss(p, cloud, None), w)
+        assert np.allclose(model.gradient(w, cloud, None), numeric, atol=1e-5)
+
+    def test_gradient_closed_form(self, cloud):
+        """grad Q(w) = w - mean(x) exactly."""
+        model = MeanEstimationModel(5)
+        w = np.arange(5, dtype=float)
+        expected = w - cloud.mean(axis=0)
+        assert np.allclose(model.gradient(w, cloud, None), expected)
+
+    def test_per_example_gradients(self, cloud):
+        model = MeanEstimationModel(5)
+        w = np.ones(5)
+        per_example = model.per_example_gradients(w, cloud, None)
+        assert np.allclose(per_example, w[None, :] - cloud)
+
+    def test_optimum_is_mean(self, cloud):
+        model = MeanEstimationModel(5)
+        assert np.allclose(model.optimum(cloud), cloud.mean(axis=0))
+
+    def test_zero_gradient_at_optimum(self, cloud):
+        model = MeanEstimationModel(5)
+        gradient = model.gradient(model.optimum(cloud), cloud, None)
+        assert np.linalg.norm(gradient) < 1e-12
+
+    def test_loss_decomposition(self, cloud):
+        """Q(w) = 1/2 ||w - x_bar||^2 + Q* (the paper's identity)."""
+        model = MeanEstimationModel(5)
+        optimum = model.optimum(cloud)
+        optimal_loss = model.optimal_loss(cloud)
+        w = np.random.default_rng(2).standard_normal(5)
+        expected = 0.5 * float(np.sum((w - optimum) ** 2)) + optimal_loss
+        assert model.loss(w, cloud, None) == pytest.approx(expected)
+
+    def test_strong_convexity_constant(self, cloud):
+        """<w - w', grad(w) - grad(w')> = ||w - w'||^2 exactly (lambda = 1)."""
+        model = MeanEstimationModel(5)
+        rng = np.random.default_rng(3)
+        w1, w2 = rng.standard_normal(5), rng.standard_normal(5)
+        lhs = float(
+            np.dot(w1 - w2, model.gradient(w1, cloud, None) - model.gradient(w2, cloud, None))
+        )
+        assert lhs == pytest.approx(float(np.sum((w1 - w2) ** 2)))
+
+    def test_lipschitz_constant(self, cloud):
+        """||grad(w) - grad(w')|| = ||w - w'|| exactly (mu = 1)."""
+        model = MeanEstimationModel(5)
+        rng = np.random.default_rng(4)
+        w1, w2 = rng.standard_normal(5), rng.standard_normal(5)
+        lhs = np.linalg.norm(
+            model.gradient(w1, cloud, None) - model.gradient(w2, cloud, None)
+        )
+        assert lhs == pytest.approx(np.linalg.norm(w1 - w2))
+
+    def test_labels_ignored(self, cloud):
+        model = MeanEstimationModel(5)
+        w = np.ones(5)
+        assert model.loss(w, cloud, None) == model.loss(w, cloud, np.zeros(40))
+
+    def test_feature_width_validated(self, cloud):
+        model = MeanEstimationModel(4)
+        with pytest.raises(ValueError):
+            model.loss(np.zeros(4), cloud, None)
+
+    def test_not_a_classifier(self, cloud):
+        with pytest.raises(NotImplementedError):
+            MeanEstimationModel(5).predict(np.zeros(5), cloud)

@@ -1,0 +1,86 @@
+"""Tests for the softmax classifier."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.models.softmax import SoftmaxClassifierModel
+from tests.helpers import numerical_gradient
+
+
+@pytest.fixture
+def batch():
+    rng = np.random.default_rng(0)
+    features = rng.standard_normal((10, 3))
+    labels = rng.integers(0, 4, size=10).astype(float)
+    return features, labels
+
+
+class TestSoftmax:
+    def test_dimension(self):
+        model = SoftmaxClassifierModel(num_features=3, num_classes=4)
+        assert model.dimension == 4 * 4  # 4 classes x (3 features + bias)
+
+    def test_invalid_classes(self):
+        with pytest.raises(ConfigurationError):
+            SoftmaxClassifierModel(3, num_classes=1)
+
+    def test_gradient_matches_numerical(self, batch):
+        features, labels = batch
+        model = SoftmaxClassifierModel(3, 4)
+        w = 0.3 * np.random.default_rng(1).standard_normal(model.dimension)
+        numeric = numerical_gradient(lambda p: model.loss(p, features, labels), w)
+        assert np.allclose(model.gradient(w, features, labels), numeric, atol=1e-6)
+
+    def test_per_example_mean_equals_batch(self, batch):
+        features, labels = batch
+        model = SoftmaxClassifierModel(3, 4)
+        w = np.random.default_rng(2).standard_normal(model.dimension)
+        per_example = model.per_example_gradients(w, features, labels)
+        assert per_example.shape == (10, model.dimension)
+        assert np.allclose(per_example.mean(axis=0), model.gradient(w, features, labels))
+
+    def test_loss_at_zero_weights(self, batch):
+        """Uniform predictions give loss log(num_classes)."""
+        features, labels = batch
+        model = SoftmaxClassifierModel(3, 4)
+        assert model.loss(np.zeros(model.dimension), features, labels) == pytest.approx(
+            np.log(4.0)
+        )
+
+    def test_predictions_in_range(self, batch):
+        features, _ = batch
+        model = SoftmaxClassifierModel(3, 4)
+        w = np.random.default_rng(3).standard_normal(model.dimension)
+        predictions = model.predict(w, features)
+        assert set(np.unique(predictions)) <= {0.0, 1.0, 2.0, 3.0}
+
+    def test_label_validation(self, batch):
+        features, _ = batch
+        model = SoftmaxClassifierModel(3, 4)
+        with pytest.raises(ValueError, match="labels"):
+            model.loss(np.zeros(model.dimension), features, np.full(10, 7.0))
+
+    def test_fractional_labels_rejected(self, batch):
+        features, _ = batch
+        model = SoftmaxClassifierModel(3, 4)
+        with pytest.raises(ValueError, match="labels"):
+            model.loss(np.zeros(model.dimension), features, np.full(10, 0.5))
+
+    def test_large_logits_stable(self, batch):
+        features, labels = batch
+        model = SoftmaxClassifierModel(3, 4)
+        w = 1e4 * np.ones(model.dimension)
+        assert np.isfinite(model.loss(w, features, labels))
+
+    def test_learns_separable_task(self):
+        """A few GD steps crack a trivially separable 3-class task."""
+        rng = np.random.default_rng(4)
+        centers = np.array([[5.0, 0.0], [0.0, 5.0], [-5.0, -5.0]])
+        labels = rng.integers(0, 3, size=150).astype(float)
+        features = centers[labels.astype(int)] + 0.3 * rng.standard_normal((150, 2))
+        model = SoftmaxClassifierModel(2, 3)
+        w = np.zeros(model.dimension)
+        for _ in range(200):
+            w -= 0.5 * model.gradient(w, features, labels)
+        assert model.accuracy(w, features, labels) >= 0.99

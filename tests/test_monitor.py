@@ -1,0 +1,134 @@
+"""Tests for the run-time VN-ratio monitor."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.monitor import VNRatioMonitor, VNTrajectory
+from repro.data.batching import BatchSampler
+from repro.data.datasets import train_test_split
+from repro.data.phishing import make_phishing_dataset
+from repro.distributed.cluster import Cluster
+from repro.distributed.server import ParameterServer
+from repro.distributed.trainer import build_mechanism
+from repro.distributed.worker import HonestWorker
+from repro.exceptions import ConfigurationError
+from repro.gars import get_gar
+from repro.models.logistic import LogisticRegressionModel
+from repro.optim.sgd import SGDOptimizer
+from repro.rng import SeedTree, generator_from_seed
+
+
+def build_cluster(
+    epsilon=None, batch_size=50, num_honest=6, n=11, f=5, seed=0, gar="mda"
+):
+    dataset = make_phishing_dataset(seed=0, num_points=2000, num_features=20)
+    train_set, _ = train_test_split(dataset, 1500, generator_from_seed(1))
+    model = LogisticRegressionModel(20, loss_kind="mse")
+    seeds = SeedTree(seed)
+    mechanism = None
+    if epsilon is not None:
+        mechanism = build_mechanism(
+            "gaussian", epsilon, 1e-6, 1e-2, batch_size, model.dimension
+        )
+    workers = [
+        HonestWorker(
+            worker_id=index,
+            model=model,
+            sampler=BatchSampler(train_set, batch_size, seeds.generator("b", index)),
+            noise_rng=seeds.generator("n", index),
+            g_max=1e-2,
+            mechanism=mechanism,
+        )
+        for index in range(num_honest)
+    ]
+    server = ParameterServer(
+        initial_parameters=model.initial_parameters(),
+        gar=get_gar(gar, n, f),
+        optimizer=SGDOptimizer(2.0, momentum=0.0),
+    )
+    from repro.attacks import get_attack
+
+    return Cluster(
+        server=server,
+        honest_workers=workers,
+        num_byzantine=n - num_honest,
+        attack=get_attack("little"),
+        attack_rng=seeds.generator("attack"),
+    )
+
+
+class TestVNRatioMonitor:
+    def test_records_each_round(self):
+        cluster = build_cluster()
+        monitor = VNRatioMonitor(cluster)
+        for _ in range(10):
+            monitor.observe(cluster.step())
+        trajectory = monitor.trajectory
+        assert len(trajectory.steps) == 10
+        assert len(trajectory.clean_ratios) == 10
+
+    def test_needs_two_honest(self):
+        cluster = build_cluster(num_honest=1, n=6, f=5, gar="oracle")
+        with pytest.raises(ConfigurationError, match="2 honest"):
+            VNRatioMonitor(cluster)
+
+    def test_clean_equals_submitted_without_dp(self):
+        cluster = build_cluster(epsilon=None)
+        monitor = VNRatioMonitor(cluster)
+        for _ in range(5):
+            monitor.observe(cluster.step())
+        assert np.allclose(
+            monitor.trajectory.clean_ratios, monitor.trajectory.submitted_ratios
+        )
+
+    def test_dp_inflates_submitted_ratio(self):
+        """The empirical Eq. 8 effect: with the paper's b=50 noise the
+        submitted ratio dwarfs the clean one."""
+        cluster = build_cluster(epsilon=0.2)
+        monitor = VNRatioMonitor(cluster)
+        for _ in range(10):
+            monitor.observe(cluster.step())
+        trajectory = monitor.trajectory
+        assert trajectory.median_ratio("submitted") > 3 * trajectory.median_ratio("clean")
+
+    def test_dp_violates_k_f_every_round_at_b50(self):
+        """At d=21, b=50, eps=0.2 the feasibility analysis says the VN
+        condition cannot hold — the monitor should observe that."""
+        cluster = build_cluster(epsilon=0.2)
+        monitor = VNRatioMonitor(cluster)
+        for _ in range(10):
+            monitor.observe(cluster.step())
+        assert monitor.trajectory.submitted_violation_fraction == 1.0
+
+    def test_summary_renders(self):
+        cluster = build_cluster()
+        monitor = VNRatioMonitor(cluster)
+        monitor.observe(cluster.step())
+        text = monitor.trajectory.summary()
+        assert "k_F" in text and "median" in text
+
+
+class TestVNTrajectory:
+    def test_violation_fractions(self):
+        trajectory = VNTrajectory(
+            steps=[1, 2, 3, 4],
+            clean_ratios=[0.1, 0.2, 0.5, 0.6],
+            submitted_ratios=[1.0, 2.0, 3.0, 0.1],
+            k_f=0.42,
+        )
+        assert trajectory.clean_violation_fraction == pytest.approx(0.5)
+        assert trajectory.submitted_violation_fraction == pytest.approx(0.75)
+
+    def test_median(self):
+        trajectory = VNTrajectory(
+            steps=[1, 2, 3],
+            clean_ratios=[0.1, 0.3, 0.2],
+            submitted_ratios=[1.0, 3.0, 2.0],
+            k_f=1.0,
+        )
+        assert trajectory.median_ratio("clean") == pytest.approx(0.2)
+        assert trajectory.median_ratio("submitted") == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError, match="no rounds"):
+            VNTrajectory(k_f=1.0).clean_violation_fraction

@@ -1,0 +1,161 @@
+"""Tests for schedules and the SGD optimizer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, TrainingError
+from repro.optim.schedules import (
+    ConstantSchedule,
+    InverseTimeSchedule,
+    StepDecaySchedule,
+    theorem1_schedule,
+)
+from repro.optim.sgd import SGDOptimizer
+
+
+class TestConstantSchedule:
+    def test_constant(self):
+        schedule = ConstantSchedule(2.0)
+        assert schedule.rate(1) == 2.0
+        assert schedule.rate(1000) == 2.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            ConstantSchedule(0.0)
+
+    def test_rejects_step_zero(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(1.0).rate(0)
+
+
+class TestInverseTimeSchedule:
+    def test_values(self):
+        schedule = InverseTimeSchedule(3.0)
+        assert schedule.rate(1) == 3.0
+        assert schedule.rate(3) == 1.0
+        assert schedule.rate(30) == pytest.approx(0.1)
+
+    def test_strictly_decreasing(self):
+        schedule = InverseTimeSchedule(1.0)
+        rates = [schedule.rate(t) for t in range(1, 20)]
+        assert all(a > b for a, b in zip(rates, rates[1:]))
+
+
+class TestStepDecaySchedule:
+    def test_decay_boundaries(self):
+        schedule = StepDecaySchedule(1.0, factor=0.5, period=10)
+        assert schedule.rate(1) == 1.0
+        assert schedule.rate(10) == 1.0
+        assert schedule.rate(11) == 0.5
+        assert schedule.rate(21) == 0.25
+
+    def test_factor_validation(self):
+        with pytest.raises(ConfigurationError):
+            StepDecaySchedule(1.0, factor=1.5, period=10)
+
+
+class TestTheorem1Schedule:
+    def test_formula(self):
+        schedule = theorem1_schedule(strong_convexity=2.0, alpha=math.pi / 6)
+        # gamma_t = 1 / (lambda (1 - sin alpha) t); sin(pi/6) = 0.5.
+        assert schedule.rate(1) == pytest.approx(1.0 / (2.0 * 0.5))
+        assert schedule.rate(4) == pytest.approx(1.0 / (2.0 * 0.5 * 4))
+
+    def test_alpha_zero(self):
+        schedule = theorem1_schedule(1.0, 0.0)
+        assert schedule.rate(1) == pytest.approx(1.0)
+
+    def test_alpha_range_validated(self):
+        with pytest.raises(ConfigurationError):
+            theorem1_schedule(1.0, math.pi / 2)
+
+
+class TestSGDOptimizer:
+    def test_plain_sgd_step(self):
+        optimizer = SGDOptimizer(0.1)
+        updated = optimizer.step(np.array([1.0, 2.0]), np.array([1.0, -1.0]))
+        assert np.allclose(updated, [0.9, 2.1])
+
+    def test_accepts_float_learning_rate(self):
+        assert SGDOptimizer(2.0).schedule.rate(1) == 2.0
+
+    def test_momentum_accumulates(self):
+        optimizer = SGDOptimizer(1.0, momentum=0.5)
+        w = np.zeros(1)
+        g = np.ones(1)
+        w = optimizer.step(w, g)  # v = 1, w = -1
+        assert w[0] == pytest.approx(-1.0)
+        w = optimizer.step(w, g)  # v = 1.5, w = -2.5
+        assert w[0] == pytest.approx(-2.5)
+
+    def test_momentum_equals_geometric_sum(self):
+        """With constant gradient g, velocity converges to g / (1 - m)."""
+        optimizer = SGDOptimizer(0.0001, momentum=0.9)
+        w = np.zeros(1)
+        for _ in range(500):
+            w = optimizer.step(w, np.ones(1))
+        assert optimizer.velocity[0] == pytest.approx(10.0, rel=1e-3)
+
+    def test_nesterov_differs_from_heavy_ball(self):
+        heavy = SGDOptimizer(0.1, momentum=0.9)
+        nesterov = SGDOptimizer(0.1, momentum=0.9, nesterov=True)
+        w0 = np.ones(2)
+        g = np.array([1.0, -2.0])
+        heavy_w = heavy.step(heavy.step(w0, g), g)
+        nesterov_w = nesterov.step(nesterov.step(w0, g), g)
+        assert not np.allclose(heavy_w, nesterov_w)
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ConfigurationError):
+            SGDOptimizer(0.1, momentum=0.0, nesterov=True)
+
+    def test_momentum_range_validated(self):
+        with pytest.raises(ConfigurationError):
+            SGDOptimizer(0.1, momentum=1.0)
+
+    def test_schedule_respected(self):
+        optimizer = SGDOptimizer(InverseTimeSchedule(1.0))
+        w = np.zeros(1)
+        w = optimizer.step(w, np.ones(1))  # rate 1
+        assert w[0] == pytest.approx(-1.0)
+        w = optimizer.step(w, np.ones(1))  # rate 1/2
+        assert w[0] == pytest.approx(-1.5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SGDOptimizer(0.1).step(np.zeros(2), np.zeros(3))
+
+    @pytest.mark.filterwarnings("ignore:overflow")
+    def test_divergence_detected(self):
+        optimizer = SGDOptimizer(1e300)
+        with pytest.raises(TrainingError, match="diverged"):
+            optimizer.step(np.full(2, 1e100), np.full(2, 1e100))
+
+    def test_reset(self):
+        optimizer = SGDOptimizer(0.1, momentum=0.9)
+        optimizer.step(np.zeros(2), np.ones(2))
+        optimizer.reset()
+        assert optimizer.velocity is None
+        assert optimizer.step_count == 0
+
+    def test_step_count(self):
+        optimizer = SGDOptimizer(0.1)
+        for expected in range(1, 4):
+            optimizer.step(np.zeros(1), np.zeros(1))
+            assert optimizer.step_count == expected
+
+    def test_velocity_returns_copy(self):
+        optimizer = SGDOptimizer(0.1, momentum=0.9)
+        optimizer.step(np.zeros(2), np.ones(2))
+        optimizer.velocity[0] = 999.0
+        assert optimizer.velocity[0] != 999.0
+
+    def test_gradient_descent_converges_on_quadratic(self):
+        """Minimise ||w - 3||^2 / 2; gradient = w - 3."""
+        optimizer = SGDOptimizer(0.5)
+        w = np.zeros(1)
+        for _ in range(50):
+            w = optimizer.step(w, w - 3.0)
+        assert w[0] == pytest.approx(3.0, abs=1e-6)

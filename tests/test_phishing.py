@@ -1,0 +1,97 @@
+"""Tests for the synthetic phishing dataset generator.
+
+Includes the calibration contract from DESIGN.md: shape identical to
+the real LIBSVM phishing dataset, values in {0, 0.5, 1}, a roughly
+balanced label split, and linear-model learnability around 93 %.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import train_test_split
+from repro.data.phishing import (
+    PHISHING_NUM_FEATURES,
+    PHISHING_NUM_POINTS,
+    PHISHING_TRAIN_SIZE,
+    make_phishing_dataset,
+)
+from repro.exceptions import DataError
+from repro.models.logistic import LogisticRegressionModel
+from repro.rng import generator_from_seed
+
+
+class TestShape:
+    def test_default_shape_matches_real_dataset(self):
+        dataset = make_phishing_dataset(seed=0)
+        assert dataset.num_points == PHISHING_NUM_POINTS == 11_055
+        assert dataset.num_features == PHISHING_NUM_FEATURES == 68
+
+    def test_custom_shape(self):
+        dataset = make_phishing_dataset(seed=0, num_points=100, num_features=10)
+        assert dataset.num_points == 100
+        assert dataset.num_features == 10
+
+    def test_feature_values_ternary(self):
+        dataset = make_phishing_dataset(seed=0, num_points=500)
+        assert set(np.unique(dataset.features)) <= {0.0, 0.5, 1.0}
+
+    def test_labels_binary(self):
+        dataset = make_phishing_dataset(seed=0, num_points=500)
+        assert set(np.unique(dataset.labels)) <= {0.0, 1.0}
+
+    @pytest.mark.parametrize("bad", [0, -5])
+    def test_invalid_num_points(self, bad):
+        with pytest.raises(DataError):
+            make_phishing_dataset(num_points=bad)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_invalid_num_features(self, bad):
+        with pytest.raises(DataError):
+            make_phishing_dataset(num_features=bad)
+
+
+class TestDeterminism:
+    def test_same_seed_identical(self):
+        a = make_phishing_dataset(seed=3, num_points=200)
+        b = make_phishing_dataset(seed=3, num_points=200)
+        assert np.array_equal(a.features, b.features)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seed_differs(self):
+        a = make_phishing_dataset(seed=3, num_points=200)
+        b = make_phishing_dataset(seed=4, num_points=200)
+        assert not np.array_equal(a.labels, b.labels)
+
+
+class TestCalibration:
+    """The DESIGN.md contract with the real dataset's difficulty."""
+
+    @pytest.fixture(scope="class")
+    def full_dataset(self):
+        return make_phishing_dataset(seed=0)
+
+    def test_class_balance_roughly_55_45(self, full_dataset):
+        balance = full_dataset.class_balance()
+        assert 0.45 <= balance[1.0] <= 0.65
+
+    def test_linear_model_reaches_92_percent(self, full_dataset):
+        train, test = train_test_split(
+            full_dataset, PHISHING_TRAIN_SIZE, generator_from_seed(1)
+        )
+        model = LogisticRegressionModel(PHISHING_NUM_FEATURES, loss_kind="nll")
+        weights = np.zeros(model.dimension)
+        for _ in range(1500):
+            weights -= 0.5 * model.gradient(weights, train.features, train.labels)
+        accuracy = model.accuracy(weights, test.features, test.labels)
+        assert accuracy >= 0.90, f"calibration regressed: test accuracy {accuracy:.3f}"
+
+    def test_not_trivially_separable(self, full_dataset):
+        """Label noise keeps the task from being 100% learnable."""
+        model = LogisticRegressionModel(PHISHING_NUM_FEATURES, loss_kind="nll")
+        weights = np.zeros(model.dimension)
+        for _ in range(500):
+            weights -= 0.5 * model.gradient(
+                weights, full_dataset.features, full_dataset.labels
+            )
+        accuracy = model.accuracy(weights, full_dataset.features, full_dataset.labels)
+        assert accuracy <= 0.995

@@ -1,0 +1,142 @@
+"""Property-based tests (hypothesis) on the model substrate.
+
+Invariants every model must satisfy on *arbitrary* well-formed inputs:
+analytic gradients match finite differences, per-example gradients
+average to the batch gradient, and losses respond correctly to label
+perturbations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.linear import LinearRegressionModel
+from repro.models.logistic import LogisticRegressionModel
+from repro.models.mlp import MLPClassifierModel
+from repro.models.quadratic import MeanEstimationModel
+from repro.models.softmax import SoftmaxClassifierModel
+from tests.helpers import numerical_gradient
+
+# Small dimensions keep the finite-difference loops fast.
+batch_sizes = st.integers(2, 6)
+feature_dims = st.integers(1, 4)
+seeds = st.integers(0, 10_000)
+
+
+def make_batch(rng, batch_size, num_features, binary=True):
+    features = rng.uniform(-2.0, 2.0, size=(batch_size, num_features))
+    if binary:
+        labels = (rng.random(batch_size) < 0.5).astype(float)
+    else:
+        labels = rng.uniform(-2.0, 2.0, size=batch_size)
+    return features, labels
+
+
+class TestGradientConsistency:
+    @given(seed=seeds, batch_size=batch_sizes, num_features=feature_dims)
+    @settings(max_examples=25, deadline=None)
+    def test_logistic_mse_gradient(self, seed, batch_size, num_features):
+        rng = np.random.default_rng(seed)
+        model = LogisticRegressionModel(num_features, loss_kind="mse")
+        features, labels = make_batch(rng, batch_size, num_features)
+        w = rng.standard_normal(model.dimension)
+        numeric = numerical_gradient(lambda p: model.loss(p, features, labels), w)
+        assert np.allclose(model.gradient(w, features, labels), numeric, atol=1e-5)
+
+    @given(seed=seeds, batch_size=batch_sizes, num_features=feature_dims)
+    @settings(max_examples=25, deadline=None)
+    def test_linear_gradient(self, seed, batch_size, num_features):
+        rng = np.random.default_rng(seed)
+        model = LinearRegressionModel(num_features)
+        features, labels = make_batch(rng, batch_size, num_features, binary=False)
+        w = rng.standard_normal(model.dimension)
+        numeric = numerical_gradient(lambda p: model.loss(p, features, labels), w)
+        assert np.allclose(model.gradient(w, features, labels), numeric, atol=1e-5)
+
+    @given(seed=seeds, batch_size=batch_sizes, num_features=feature_dims)
+    @settings(max_examples=20, deadline=None)
+    def test_mlp_gradient(self, seed, batch_size, num_features):
+        rng = np.random.default_rng(seed)
+        model = MLPClassifierModel(num_features, hidden_units=3)
+        features, labels = make_batch(rng, batch_size, num_features)
+        w = model.initial_parameters(rng)
+        numeric = numerical_gradient(lambda p: model.loss(p, features, labels), w)
+        assert np.allclose(model.gradient(w, features, labels), numeric, atol=1e-4)
+
+    @given(seed=seeds, batch_size=batch_sizes, num_features=feature_dims)
+    @settings(max_examples=20, deadline=None)
+    def test_softmax_gradient(self, seed, batch_size, num_features):
+        rng = np.random.default_rng(seed)
+        model = SoftmaxClassifierModel(num_features, num_classes=3)
+        features, _ = make_batch(rng, batch_size, num_features)
+        labels = rng.integers(0, 3, size=batch_size).astype(float)
+        w = 0.5 * rng.standard_normal(model.dimension)
+        numeric = numerical_gradient(lambda p: model.loss(p, features, labels), w)
+        assert np.allclose(model.gradient(w, features, labels), numeric, atol=1e-5)
+
+
+class TestPerExampleAveraging:
+    MODELS = [
+        ("logistic", lambda d: LogisticRegressionModel(d)),
+        ("linear", lambda d: LinearRegressionModel(d)),
+        ("quadratic", lambda d: MeanEstimationModel(d)),
+        ("mlp", lambda d: MLPClassifierModel(d, hidden_units=3)),
+    ]
+
+    @pytest.mark.parametrize("name,factory", MODELS, ids=[m[0] for m in MODELS])
+    @given(seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_per_example_mean_is_batch_gradient(self, name, factory, seed):
+        rng = np.random.default_rng(seed)
+        num_features = 3
+        model = factory(num_features)
+        features, labels = make_batch(rng, 5, num_features)
+        if name == "mlp":
+            w = model.initial_parameters(rng)
+        else:
+            w = rng.standard_normal(model.dimension)
+        per_example = model.per_example_gradients(w, features, labels)
+        assert per_example.shape == (5, model.dimension)
+        assert np.allclose(
+            per_example.mean(axis=0), model.gradient(w, features, labels), atol=1e-12
+        )
+
+
+class TestLossSemantics:
+    @given(seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_logistic_loss_nonnegative(self, seed):
+        rng = np.random.default_rng(seed)
+        model = LogisticRegressionModel(3, loss_kind="mse")
+        features, labels = make_batch(rng, 5, 3)
+        w = 3.0 * rng.standard_normal(model.dimension)
+        assert model.loss(w, features, labels) >= 0.0
+
+    @given(seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_quadratic_loss_minimised_at_mean(self, seed):
+        rng = np.random.default_rng(seed)
+        model = MeanEstimationModel(3)
+        cloud = rng.standard_normal((10, 3))
+        optimum = model.optimum(cloud)
+        best = model.loss(optimum, cloud, None)
+        other = optimum + 0.1 * rng.standard_normal(3)
+        assert model.loss(other, cloud, None) >= best
+
+    @given(seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_flipping_labels_flips_mse_loss_order(self, seed):
+        """If w fits labels y well, it must fit 1-y badly (MSE on
+        sigmoid outputs is symmetric around 0.5)."""
+        rng = np.random.default_rng(seed)
+        model = LogisticRegressionModel(3, loss_kind="mse")
+        features, labels = make_batch(rng, 6, 3)
+        w = rng.standard_normal(model.dimension)
+        loss = model.loss(w, features, labels)
+        flipped = model.loss(w, features, 1.0 - labels)
+        probabilities = model.predict_proba(w, features)
+        # loss + flipped = mean((p-y)^2 + (p-1+y)^2) which only depends
+        # on p: check the identity directly.
+        expected = float(np.mean((probabilities - labels) ** 2 + (probabilities - 1 + labels) ** 2))
+        assert loss + flipped == pytest.approx(expected)

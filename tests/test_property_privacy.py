@@ -1,0 +1,126 @@
+"""Property-based and statistical tests on the privacy substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.privacy.accountants import (
+    AdvancedCompositionAccountant,
+    BasicCompositionAccountant,
+    RDPAccountant,
+)
+from repro.privacy.amplification import amplify_by_subsampling
+from repro.privacy.mechanisms import GaussianMechanism, LaplaceMechanism
+from repro.rng import generator_from_seed
+
+epsilons = st.floats(0.01, 0.99)
+deltas = st.floats(1e-9, 1e-3)
+batch_sizes = st.integers(1, 1000)
+step_counts = st.integers(1, 5000)
+
+
+class TestMechanismProperties:
+    @given(epsilon=epsilons, delta=deltas, batch_size=batch_sizes)
+    @settings(max_examples=50, deadline=None)
+    def test_gaussian_sigma_positive_and_finite(self, epsilon, delta, batch_size):
+        mechanism = GaussianMechanism.for_clipped_gradients(
+            epsilon, delta, 1e-2, batch_size
+        )
+        assert 0 < mechanism.sigma < np.inf
+
+    @given(epsilon=epsilons, delta=deltas)
+    @settings(max_examples=50, deadline=None)
+    def test_gaussian_sigma_antitone_in_batch(self, epsilon, delta):
+        small = GaussianMechanism.for_clipped_gradients(epsilon, delta, 1e-2, 10)
+        large = GaussianMechanism.for_clipped_gradients(epsilon, delta, 1e-2, 100)
+        assert large.sigma < small.sigma
+
+    @given(epsilon=epsilons, delta=deltas, batch_size=batch_sizes)
+    @settings(max_examples=50, deadline=None)
+    def test_noise_multiplier_independent_of_sensitivity(
+        self, epsilon, delta, batch_size
+    ):
+        """sigma/sensitivity depends only on (eps, delta)."""
+        a = GaussianMechanism.for_clipped_gradients(epsilon, delta, 1e-2, batch_size)
+        b = GaussianMechanism.for_clipped_gradients(epsilon, delta, 1.0, batch_size)
+        assert a.noise_multiplier == pytest.approx(b.noise_multiplier)
+
+    def test_gaussian_noise_is_gaussian(self):
+        """Kolmogorov-Smirnov test of the sampled noise distribution."""
+        mechanism = GaussianMechanism(0.5, 1e-6, 1.0)
+        noise = mechanism.sample_noise(50_000, generator_from_seed(0))
+        statistic, p_value = stats.kstest(noise / mechanism.sigma, "norm")
+        assert p_value > 0.01
+
+    def test_laplace_noise_is_laplace(self):
+        mechanism = LaplaceMechanism(0.5, 1.0)
+        noise = mechanism.sample_noise(50_000, generator_from_seed(1))
+        statistic, p_value = stats.kstest(noise / mechanism.scale, "laplace")
+        assert p_value > 0.01
+
+    def test_privatized_mean_unbiased(self):
+        """E[M(g)] = g: averaging many privatized copies recovers g."""
+        mechanism = GaussianMechanism(0.5, 1e-6, 1.0)
+        rng = generator_from_seed(2)
+        gradient = np.array([1.0, -2.0, 0.5])
+        copies = np.stack([mechanism.privatize(gradient, rng) for _ in range(20_000)])
+        assert np.allclose(copies.mean(axis=0), gradient, atol=0.05 * mechanism.sigma + 0.01)
+
+
+class TestAccountantProperties:
+    @given(epsilon=epsilons, delta=deltas, steps=step_counts)
+    @settings(max_examples=50, deadline=None)
+    def test_basic_linear_exactly(self, epsilon, delta, steps):
+        spend = BasicCompositionAccountant().compose(epsilon, delta, steps)
+        assert spend.epsilon == pytest.approx(steps * epsilon)
+        assert spend.delta == pytest.approx(steps * delta)
+
+    @given(epsilon=st.floats(0.01, 0.3), steps=st.integers(100, 5000))
+    @settings(max_examples=50, deadline=None)
+    def test_advanced_beats_basic_eventually(self, epsilon, steps):
+        basic = BasicCompositionAccountant().compose(epsilon, 0.0, steps)
+        advanced = AdvancedCompositionAccountant(1e-6).compose(epsilon, 0.0, steps)
+        if steps * epsilon**2 > 50:  # regime where sqrt(k) wins
+            assert advanced.epsilon < basic.epsilon
+
+    @given(multiplier=st.floats(0.5, 50.0), steps=step_counts)
+    @settings(max_examples=50, deadline=None)
+    def test_rdp_monotone_in_steps(self, multiplier, steps):
+        short = RDPAccountant()
+        short.step_gaussian(multiplier, steps)
+        long = RDPAccountant()
+        long.step_gaussian(multiplier, steps + 100)
+        assert (
+            long.get_privacy_spent(1e-6).epsilon
+            > short.get_privacy_spent(1e-6).epsilon
+        )
+
+    @given(multiplier=st.floats(0.5, 50.0))
+    @settings(max_examples=50, deadline=None)
+    def test_rdp_monotone_in_noise(self, multiplier):
+        noisy = RDPAccountant()
+        noisy.step_gaussian(multiplier * 2, 100)
+        quiet = RDPAccountant()
+        quiet.step_gaussian(multiplier, 100)
+        assert noisy.get_privacy_spent(1e-6).epsilon < quiet.get_privacy_spent(1e-6).epsilon
+
+    @given(
+        epsilon=epsilons,
+        delta=deltas,
+        batch_size=st.integers(1, 100),
+        dataset_size=st.integers(100, 100_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_amplification_never_hurts(self, epsilon, delta, batch_size, dataset_size):
+        amplified = amplify_by_subsampling(epsilon, delta, batch_size, dataset_size)
+        assert amplified.epsilon <= epsilon + 1e-12
+        assert amplified.delta <= delta + 1e-18
+
+    @given(epsilon=epsilons, delta=deltas)
+    @settings(max_examples=30, deadline=None)
+    def test_amplification_monotone_in_rate(self, epsilon, delta):
+        low_rate = amplify_by_subsampling(epsilon, delta, 10, 10_000)
+        high_rate = amplify_by_subsampling(epsilon, delta, 100, 10_000)
+        assert low_rate.epsilon < high_rate.epsilon

@@ -1,0 +1,164 @@
+"""Tests for (alpha, f)-resilience certification."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.resilience import (
+    angle_condition_holds,
+    certify_vn_condition,
+    estimate_alpha,
+)
+from repro.exceptions import ResilienceError
+from repro.gars import get_gar
+
+
+class TestCertifyVNCondition:
+    def test_clean_satisfied(self):
+        gar = get_gar("mda", 11, 5)  # k_F ~ 0.424
+        certificate = certify_vn_condition(gar, variance=1e-6, mean_norm=0.01)
+        assert certificate.satisfied
+        assert not certificate.dp_enabled
+        assert certificate.margin > 0
+
+    def test_clean_violated(self):
+        gar = get_gar("mda", 11, 5)
+        certificate = certify_vn_condition(gar, variance=1.0, mean_norm=0.01)
+        assert not certificate.satisfied
+        assert certificate.margin < 0
+
+    def test_dp_flips_verdict(self):
+        """The paper's core point at one configuration: a distribution
+        that satisfies the VN condition without DP fails it once the
+        b=50, eps=0.2 noise is added."""
+        gar = get_gar("mda", 11, 5)
+        clean = certify_vn_condition(gar, variance=1e-6, mean_norm=0.01)
+        noisy = certify_vn_condition(
+            gar,
+            variance=1e-6,
+            mean_norm=0.01,
+            dimension=69,
+            g_max=1e-2,
+            batch_size=50,
+            epsilon=0.2,
+            delta=1e-6,
+        )
+        assert clean.satisfied
+        assert not noisy.satisfied
+        assert noisy.dp_enabled
+
+    def test_large_batch_restores_condition(self):
+        """Fig. 4's regime: b = 5000 makes the noisy condition hold again."""
+        gar = get_gar("mda", 11, 5)
+        noisy = certify_vn_condition(
+            gar,
+            variance=1e-8,
+            mean_norm=0.01,
+            dimension=69,
+            g_max=1e-2,
+            batch_size=5000,
+            epsilon=0.2,
+            delta=1e-6,
+        )
+        assert noisy.satisfied
+
+    def test_partial_dp_arguments_rejected(self):
+        gar = get_gar("mda", 11, 5)
+        with pytest.raises(ResilienceError, match="all of"):
+            certify_vn_condition(gar, 1e-6, 0.01, dimension=69)
+
+    def test_str_rendering(self):
+        gar = get_gar("mda", 11, 5)
+        text = str(certify_vn_condition(gar, 1e-6, 0.01))
+        assert "SATISFIED" in text and "k_F" in text
+
+
+class TestEstimateAlpha:
+    def test_aligned_output_gives_zero(self):
+        gradient = np.array([1.0, 0.0])
+        assert estimate_alpha(gradient, gradient) == pytest.approx(0.0)
+
+    def test_known_angle(self):
+        gradient = np.array([1.0, 0.0])
+        # Output with projection 0.5 onto gradient: sin(alpha) = 0.5.
+        output = np.array([0.5, 1.0])
+        assert estimate_alpha(output, gradient) == pytest.approx(math.asin(0.5))
+
+    def test_longer_aligned_output_still_zero(self):
+        gradient = np.array([1.0, 0.0])
+        output = np.array([2.0, 0.0])  # projection 2 > 1: sine clamped at 0
+        assert estimate_alpha(output, gradient) == 0.0
+
+    def test_orthogonal_output_rejected(self):
+        gradient = np.array([1.0, 0.0])
+        output = np.array([0.0, 1.0])
+        with pytest.raises(ResilienceError, match="no alpha"):
+            estimate_alpha(output, gradient)
+
+    def test_zero_gradient_rejected(self):
+        with pytest.raises(ResilienceError, match="zero"):
+            estimate_alpha(np.ones(2), np.zeros(2))
+
+
+class TestAngleCondition:
+    def test_holds_for_aligned(self):
+        gradient = np.array([2.0, 0.0])
+        assert angle_condition_holds(gradient, gradient, alpha=0.1)
+
+    def test_fails_for_opposed(self):
+        gradient = np.array([1.0, 0.0])
+        assert not angle_condition_holds(-gradient, gradient, alpha=1.0)
+
+    def test_threshold_behaviour(self):
+        gradient = np.array([1.0, 0.0])
+        output = np.array([0.6, 0.0])  # inner product 0.6 = (1 - sin a)
+        assert angle_condition_holds(output, gradient, alpha=math.asin(0.4) + 0.01)
+        assert not angle_condition_holds(output, gradient, alpha=math.asin(0.4) - 0.01)
+
+    def test_alpha_validated(self):
+        with pytest.raises(ResilienceError):
+            angle_condition_holds(np.ones(2), np.ones(2), alpha=math.pi / 2)
+
+    def test_strictly_positive_inner_product_required(self):
+        gradient = np.array([1.0, 0.0])
+        # alpha = asin(1) excluded by range check; use just below pi/2 so
+        # (1 - sin a) ~ 0 but inner product must still be > 0.
+        assert not angle_condition_holds(
+            np.array([0.0, 5.0]), gradient, alpha=math.pi / 2 - 1e-9
+        )
+
+
+class TestEndToEndWithGARs:
+    """Monte-Carlo estimate of E[R_t] for concrete GARs under attack:
+    the robust rules should keep the angle condition at moderate noise."""
+
+    def run_gar(self, name, n, f, attack_shift, trials=300, spread=0.1):
+        rng = np.random.default_rng(0)
+        gar = get_gar(name, n, f)
+        true_gradient = np.array([1.0, 0.5, -0.5])
+        outputs = []
+        for _ in range(trials):
+            honest = true_gradient + spread * rng.standard_normal((n - f, 3))
+            byzantine = np.tile(true_gradient + attack_shift, (f, 1))
+            outputs.append(gar.aggregate(np.vstack([honest, byzantine])))
+        return np.mean(outputs, axis=0), true_gradient
+
+    @pytest.mark.parametrize("name", ["median", "mda", "trimmed-mean", "meamed", "phocas"])
+    def test_robust_gars_pass_angle_condition_under_attack(self, name):
+        expected, gradient = self.run_gar(name, 11, 5, attack_shift=np.array([5.0, 5.0, 5.0]))
+        assert angle_condition_holds(expected, gradient, alpha=math.pi / 4)
+
+    def test_average_fails_angle_condition_under_attack(self):
+        from repro.gars.average import AverageGAR
+
+        rng = np.random.default_rng(1)
+        gar = AverageGAR(11, 5, allow_byzantine=True)
+        true_gradient = np.array([1.0, 0.5, -0.5])
+        outputs = []
+        for _ in range(200):
+            honest = true_gradient + 0.1 * rng.standard_normal((6, 3))
+            byzantine = np.tile(-10.0 * true_gradient, (5, 1))
+            outputs.append(gar.aggregate(np.vstack([honest, byzantine])))
+        expected = np.mean(outputs, axis=0)
+        assert not angle_condition_holds(expected, true_gradient, alpha=math.pi / 4)

@@ -1,0 +1,104 @@
+"""Tests for repro.rng: deterministic seed trees."""
+
+import numpy as np
+import pytest
+
+from repro.rng import SeedTree, generator_from_seed, spawn_generators
+
+
+class TestGeneratorFromSeed:
+    def test_same_seed_same_stream(self):
+        a = generator_from_seed(7)
+        b = generator_from_seed(7)
+        assert np.array_equal(a.standard_normal(16), b.standard_normal(16))
+
+    def test_different_seeds_differ(self):
+        a = generator_from_seed(7)
+        b = generator_from_seed(8)
+        assert not np.array_equal(a.standard_normal(16), b.standard_normal(16))
+
+    def test_accepts_seed_sequence(self):
+        sequence = np.random.SeedSequence(3)
+        a = generator_from_seed(sequence)
+        b = generator_from_seed(np.random.SeedSequence(3))
+        assert np.array_equal(a.standard_normal(4), b.standard_normal(4))
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+
+    def test_streams_are_independent(self):
+        generators = spawn_generators(0, 3)
+        draws = [g.standard_normal(8) for g in generators]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_reproducible(self):
+        first = [g.standard_normal(4) for g in spawn_generators(9, 2)]
+        second = [g.standard_normal(4) for g in spawn_generators(9, 2)]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_zero_count_ok(self):
+        assert spawn_generators(0, 0) == []
+
+
+class TestSeedTree:
+    def test_same_path_same_stream(self):
+        tree = SeedTree(1)
+        a = tree.generator("worker", 0, "noise")
+        b = tree.generator("worker", 0, "noise")
+        assert np.array_equal(a.standard_normal(8), b.standard_normal(8))
+
+    def test_different_paths_differ(self):
+        tree = SeedTree(1)
+        a = tree.generator("worker", 0, "noise")
+        b = tree.generator("worker", 1, "noise")
+        assert not np.array_equal(a.standard_normal(8), b.standard_normal(8))
+
+    def test_string_vs_int_parts_distinct(self):
+        tree = SeedTree(1)
+        a = tree.generator("worker", 0)
+        b = tree.generator("worker", "0")
+        # FNV hash of "0" differs from the int 0 masked value.
+        assert not np.array_equal(a.standard_normal(8), b.standard_normal(8))
+
+    def test_different_roots_differ(self):
+        a = SeedTree(1).generator("x")
+        b = SeedTree(2).generator("x")
+        assert not np.array_equal(a.standard_normal(8), b.standard_normal(8))
+
+    def test_child_tree_deterministic(self):
+        a = SeedTree(5).child("run", 3)
+        b = SeedTree(5).child("run", 3)
+        assert a.root_seed == b.root_seed
+
+    def test_child_tree_independent_of_sibling(self):
+        a = SeedTree(5).child("run", 3)
+        b = SeedTree(5).child("run", 4)
+        assert a.root_seed != b.root_seed
+
+    def test_rejects_non_int_root(self):
+        with pytest.raises(TypeError):
+            SeedTree("not-an-int")
+
+    def test_rejects_bad_path_part(self):
+        tree = SeedTree(0)
+        with pytest.raises(TypeError):
+            tree.generator(("tuple",))
+
+    def test_repr_mentions_seed(self):
+        assert "42" in repr(SeedTree(42))
+
+    def test_root_seed_property(self):
+        assert SeedTree(11).root_seed == 11
+
+    def test_unicode_path_stable(self):
+        a = SeedTree(1).generator("wörker")
+        b = SeedTree(1).generator("wörker")
+        assert np.array_equal(a.standard_normal(4), b.standard_normal(4))

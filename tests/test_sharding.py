@@ -1,0 +1,151 @@
+"""Tests for data sharding and the non-IID training extension."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import Dataset
+from repro.data.phishing import make_phishing_dataset
+from repro.data.sharding import shard_by_label, shard_iid
+from repro.distributed.trainer import train
+from repro.exceptions import ConfigurationError, DataError
+from repro.models.logistic import LogisticRegressionModel
+from repro.rng import generator_from_seed
+
+
+def dataset(n=100, d=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(
+        features=rng.random((n, d)),
+        labels=(rng.random(n) < 0.5).astype(float),
+        name="toy",
+    )
+
+
+class TestShardIID:
+    def test_partition(self):
+        data = dataset(n=100)
+        shards = shard_iid(data, 7, generator_from_seed(0))
+        assert len(shards) == 7
+        assert sum(s.num_points for s in shards) == 100
+        # Disjoint: every original row appears exactly once overall.
+        combined = np.vstack([s.features for s in shards])
+        assert {tuple(r) for r in combined} == {tuple(r) for r in data.features}
+
+    def test_near_equal_sizes(self):
+        shards = shard_iid(dataset(n=100), 7, generator_from_seed(0))
+        sizes = [s.num_points for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_deterministic(self):
+        a = shard_iid(dataset(), 4, generator_from_seed(5))
+        b = shard_iid(dataset(), 4, generator_from_seed(5))
+        for shard_a, shard_b in zip(a, b):
+            assert np.array_equal(shard_a.features, shard_b.features)
+
+    def test_balanced_labels_approximately(self):
+        data = dataset(n=2000)
+        shards = shard_iid(data, 4, generator_from_seed(0))
+        overall = data.labels.mean()
+        for shard in shards:
+            assert shard.labels.mean() == pytest.approx(overall, abs=0.08)
+
+    @pytest.mark.parametrize("bad", [0, -1, 101])
+    def test_validation(self, bad):
+        with pytest.raises(DataError):
+            shard_iid(dataset(n=100), bad, generator_from_seed(0))
+
+
+class TestShardByLabel:
+    def test_partition(self):
+        data = dataset(n=100)
+        shards = shard_by_label(data, 5, generator_from_seed(0))
+        assert sum(s.num_points for s in shards) == 100
+
+    def test_extreme_skew(self):
+        data = dataset(n=1000)
+        shards = shard_by_label(data, 2, generator_from_seed(0))
+        # First shard dominated by label 0, last by label 1.
+        assert shards[0].labels.mean() < 0.2
+        assert shards[-1].labels.mean() > 0.8
+
+    def test_names_distinct(self):
+        shards = shard_by_label(dataset(), 3, generator_from_seed(0))
+        assert len({s.name for s in shards}) == 3
+
+
+class TestNonIIDTraining:
+    @pytest.fixture(scope="class")
+    def environment(self):
+        data = make_phishing_dataset(seed=0, num_points=1200, num_features=10)
+        model = LogisticRegressionModel(10, loss_kind="mse")
+        return model, data
+
+    def test_iid_shards_train(self, environment):
+        model, data = environment
+        result = train(
+            model=model, train_dataset=data, num_steps=60, n=7, f=3,
+            gar="mda", batch_size=10, data_distribution="iid-shards", seed=1,
+        )
+        assert result.config["data_distribution"] == "iid-shards"
+        assert result.history.min_loss < result.history.losses[0]
+
+    def test_label_shards_inflate_gradient_disagreement(self, environment):
+        """Under label sharding the honest workers disagree more: the
+        cross-worker gradient variance (the VN numerator) grows."""
+        from repro.analysis.monitor import VNRatioMonitor
+
+        model, data = environment
+
+        def median_clean_ratio(distribution):
+            from repro.data.batching import BatchSampler
+            from repro.data.sharding import shard_by_label, shard_iid
+            from repro.distributed.cluster import Cluster
+            from repro.distributed.server import ParameterServer
+            from repro.distributed.worker import HonestWorker
+            from repro.gars import get_gar
+            from repro.optim.sgd import SGDOptimizer
+            from repro.rng import SeedTree
+
+            seeds = SeedTree(3)
+            if distribution == "iid":
+                shards = shard_iid(data, 7, seeds.generator("s"))
+            else:
+                shards = shard_by_label(data, 7, seeds.generator("s"))
+            workers = [
+                HonestWorker(
+                    worker_id=i,
+                    model=model,
+                    sampler=BatchSampler(shards[i], 10, seeds.generator("b", i)),
+                    noise_rng=seeds.generator("n", i),
+                    g_max=1e-2,
+                )
+                for i in range(7)
+            ]
+            server = ParameterServer(
+                initial_parameters=model.initial_parameters(),
+                gar=get_gar("median", 7, 0),
+                optimizer=SGDOptimizer(2.0),
+            )
+            cluster = Cluster(server=server, honest_workers=workers)
+            monitor = VNRatioMonitor(cluster)
+            for _ in range(15):
+                monitor.observe(cluster.step())
+            return monitor.trajectory.median_ratio("clean")
+
+        assert median_clean_ratio("label") > median_clean_ratio("iid")
+
+    def test_invalid_distribution(self, environment):
+        model, data = environment
+        with pytest.raises(ConfigurationError, match="data_distribution"):
+            train(
+                model=model, train_dataset=data, num_steps=5, n=7, f=3,
+                gar="mda", batch_size=10, data_distribution="mystery", seed=1,
+            )
+
+    def test_shared_is_default(self, environment):
+        model, data = environment
+        result = train(
+            model=model, train_dataset=data, num_steps=5, n=7, f=3,
+            gar="mda", batch_size=10, seed=1,
+        )
+        assert result.config["data_distribution"] == "shared"

@@ -1,0 +1,107 @@
+"""Tests for generic synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    make_gaussian_mean_dataset,
+    make_linearly_separable_dataset,
+    make_two_blobs_dataset,
+)
+from repro.exceptions import DataError
+
+
+class TestGaussianMean:
+    def test_shape(self):
+        dataset = make_gaussian_mean_dataset(dimension=8, num_points=100, seed=0)
+        assert dataset.features.shape == (100, 8)
+
+    def test_total_variance_is_sigma_squared(self):
+        """Per-coordinate variance sigma^2/d makes E||x - mean||^2 = sigma^2
+        regardless of d — the key property of Theorem 1's construction."""
+        for dimension in (2, 16, 64):
+            dataset = make_gaussian_mean_dataset(
+                dimension=dimension, num_points=20_000, sigma=1.5, seed=1
+            )
+            center = dataset.features.mean(axis=0)
+            total_variance = np.mean(
+                np.sum((dataset.features - center) ** 2, axis=1)
+            )
+            assert total_variance == pytest.approx(1.5**2, rel=0.05)
+
+    def test_custom_mean_respected(self):
+        mean = np.arange(4, dtype=float)
+        dataset = make_gaussian_mean_dataset(
+            dimension=4, num_points=50_000, sigma=0.5, mean=mean, seed=2
+        )
+        assert np.allclose(dataset.features.mean(axis=0), mean, atol=0.02)
+
+    def test_mean_shape_validated(self):
+        with pytest.raises(DataError, match="shape"):
+            make_gaussian_mean_dataset(dimension=4, num_points=10, mean=np.zeros(3))
+
+    def test_zero_sigma_collapses(self):
+        dataset = make_gaussian_mean_dataset(dimension=3, num_points=10, sigma=0.0, seed=0)
+        assert np.allclose(dataset.features, dataset.features[0])
+
+    @pytest.mark.parametrize("kwargs", [
+        {"dimension": 0, "num_points": 10},
+        {"dimension": 3, "num_points": 0},
+        {"dimension": 3, "num_points": 10, "sigma": -1.0},
+    ])
+    def test_invalid_arguments(self, kwargs):
+        with pytest.raises(DataError):
+            make_gaussian_mean_dataset(**kwargs)
+
+
+class TestLinearlySeparable:
+    def test_separable_with_margin(self):
+        dataset = make_linearly_separable_dataset(
+            num_points=500, num_features=6, margin=0.4, seed=0
+        )
+        # Some hyperplane classifies perfectly: recover it by re-deriving
+        # labels from any perfect linear separator found via the data.
+        # Instead of solving an LP, check the generator's invariant:
+        # both classes are present and no point is ambiguous (margin).
+        assert set(np.unique(dataset.labels)) == {0.0, 1.0}
+
+    def test_margin_enforced(self):
+        # Rebuild the generator's normal to verify the margin band is empty.
+        from repro.rng import generator_from_seed
+
+        rng = generator_from_seed(7)
+        normal = rng.standard_normal(5)
+        normal /= np.linalg.norm(normal)
+        dataset = make_linearly_separable_dataset(
+            num_points=300, num_features=5, margin=0.5, seed=7
+        )
+        distances = dataset.features @ normal
+        assert np.all(np.abs(distances) >= 0.25 - 1e-9)
+        assert np.array_equal(dataset.labels, (distances >= 0).astype(float))
+
+    def test_invalid_margin(self):
+        with pytest.raises(DataError):
+            make_linearly_separable_dataset(10, 3, margin=-0.1)
+
+
+class TestTwoBlobs:
+    def test_shape_and_labels(self):
+        dataset = make_two_blobs_dataset(num_points=200, num_features=4, seed=0)
+        assert dataset.features.shape == (200, 4)
+        assert set(np.unique(dataset.labels)) == {0.0, 1.0}
+
+    def test_separation_moves_centers_apart(self):
+        dataset = make_two_blobs_dataset(
+            num_points=5000, num_features=3, separation=6.0, spread=0.5, seed=1
+        )
+        positive = dataset.features[dataset.labels == 1.0].mean(axis=0)
+        negative = dataset.features[dataset.labels == 0.0].mean(axis=0)
+        assert np.linalg.norm(positive - negative) == pytest.approx(6.0, rel=0.1)
+
+    def test_invalid_spread(self):
+        with pytest.raises(DataError):
+            make_two_blobs_dataset(10, 2, spread=0.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(DataError):
+            make_two_blobs_dataset(1, 2)

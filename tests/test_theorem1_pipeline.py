@@ -1,0 +1,99 @@
+"""Fast integration tests of the Theorem 1 experimental pipeline.
+
+Miniature versions of benchmarks/bench_theorem1.py: mean estimation
+with the oracle GAR, checking the estimator-vs-bounds relationships at
+a scale that runs in seconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import theorem1_bounds
+from repro.data.synthetic import make_gaussian_mean_dataset
+from repro.distributed.trainer import train
+from repro.models.quadratic import MeanEstimationModel
+from repro.optim.schedules import theorem1_schedule
+
+T, BATCH = 150, 120
+EPSILON, DELTA, G_MAX, SIGMA = 0.9, 1e-6, 2.0, 1.0
+
+
+def run_error(dimension, epsilon, seeds=(1, 2, 3, 4, 5)):
+    model = MeanEstimationModel(dimension)
+    errors = []
+    for seed in seeds:
+        mean = np.zeros(dimension)
+        mean[0] = 0.1
+        dataset = make_gaussian_mean_dataset(dimension, 5000, SIGMA, mean, seed)
+        result = train(
+            model=model,
+            train_dataset=dataset,
+            num_steps=T,
+            n=5,
+            f=2,
+            num_byzantine=0,
+            gar="oracle",
+            batch_size=BATCH,
+            g_max=G_MAX,
+            epsilon=epsilon,
+            delta=DELTA,
+            learning_rate=theorem1_schedule(model.STRONG_CONVEXITY, 0.0),
+            momentum=0.0,
+            seed=seed,
+        )
+        optimum = model.optimum(dataset.features)
+        errors.append(0.5 * float(np.sum((result.final_parameters - optimum) ** 2)))
+    return float(np.mean(errors))
+
+
+@pytest.mark.slow
+class TestTheorem1Pipeline:
+    def test_sgd_with_inverse_t_is_running_average(self):
+        """With gamma_t = 1/t (lambda=1, alpha=0) SGD on the quadratic
+        computes exactly the running average of its noisy observations —
+        so its error must sit at the CR lower bound, not just above it."""
+        dimension = 16
+        error = run_error(dimension, EPSILON)
+        bounds = theorem1_bounds(
+            T=T, dimension=dimension, batch_size=BATCH, epsilon=EPSILON,
+            delta=DELTA, g_max=G_MAX, sigma=SIGMA,
+        )
+        assert 0.5 * bounds.lower <= error <= 2.5 * bounds.lower
+        assert error <= bounds.upper
+
+    def test_error_grows_with_dimension_under_dp(self):
+        small = run_error(4, EPSILON)
+        large = run_error(64, EPSILON)
+        # Theory ratio ~ (sigma^2/b + 64 s^2-ish terms); dominated by d.
+        assert large > 5 * small
+
+    def test_error_flat_in_dimension_without_dp(self):
+        small = run_error(4, None)
+        large = run_error(64, None)
+        assert large < 3 * small
+
+    def test_dp_strictly_worse_than_clean(self):
+        assert run_error(16, EPSILON) > 5 * run_error(16, None)
+
+    def test_oracle_ignores_byzantine_submissions(self):
+        """With the oracle GAR even an active attack is irrelevant —
+        footnote 2's point that this GAR sidesteps the whole problem."""
+        dimension = 8
+        model = MeanEstimationModel(dimension)
+        mean = np.zeros(dimension)
+        dataset = make_gaussian_mean_dataset(dimension, 2000, SIGMA, mean, 1)
+        shared = dict(
+            model=model,
+            train_dataset=dataset,
+            num_steps=50,
+            n=5,
+            f=2,
+            batch_size=50,
+            g_max=G_MAX,
+            learning_rate=theorem1_schedule(1.0, 0.0),
+            momentum=0.0,
+            seed=3,
+        )
+        attacked = train(gar="oracle", attack="little", **shared)
+        clean = train(gar="oracle", num_byzantine=0, **shared)
+        assert np.allclose(attacked.final_parameters, clean.final_parameters)

@@ -1,0 +1,101 @@
+"""Tests for the privacy/robustness trade-off solvers."""
+
+import math
+
+import pytest
+
+from repro.core.feasibility import master_condition_can_hold, min_batch_size_for_gar
+from repro.core.tradeoff import (
+    max_tolerable_byzantine,
+    min_epsilon_for_gar,
+    tradeoff_summary,
+)
+from repro.exceptions import ResilienceError
+from repro.gars import GAR_REGISTRY, get_gar
+
+
+class TestMinEpsilon:
+    def test_threshold_is_tight(self):
+        gar = get_gar("mda", 11, 5)
+        epsilon = min_epsilon_for_gar(gar, dimension=69, batch_size=2000, delta=1e-6)
+        assert epsilon < 1.0
+        assert master_condition_can_hold(gar.k_f(), 69, 2000, epsilon * 1.001, 1e-6)
+        assert not master_condition_can_hold(gar.k_f(), 69, 2000, epsilon * 0.999, 1e-6)
+
+    def test_infeasible_returns_inf(self):
+        """Small batch + moderate d: no epsilon < 1 works — the 'do not
+        add up' regime."""
+        gar = get_gar("mda", 11, 5)
+        assert min_epsilon_for_gar(gar, dimension=69, batch_size=10, delta=1e-6) == math.inf
+
+    def test_oracle_needs_no_privacy_sacrifice(self):
+        gar = get_gar("oracle", 11, 5)
+        assert min_epsilon_for_gar(gar, 10**6, 1, 1e-6) == 0.0
+
+    def test_grows_with_dimension(self):
+        gar = get_gar("mda", 11, 5)
+        small = min_epsilon_for_gar(gar, dimension=10, batch_size=5000, delta=1e-6)
+        large = min_epsilon_for_gar(gar, dimension=1000, batch_size=5000, delta=1e-6)
+        assert large > small
+
+
+class TestMaxTolerableByzantine:
+    def test_large_batch_tolerates_more(self):
+        from repro.gars.mda import MDAGAR
+
+        few = max_tolerable_byzantine(MDAGAR, 11, 69, 2_000, 0.2, 1e-6)
+        many = max_tolerable_byzantine(MDAGAR, 11, 69, 50_000, 0.2, 1e-6)
+        assert many >= few
+
+    def test_zero_when_only_f0_works(self):
+        from repro.gars.mda import MDAGAR
+
+        # Tiny batch: only f = 0 (infinite k_F) passes.
+        assert max_tolerable_byzantine(MDAGAR, 11, 69, 1, 0.2, 1e-6) == 0
+
+    def test_never_exceeds_precondition(self):
+        from repro.gars.mda import MDAGAR
+
+        result = max_tolerable_byzantine(MDAGAR, 11, 1, 10**6, 0.9, 1e-3)
+        assert result <= 5  # majority precondition for n = 11
+
+    def test_result_is_feasible_and_maximal(self):
+        from repro.gars.mda import MDAGAR
+
+        n, d, b = 11, 69, 20_000
+        f = max_tolerable_byzantine(MDAGAR, n, d, b, 0.2, 1e-6)
+        assert master_condition_can_hold(MDAGAR(n, f).k_f(), d, b, 0.2, 1e-6)
+        if MDAGAR.supports(n, f + 1):
+            assert not master_condition_can_hold(
+                MDAGAR(n, f + 1).k_f(), d, b, 0.2, 1e-6
+            )
+
+
+class TestTradeoffSummary:
+    def test_contents(self):
+        gar = get_gar("mda", 11, 5)
+        summary = tradeoff_summary(gar, 69, 50, 0.2, 1e-6)
+        assert summary["gar"] == "mda"
+        assert summary["feasible"] is False
+        assert summary["min_batch_size"] > 50
+        assert summary["min_epsilon"] == math.inf
+        assert summary["k_f"] == pytest.approx(gar.k_f())
+
+    def test_feasible_configuration(self):
+        gar = get_gar("mda", 11, 1)  # k_F = 10/sqrt(8) ~ 3.54
+        batch = math.ceil(min_batch_size_for_gar(gar, 69, 0.9, 1e-3))
+        summary = tradeoff_summary(gar, 69, batch, 0.9, 1e-3)
+        assert summary["feasible"] is True
+
+    def test_every_gar_summarisable(self):
+        for name, cls in GAR_REGISTRY.items():
+            if name == "average":
+                gar = cls(11, 0)
+            elif name == "krum":
+                gar = cls(11, 4)
+            elif name == "bulyan":
+                gar = cls(11, 2)
+            else:
+                gar = cls(11, 5)
+            summary = tradeoff_summary(gar, 69, 50, 0.2, 1e-6)
+            assert summary["gar"] == name

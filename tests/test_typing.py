@@ -1,0 +1,62 @@
+"""Tests for repro.typing coercion helpers."""
+
+import numpy as np
+import pytest
+
+from repro.typing import as_gradient_matrix, as_vector, check_finite
+
+
+class TestAsVector:
+    def test_list_coerced(self):
+        out = as_vector([1, 2, 3])
+        assert out.dtype == np.float64
+        assert out.shape == (3,)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            as_vector(np.zeros((2, 2)))
+
+    def test_name_in_error(self):
+        with pytest.raises(ValueError, match="gradient"):
+            as_vector(np.zeros((2, 2)), name="gradient")
+
+
+class TestAsGradientMatrix:
+    def test_stacks_list_of_vectors(self):
+        out = as_gradient_matrix([np.ones(3), np.zeros(3)])
+        assert out.shape == (2, 3)
+
+    def test_accepts_matrix(self):
+        matrix = np.arange(6, dtype=float).reshape(2, 3)
+        out = as_gradient_matrix(matrix)
+        assert np.array_equal(out, matrix)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            as_gradient_matrix([])
+
+    def test_mismatched_dims_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            as_gradient_matrix([np.ones(3), np.ones(4)])
+
+    def test_nested_2d_rows_rejected(self):
+        with pytest.raises(ValueError):
+            as_gradient_matrix([np.ones((2, 2)), np.ones((2, 2))])
+
+    def test_converts_to_float64(self):
+        out = as_gradient_matrix([np.array([1, 2], dtype=np.int32)])
+        assert out.dtype == np.float64
+
+
+class TestCheckFinite:
+    def test_passes_finite(self):
+        array = np.ones(4)
+        assert check_finite(array) is array
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_finite(np.array([1.0, np.nan]))
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_finite(np.array([np.inf]))

@@ -1,0 +1,130 @@
+"""Tests for the VN ratio module (Eq. 2 and Eq. 8)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.vn_ratio import (
+    dp_noise_total_variance,
+    dp_vn_ratio_from_moments,
+    empirical_gradient_moments,
+    empirical_vn_ratio,
+    vn_condition_holds,
+    vn_ratio_from_moments,
+)
+from repro.exceptions import ResilienceError
+from repro.rng import generator_from_seed
+
+
+class TestVNRatioFromMoments:
+    def test_formula(self):
+        assert vn_ratio_from_moments(4.0, 2.0) == pytest.approx(1.0)
+
+    def test_zero_variance(self):
+        assert vn_ratio_from_moments(0.0, 1.0) == 0.0
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ResilienceError):
+            vn_ratio_from_moments(-1.0, 1.0)
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(ResilienceError, match="undefined"):
+            vn_ratio_from_moments(1.0, 0.0)
+
+
+class TestEmpiricalMoments:
+    def test_known_gaussian(self):
+        """Samples from N(mu, sigma^2 I_d): total variance ~ d sigma^2,
+        mean norm ~ ||mu||."""
+        rng = generator_from_seed(0)
+        mu = np.array([3.0, 4.0])  # norm 5
+        samples = mu + 0.5 * rng.standard_normal((20_000, 2))
+        variance, mean_norm = empirical_gradient_moments(samples)
+        assert variance == pytest.approx(2 * 0.25, rel=0.05)
+        assert mean_norm == pytest.approx(5.0, rel=0.01)
+
+    def test_single_sample_zero_variance(self):
+        variance, mean_norm = empirical_gradient_moments(np.array([[3.0, 4.0]]))
+        assert variance == 0.0
+        assert mean_norm == pytest.approx(5.0)
+
+    def test_empirical_vn_ratio_consistency(self):
+        rng = generator_from_seed(1)
+        samples = np.array([10.0, 0.0]) + rng.standard_normal((50_000, 2))
+        # VN ratio should approach sqrt(2)/10.
+        assert empirical_vn_ratio(samples) == pytest.approx(math.sqrt(2) / 10, rel=0.05)
+
+
+class TestDPNoiseVariance:
+    def test_paper_formula(self):
+        d, g_max, b, eps, delta = 69, 1e-2, 50, 0.2, 1e-6
+        expected = 8 * d * g_max**2 * math.log(1.25 / delta) / (eps**2 * b**2)
+        assert dp_noise_total_variance(d, g_max, b, eps, delta) == pytest.approx(expected)
+
+    def test_equals_d_times_mechanism_sigma_squared(self):
+        """Consistency with the Gaussian mechanism's calibration: the
+        Eq. 8 term is exactly d * s^2."""
+        from repro.privacy.mechanisms import GaussianMechanism
+
+        d, g_max, b, eps, delta = 69, 1e-2, 50, 0.2, 1e-6
+        mechanism = GaussianMechanism.for_clipped_gradients(eps, delta, g_max, b)
+        assert dp_noise_total_variance(d, g_max, b, eps, delta) == pytest.approx(
+            d * mechanism.sigma**2
+        )
+
+    def test_linear_in_d(self):
+        low = dp_noise_total_variance(10, 1e-2, 50, 0.2, 1e-6)
+        high = dp_noise_total_variance(1000, 1e-2, 50, 0.2, 1e-6)
+        assert high == pytest.approx(100 * low)
+
+    def test_inverse_square_in_b(self):
+        small = dp_noise_total_variance(69, 1e-2, 10, 0.2, 1e-6)
+        large = dp_noise_total_variance(69, 1e-2, 100, 0.2, 1e-6)
+        assert small == pytest.approx(100 * large)
+
+    def test_inverse_square_in_epsilon(self):
+        strict = dp_noise_total_variance(69, 1e-2, 50, 0.1, 1e-6)
+        loose = dp_noise_total_variance(69, 1e-2, 50, 0.2, 1e-6)
+        assert strict == pytest.approx(4 * loose)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"dimension": 0},
+        {"g_max": 0.0},
+        {"batch_size": 0},
+        {"epsilon": 0.0},
+        {"delta": 1.0},
+    ])
+    def test_validation(self, kwargs):
+        defaults = dict(dimension=10, g_max=0.01, batch_size=10, epsilon=0.5, delta=1e-6)
+        defaults.update(kwargs)
+        with pytest.raises(ResilienceError):
+            dp_noise_total_variance(**defaults)
+
+
+class TestDPVNRatio:
+    def test_always_larger_than_clean(self):
+        clean = vn_ratio_from_moments(1.0, 0.01)
+        noisy = dp_vn_ratio_from_moments(1.0, 0.01, 69, 1e-2, 50, 0.2, 1e-6)
+        assert noisy > clean
+
+    def test_high_privacy_blows_up_ratio(self):
+        moderate = dp_vn_ratio_from_moments(0.0, 0.01, 69, 1e-2, 50, 0.5, 1e-6)
+        strict = dp_vn_ratio_from_moments(0.0, 0.01, 69, 1e-2, 50, 0.05, 1e-6)
+        assert strict > 5 * moderate
+
+
+class TestCondition:
+    def test_holds(self):
+        assert vn_condition_holds(0.3, 0.42)
+        assert not vn_condition_holds(0.5, 0.42)
+
+    def test_boundary_inclusive(self):
+        assert vn_condition_holds(0.42, 0.42)
+
+    def test_infinite_k(self):
+        assert vn_condition_holds(1e9, math.inf)
+
+    def test_negative_ratio_rejected(self):
+        with pytest.raises(ResilienceError):
+            vn_condition_holds(-0.1, 1.0)
