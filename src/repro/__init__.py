@@ -10,6 +10,12 @@ The package is organised as:
 * Substrates — :mod:`repro.data`, :mod:`repro.models`,
   :mod:`repro.optim`, :mod:`repro.privacy`, :mod:`repro.gars`,
   :mod:`repro.attacks`, :mod:`repro.distributed`.
+* :mod:`repro.pipeline` — the composable experiment API: a unified
+  component registry (``build_component``/``register_component``), the
+  staged :class:`Experiment` builder with training-loop callbacks
+  (``AccuracyCallback``, ``EarlyStopping``, ``VNRatioCallback``, ...),
+  and the parallel multi-seed executor behind
+  ``run_config(..., max_workers=N)``.
 * :mod:`repro.experiments` — configs and runners regenerating every
   table and figure; :mod:`repro.analysis` — leakage and variance
   extras; :mod:`repro.metrics` — histories and aggregation.
@@ -22,6 +28,15 @@ Quickstart
 ...     model=model, train_dataset=train_set, test_dataset=test_set,
 ...     num_steps=100, gar="mda", attack="little", epsilon=0.2, seed=1,
 ... )  # doctest: +SKIP
+
+The same run, spec-driven through the pipeline API:
+
+>>> from repro import Experiment
+>>> result = Experiment(
+...     model=model, train_dataset=train_set, test_dataset=test_set,
+...     num_steps=100, gar={"name": "mda"}, attack={"name": "little"},
+...     epsilon=0.2, seed=1,
+... ).run()  # doctest: +SKIP
 """
 
 from repro.attacks import available_attacks, get_attack
@@ -47,17 +62,38 @@ from repro.exceptions import (
 from repro.experiments import ExperimentConfig, phishing_environment, run_config, run_grid
 from repro.gars import available_gars, get_gar
 from repro.models import LogisticRegressionModel, MeanEstimationModel
+from repro.pipeline import (
+    AccuracyCallback,
+    Callback,
+    CallbackList,
+    EarlyStopping,
+    Experiment,
+    StepResultRecorder,
+    TrainingJob,
+    TrainingLoop,
+    VNRatioCallback,
+    available_components,
+    build_component,
+    component_families,
+    register_component,
+    run_jobs,
+)
 from repro.privacy import GaussianMechanism, LaplaceMechanism
 from repro.rng import SeedTree
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AccuracyCallback",
     "AggregationError",
+    "Callback",
+    "CallbackList",
     "Cluster",
     "ConfigurationError",
     "DataError",
     "Dataset",
+    "EarlyStopping",
+    "Experiment",
     "ExperimentConfig",
     "GaussianMechanism",
     "LaplaceMechanism",
@@ -68,11 +104,18 @@ __all__ = [
     "ReproError",
     "ResilienceError",
     "SeedTree",
+    "StepResultRecorder",
     "TrainingError",
+    "TrainingJob",
+    "TrainingLoop",
     "TrainingResult",
+    "VNRatioCallback",
     "available_attacks",
+    "available_components",
     "available_gars",
+    "build_component",
     "certify_vn_condition",
+    "component_families",
     "empirical_vn_ratio",
     "get_attack",
     "get_gar",
@@ -80,8 +123,10 @@ __all__ = [
     "master_condition_can_hold",
     "min_batch_size_for_gar",
     "phishing_environment",
+    "register_component",
     "run_config",
     "run_grid",
+    "run_jobs",
     "theorem1_bounds",
     "theorem1_rate",
     "train",

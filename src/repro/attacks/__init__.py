@@ -52,8 +52,15 @@ ATTACK_REGISTRY: dict[str, type[ByzantineAttack]] = {
 
 
 def available_attacks() -> tuple[str, ...]:
-    """Names of all registered attacks, sorted."""
-    return tuple(sorted(ATTACK_REGISTRY))
+    """Names of all registered attacks, sorted.
+
+    Delegates to the unified component registry
+    (:mod:`repro.pipeline.registry`), so attacks registered there under
+    the ``"attack"`` family are included too.
+    """
+    from repro.pipeline.registry import REGISTRY
+
+    return tuple(sorted(set(REGISTRY.available("attack")) | set(ATTACK_REGISTRY)))
 
 
 def get_attack(name: str, **kwargs) -> ByzantineAttack:
@@ -61,11 +68,16 @@ def get_attack(name: str, **kwargs) -> ByzantineAttack:
 
     Extra keyword arguments go to the attack constructor (e.g.
     ``factor`` for ALIE/FoE, ``knowledge`` for the adversary's view).
+    Dispatches through the unified component registry's ``"attack"``
+    family.
     """
-    try:
-        cls = ATTACK_REGISTRY[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown attack {name!r}; available: {', '.join(available_attacks())}"
-        ) from None
-    return cls(**kwargs)
+    from repro.pipeline.registry import REGISTRY
+
+    if not REGISTRY.has("attack", name):
+        if name in ATTACK_REGISTRY:  # added to the legacy dict post-bootstrap
+            REGISTRY.register("attack", name, ATTACK_REGISTRY[name], overwrite=True)
+        else:
+            raise ConfigurationError(
+                f"unknown attack {name!r}; available: {', '.join(available_attacks())}"
+            )
+    return REGISTRY.build("attack", {"name": name, **kwargs})

@@ -1,10 +1,15 @@
 """High-level training entry point.
 
-:func:`train` assembles the whole pipeline — data sharding, workers,
-DP mechanism, attack, GAR, server — from plain keyword arguments,
-runs the synchronous rounds, and returns a :class:`TrainingResult`
-with the paper's metrics (per-step training loss over honest batches,
-periodic test accuracy) plus an end-to-end privacy report.
+:func:`train` runs the whole pipeline — data sharding, workers, DP
+mechanism, attack, GAR, server — from plain keyword arguments, and
+returns a :class:`TrainingResult` with the paper's metrics (per-step
+training loss over honest batches, periodic test accuracy) plus an
+end-to-end privacy report.
+
+Since the pipeline redesign it is a thin wrapper over
+:class:`repro.pipeline.builder.Experiment`; the keyword surface and
+results are unchanged (bit for bit), and the staged builder is the
+place to go for anything this flat API cannot express.
 
 Defaults reproduce the paper's experimental setup (Section 5.1):
 n = 11 workers, f = 5 Byzantine, MDA, batch size 50, G_max = 1e-2,
@@ -13,125 +18,15 @@ learning rate 2, momentum 0.99, 1000 steps, delta = 1e-6.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from repro.attacks import ByzantineAttack, get_attack
-from repro.data.batching import BatchSampler
+from repro.attacks import ByzantineAttack
 from repro.data.datasets import Dataset
-from repro.data.sharding import shard_by_label, shard_iid
-from repro.distributed.cluster import Cluster
-from repro.distributed.network import LossyNetwork, PerfectNetwork
-from repro.distributed.server import ParameterServer
-from repro.distributed.worker import HonestWorker
-from repro.exceptions import ConfigurationError
-from repro.gars import GAR, get_gar
-from repro.gars.average import AverageGAR
-from repro.metrics.history import TrainingHistory
+from repro.gars import GAR
 from repro.models.base import Model
 from repro.optim.schedules import LearningRateSchedule
-from repro.optim.sgd import SGDOptimizer
-from repro.privacy.accountants import (
-    AdvancedCompositionAccountant,
-    BasicCompositionAccountant,
-    PrivacySpend,
-    RDPAccountant,
-)
-from repro.privacy.mechanisms import GaussianMechanism, LaplaceMechanism, NoiseMechanism
-from repro.rng import SeedTree
-from repro.typing import Vector
+from repro.pipeline.registry import MOMENTUM_PLACEMENTS, NOISE_KINDS, build_mechanism
+from repro.pipeline.results import PrivacyReport, TrainingResult
 
 __all__ = ["train", "TrainingResult", "PrivacyReport", "build_mechanism"]
-
-NOISE_KINDS = ("gaussian", "laplace")
-MOMENTUM_PLACEMENTS = ("server", "worker")
-DATA_DISTRIBUTIONS = ("shared", "iid-shards", "label-shards")
-
-
-@dataclass(frozen=True)
-class PrivacyReport:
-    """End-to-end privacy accounting for one training run."""
-
-    per_step: PrivacySpend
-    noise_sigma: float
-    basic: PrivacySpend
-    advanced: PrivacySpend
-    rdp: PrivacySpend | None
-
-    def summary(self) -> str:
-        """One-line human-readable summary."""
-        parts = [
-            f"per-step ({self.per_step.epsilon:.3g}, {self.per_step.delta:.3g})-DP",
-            f"basic total ({self.basic.epsilon:.3g}, {self.basic.delta:.3g})",
-            f"advanced total ({self.advanced.epsilon:.3g}, {self.advanced.delta:.3g})",
-        ]
-        if self.rdp is not None:
-            parts.append(f"RDP total ({self.rdp.epsilon:.3g}, {self.rdp.delta:.3g})")
-        return "; ".join(parts)
-
-
-@dataclass
-class TrainingResult:
-    """Everything :func:`train` produces."""
-
-    history: TrainingHistory
-    final_parameters: Vector = field(repr=False)
-    privacy: PrivacyReport | None
-    config: dict = field(repr=False)
-
-    @property
-    def final_loss(self) -> float:
-        """Training loss at the last step."""
-        return self.history.final_loss
-
-    @property
-    def final_accuracy(self) -> float:
-        """Test accuracy at the last evaluation (if any were recorded)."""
-        return self.history.final_accuracy
-
-
-def build_mechanism(
-    noise_kind: str,
-    epsilon: float,
-    delta: float,
-    g_max: float,
-    batch_size: int,
-    dimension: int,
-) -> NoiseMechanism:
-    """Construct the per-worker DP mechanism the paper's Section 2.3 defines."""
-    if noise_kind == "gaussian":
-        return GaussianMechanism.for_clipped_gradients(epsilon, delta, g_max, batch_size)
-    if noise_kind == "laplace":
-        return LaplaceMechanism.for_clipped_gradients(epsilon, g_max, batch_size, dimension)
-    raise ConfigurationError(f"noise_kind must be one of {NOISE_KINDS}, got {noise_kind!r}")
-
-
-def _resolve_gar(gar, n: int, f: int, gar_kwargs: dict | None) -> GAR:
-    if isinstance(gar, GAR):
-        if gar.n != n or gar.f != f:
-            raise ConfigurationError(
-                f"provided GAR is bound to (n={gar.n}, f={gar.f}) but the run "
-                f"uses (n={n}, f={f})"
-            )
-        return gar
-    kwargs = dict(gar_kwargs or {})
-    if gar == AverageGAR.name and f > 0:
-        # The experiments deliberately run the non-robust baseline.
-        kwargs.setdefault("allow_byzantine", True)
-    return get_gar(gar, n, f, **kwargs)
-
-
-def _resolve_attack(attack, attack_kwargs: dict | None) -> ByzantineAttack | None:
-    if attack is None:
-        return None
-    if isinstance(attack, ByzantineAttack):
-        if attack_kwargs:
-            raise ConfigurationError(
-                "attack_kwargs only apply when the attack is given by name"
-            )
-        return attack
-    return get_attack(attack, **(attack_kwargs or {}))
 
 
 def train(
@@ -162,6 +57,7 @@ def train(
     eval_every: int = 50,
     seed: int = 1,
     record_gradients: bool = False,
+    callbacks=(),
 ) -> TrainingResult:
     """Run one distributed training experiment end to end.
 
@@ -186,6 +82,10 @@ def train(
       ``"iid-shards"`` (disjoint random shards) or ``"label-shards"``
       (pathological non-IID label-sorted shards — an extension beyond
       the paper's i.i.d. assumption).
+    * ``gar``, ``attack`` and the other component arguments also accept
+      ``{"name": ..., **kwargs}`` registry specs, and ``callbacks``
+      (:class:`repro.pipeline.Callback` instances) hook into the
+      training loop — see :class:`repro.pipeline.Experiment`.
 
     Returns
     -------
@@ -193,177 +93,35 @@ def train(
         Metrics history, final parameters, privacy report (``None``
         when DP is off) and an echo of the configuration.
     """
-    if num_steps < 1:
-        raise ConfigurationError(f"num_steps must be >= 1, got {num_steps}")
-    if eval_every < 1:
-        raise ConfigurationError(f"eval_every must be >= 1, got {eval_every}")
-    if momentum_at not in MOMENTUM_PLACEMENTS:
-        raise ConfigurationError(
-            f"momentum_at must be one of {MOMENTUM_PLACEMENTS}, got {momentum_at!r}"
-        )
-    if num_byzantine is None:
-        num_byzantine = f if attack is not None else 0
-    if num_byzantine > f:
-        raise ConfigurationError(
-            f"num_byzantine ({num_byzantine}) cannot exceed the declared f ({f})"
-        )
-    num_honest = n - num_byzantine
-    if num_honest < 1:
-        raise ConfigurationError("need at least one honest worker")
+    from repro.pipeline.builder import Experiment
 
-    seeds = SeedTree(seed)
-    resolved_gar = _resolve_gar(gar, n, f, gar_kwargs)
-    resolved_attack = _resolve_attack(attack, attack_kwargs)
-    if num_byzantine > 0 and resolved_attack is None:
-        raise ConfigurationError("num_byzantine > 0 requires an attack")
-
-    mechanism: NoiseMechanism | None = None
-    if epsilon is not None:
-        if g_max is None:
-            raise ConfigurationError("DP requires g_max (Assumption 1)")
-        mechanism = build_mechanism(
-            noise_kind, epsilon, delta, g_max, batch_size, model.dimension
-        )
-
-    worker_momentum = momentum if momentum_at == "worker" else 0.0
-    server_momentum = momentum if momentum_at == "server" else 0.0
-
-    if data_distribution == "shared":
-        worker_datasets = [train_dataset] * num_honest
-    elif data_distribution == "iid-shards":
-        worker_datasets = shard_iid(train_dataset, num_honest, seeds.generator("shards"))
-    elif data_distribution == "label-shards":
-        worker_datasets = shard_by_label(
-            train_dataset, num_honest, seeds.generator("shards")
-        )
-    else:
-        raise ConfigurationError(
-            f"data_distribution must be one of {DATA_DISTRIBUTIONS}, "
-            f"got {data_distribution!r}"
-        )
-
-    honest_workers = [
-        HonestWorker(
-            worker_id=index,
-            model=model,
-            sampler=BatchSampler(
-                worker_datasets[index],
-                batch_size,
-                seeds.generator("worker", index, "batch"),
-            ),
-            noise_rng=seeds.generator("worker", index, "noise"),
-            g_max=g_max,
-            mechanism=mechanism,
-            clip_mode=clip_mode,
-            momentum=worker_momentum,
-        )
-        for index in range(num_honest)
-    ]
-
-    optimizer = SGDOptimizer(learning_rate, momentum=server_momentum, nesterov=nesterov)
-    server = ParameterServer(
-        initial_parameters=model.initial_parameters(seeds.generator("init")),
-        gar=resolved_gar,
-        optimizer=optimizer,
-        record_received=record_gradients,
-    )
-    if drop_probability > 0.0:
-        network = LossyNetwork(drop_probability, seeds.generator("network"))
-    else:
-        network = PerfectNetwork()
-    cluster = Cluster(
-        server=server,
-        honest_workers=honest_workers,
+    experiment = Experiment(
+        model=model,
+        train_dataset=train_dataset,
+        test_dataset=test_dataset,
+        num_steps=num_steps,
+        n=n,
+        f=f,
         num_byzantine=num_byzantine,
-        attack=resolved_attack,
-        attack_rng=seeds.generator("attack") if resolved_attack is not None else None,
-        network=network,
+        gar=gar,
+        gar_kwargs=gar_kwargs,
+        attack=attack,
+        attack_kwargs=attack_kwargs,
+        batch_size=batch_size,
+        g_max=g_max,
+        epsilon=epsilon,
+        delta=delta,
+        noise_kind=noise_kind,
+        learning_rate=learning_rate,
+        momentum=momentum,
+        momentum_at=momentum_at,
+        nesterov=nesterov,
+        clip_mode=clip_mode,
+        drop_probability=drop_probability,
+        data_distribution=data_distribution,
+        eval_every=eval_every,
+        seed=seed,
+        record_gradients=record_gradients,
+        callbacks=callbacks,
     )
-
-    history = TrainingHistory()
-    if test_dataset is not None:
-        _try_record_accuracy(history, model, cluster.parameters, test_dataset, step=0)
-
-    for _ in range(num_steps):
-        parameters_before = cluster.parameters
-        cluster.step()
-        losses = [
-            model.loss(parameters_before, *worker.last_batch)
-            for worker in honest_workers
-            if worker.last_batch is not None
-        ]
-        history.record_loss(cluster.step_count, float(np.mean(losses)))
-        if test_dataset is not None and cluster.step_count % eval_every == 0:
-            _try_record_accuracy(
-                history, model, cluster.parameters, test_dataset, step=cluster.step_count
-            )
-
-    privacy = _privacy_report(mechanism, epsilon, delta, num_steps)
-    config = {
-        "num_steps": num_steps,
-        "n": n,
-        "f": f,
-        "num_byzantine": num_byzantine,
-        "gar": resolved_gar.name,
-        "attack": resolved_attack.name if resolved_attack is not None else None,
-        "batch_size": batch_size,
-        "g_max": g_max,
-        "epsilon": epsilon,
-        "delta": delta,
-        "noise_kind": noise_kind if epsilon is not None else None,
-        "momentum": momentum,
-        "momentum_at": momentum_at,
-        "clip_mode": clip_mode,
-        "drop_probability": drop_probability,
-        "data_distribution": data_distribution,
-        "seed": seed,
-        "model_dimension": model.dimension,
-    }
-    return TrainingResult(
-        history=history,
-        final_parameters=cluster.parameters,
-        privacy=privacy,
-        config=config,
-    )
-
-
-def _try_record_accuracy(
-    history: TrainingHistory,
-    model: Model,
-    parameters: Vector,
-    test_dataset: Dataset,
-    step: int,
-) -> None:
-    try:
-        accuracy = model.accuracy(parameters, test_dataset.features, test_dataset.labels)
-    except NotImplementedError:
-        return
-    history.record_accuracy(step, accuracy)
-
-
-def _privacy_report(
-    mechanism: NoiseMechanism | None,
-    epsilon: float | None,
-    delta: float,
-    num_steps: int,
-) -> PrivacyReport | None:
-    if mechanism is None or epsilon is None:
-        return None
-    per_step = PrivacySpend(epsilon=mechanism.epsilon, delta=mechanism.delta)
-    basic = BasicCompositionAccountant().compose(
-        per_step.epsilon, per_step.delta, num_steps
-    )
-    advanced = AdvancedCompositionAccountant().compose(
-        per_step.epsilon, per_step.delta, num_steps
-    )
-    rdp: PrivacySpend | None = None
-    if isinstance(mechanism, GaussianMechanism):
-        accountant = RDPAccountant()
-        accountant.step_gaussian(mechanism.noise_multiplier, num_steps)
-        rdp = accountant.get_privacy_spent(delta)
-        sigma = mechanism.sigma
-    else:
-        sigma = float(np.sqrt(mechanism.per_coordinate_variance))
-    return PrivacyReport(
-        per_step=per_step, noise_sigma=sigma, basic=basic, advanced=advanced, rdp=rdp
-    )
+    return experiment.run()

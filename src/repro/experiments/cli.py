@@ -5,25 +5,33 @@ Usage (installed package)::
     python -m repro table1
     python -m repro figure2 --steps 200 --seeds 2
     python -m repro figure4 --output out/fig4.txt
+    python -m repro run my_experiments.json --max-workers 4
     python -m repro list
 
 Figures print the same ASCII panels + summary tables the benchmark
 harness produces; ``--steps``/``--seeds`` trim the grid for quick looks.
+``run`` executes arbitrary experiment grids from a JSON config file —
+a single :class:`ExperimentConfig` object, a list of them, or
+``{"configs": [...], "model": {...}, "data_seed": ...}`` — with every
+component resolved through the unified registry.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+from repro.exceptions import ReproError
 from repro.experiments.ascii_plot import ascii_line_plot
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import FIGURE_BATCH_SIZES, figure_configs
+from repro.experiments.io import save_outcomes
 from repro.experiments.runner import RunOutcome, phishing_environment, run_grid
 from repro.experiments.tables import format_table1, table1_rows
 
-__all__ = ["main", "build_parser", "render_figure_text"]
+__all__ = ["main", "build_parser", "render_figure_text", "load_run_file", "render_run_summary"]
 
 FIGURES = tuple(FIGURE_BATCH_SIZES)  # ("figure2", "figure3", "figure4")
 
@@ -55,6 +63,27 @@ def build_parser() -> argparse.ArgumentParser:
         figure.add_argument("--steps", type=int, default=1000)
         figure.add_argument("--seeds", type=int, default=5, help="number of seeds (1..k)")
         figure.add_argument("--output", type=Path, default=None)
+
+    run = subparsers.add_parser(
+        "run", help="run experiment configs from a JSON file"
+    )
+    run.add_argument("config", type=Path, help="JSON config file (cell, list, or grid)")
+    run.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="parallelise each cell's seeds over this many processes",
+    )
+    run.add_argument(
+        "--data-seed",
+        type=int,
+        default=None,
+        help="environment data seed (overrides the config file's; default 0)",
+    )
+    run.add_argument(
+        "--save", type=Path, default=None, help="write full outcomes JSON here"
+    )
+    run.add_argument("--output", type=Path, default=None, help="write the summary here")
     return parser
 
 
@@ -69,28 +98,79 @@ def _figure_outcomes(name: str, steps: int, num_seeds: int) -> dict[str, RunOutc
 
 
 def render_figure_text(name: str, outcomes: dict[str, RunOutcome]) -> str:
-    """ASCII panels + summary rows for one reproduced figure."""
+    """ASCII panels + summary rows for one reproduced figure.
+
+    Cells without accuracy curves (models whose ``accuracy()`` is not
+    implemented, or runs without a test set) are skipped in the panels
+    and render "n/a" in the summary instead of crashing.
+    """
     sections = [f"=== {name} (b = {FIGURE_BATCH_SIZES[name]}) ==="]
     for dp_label, suffix in (("without DP", "nodp"), ("with DP (eps=0.2)", "dp")):
         series = {}
         for cell_name, outcome in outcomes.items():
-            if cell_name.endswith("-" + suffix):
-                stats = outcome.accuracy_stats
+            stats = outcome.accuracy_stats
+            if cell_name.endswith("-" + suffix) and stats is not None:
                 series[cell_name.rsplit("-", 1)[0]] = (
                     stats.steps.tolist(),
                     stats.mean.tolist(),
                 )
-        sections.append(
-            ascii_line_plot(series, title=f"{dp_label} — test accuracy (mean)")
-        )
+        if series:
+            sections.append(
+                ascii_line_plot(series, title=f"{dp_label} — test accuracy (mean)")
+            )
+        else:
+            sections.append(f"{dp_label} — test accuracy: n/a (no curves recorded)")
     rows = [f"{'cell':<24}{'min loss':>10}{'max acc':>9}"]
     for cell_name, outcome in outcomes.items():
+        stats = outcome.accuracy_stats
+        max_accuracy = "n/a" if stats is None else f"{float(stats.mean.max()):.3f}"
         rows.append(
-            f"{cell_name:<24}{outcome.min_loss_mean:>10.4f}"
-            f"{float(outcome.accuracy_stats.mean.max()):>9.3f}"
+            f"{cell_name:<24}{outcome.min_loss_mean:>10.4f}{max_accuracy:>9}"
         )
     sections.append("\n".join(rows))
     return "\n\n".join(sections)
+
+
+def load_run_file(path: Path) -> tuple[list[ExperimentConfig], dict | str | None, int | None]:
+    """Parse a ``run`` config file.
+
+    Returns ``(configs, model_spec, data_seed)``.  The file may be one
+    config object, a list of them, or a grid document
+    ``{"configs": [...], "model": <registry spec>, "data_seed": int}``.
+    """
+    payload = json.loads(Path(path).read_text())
+    model_spec: dict | str | None = None
+    data_seed: int | None = None
+    if isinstance(payload, list):
+        entries = payload
+    elif isinstance(payload, dict) and "configs" in payload:
+        entries = payload["configs"]
+        model_spec = payload.get("model")
+        data_seed = payload.get("data_seed")
+    else:
+        entries = [payload]
+    return [ExperimentConfig.from_dict(entry) for entry in entries], model_spec, data_seed
+
+
+def render_run_summary(outcomes: dict[str, RunOutcome]) -> str:
+    """One row per cell: losses, accuracy ("n/a" when absent), privacy."""
+    rows = [
+        f"{'cell':<24}{'gar':>8}{'attack':>10}{'eps':>7}"
+        f"{'final loss':>12}{'min loss':>10}{'final acc':>11}"
+    ]
+    for name, outcome in outcomes.items():
+        row = outcome.summary_row()
+        epsilon = "-" if row["epsilon"] is None else f"{row['epsilon']:g}"
+        accuracy = (
+            "n/a"
+            if row["final_accuracy"] is None
+            else f"{row['final_accuracy']:.3f}"
+        )
+        rows.append(
+            f"{name:<24}{row['gar']:>8}{row['attack']:>10}{epsilon:>7}"
+            f"{row['final_loss']:>12.4f}{row['min_loss']:>10.4f}{accuracy:>11}"
+        )
+    return "\n".join(rows)
 
 
 def _emit(text: str, output: Path | None) -> None:
@@ -103,8 +183,20 @@ def _emit(text: str, output: Path | None) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    arguments = build_parser().parse_args(argv)
+    """CLI entry point; returns a process exit code.
+
+    Expected failures (bad config files, unknown components, invalid
+    options) print a one-line ``error:`` message and return 2 instead
+    of a traceback.
+    """
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except (ReproError, OSError, json.JSONDecodeError, ValueError, TypeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(arguments: argparse.Namespace) -> int:
 
     if arguments.command == "list":
         print("available artifacts: table1, " + ", ".join(FIGURES))
@@ -125,6 +217,39 @@ def main(argv: list[str] | None = None) -> int:
     if arguments.command in FIGURES:
         outcomes = _figure_outcomes(arguments.command, arguments.steps, arguments.seeds)
         _emit(render_figure_text(arguments.command, outcomes), arguments.output)
+        return 0
+
+    if arguments.command == "run":
+        configs, model_spec, file_data_seed = load_run_file(arguments.config)
+        if arguments.data_seed is not None:  # explicit flag beats the file
+            data_seed = arguments.data_seed
+        elif file_data_seed is not None:
+            data_seed = file_data_seed
+        else:
+            data_seed = 0
+        model, train_set, test_set = phishing_environment(data_seed)
+        if model_spec is not None:
+            import inspect
+
+            from repro.pipeline.registry import REGISTRY, ComponentRegistry
+
+            factory = REGISTRY.get("model", ComponentRegistry.parse_spec(model_spec)[0])
+            context = {}
+            if "num_features" in inspect.signature(factory).parameters:
+                context["num_features"] = train_set.num_features
+            model = REGISTRY.build("model", model_spec, **context)
+        outcomes = run_grid(
+            configs,
+            model,
+            train_set,
+            test_set,
+            verbose=True,
+            max_workers=arguments.max_workers,
+        )
+        if arguments.save is not None:
+            save_outcomes(outcomes, arguments.save)
+            print(f"wrote {arguments.save}")
+        _emit(render_run_summary(outcomes), arguments.output)
         return 0
 
     raise AssertionError(f"unhandled command {arguments.command!r}")

@@ -8,7 +8,7 @@ uses seeds 1..5).  Defaults reproduce Section 5.1's setup.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 
 from repro.exceptions import ConfigurationError
 
@@ -94,6 +94,40 @@ class ExperimentConfig:
         payload = asdict(self)
         payload.update(changes)
         return ExperimentConfig(**payload)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (inverse: :meth:`from_dict`)."""
+        payload = asdict(self)
+        payload["seeds"] = [int(seed) for seed in self.seeds]
+        payload["attack_kwargs"] = [list(pair) for pair in self.attack_kwargs]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentConfig":
+        """Rebuild a config from :meth:`to_dict` output or hand-written JSON.
+
+        ``attack_kwargs`` may be a mapping (the natural JSON form) or a
+        list of ``[key, value]`` pairs; ``seeds`` any integer sequence.
+        """
+        data = dict(payload)
+        unknown = set(data) - {field_.name for field_ in fields(cls)}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown config fields: {', '.join(sorted(unknown))}"
+            )
+        if "seeds" in data:
+            data["seeds"] = tuple(int(seed) for seed in data["seeds"])
+        if "attack_kwargs" in data:
+            attack_kwargs = data["attack_kwargs"]
+            if attack_kwargs is None:  # JSON null means "no kwargs"
+                data["attack_kwargs"] = ()
+            elif isinstance(attack_kwargs, dict):
+                data["attack_kwargs"] = tuple(attack_kwargs.items())
+            else:
+                data["attack_kwargs"] = tuple(
+                    (key, value) for key, value in attack_kwargs
+                )
+        return cls(**data)
 
     def describe(self) -> str:
         """Compact human-readable summary."""

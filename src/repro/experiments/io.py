@@ -6,7 +6,6 @@ regenerated and diffed against a stored artifact.
 
 from __future__ import annotations
 
-import dataclasses
 import json
 from pathlib import Path
 
@@ -20,11 +19,8 @@ __all__ = ["outcome_to_dict", "outcome_from_dict", "save_outcomes", "load_outcom
 
 def outcome_to_dict(outcome: RunOutcome) -> dict:
     """JSON-serialisable representation of a :class:`RunOutcome`."""
-    config_payload = dataclasses.asdict(outcome.config)
-    config_payload["seeds"] = list(outcome.config.seeds)
-    config_payload["attack_kwargs"] = [list(item) for item in outcome.config.attack_kwargs]
     payload = {
-        "config": config_payload,
+        "config": outcome.config.to_dict(),
         "histories": [history.to_dict() for history in outcome.histories],
         "loss_stats": outcome.loss_stats.to_dict(),
         "accuracy_stats": (
@@ -45,12 +41,7 @@ def outcome_to_dict(outcome: RunOutcome) -> dict:
 
 def outcome_from_dict(payload: dict) -> RunOutcome:
     """Inverse of :func:`outcome_to_dict` (privacy report is not restored)."""
-    config_payload = dict(payload["config"])
-    config_payload["seeds"] = tuple(config_payload["seeds"])
-    config_payload["attack_kwargs"] = tuple(
-        tuple(item) for item in config_payload.get("attack_kwargs", [])
-    )
-    config = ExperimentConfig(**config_payload)
+    config = ExperimentConfig.from_dict(payload["config"])
     histories = [TrainingHistory.from_dict(entry) for entry in payload["histories"]]
     loss_stats = SeriesStats.from_dict(payload["loss_stats"])
     accuracy_stats = (

@@ -3,7 +3,10 @@
 :func:`phishing_environment` builds the paper's task (synthetic
 phishing stand-in + logistic regression with MSE loss);
 :func:`run_config` repeats one cell over its seeds and aggregates the
-curves; :func:`run_grid` handles a list of cells.
+curves; :func:`run_grid` handles a list of cells.  Both accept
+``max_workers`` to fan the per-seed runs out over a
+:mod:`multiprocessing` pool (see :mod:`repro.pipeline.parallel`);
+results are bit-identical to the serial path.
 """
 
 from __future__ import annotations
@@ -12,12 +15,13 @@ from dataclasses import dataclass, field
 
 from repro.data.datasets import Dataset, train_test_split
 from repro.data.phishing import PHISHING_TRAIN_SIZE, make_phishing_dataset
-from repro.distributed.trainer import PrivacyReport, TrainingResult, train
+from repro.distributed.trainer import PrivacyReport, TrainingResult
 from repro.experiments.config import ExperimentConfig
 from repro.metrics.aggregate import SeriesStats, aggregate_accuracy, aggregate_losses
 from repro.metrics.history import TrainingHistory
 from repro.models.base import Model
 from repro.models.logistic import LogisticRegressionModel
+from repro.pipeline.parallel import TrainingJob, run_jobs
 from repro.rng import generator_from_seed
 
 __all__ = ["RunOutcome", "phishing_environment", "run_config", "run_grid"]
@@ -87,18 +91,24 @@ def run_config(
     model: Model,
     train_dataset: Dataset,
     test_dataset: Dataset | None = None,
+    *,
+    max_workers: int | None = None,
 ) -> RunOutcome:
-    """Run one cell over all its seeds and aggregate the curves."""
-    results: list[TrainingResult] = []
-    for seed in config.seeds:
-        results.append(
-            train(
-                model=model,
-                train_dataset=train_dataset,
-                test_dataset=test_dataset,
-                **config.train_kwargs(seed),
-            )
+    """Run one cell over all its seeds and aggregate the curves.
+
+    ``max_workers`` > 1 runs the seeds on a multiprocessing pool;
+    histories are bit-identical to the serial default.
+    """
+    jobs = [
+        TrainingJob(
+            model=model,
+            train_dataset=train_dataset,
+            test_dataset=test_dataset,
+            train_kwargs=config.train_kwargs(seed),
         )
+        for seed in config.seeds
+    ]
+    results: list[TrainingResult] = run_jobs(jobs, max_workers=max_workers)
     histories = [result.history for result in results]
     loss_stats = aggregate_losses(histories)
     if test_dataset is not None and len(histories[0].accuracies) > 0:
@@ -120,13 +130,21 @@ def run_grid(
     train_dataset: Dataset,
     test_dataset: Dataset | None = None,
     verbose: bool = False,
+    *,
+    max_workers: int | None = None,
 ) -> dict[str, RunOutcome]:
-    """Run several cells; returns ``{config.name: outcome}``."""
+    """Run several cells; returns ``{config.name: outcome}``.
+
+    ``max_workers`` parallelises each cell's seeds (cells themselves
+    run in order, so progress output stays readable).
+    """
     outcomes: dict[str, RunOutcome] = {}
     for config in configs:
         if config.name in outcomes:
             raise ValueError(f"duplicate config name {config.name!r}")
         if verbose:
             print(f"running {config.describe()}")
-        outcomes[config.name] = run_config(config, model, train_dataset, test_dataset)
+        outcomes[config.name] = run_config(
+            config, model, train_dataset, test_dataset, max_workers=max_workers
+        )
     return outcomes

@@ -74,8 +74,15 @@ GAR_REGISTRY: dict[str, type[GAR]] = {
 
 
 def available_gars() -> tuple[str, ...]:
-    """Names of all registered aggregation rules, sorted."""
-    return tuple(sorted(GAR_REGISTRY))
+    """Names of all registered aggregation rules, sorted.
+
+    Delegates to the unified component registry
+    (:mod:`repro.pipeline.registry`), so rules registered there under
+    the ``"gar"`` family are included too.
+    """
+    from repro.pipeline.registry import REGISTRY
+
+    return tuple(sorted(set(REGISTRY.available("gar")) | set(GAR_REGISTRY)))
 
 
 def get_gar(name: str, n: int, f: int, **kwargs) -> GAR:
@@ -83,12 +90,16 @@ def get_gar(name: str, n: int, f: int, **kwargs) -> GAR:
 
     Extra keyword arguments are passed to the rule's constructor (e.g.
     ``m`` for Multi-Krum, ``allow_byzantine`` for averaging under
-    attack).
+    attack).  Dispatches through the unified component registry's
+    ``"gar"`` family.
     """
-    try:
-        cls = GAR_REGISTRY[name]
-    except KeyError:
-        raise AggregationError(
-            f"unknown GAR {name!r}; available: {', '.join(available_gars())}"
-        ) from None
-    return cls(n, f, **kwargs)
+    from repro.pipeline.registry import REGISTRY
+
+    if not REGISTRY.has("gar", name):
+        if name in GAR_REGISTRY:  # added to the legacy dict post-bootstrap
+            REGISTRY.register("gar", name, GAR_REGISTRY[name], overwrite=True)
+        else:
+            raise AggregationError(
+                f"unknown GAR {name!r}; available: {', '.join(available_gars())}"
+            )
+    return REGISTRY.build("gar", {"name": name, **kwargs}, n=n, f=f)

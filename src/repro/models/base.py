@@ -21,6 +21,9 @@ __all__ = ["Model"]
 class Model(ABC):
     """Stateless differentiable model over a flat parameter vector."""
 
+    #: Registry name, set by each subclass (e.g. ``"logistic"``).
+    name: str = "abstract"
+
     @property
     @abstractmethod
     def dimension(self) -> int:

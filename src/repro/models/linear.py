@@ -21,6 +21,8 @@ __all__ = ["LinearRegressionModel"]
 class LinearRegressionModel(Model):
     """Least-squares linear regression with a bias term."""
 
+    name = "linear"
+
     def __init__(self, num_features: int):
         if num_features <= 0:
             raise ConfigurationError(f"num_features must be positive, got {num_features}")

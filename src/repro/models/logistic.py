@@ -45,6 +45,8 @@ class LogisticRegressionModel(Model):
         ``"mse"`` (the paper's choice) or ``"nll"`` (cross-entropy).
     """
 
+    name = "logistic"
+
     VALID_LOSSES = ("mse", "nll")
 
     def __init__(self, num_features: int, loss_kind: str = "mse"):

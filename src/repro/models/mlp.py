@@ -26,6 +26,8 @@ __all__ = ["MLPClassifierModel"]
 class MLPClassifierModel(Model):
     """Binary classifier: tanh hidden layer, sigmoid output, MSE loss."""
 
+    name = "mlp"
+
     def __init__(self, num_features: int, hidden_units: int = 16):
         if num_features <= 0:
             raise ConfigurationError(f"num_features must be positive, got {num_features}")

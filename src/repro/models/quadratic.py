@@ -29,6 +29,8 @@ __all__ = ["MeanEstimationModel"]
 class MeanEstimationModel(Model):
     """Estimate the mean of a point cloud by minimising ``1/2 E||w - x||^2``."""
 
+    name = "mean-estimation"
+
     # Closed-form landscape constants (see module docstring).
     STRONG_CONVEXITY = 1.0
     LIPSCHITZ = 1.0

@@ -22,6 +22,8 @@ __all__ = ["SoftmaxClassifierModel"]
 class SoftmaxClassifierModel(Model):
     """Softmax classifier with cross-entropy loss and a bias per class."""
 
+    name = "softmax"
+
     def __init__(self, num_features: int, num_classes: int):
         if num_features <= 0:
             raise ConfigurationError(f"num_features must be positive, got {num_features}")

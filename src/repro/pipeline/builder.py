@@ -1,0 +1,440 @@
+"""Composable experiment builder.
+
+:class:`Experiment` decomposes the monolithic ``train()`` into explicit
+stages — :meth:`~Experiment.build_data`, :meth:`~Experiment.build_workers`,
+:meth:`~Experiment.build_server`, :meth:`~Experiment.build_cluster`,
+:meth:`~Experiment.run` — each cached and independently inspectable.
+Every pluggable component (GAR, attack, model, noise mechanism,
+learning-rate schedule, data distribution, network) is accepted either
+as an instance, a bare name, or a ``{"name": ..., **kwargs}`` spec
+resolved through :mod:`repro.pipeline.registry`.
+
+Seed streams come from a path-addressed :class:`repro.rng.SeedTree`, so
+the stage *order* never affects randomness: building workers before or
+after the server yields bit-identical runs, and an ``Experiment`` built
+from the same arguments reproduces ``train()`` exactly.
+
+>>> from repro.pipeline import Experiment
+>>> from repro.experiments.runner import phishing_environment
+>>> model, train_set, test_set = phishing_environment()
+>>> result = Experiment(
+...     model=model, train_dataset=train_set, test_dataset=test_set,
+...     num_steps=100, gar={"name": "mda"}, attack={"name": "little"},
+...     epsilon=0.2, seed=1,
+... ).run()  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.attacks import ByzantineAttack, get_attack
+from repro.data.batching import BatchSampler
+from repro.data.datasets import Dataset
+from repro.distributed.cluster import Cluster
+from repro.distributed.server import ParameterServer
+from repro.distributed.worker import HonestWorker
+from repro.exceptions import ConfigurationError
+from repro.gars import GAR, get_gar
+from repro.gars.average import AverageGAR
+from repro.metrics.history import TrainingHistory
+from repro.models.base import Model
+from repro.optim.schedules import LearningRateSchedule
+from repro.optim.sgd import SGDOptimizer
+from repro.pipeline.callbacks import AccuracyCallback, Callback, CallbackList
+from repro.pipeline.loop import LoopState, TrainingLoop
+from repro.pipeline.registry import (
+    MOMENTUM_PLACEMENTS,
+    REGISTRY,
+    ComponentRegistry,
+    build_mechanism,
+)
+from repro.pipeline.results import TrainingResult, privacy_report
+from repro.privacy.mechanisms import NoiseMechanism
+from repro.rng import SeedTree
+
+__all__ = ["Experiment", "MOMENTUM_PLACEMENTS"]
+
+
+def _resolve_gar(gar, n: int, f: int, gar_kwargs: dict | None) -> GAR:
+    if isinstance(gar, GAR):
+        if gar.n != n or gar.f != f:
+            raise ConfigurationError(
+                f"provided GAR is bound to (n={gar.n}, f={gar.f}) but the run "
+                f"uses (n={n}, f={f})"
+            )
+        return gar
+    if isinstance(gar, dict):
+        name, spec_kwargs = ComponentRegistry.parse_spec(gar)
+        kwargs = {**(gar_kwargs or {}), **spec_kwargs}
+    else:
+        name, kwargs = gar, dict(gar_kwargs or {})
+    if name == AverageGAR.name and f > 0:
+        # The experiments deliberately run the non-robust baseline.
+        kwargs.setdefault("allow_byzantine", True)
+    return get_gar(name, n, f, **kwargs)
+
+
+def _resolve_attack(attack, attack_kwargs: dict | None) -> ByzantineAttack | None:
+    if attack is None:
+        return None
+    if isinstance(attack, ByzantineAttack):
+        if attack_kwargs:
+            raise ConfigurationError(
+                "attack_kwargs only apply when the attack is given by name"
+            )
+        return attack
+    if isinstance(attack, dict):
+        name, spec_kwargs = ComponentRegistry.parse_spec(attack)
+        return get_attack(name, **{**(attack_kwargs or {}), **spec_kwargs})
+    return get_attack(attack, **(attack_kwargs or {}))
+
+
+def _resolve_schedule(learning_rate):
+    if isinstance(learning_rate, dict):
+        return REGISTRY.build("schedule", learning_rate)
+    return learning_rate  # float or LearningRateSchedule, handled by SGDOptimizer
+
+
+class Experiment:
+    """One distributed training experiment, built stage by stage.
+
+    Accepts exactly the keyword surface of the legacy
+    :func:`repro.distributed.trainer.train` (which is now a thin wrapper
+    over this class), with three extensions: components may be given as
+    registry specs, a ``network`` spec/instance can replace the
+    ``drop_probability`` shorthand, and ``callbacks`` hook into the
+    training loop.
+
+    Structural parameters and component *names* are validated at
+    construction time; component-specific keyword errors surface when
+    the owning stage builds.  The build stages are lazy and cached, and
+    :meth:`run` re-builds from scratch if the cluster was already
+    stepped, so a single ``Experiment`` can be run repeatedly with
+    bit-identical results.
+    """
+
+    def __init__(
+        self,
+        *,
+        model: Model | str | dict,
+        train_dataset: Dataset,
+        test_dataset: Dataset | None = None,
+        num_steps: int = 1000,
+        n: int = 11,
+        f: int = 5,
+        num_byzantine: int | None = None,
+        gar: str | dict | GAR = "mda",
+        gar_kwargs: dict | None = None,
+        attack: str | dict | ByzantineAttack | None = None,
+        attack_kwargs: dict | None = None,
+        batch_size: int = 50,
+        g_max: float | None = 1e-2,
+        epsilon: float | None = None,
+        delta: float = 1e-6,
+        noise_kind: str | dict = "gaussian",
+        learning_rate: float | dict | LearningRateSchedule = 2.0,
+        momentum: float = 0.99,
+        momentum_at: str = "worker",
+        nesterov: bool = False,
+        clip_mode: str = "batch",
+        drop_probability: float = 0.0,
+        data_distribution: str | dict = "shared",
+        eval_every: int = 50,
+        seed: int = 1,
+        record_gradients: bool = False,
+        network=None,
+        callbacks: Iterable[Callback] = (),
+    ):
+        if num_steps < 1:
+            raise ConfigurationError(f"num_steps must be >= 1, got {num_steps}")
+        if eval_every < 1:
+            raise ConfigurationError(f"eval_every must be >= 1, got {eval_every}")
+        if momentum_at not in MOMENTUM_PLACEMENTS:
+            raise ConfigurationError(
+                f"momentum_at must be one of {MOMENTUM_PLACEMENTS}, got {momentum_at!r}"
+            )
+        if isinstance(model, (str, dict)):
+            model = REGISTRY.build("model", model)
+        if num_byzantine is None:
+            num_byzantine = f if attack is not None else 0
+        if num_byzantine < 0:
+            raise ConfigurationError(
+                f"num_byzantine must be >= 0, got {num_byzantine}"
+            )
+        if num_byzantine > f:
+            raise ConfigurationError(
+                f"num_byzantine ({num_byzantine}) cannot exceed the declared f ({f})"
+            )
+        num_honest = n - num_byzantine
+        if num_honest < 1:
+            raise ConfigurationError("need at least one honest worker")
+
+        self.seeds = SeedTree(seed)
+        self.gar = _resolve_gar(gar, n, f, gar_kwargs)
+        self.attack = _resolve_attack(attack, attack_kwargs)
+        if num_byzantine > 0 and self.attack is None:
+            raise ConfigurationError("num_byzantine > 0 requires an attack")
+
+        self.mechanism: NoiseMechanism | None = None
+        self._noise_kind_name: str | None = None
+        if epsilon is not None:
+            if g_max is None:
+                raise ConfigurationError("DP requires g_max (Assumption 1)")
+            if isinstance(noise_kind, dict):
+                self._noise_kind_name = ComponentRegistry.parse_spec(noise_kind)[0]
+                self.mechanism = REGISTRY.build(
+                    "mechanism",
+                    noise_kind,
+                    epsilon=epsilon,
+                    delta=delta,
+                    g_max=g_max,
+                    batch_size=batch_size,
+                    dimension=model.dimension,
+                )
+            else:
+                self._noise_kind_name = noise_kind
+                self.mechanism = build_mechanism(
+                    noise_kind, epsilon, delta, g_max, batch_size, model.dimension
+                )
+
+        distribution_name = ComponentRegistry.parse_spec(data_distribution)[0]
+        if not REGISTRY.has("distribution", distribution_name):
+            raise ConfigurationError(
+                f"data_distribution must be one of "
+                f"{REGISTRY.available('distribution')}, got {distribution_name!r}"
+            )
+        if isinstance(network, (str, dict)):
+            network_name = ComponentRegistry.parse_spec(network)[0]
+            if not REGISTRY.has("network", network_name):
+                raise ConfigurationError(
+                    f"network must be one of {REGISTRY.available('network')}, "
+                    f"got {network_name!r}"
+                )
+
+        self.model = model
+        self.train_dataset = train_dataset
+        self.test_dataset = test_dataset
+        self.num_steps = int(num_steps)
+        self.n = int(n)
+        self.f = int(f)
+        self.num_byzantine = int(num_byzantine)
+        self.num_honest = int(num_honest)
+        self.batch_size = int(batch_size)
+        self.g_max = g_max
+        self.epsilon = epsilon
+        self.delta = delta
+        self.learning_rate = _resolve_schedule(learning_rate)
+        self.momentum = float(momentum)
+        self.momentum_at = momentum_at
+        self.nesterov = bool(nesterov)
+        self.clip_mode = clip_mode
+        self.drop_probability = float(drop_probability)
+        self.data_distribution = data_distribution
+        self.eval_every = int(eval_every)
+        self.seed = seed
+        self.record_gradients = bool(record_gradients)
+        self.network_spec = network
+        self.callbacks: list[Callback] = list(callbacks)
+
+        self._worker_datasets: list[Dataset] | None = None
+        self._workers: list[HonestWorker] | None = None
+        self._server: ParameterServer | None = None
+        self._network = None
+        self._cluster: Cluster | None = None
+
+    @classmethod
+    def from_config(
+        cls,
+        config,
+        model: Model,
+        train_dataset: Dataset,
+        test_dataset: Dataset | None = None,
+        *,
+        seed: int | None = None,
+        callbacks: Iterable[Callback] = (),
+    ) -> "Experiment":
+        """Build one seed's experiment from an :class:`ExperimentConfig` cell.
+
+        ``seed`` defaults to the config's first seed.
+        """
+        if seed is None:
+            seed = config.seeds[0]
+        return cls(
+            model=model,
+            train_dataset=train_dataset,
+            test_dataset=test_dataset,
+            callbacks=callbacks,
+            **config.train_kwargs(seed),
+        )
+
+    # ------------------------------------------------------------------
+    # build stages (lazy, cached, order-independent thanks to SeedTree)
+    # ------------------------------------------------------------------
+
+    def build_data(self) -> list[Dataset]:
+        """Stage 1: per-honest-worker datasets from the data distribution.
+
+        The distribution name was validated in ``__init__``; the
+        registry itself backstops any later mutation.
+        """
+        if self._worker_datasets is None:
+            self._worker_datasets = REGISTRY.build(
+                "distribution",
+                self.data_distribution,
+                dataset=self.train_dataset,
+                num_shards=self.num_honest,
+                rng=self.seeds.generator("shards"),
+            )
+        return list(self._worker_datasets)
+
+    def build_workers(self) -> list[HonestWorker]:
+        """Stage 2: the honest workers with their private seed streams."""
+        if self._workers is None:
+            datasets = self.build_data()
+            worker_momentum = self.momentum if self.momentum_at == "worker" else 0.0
+            self._workers = [
+                HonestWorker(
+                    worker_id=index,
+                    model=self.model,
+                    sampler=BatchSampler(
+                        datasets[index],
+                        self.batch_size,
+                        self.seeds.generator("worker", index, "batch"),
+                    ),
+                    noise_rng=self.seeds.generator("worker", index, "noise"),
+                    g_max=self.g_max,
+                    mechanism=self.mechanism,
+                    clip_mode=self.clip_mode,
+                    momentum=worker_momentum,
+                )
+                for index in range(self.num_honest)
+            ]
+        return list(self._workers)
+
+    def build_server(self) -> ParameterServer:
+        """Stage 3: the parameter server (GAR + optimizer + init params)."""
+        if self._server is None:
+            server_momentum = self.momentum if self.momentum_at == "server" else 0.0
+            optimizer = SGDOptimizer(
+                self.learning_rate, momentum=server_momentum, nesterov=self.nesterov
+            )
+            self._server = ParameterServer(
+                initial_parameters=self.model.initial_parameters(
+                    self.seeds.generator("init")
+                ),
+                gar=self.gar,
+                optimizer=optimizer,
+                record_received=self.record_gradients,
+            )
+        return self._server
+
+    def build_network(self):
+        """The network model: a spec/instance override, or the
+        ``drop_probability`` shorthand (> 0 means a lossy network)."""
+        if self._network is None:
+            spec = self.network_spec
+            if spec is None:
+                spec = "lossy" if self.drop_probability > 0.0 else "perfect"
+            if isinstance(spec, (str, dict)):
+                name, kwargs = ComponentRegistry.parse_spec(spec)
+                if name == "lossy":
+                    kwargs.setdefault("drop_probability", self.drop_probability)
+                    kwargs.setdefault("rng", self.seeds.generator("network"))
+                self._network = REGISTRY.build("network", {"name": name, **kwargs})
+            else:
+                self._network = spec
+        return self._network
+
+    def build_cluster(self) -> Cluster:
+        """Stage 4: wire workers, adversary, network and server together."""
+        if self._cluster is None:
+            self._cluster = Cluster(
+                server=self.build_server(),
+                honest_workers=self.build_workers(),
+                num_byzantine=self.num_byzantine,
+                attack=self.attack,
+                attack_rng=(
+                    self.seeds.generator("attack") if self.attack is not None else None
+                ),
+                network=self.build_network(),
+            )
+        return self._cluster
+
+    def reset(self) -> None:
+        """Drop all built stages; the next build starts fresh.
+
+        Seed streams are path-addressed, so a rebuilt experiment
+        reproduces the original bit for bit.
+        """
+        self._worker_datasets = None
+        self._workers = None
+        self._server = None
+        self._network = None
+        self._cluster = None
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(self, callbacks: Iterable[Callback] = ()) -> TrainingResult:
+        """Final stage: run the training loop and package the result.
+
+        ``callbacks`` are appended after the experiment-level ones.  If
+        the cached cluster has already been stepped (a previous
+        :meth:`run`), everything is rebuilt first so repeated runs are
+        independent and identical.
+        """
+        if self._cluster is not None and self._cluster.step_count > 0:
+            self.reset()
+        cluster = self.build_cluster()
+        all_callbacks = CallbackList([*self.callbacks, *callbacks])
+        if self.test_dataset is not None:
+            all_callbacks.append(
+                AccuracyCallback(self.test_dataset, eval_every=self.eval_every)
+            )
+        loop = TrainingLoop(
+            cluster=cluster,
+            model=self.model,
+            history=TrainingHistory(),
+            callbacks=all_callbacks,
+        )
+        state: LoopState = loop.run(self.num_steps)
+        privacy = privacy_report(self.mechanism, self.epsilon, self.delta, self.num_steps)
+        return TrainingResult(
+            history=state.history,
+            final_parameters=cluster.parameters,
+            privacy=privacy,
+            config=self.describe(),
+        )
+
+    def describe(self) -> dict:
+        """The configuration echo stored on every :class:`TrainingResult`."""
+        return {
+            "num_steps": self.num_steps,
+            "n": self.n,
+            "f": self.f,
+            "num_byzantine": self.num_byzantine,
+            "gar": self.gar.name,
+            "attack": self.attack.name if self.attack is not None else None,
+            "batch_size": self.batch_size,
+            "g_max": self.g_max,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "noise_kind": self._noise_kind_name if self.epsilon is not None else None,
+            "momentum": self.momentum,
+            "momentum_at": self.momentum_at,
+            "clip_mode": self.clip_mode,
+            "drop_probability": self.drop_probability,
+            "data_distribution": self.data_distribution,
+            "seed": self.seed,
+            "model_dimension": self.model.dimension,
+        }
+
+    def __repr__(self) -> str:
+        dp = f"epsilon={self.epsilon}" if self.epsilon is not None else "no-DP"
+        return (
+            f"Experiment(gar={self.gar.name!r}, n={self.n}, f={self.f}, "
+            f"attack={self.attack.name if self.attack else None!r}, {dp}, "
+            f"num_steps={self.num_steps}, seed={self.seed})"
+        )

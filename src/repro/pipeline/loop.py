@@ -1,0 +1,114 @@
+"""Callback-driven synchronous training loop.
+
+:class:`TrainingLoop` owns the round-by-round execution that used to be
+inlined in ``train()``: run cluster rounds, record the paper's per-step
+training loss over the honest workers' sampled batches, and fire the
+:mod:`repro.pipeline.callbacks` hooks around every round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.distributed.cluster import Cluster, StepResult
+from repro.exceptions import ConfigurationError
+from repro.metrics.history import TrainingHistory
+from repro.models.base import Model
+from repro.pipeline.callbacks import Callback, CallbackList
+
+__all__ = ["LoopState", "TrainingLoop"]
+
+
+@dataclass
+class LoopState:
+    """Mutable view of a running loop, handed to every callback hook."""
+
+    cluster: Cluster
+    model: Model
+    history: TrainingHistory
+    callbacks: CallbackList
+    num_steps: int
+    last_result: StepResult | None = field(default=None, repr=False)
+    stopped_early: bool = False
+
+    @property
+    def step(self) -> int:
+        """Rounds completed so far (0 before the first round)."""
+        return self.cluster.step_count
+
+
+class TrainingLoop:
+    """Run synchronous rounds of a cluster with callback hooks.
+
+    The loop records the mean training loss of the honest workers'
+    sampled batches at every step (evaluated at the pre-update
+    parameters, per Section 5.1's measurement protocol).  Rounds where
+    no honest worker sampled a batch — possible in all-Byzantine
+    configurations — record no loss instead of a silent ``NaN``.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        model: Model,
+        history: TrainingHistory | None = None,
+        callbacks: Iterable[Callback] = (),
+    ):
+        self._cluster = cluster
+        self._model = model
+        self._history = history if history is not None else TrainingHistory()
+        self._callbacks = (
+            callbacks if isinstance(callbacks, CallbackList) else CallbackList(callbacks)
+        )
+
+    @property
+    def history(self) -> TrainingHistory:
+        """The history this loop records into."""
+        return self._history
+
+    @property
+    def callbacks(self) -> CallbackList:
+        """The composed callback list."""
+        return self._callbacks
+
+    def run(self, num_steps: int) -> LoopState:
+        """Run up to ``num_steps`` rounds; returns the final state.
+
+        A callback returning True from ``should_stop`` ends the run
+        before the next round and sets ``state.stopped_early``.
+        """
+        if num_steps < 1:
+            raise ConfigurationError(f"num_steps must be >= 1, got {num_steps}")
+        state = LoopState(
+            cluster=self._cluster,
+            model=self._model,
+            history=self._history,
+            callbacks=self._callbacks,
+            num_steps=int(num_steps),
+        )
+        honest_workers = self._cluster.honest_workers
+        callbacks = self._callbacks
+        callbacks.on_train_start(state)
+        for _ in range(num_steps):
+            if callbacks.should_stop(state):
+                state.stopped_early = True
+                break
+            callbacks.on_step_start(state)
+            parameters_before = self._cluster.parameters
+            result = self._cluster.step()
+            state.last_result = result
+            losses = [
+                self._model.loss(parameters_before, *worker.last_batch)
+                for worker in honest_workers
+                if worker.last_batch is not None
+            ]
+            if losses:
+                self._history.record_loss(
+                    self._cluster.step_count, float(np.mean(losses))
+                )
+            callbacks.on_step_end(state, result)
+        callbacks.on_train_end(state)
+        return state

@@ -1,0 +1,93 @@
+"""Parallel multi-seed execution.
+
+The paper repeats every experimental cell over independent seeds; the
+runs share no state, so they parallelise perfectly.  A
+:class:`TrainingJob` is a picklable description of one run (environment
+plus ``train()`` keyword arguments); :func:`run_jobs` executes a batch
+of them either serially or on a :mod:`multiprocessing` pool.
+
+Determinism: each job derives all randomness from its own seed, so the
+parallel path returns bit-identical results to the serial path, in the
+same order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.data.datasets import Dataset
+from repro.exceptions import ConfigurationError
+from repro.models.base import Model
+from repro.pipeline.builder import Experiment
+from repro.pipeline.results import TrainingResult
+
+__all__ = ["TrainingJob", "execute_job", "jobs_for_seeds", "run_jobs"]
+
+
+@dataclass(frozen=True)
+class TrainingJob:
+    """One self-contained training run, safe to ship to a worker process.
+
+    ``train_kwargs`` holds the keyword arguments of
+    :class:`repro.pipeline.builder.Experiment` (equivalently, of the
+    legacy ``train()``), minus the environment triple stored explicitly.
+    Callbacks are process-local objects and therefore not part of a job.
+    """
+
+    model: Model
+    train_dataset: Dataset
+    test_dataset: Dataset | None = None
+    train_kwargs: dict = field(default_factory=dict)
+
+
+def execute_job(job: TrainingJob) -> TrainingResult:
+    """Run one job to completion (module-level, so pools can pickle it)."""
+    experiment = Experiment(
+        model=job.model,
+        train_dataset=job.train_dataset,
+        test_dataset=job.test_dataset,
+        **job.train_kwargs,
+    )
+    return experiment.run()
+
+
+def run_jobs(
+    jobs: Iterable[TrainingJob],
+    max_workers: int | None = None,
+) -> list[TrainingResult]:
+    """Execute ``jobs`` and return their results in submission order.
+
+    ``max_workers=None`` (or 1) runs serially in-process; larger values
+    fan the jobs out over a :mod:`multiprocessing` pool of at most
+    ``min(max_workers, len(jobs))`` processes.  Both paths are
+    deterministic and produce identical results.
+    """
+    jobs = list(jobs)
+    if max_workers is not None and max_workers < 1:
+        raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+    if max_workers is None or max_workers == 1 or len(jobs) <= 1:
+        return [execute_job(job) for job in jobs]
+    context = multiprocessing.get_context()
+    with context.Pool(processes=min(max_workers, len(jobs))) as pool:
+        return pool.map(execute_job, jobs)
+
+
+def jobs_for_seeds(
+    model: Model,
+    train_dataset: Dataset,
+    test_dataset: Dataset | None,
+    seeds: Sequence[int],
+    **train_kwargs,
+) -> list[TrainingJob]:
+    """One job per seed, sharing the environment and hyperparameters."""
+    return [
+        TrainingJob(
+            model=model,
+            train_dataset=train_dataset,
+            test_dataset=test_dataset,
+            train_kwargs={**train_kwargs, "seed": seed},
+        )
+        for seed in seeds
+    ]

@@ -1,0 +1,102 @@
+"""Training results and privacy reporting.
+
+These types used to live inside :mod:`repro.distributed.trainer`; they
+are defined here (a leaf module with no distributed/pipeline imports)
+so both the legacy :func:`repro.distributed.trainer.train` wrapper and
+the :class:`repro.pipeline.builder.Experiment` builder can share them
+without circular imports.  The trainer re-exports them, so
+``from repro.distributed.trainer import TrainingResult`` keeps working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metrics.history import TrainingHistory
+from repro.privacy.accountants import (
+    AdvancedCompositionAccountant,
+    BasicCompositionAccountant,
+    PrivacySpend,
+    RDPAccountant,
+)
+from repro.privacy.mechanisms import GaussianMechanism, NoiseMechanism
+from repro.typing import Vector
+
+__all__ = ["PrivacyReport", "TrainingResult", "privacy_report"]
+
+
+@dataclass(frozen=True)
+class PrivacyReport:
+    """End-to-end privacy accounting for one training run."""
+
+    per_step: PrivacySpend
+    noise_sigma: float
+    basic: PrivacySpend
+    advanced: PrivacySpend
+    rdp: PrivacySpend | None
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        parts = [
+            f"per-step ({self.per_step.epsilon:.3g}, {self.per_step.delta:.3g})-DP",
+            f"basic total ({self.basic.epsilon:.3g}, {self.basic.delta:.3g})",
+            f"advanced total ({self.advanced.epsilon:.3g}, {self.advanced.delta:.3g})",
+        ]
+        if self.rdp is not None:
+            parts.append(f"RDP total ({self.rdp.epsilon:.3g}, {self.rdp.delta:.3g})")
+        return "; ".join(parts)
+
+
+@dataclass
+class TrainingResult:
+    """Everything one training run produces."""
+
+    history: TrainingHistory
+    final_parameters: Vector = field(repr=False)
+    privacy: PrivacyReport | None
+    config: dict = field(repr=False)
+
+    @property
+    def final_loss(self) -> float:
+        """Training loss at the last step."""
+        return self.history.final_loss
+
+    @property
+    def final_accuracy(self) -> float:
+        """Test accuracy at the last evaluation (if any were recorded)."""
+        return self.history.final_accuracy
+
+
+def privacy_report(
+    mechanism: NoiseMechanism | None,
+    epsilon: float | None,
+    delta: float,
+    num_steps: int,
+) -> PrivacyReport | None:
+    """Compose the per-step budget over ``num_steps`` under every accountant.
+
+    Returns ``None`` when DP is off.  ``num_steps`` is the *configured*
+    horizon; an early-stopped run spends at most this much.
+    """
+    if mechanism is None or epsilon is None:
+        return None
+    per_step = PrivacySpend(epsilon=mechanism.epsilon, delta=mechanism.delta)
+    basic = BasicCompositionAccountant().compose(
+        per_step.epsilon, per_step.delta, num_steps
+    )
+    advanced = AdvancedCompositionAccountant().compose(
+        per_step.epsilon, per_step.delta, num_steps
+    )
+    rdp: PrivacySpend | None = None
+    if isinstance(mechanism, GaussianMechanism):
+        accountant = RDPAccountant()
+        accountant.step_gaussian(mechanism.noise_multiplier, num_steps)
+        rdp = accountant.get_privacy_spent(delta)
+        sigma = mechanism.sigma
+    else:
+        sigma = float(np.sqrt(mechanism.per_coordinate_variance))
+    return PrivacyReport(
+        per_step=per_step, noise_sigma=sigma, basic=basic, advanced=advanced, rdp=rdp
+    )

@@ -1,0 +1,181 @@
+"""Tests for the CLI ``run`` subcommand and its helpers."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import (
+    build_parser,
+    load_run_file,
+    main,
+    render_figure_text,
+    render_run_summary,
+)
+from repro.experiments.config import ExperimentConfig
+
+
+def tiny_cell(name="smoke", **overrides):
+    cell = {
+        "name": name,
+        "num_steps": 4,
+        "n": 5,
+        "f": 2,
+        "gar": "mda",
+        "batch_size": 10,
+        "eval_every": 2,
+        "seeds": [1],
+    }
+    cell.update(overrides)
+    return cell
+
+
+class TestParser:
+    def test_run_options(self):
+        arguments = build_parser().parse_args(
+            ["run", "grid.json", "--max-workers", "3", "--data-seed", "7"]
+        )
+        assert arguments.command == "run"
+        assert str(arguments.config) == "grid.json"
+        assert arguments.max_workers == 3
+        assert arguments.data_seed == 7
+
+    def test_run_requires_config(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+
+class TestLoadRunFile:
+    def test_single_object(self, tmp_path):
+        path = tmp_path / "one.json"
+        path.write_text(json.dumps(tiny_cell()))
+        configs, model_spec, data_seed = load_run_file(path)
+        assert [c.name for c in configs] == ["smoke"]
+        assert model_spec is None and data_seed is None
+
+    def test_list_of_cells(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text(json.dumps([tiny_cell("a"), tiny_cell("b")]))
+        configs, _, _ = load_run_file(path)
+        assert [c.name for c in configs] == ["a", "b"]
+        assert all(isinstance(c, ExperimentConfig) for c in configs)
+
+    def test_grid_document(self, tmp_path):
+        path = tmp_path / "grid.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "configs": [tiny_cell()],
+                    "model": {"name": "logistic", "loss_kind": "mse"},
+                    "data_seed": 3,
+                }
+            )
+        )
+        configs, model_spec, data_seed = load_run_file(path)
+        assert len(configs) == 1
+        assert model_spec == {"name": "logistic", "loss_kind": "mse"}
+        assert data_seed == 3
+
+
+class TestRunCommand:
+    def test_smoke(self, tmp_path, capsys):
+        path = tmp_path / "config.json"
+        path.write_text(json.dumps(tiny_cell()))
+        assert main(["run", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "smoke" in output
+        assert "final loss" in output
+
+    def test_grid_with_model_spec_and_outputs(self, tmp_path, capsys):
+        config_path = tmp_path / "grid.json"
+        config_path.write_text(
+            json.dumps(
+                {
+                    "configs": [tiny_cell("cell-a"), tiny_cell("cell-b", epsilon=0.5)],
+                    "model": {"name": "logistic", "loss_kind": "mse"},
+                }
+            )
+        )
+        summary_path = tmp_path / "summary.txt"
+        outcomes_path = tmp_path / "outcomes.json"
+        code = main(
+            [
+                "run",
+                str(config_path),
+                "--max-workers",
+                "2",
+                "--save",
+                str(outcomes_path),
+                "--output",
+                str(summary_path),
+            ]
+        )
+        assert code == 0
+        assert "cell-a" in summary_path.read_text()
+        saved = json.loads(outcomes_path.read_text())
+        assert set(saved) == {"cell-a", "cell-b"}
+
+    def test_list_mentions_run(self, capsys):
+        assert main(["list"]) == 0
+
+    def test_expected_errors_exit_2(self, tmp_path, capsys):
+        missing = main(["run", str(tmp_path / "nope.json")])
+        bad = tmp_path / "bad.json"
+        bad.write_text("{oops")
+        malformed = main(["run", str(bad)])
+        assert missing == 2
+        assert malformed == 2
+        errors = capsys.readouterr().err
+        assert errors.count("error:") == 2
+
+    def test_data_seed_flag_beats_config_file(self, tmp_path, monkeypatch):
+        """--data-seed must override a data_seed key in the file."""
+        import repro.experiments.cli as cli_module
+
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps({"configs": [tiny_cell()], "data_seed": 5}))
+        seen = []
+        real_environment = cli_module.phishing_environment
+
+        def spy(data_seed=0):
+            seen.append(data_seed)
+            return real_environment(data_seed)
+
+        monkeypatch.setattr(cli_module, "phishing_environment", spy)
+        assert main(["run", str(path), "--data-seed", "9"]) == 0
+        assert seen == [9]
+        assert main(["run", str(path)]) == 0
+        assert seen == [9, 5]
+
+
+class TestSummaryRendering:
+    @pytest.fixture(scope="class")
+    def outcome_without_accuracy(self):
+        from repro.data.datasets import train_test_split
+        from repro.data.phishing import make_phishing_dataset
+        from repro.experiments.runner import run_config
+        from repro.models.logistic import LogisticRegressionModel
+        from repro.rng import generator_from_seed
+
+        dataset = make_phishing_dataset(seed=0, num_points=300, num_features=6)
+        train_set, _ = train_test_split(dataset, 250, generator_from_seed(1))
+        model = LogisticRegressionModel(6, loss_kind="mse")
+        config = ExperimentConfig(
+            name="no-test-set", num_steps=4, n=5, f=2, gar="mda",
+            batch_size=8, seeds=(1,),
+        )
+        return run_config(config, model, train_set, None)
+
+    def test_run_summary_renders_na(self, outcome_without_accuracy):
+        text = render_run_summary({"no-test-set": outcome_without_accuracy})
+        assert "n/a" in text
+        assert "no-test-set" in text
+
+    def test_figure_text_survives_missing_accuracy(self, outcome_without_accuracy):
+        """The former AttributeError crash: accuracy_stats is None."""
+        outcomes = {
+            "mda-noattack-nodp": outcome_without_accuracy,
+            "mda-noattack-dp": outcome_without_accuracy,
+        }
+        text = render_figure_text("figure2", outcomes)
+        assert "n/a" in text
+        assert "without DP" in text

@@ -1,0 +1,242 @@
+"""Tests for the unified component registry."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import available_attacks
+from repro.data.synthetic import make_two_blobs_dataset
+from repro.exceptions import ConfigurationError
+from repro.gars import available_gars
+from repro.gars.base import GAR
+from repro.optim.schedules import LearningRateSchedule
+from repro.pipeline.registry import (
+    REGISTRY,
+    ComponentRegistry,
+    available_components,
+    build_component,
+    build_mechanism,
+    component_families,
+    register_component,
+)
+from repro.privacy.mechanisms import GaussianMechanism, LaplaceMechanism
+from repro.rng import generator_from_seed
+
+
+class TestParseSpec:
+    def test_bare_name(self):
+        assert ComponentRegistry.parse_spec("mda") == ("mda", {})
+
+    def test_dict_spec(self):
+        name, kwargs = ComponentRegistry.parse_spec({"name": "little", "factor": 2.0})
+        assert name == "little"
+        assert kwargs == {"factor": 2.0}
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="name"):
+            ComponentRegistry.parse_spec({"factor": 2.0})
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="name"):
+            ComponentRegistry.parse_spec({"name": 3})
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="spec"):
+            ComponentRegistry.parse_spec(42)
+
+
+class TestBuiltinFamilies:
+    def test_families_cover_all_builtins(self):
+        assert set(component_families()) >= {
+            "gar", "attack", "model", "mechanism", "schedule",
+            "distribution", "network",
+        }
+
+    def test_every_gar_builds(self):
+        for name in available_gars():
+            spec = {"name": name}
+            if name == "average":
+                spec["allow_byzantine"] = True
+            gar = build_component("gar", spec, n=11, f=2)
+            assert isinstance(gar, GAR)
+            assert gar.name == name
+            assert (gar.n, gar.f) == (11, 2)
+
+    def test_every_attack_builds(self):
+        for name in available_attacks():
+            attack = build_component("attack", name)
+            assert attack.name == name
+
+    @pytest.mark.parametrize("spec, dimension", [
+        ({"name": "linear", "num_features": 5}, 6),
+        ({"name": "logistic", "num_features": 5}, 6),
+        ({"name": "mlp", "num_features": 5, "hidden_units": 4}, 29),
+        ({"name": "softmax", "num_features": 5, "num_classes": 3}, 18),
+        ({"name": "mean-estimation", "dimension": 4}, 4),
+    ])
+    def test_every_model_builds(self, spec, dimension):
+        model = build_component("model", spec)
+        assert model.name == spec["name"]
+        assert model.dimension == dimension
+
+    def test_mechanisms_build(self):
+        context = dict(epsilon=0.5, delta=1e-6, g_max=0.01, batch_size=50, dimension=69)
+        assert isinstance(
+            build_component("mechanism", "gaussian", **context), GaussianMechanism
+        )
+        assert isinstance(
+            build_component("mechanism", "laplace", **context), LaplaceMechanism
+        )
+
+    def test_schedules_build(self):
+        for spec in (
+            {"name": "constant", "learning_rate": 2.0},
+            {"name": "inverse-time", "scale": 1.5},
+            {"name": "step-decay", "initial_rate": 1.0, "factor": 0.5, "period": 10},
+        ):
+            schedule = build_component("schedule", spec)
+            assert isinstance(schedule, LearningRateSchedule)
+            assert schedule.rate(1) > 0
+
+    @pytest.mark.parametrize("name", ["shared", "iid-shards", "label-shards"])
+    def test_distributions_build(self, name):
+        dataset = make_two_blobs_dataset(num_points=60, num_features=4, seed=0)
+        shards = build_component(
+            "distribution",
+            name,
+            dataset=dataset,
+            num_shards=3,
+            rng=generator_from_seed(1),
+        )
+        assert len(shards) == 3
+        if name == "shared":
+            assert all(shard is dataset for shard in shards)
+        else:
+            assert sum(shard.num_points for shard in shards) == dataset.num_points
+
+    def test_networks_build(self):
+        perfect = build_component("network", "perfect")
+        gradients = np.ones((3, 2))
+        assert np.array_equal(perfect.deliver(gradients, step=1), gradients)
+        lossy = build_component(
+            "network",
+            {"name": "lossy", "drop_probability": 0.5, "rng": generator_from_seed(0)},
+        )
+        assert lossy.deliver(gradients, step=1).shape == gradients.shape
+
+
+class TestRegistration:
+    def test_register_and_build_custom(self):
+        registry = ComponentRegistry()
+        registry.register("schedule", "fixed-three", lambda: 3)
+        assert registry.build("schedule", "fixed-three") == 3
+        assert registry.available("schedule") == ("fixed-three",)
+
+    def test_decorator_reads_name_attribute(self):
+        registry = ComponentRegistry()
+
+        @registry.register("widget")
+        class Widget:
+            name = "my-widget"
+
+        assert registry.has("widget", "my-widget")
+        assert isinstance(registry.build("widget", "my-widget"), Widget)
+
+    def test_duplicate_rejected_unless_overwrite(self):
+        registry = ComponentRegistry()
+        registry.register("family", "x", lambda: 1)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register("family", "x", lambda: 2)
+        registry.register("family", "x", lambda: 2, overwrite=True)
+        assert registry.build("family", "x") == 2
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ConfigurationError, match="unknown gar"):
+            build_component("gar", "nope", n=5, f=1)
+
+    def test_unknown_family_lists_families(self):
+        with pytest.raises(ConfigurationError, match="unknown component family"):
+            build_component("frobnicator", "x")
+
+    def test_spec_kwargs_override_context(self):
+        registry = ComponentRegistry()
+        registry.register("family", "echo", lambda value: value)
+        assert registry.build("family", {"name": "echo", "value": 2}, value=1) == 2
+
+    def test_pre_bootstrap_builtin_override_does_not_poison_registry(self):
+        """Registering before first lookup must bootstrap first, so a
+        builtin-name override neither collides later nor loses the rest
+        of the builtins."""
+        from repro.gars.mda import MDAGAR
+        from repro.pipeline.registry import _register_builtins
+
+        registry = ComponentRegistry(bootstrap=_register_builtins)
+        registry.register("gar", "mda", MDAGAR, overwrite=True)
+        assert registry.build("gar", "mda", n=11, f=5).name == "mda"
+        assert len(registry.available("attack")) > 0  # builtins intact
+
+    def test_failed_bootstrap_is_retried(self):
+        calls = []
+
+        def flaky(registry):
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            registry.register("family", "x", lambda: 1)
+
+        registry = ComponentRegistry(bootstrap=flaky)
+        with pytest.raises(RuntimeError):
+            registry.available("family")
+        assert registry.build("family", "x") == 1
+        assert len(calls) == 2
+
+    def test_legacy_dict_mutation_still_works(self):
+        """The pre-pipeline extension path: mutating GAR_REGISTRY after
+        bootstrap must stay visible to get_gar/available_gars."""
+        from repro.gars import GAR_REGISTRY, available_gars, get_gar
+        from repro.gars.average import AverageGAR
+
+        class DictOnlyGAR(AverageGAR):
+            """Test double added via the legacy dict."""
+            name = "test-dict-gar"
+
+        REGISTRY.available("gar")  # force bootstrap first
+        GAR_REGISTRY["test-dict-gar"] = DictOnlyGAR
+        try:
+            assert "test-dict-gar" in available_gars()
+            assert isinstance(get_gar("test-dict-gar", 5, 0), DictOnlyGAR)
+        finally:
+            del GAR_REGISTRY["test-dict-gar"]
+
+    def test_custom_gar_reachable_through_get_gar(self):
+        from repro.gars import get_gar
+        from repro.gars.average import AverageGAR
+
+        class TestOnlyGAR(AverageGAR):
+            """Test double registered through the unified registry."""
+            name = "test-only-gar"
+
+        # overwrite=True keeps this idempotent across repeated runs in
+        # one process (the global REGISTRY outlives the test).
+        register_component("gar", "test-only-gar", TestOnlyGAR, overwrite=True)
+        assert "test-only-gar" in available_gars()
+        gar = get_gar("test-only-gar", 5, 0)
+        assert isinstance(gar, TestOnlyGAR)
+        assert "test-only-gar" in available_components("gar")
+
+
+class TestBuildMechanism:
+    def test_dispatches_by_name(self):
+        gaussian = build_mechanism("gaussian", 0.5, 1e-6, 0.01, 50, 69)
+        laplace = build_mechanism("laplace", 0.5, 1e-6, 0.01, 50, 69)
+        assert isinstance(gaussian, GaussianMechanism)
+        assert isinstance(laplace, LaplaceMechanism)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="noise_kind"):
+            build_mechanism("cauchy", 0.5, 1e-6, 0.01, 50, 69)
+
+    def test_registry_is_shared_with_trainer_export(self):
+        from repro.distributed.trainer import build_mechanism as trainer_build
+
+        assert trainer_build is build_mechanism
+        assert REGISTRY.has("mechanism", "gaussian")
