@@ -1,0 +1,86 @@
+"""Kernel benchmark: vectorized aggregation engine vs the original code.
+
+Times every GAR's pre-vectorization reference implementation
+(:mod:`repro.gars.reference`, the code that used to run inside
+``Cluster.step``) against the batched kernels of
+:mod:`repro.gars.kernels` across an ``(n, f, d)`` grid, including the
+scaling target ``n = 50, d = 10_000``.
+
+Two ways to run it::
+
+    # standalone: prints the table and writes BENCH_kernels.json
+    PYTHONPATH=src python benchmarks/bench_kernels.py [--smoke]
+
+    # same engine, via the CLI
+    python -m repro bench [--smoke] [--output BENCH_kernels.json]
+
+    # pytest-benchmark microbenchmarks (old vs new per GAR)
+    pytest benchmarks/bench_kernels.py --benchmark-only
+
+The JSON document (``BENCH_kernels.json``) is the repo's recorded perf
+trajectory; see README "Performance" for the schema.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.gars import get_gar
+from repro.gars.benchmark import (
+    default_grid,
+    format_bench_table,
+    run_kernel_benchmarks,
+    save_benchmarks,
+    smoke_grid,
+)
+from repro.gars.reference import REFERENCE_AGGREGATORS
+
+#: (name, n, f, d) cells for the pytest-benchmark front end.
+PYTEST_CASES = [
+    ("krum", 50, 10, 10_000),
+    ("geometric-median", 50, 10, 10_000),
+    ("median", 50, 10, 10_000),
+    ("mda", 11, 5, 69),
+    ("bulyan", 11, 2, 69),
+]
+
+
+def _stack(n, d, stack=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((stack, n, d))
+
+
+@pytest.mark.benchmark(group="kernels-new")
+@pytest.mark.parametrize("name,n,f,d", PYTEST_CASES)
+def test_kernel_new(benchmark, name, n, f, d):
+    """Batched engine: one aggregate_batch call over the stack."""
+    gar = get_gar(name, n, f)
+    stack = _stack(n, d)
+    benchmark(gar.aggregate_batch, stack)
+
+
+@pytest.mark.benchmark(group="kernels-old")
+@pytest.mark.parametrize("name,n,f,d", PYTEST_CASES)
+def test_kernel_old(benchmark, name, n, f, d):
+    """Pre-vectorization reference: per-round Python loop."""
+    reference = REFERENCE_AGGREGATORS[name]
+    stack = _stack(n, d)
+    benchmark(lambda: [reference(matrix, n, f) for matrix in stack])
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    smoke = "--smoke" in argv
+    grid = smoke_grid() if smoke else default_grid()
+    payload = run_kernel_benchmarks(grid, repeats=3, verbose=True)
+    output = Path("BENCH_kernels.json")
+    save_benchmarks(payload, output)
+    print(f"wrote {output}")
+    print(format_bench_table(payload))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -81,7 +81,7 @@ from repro.pipeline import (
 from repro.privacy import GaussianMechanism, LaplaceMechanism
 from repro.rng import SeedTree
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AccuracyCallback",

@@ -5,7 +5,7 @@ from repro.distributed.messages import GradientMessage, WorkerSubmission
 from repro.distributed.network import LossyNetwork, PerfectNetwork
 from repro.distributed.server import ParameterServer
 from repro.distributed.trainer import PrivacyReport, TrainingResult, build_mechanism, train
-from repro.distributed.worker import HonestWorker
+from repro.distributed.worker import HonestWorker, compute_cohort
 
 __all__ = [
     "Cluster",
@@ -19,5 +19,6 @@ __all__ = [
     "TrainingResult",
     "WorkerSubmission",
     "build_mechanism",
+    "compute_cohort",
     "train",
 ]

@@ -26,7 +26,7 @@ import numpy as np
 from repro.attacks.base import AttackContext, ByzantineAttack
 from repro.distributed.network import PerfectNetwork
 from repro.distributed.server import ParameterServer
-from repro.distributed.worker import HonestWorker
+from repro.distributed.worker import HonestWorker, compute_cohort
 from repro.exceptions import ConfigurationError
 from repro.typing import Matrix, Vector
 
@@ -132,11 +132,11 @@ class Cluster:
         self._step += 1
         parameters = self._server.parameters
 
-        submissions = [
-            worker.compute(parameters, self._step) for worker in self._honest_workers
-        ]
-        honest_submitted = np.stack([s.submitted for s in submissions])
-        honest_clean = np.stack([s.clean for s in submissions])
+        # The whole honest cohort in stacked matrix ops (vectorized
+        # gradient + clip + momentum; per-worker RNG streams preserved).
+        honest_submitted, honest_clean = compute_cohort(
+            self._honest_workers, parameters, self._step
+        )
 
         byzantine_gradient: Vector | None = None
         if self._num_byzantine > 0:

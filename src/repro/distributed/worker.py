@@ -23,6 +23,8 @@ crafts one vector per step and every Byzantine worker submits it.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.data.batching import BatchSampler
@@ -31,9 +33,9 @@ from repro.exceptions import ConfigurationError
 from repro.models.base import Model
 from repro.privacy.clipping import clip_by_l2_norm, clip_per_example
 from repro.privacy.mechanisms import NoiseMechanism
-from repro.typing import Vector
+from repro.typing import Matrix, Vector
 
-__all__ = ["HonestWorker", "CLIP_MODES"]
+__all__ = ["HonestWorker", "CLIP_MODES", "compute_cohort"]
 
 CLIP_MODES = ("batch", "per_example")
 
@@ -131,7 +133,17 @@ class HonestWorker:
         del step  # the pipeline is step-independent; kept for symmetry
         features, labels = self._sampler.sample()
         self._last_batch = (features, labels)
+        return self._finish(parameters, features, labels)
 
+    def _finish(
+        self, parameters: Vector, features: np.ndarray, labels: np.ndarray
+    ) -> WorkerSubmission:
+        """Gradient + clip + noise + momentum for an already-sampled batch.
+
+        Split out of :meth:`compute` so the cohort path
+        (:func:`compute_cohort`) can fall back here without consuming
+        the batch sampler's RNG stream twice.
+        """
         if self._clip_mode == "per_example" and self._g_max is not None:
             per_example = self._model.per_example_gradients(parameters, features, labels)
             gradient = clip_per_example(per_example, self._g_max).mean(axis=0)
@@ -163,3 +175,145 @@ class HonestWorker:
         self._velocity_submitted = None
         self._velocity_clean = None
         self._last_batch = None
+
+
+def compute_cohort(
+    workers: Sequence[HonestWorker], parameters: Vector, step: int
+) -> tuple[Matrix, Matrix]:
+    """Run one round of the whole honest cohort as stacked matrix ops.
+
+    Returns ``(submitted, clean)`` as ``(W, d)`` matrices — the same
+    rows that ``[w.compute(parameters, step) for w in workers]`` would
+    produce, computed with the per-step pipeline vectorized across
+    workers: one stacked gradient contraction
+    (:meth:`Model.gradient_stack`), one batched clip, one batched
+    momentum update.  Batch sampling and DP noise remain sequential per
+    worker so every private RNG stream is consumed in the same order as
+    the per-worker path.
+
+    Numerically the fast path is equivalent to the per-worker path but
+    not bit-identical: the stacked contractions reduce in a different
+    order than per-worker BLAS calls, so results agree only to rounding
+    (~1 ulp per step).  Which path runs is a pure function of the
+    cohort's configuration (same models, clip modes, and batch shapes
+    → fast path), so any fixed experiment configuration is internally
+    deterministic — which is what the golden-trace harness pins down.
+
+    Falls back to the per-worker pipeline when the cohort is
+    heterogeneous (different models, clip modes, or batch shapes) or
+    when any worker subclass overrides :meth:`HonestWorker.compute` /
+    ``_finish`` (custom per-worker behaviour always wins over the fast
+    path) — correctness never depends on the fast path.  This function
+    lives in the worker module on purpose: it is the stacked twin of
+    the per-worker pipeline and shares its internals.
+    """
+    workers = list(workers)
+    if not workers:
+        raise ConfigurationError("compute_cohort needs at least one worker")
+    if any(
+        type(worker).compute is not HonestWorker.compute
+        or type(worker)._finish is not HonestWorker._finish
+        for worker in workers
+    ):
+        submissions = [worker.compute(parameters, step) for worker in workers]
+        return (
+            np.stack([s.submitted for s in submissions]),
+            np.stack([s.clean for s in submissions]),
+        )
+    del step  # the stock pipeline is step-independent
+    # Sampling stays sequential per worker (private RNG streams), and the
+    # sampled batches are cached for the loop's loss instrumentation.
+    batches = []
+    for worker in workers:
+        features, labels = worker._sampler.sample()
+        worker._last_batch = (features, labels)
+        batches.append((np.asarray(features), np.asarray(labels)))
+
+    model = workers[0]._model
+    clip_mode = workers[0]._clip_mode
+    uniform = (
+        all(w._model is model for w in workers)
+        and all(w._clip_mode == clip_mode for w in workers)
+        and len({(f.shape, l.shape) for f, l in batches}) == 1
+        and (
+            clip_mode == "batch"
+            or all(w._g_max is not None for w in workers)
+        )
+    )
+    if not uniform:
+        submissions = [
+            worker._finish(parameters, *batch)
+            for worker, batch in zip(workers, batches)
+        ]
+        return (
+            np.stack([s.submitted for s in submissions]),
+            np.stack([s.clean for s in submissions]),
+        )
+
+    features_stack = np.stack([features for features, _ in batches])
+    labels_stack = np.stack([labels for _, labels in batches])
+    if clip_mode == "per_example":
+        # Per-example gradients still come from the model's per-worker
+        # API, but the clip itself is one batched rescale.
+        per_example = np.stack(
+            [
+                model.per_example_gradients(parameters, features, labels)
+                for features, labels in batches
+            ]
+        )  # (W, b, d)
+        norms = np.sqrt(np.einsum("wbd,wbd->wb", per_example, per_example))
+        safe_norms = np.where(norms > 0.0, norms, 1.0)
+        g_max = np.array([w._g_max for w in workers])
+        scales = np.minimum(1.0, g_max[:, None] / safe_norms)
+        clean = (per_example * scales[:, :, None]).mean(axis=1)
+    else:
+        clean = np.array(
+            model.gradient_stack(parameters, features_stack, labels_stack),
+            dtype=np.float64,
+        )
+        g_max = np.array(
+            [np.inf if w._g_max is None else w._g_max for w in workers]
+        )
+        norms = np.sqrt(np.einsum("wd,wd->w", clean, clean))
+        exceeds = norms > g_max  # all-zero rows have norm 0 <= g_max
+        if exceeds.any():
+            clean[exceeds] *= (g_max[exceeds] / norms[exceeds])[:, None]
+
+    # DP noise per worker: each stream is private, so the draws stay
+    # sequential, but each is already vectorized over the dimension.
+    submitted = clean.copy()
+    for index, worker in enumerate(workers):
+        if worker._mechanism is not None:
+            submitted[index] = worker._mechanism.privatize(
+                clean[index], worker._noise_rng
+            )
+
+    momenta = np.array([w._momentum for w in workers])
+    with_momentum = momenta > 0.0
+    if with_momentum.any():
+        dimension = clean.shape[1]
+        velocity_submitted = np.stack(
+            [
+                w._velocity_submitted
+                if w._velocity_submitted is not None
+                else np.zeros(dimension)
+                for w in workers
+            ]
+        )
+        velocity_clean = np.stack(
+            [
+                w._velocity_clean
+                if w._velocity_clean is not None
+                else np.zeros(dimension)
+                for w in workers
+            ]
+        )
+        velocity_submitted = momenta[:, None] * velocity_submitted + submitted
+        velocity_clean = momenta[:, None] * velocity_clean + clean
+        for index, worker in enumerate(workers):
+            if with_momentum[index]:
+                worker._velocity_submitted = velocity_submitted[index].copy()
+                worker._velocity_clean = velocity_clean[index].copy()
+        submitted = np.where(with_momentum[:, None], velocity_submitted, submitted)
+        clean = np.where(with_momentum[:, None], velocity_clean, clean)
+    return submitted, clean

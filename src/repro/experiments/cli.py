@@ -6,6 +6,7 @@ Usage (installed package)::
     python -m repro figure2 --steps 200 --seeds 2
     python -m repro figure4 --output out/fig4.txt
     python -m repro run my_experiments.json --max-workers 4
+    python -m repro bench --smoke
     python -m repro list
 
 Figures print the same ASCII panels + summary tables the benchmark
@@ -63,6 +64,27 @@ def build_parser() -> argparse.ArgumentParser:
         figure.add_argument("--steps", type=int, default=1000)
         figure.add_argument("--seeds", type=int, default=5, help="number of seeds (1..k)")
         figure.add_argument("--output", type=Path, default=None)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="benchmark the vectorized GAR kernels against the "
+        "pre-vectorization reference implementations",
+    )
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-scale subset of the grid (for CI)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats per case (best-of)"
+    )
+    bench.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    bench.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_kernels.json"),
+        help="where to write the benchmark JSON (default BENCH_kernels.json)",
+    )
 
     run = subparsers.add_parser(
         "run", help="run experiment configs from a JSON file"
@@ -217,6 +239,25 @@ def _dispatch(arguments: argparse.Namespace) -> int:
     if arguments.command in FIGURES:
         outcomes = _figure_outcomes(arguments.command, arguments.steps, arguments.seeds)
         _emit(render_figure_text(arguments.command, outcomes), arguments.output)
+        return 0
+
+    if arguments.command == "bench":
+        from repro.gars.benchmark import (
+            default_grid,
+            format_bench_table,
+            run_kernel_benchmarks,
+            save_benchmarks,
+            smoke_grid,
+        )
+
+        grid = smoke_grid() if arguments.smoke else default_grid()
+        print(f"benchmarking {len(grid)} kernel cases (repeats={arguments.repeats})")
+        payload = run_kernel_benchmarks(
+            grid, repeats=arguments.repeats, seed=arguments.seed, verbose=True
+        )
+        save_benchmarks(payload, arguments.output)
+        print(f"wrote {arguments.output}")
+        print(format_bench_table(payload))
         return 0
 
     if arguments.command == "run":

@@ -1,0 +1,235 @@
+"""Old-vs-new kernel benchmark: the repo's aggregation perf trajectory.
+
+Times every GAR's pre-vectorization reference implementation
+(:mod:`repro.gars.reference`) against the vectorized engine
+(:mod:`repro.gars.kernels`, via :meth:`GAR.aggregate_batch`) across an
+``(n, f, d)`` grid, and emits the ``BENCH_kernels.json`` document that
+locks the measured speedups into the repository.
+
+Two front ends share this module: ``python -m repro bench`` (the CLI
+subcommand, which writes the JSON artifact) and
+``benchmarks/bench_kernels.py`` (the standalone/pytest harness).
+
+Methodology: each case aggregates the same ``(S, n, d)`` stack of
+random rounds through both paths — the reference as a per-round Python
+loop (exactly how the pre-vectorization code ran inside
+``Cluster.step``), the engine as one batched call — and reports the
+best-of-``repeats`` wall time divided by ``S``, i.e. nanoseconds per
+aggregated round.  Both outputs are compared so a benchmark can never
+silently race ahead of correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.gars import get_gar
+from repro.gars.reference import REFERENCE_AGGREGATORS, krum_aggregate_reference
+
+__all__ = [
+    "BenchCase",
+    "BenchResult",
+    "default_grid",
+    "format_bench_table",
+    "run_kernel_benchmarks",
+    "save_benchmarks",
+    "smoke_grid",
+]
+
+#: Document format version for ``BENCH_kernels.json``.
+SCHEMA = "repro.bench_kernels/1"
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One ``(gar, n, f, d)`` cell of the benchmark grid."""
+
+    gar: str
+    n: int
+    f: int
+    d: int
+    stack: int = 4  #: rounds aggregated per timed call
+    gar_kwargs: dict = field(default_factory=dict)
+
+    @property
+    def reference_name(self) -> str:
+        """Key into :data:`REFERENCE_AGGREGATORS` (multi-krum shares the
+        ``krum`` registry entry but not its reference)."""
+        if self.gar == "krum" and self.gar_kwargs.get("m", 1) > 1:
+            return "multi-krum"
+        return self.gar
+
+    @property
+    def label(self) -> str:
+        return f"{self.reference_name} n={self.n} f={self.f} d={self.d}"
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Timings for one case, in nanoseconds per aggregated round."""
+
+    case: BenchCase
+    reference_ns_per_op: float
+    kernel_ns_per_op: float
+    max_abs_diff: float
+
+    @property
+    def speedup(self) -> float:
+        return self.reference_ns_per_op / self.kernel_ns_per_op
+
+    def to_dict(self) -> dict:
+        return {
+            "gar": self.case.reference_name,
+            "n": self.case.n,
+            "f": self.case.f,
+            "d": self.case.d,
+            "stack": self.case.stack,
+            "reference_ns_per_op": self.reference_ns_per_op,
+            "kernel_ns_per_op": self.kernel_ns_per_op,
+            "speedup": self.speedup,
+            "max_abs_diff": self.max_abs_diff,
+        }
+
+
+def default_grid() -> list[BenchCase]:
+    """The full grid: the paper's shape, a mid cohort, and the scaling
+    target ``n = 50, d = 10_000`` for every rule that admits it."""
+    return [
+        BenchCase("krum", 11, 4, 69),
+        BenchCase("krum", 25, 7, 1_000),
+        BenchCase("krum", 50, 10, 10_000),
+        BenchCase("krum", 50, 10, 10_000, gar_kwargs={"m": 40}),
+        BenchCase("geometric-median", 11, 5, 69),
+        BenchCase("geometric-median", 25, 7, 1_000),
+        BenchCase("geometric-median", 50, 10, 10_000),
+        BenchCase("median", 11, 5, 69),
+        BenchCase("median", 50, 10, 10_000),
+        BenchCase("trimmed-mean", 11, 5, 69),
+        BenchCase("trimmed-mean", 50, 10, 10_000),
+        BenchCase("meamed", 11, 5, 69),
+        BenchCase("meamed", 50, 10, 10_000),
+        BenchCase("phocas", 11, 5, 69),
+        BenchCase("phocas", 50, 10, 10_000),
+        BenchCase("average", 50, 0, 10_000),
+        BenchCase("mda", 11, 5, 69),
+        BenchCase("mda", 13, 3, 1_000),
+        BenchCase("bulyan", 11, 2, 69),
+        BenchCase("bulyan", 23, 5, 1_000),
+    ]
+
+
+def smoke_grid() -> list[BenchCase]:
+    """A seconds-scale subset for CI smoke runs."""
+    return [
+        BenchCase("krum", 11, 4, 69, stack=2),
+        BenchCase("geometric-median", 11, 5, 69, stack=2),
+        BenchCase("median", 11, 5, 69, stack=2),
+        BenchCase("mda", 11, 5, 69, stack=2),
+        BenchCase("bulyan", 11, 2, 69, stack=2),
+    ]
+
+
+def _best_ns(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn`` in nanoseconds (after one
+    untimed warm-up call)."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter_ns()
+        fn()
+        best = min(best, float(time.perf_counter_ns() - start))
+    return best
+
+
+def run_case(case: BenchCase, repeats: int = 3, seed: int = 0) -> BenchResult:
+    """Time one grid cell, reference loop vs batched kernel."""
+    rng = np.random.default_rng(seed)
+    stack = rng.standard_normal((case.stack, case.n, case.d))
+    gar = get_gar(case.gar, case.n, case.f, **case.gar_kwargs)
+    if case.gar == "krum" and case.gar_kwargs.get("m", 1) > 1:
+        # The reference must run the *same* rule: honour the case's m.
+        def reference(gradients, n, f, _m=case.gar_kwargs["m"]):
+            return krum_aggregate_reference(gradients, f, m=_m)
+
+    else:
+        reference = REFERENCE_AGGREGATORS[case.reference_name]
+
+    def run_reference():
+        return np.stack(
+            [reference(matrix, case.n, case.f) for matrix in stack]
+        )
+
+    def run_kernel():
+        return gar.aggregate_batch(stack)
+
+    reference_output = run_reference()
+    kernel_output = run_kernel()
+    max_abs_diff = float(np.max(np.abs(reference_output - kernel_output)))
+
+    reference_ns = _best_ns(run_reference, repeats)
+    kernel_ns = _best_ns(run_kernel, repeats)
+    return BenchResult(
+        case=case,
+        reference_ns_per_op=reference_ns / case.stack,
+        kernel_ns_per_op=kernel_ns / case.stack,
+        max_abs_diff=max_abs_diff,
+    )
+
+
+def run_kernel_benchmarks(
+    cases: Sequence[BenchCase] | None = None,
+    repeats: int = 3,
+    seed: int = 0,
+    verbose: bool = False,
+) -> dict:
+    """Run the grid and return the ``BENCH_kernels.json`` document."""
+    if cases is None:
+        cases = default_grid()
+    results = []
+    for case in cases:
+        result = run_case(case, repeats=repeats, seed=seed)
+        results.append(result)
+        if verbose:
+            print(
+                f"  {result.case.label:<42} "
+                f"{result.reference_ns_per_op / 1e6:>9.3f} ms -> "
+                f"{result.kernel_ns_per_op / 1e6:>9.3f} ms "
+                f"({result.speedup:.2f}x)"
+            )
+    return {
+        "schema": SCHEMA,
+        "unit": "ns_per_aggregated_round",
+        "repeats": repeats,
+        "seed": seed,
+        "results": [result.to_dict() for result in results],
+    }
+
+
+def format_bench_table(payload: dict) -> str:
+    """Human-readable summary of a benchmark document."""
+    rows = [
+        f"{'gar':<18}{'n':>4}{'f':>4}{'d':>8}"
+        f"{'reference ms/op':>17}{'kernel ms/op':>14}{'speedup':>9}"
+    ]
+    for entry in payload["results"]:
+        rows.append(
+            f"{entry['gar']:<18}{entry['n']:>4}{entry['f']:>4}{entry['d']:>8}"
+            f"{entry['reference_ns_per_op'] / 1e6:>17.3f}"
+            f"{entry['kernel_ns_per_op'] / 1e6:>14.3f}"
+            f"{entry['speedup']:>8.2f}x"
+        )
+    return "\n".join(rows)
+
+
+def save_benchmarks(payload: dict, path: Path) -> None:
+    """Write the benchmark document as pretty-printed JSON."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -15,8 +15,13 @@ import numpy as np
 
 from repro.gars.base import GAR
 from repro.gars.constants import k_bulyan, require_bulyan_valid
-from repro.gars.krum import krum_scores, rank_by_score_then_value
-from repro.typing import Matrix, Vector
+from repro.gars.kernels import (
+    bulyan_select,
+    mean_around_anchor_batch,
+    median_batch,
+    pairwise_sq_distances,
+)
+from repro.typing import GradientStack, Matrix, Vector
 
 __all__ = ["BulyanGAR"]
 
@@ -38,28 +43,27 @@ class BulyanGAR(GAR):
         theta = self._n - 2 * self._f
         beta = theta - 2 * self._f
 
-        # Stage 1: iterated Krum selection.
-        remaining = list(range(self._n))
-        selected: list[int] = []
-        for _ in range(theta):
-            subset = gradients[remaining]
-            if len(remaining) - self._f - 2 >= 1:
-                scores = krum_scores(subset, self._f)
-            else:
-                # Too few rows left for Krum scoring; fall back to
-                # distance-to-mean, which ranks the remaining honest
-                # cluster consistently.
-                center = subset.mean(axis=0)
-                scores = np.sum((subset - center) ** 2, axis=1)
-            winner_position = int(rank_by_score_then_value(scores, subset)[0])
-            selected.append(remaining.pop(winner_position))
-        selection = gradients[selected]  # (theta, d)
+        # Stage 1: iterated Krum selection over one precomputed
+        # distance matrix (sliced per pass, never recomputed).
+        selection = gradients[bulyan_select(gradients, self._f, theta)]  # (theta, d)
 
         # Stage 2: per coordinate, average the beta values closest to
         # the median of the selection (ties broken by value so the rule
         # stays permutation-invariant).
-        medians = np.median(selection, axis=0)  # (d,)
-        deviation = np.abs(selection - medians[None, :])  # (theta, d)
-        closest = np.lexsort((selection, deviation), axis=0)[:beta]  # (beta, d)
-        picked = np.take_along_axis(selection, closest, axis=0)
-        return picked.mean(axis=0)
+        return mean_around_anchor_batch(selection, median_batch(selection), beta)
+
+    def _aggregate_batch(self, stack: GradientStack) -> np.ndarray:
+        theta = self._n - 2 * self._f
+        beta = theta - 2 * self._f
+        # One batched distance computation; the iterated selection is
+        # inherently sequential and runs per slice on matrix slices.
+        sq_distances = pairwise_sq_distances(stack)
+        selections = np.stack(
+            [
+                matrix[bulyan_select(matrix, self._f, theta, sq_distances=sq)]
+                for matrix, sq in zip(stack, sq_distances)
+            ]
+        )  # (B, theta, d)
+        return mean_around_anchor_batch(
+            selections, median_batch(selections), beta
+        )

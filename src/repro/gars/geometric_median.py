@@ -21,39 +21,10 @@ import numpy as np
 from repro.exceptions import AggregationError
 from repro.gars.base import GAR
 from repro.gars.constants import require_majority_honest
-from repro.typing import Matrix, Vector
+from repro.gars.kernels import geometric_median, geometric_median_batch
+from repro.typing import GradientStack, Matrix, Vector
 
 __all__ = ["GeometricMedianGAR", "geometric_median"]
-
-
-def geometric_median(
-    points: Matrix,
-    max_iterations: int = 100,
-    tolerance: float = 1e-9,
-    smoothing: float = 1e-12,
-) -> Vector:
-    """Smoothed Weiszfeld iteration for the geometric median.
-
-    Starts from the coordinate-wise mean and iterates the reweighted
-    average ``sum(x_i / d_i) / sum(1 / d_i)`` with distances floored at
-    ``smoothing`` (which also handles iterates landing on a data
-    point).  Converges linearly for points in general position.
-    """
-    points = np.asarray(points, dtype=np.float64)
-    if points.ndim != 2 or points.shape[0] < 1:
-        raise AggregationError(f"points must be (n, d) with n >= 1, got {points.shape}")
-    if max_iterations < 1:
-        raise AggregationError(f"max_iterations must be >= 1, got {max_iterations}")
-    estimate = points.mean(axis=0)
-    for _ in range(max_iterations):
-        distances = np.linalg.norm(points - estimate[None, :], axis=1)
-        weights = 1.0 / np.maximum(distances, smoothing)
-        updated = (weights[:, None] * points).sum(axis=0) / weights.sum()
-        shift = float(np.linalg.norm(updated - estimate))
-        estimate = updated
-        if shift <= tolerance:
-            break
-    return estimate
 
 
 class GeometricMedianGAR(GAR):
@@ -82,6 +53,15 @@ class GeometricMedianGAR(GAR):
     def _aggregate(self, gradients: Matrix) -> Vector:
         return geometric_median(
             gradients,
+            max_iterations=self._max_iterations,
+            tolerance=self._tolerance,
+        )
+
+    def _aggregate_batch(self, stack: GradientStack) -> np.ndarray:
+        # One vectorized Weiszfeld run over the whole stack, with
+        # per-slice convergence masking.
+        return geometric_median_batch(
+            stack,
             max_iterations=self._max_iterations,
             tolerance=self._tolerance,
         )

@@ -17,7 +17,12 @@ import numpy as np
 from repro.exceptions import AggregationError
 from repro.gars.base import GAR
 from repro.gars.constants import k_krum, require_krum_valid
-from repro.typing import Matrix, Vector
+from repro.gars.kernels import (
+    krum_scores_from_sq_distances,
+    pairwise_sq_distances,
+    rank_by_score_then_value,
+)
+from repro.typing import GradientStack, Matrix, Vector
 
 __all__ = ["KrumGAR", "krum_scores", "rank_by_score_then_value"]
 
@@ -26,36 +31,12 @@ def krum_scores(gradients: Matrix, f: int) -> np.ndarray:
     """Krum score of each row: sum of its ``n - f - 2`` smallest squared
     distances to the other rows.
 
-    Exposed as a function because Bulyan reuses it.
+    Exposed as a function because Bulyan reuses it.  Distances come
+    from the hybrid-exact kernel (:mod:`repro.gars.kernels`), so
+    near-duplicate rows score their true tiny distances instead of the
+    Gram expansion's cancellation noise.
     """
-    n = gradients.shape[0]
-    neighbours = n - f - 2
-    if neighbours < 1:
-        raise AggregationError(
-            f"krum scoring needs n - f - 2 >= 1, got n={n}, f={f}"
-        )
-    # Squared Euclidean distance matrix via the Gram expansion.
-    squared_norms = np.sum(gradients**2, axis=1)
-    distances = squared_norms[:, None] + squared_norms[None, :] - 2.0 * (gradients @ gradients.T)
-    distances = np.maximum(distances, 0.0)  # clamp numerical negatives
-    np.fill_diagonal(distances, np.inf)  # a gradient is not its own neighbour
-    nearest = np.sort(distances, axis=1)[:, :neighbours]
-    return nearest.sum(axis=1)
-
-
-def rank_by_score_then_value(scores: np.ndarray, gradients: Matrix) -> np.ndarray:
-    """Indices sorted by score, breaking exact ties lexicographically.
-
-    Exact score ties are structural, not just numerical flukes: with a
-    single Krum neighbour (``n - f - 2 = 1``), mutually-nearest rows
-    share the same score.  Breaking ties by the gradient *values*
-    (instead of the submission order) keeps every selection-based GAR
-    permutation-invariant.
-    """
-    order = sorted(
-        range(len(scores)), key=lambda index: (scores[index], tuple(gradients[index]))
-    )
-    return np.asarray(order)
+    return krum_scores_from_sq_distances(pairwise_sq_distances(gradients), f)
 
 
 class KrumGAR(GAR):
@@ -92,3 +73,18 @@ class KrumGAR(GAR):
         if self._m == 1:
             return gradients[int(order[0])].copy()
         return gradients[order[: self._m]].mean(axis=0)
+
+    def _aggregate_batch(self, stack: GradientStack) -> np.ndarray:
+        # Distances and scores for the whole stack in single kernel
+        # calls; only the (cheap, n log n) final ranking runs per slice.
+        scores = krum_scores_from_sq_distances(
+            pairwise_sq_distances(stack), self._f
+        )
+        out = np.empty((stack.shape[0], stack.shape[2]))
+        for index, (matrix, row_scores) in enumerate(zip(stack, scores)):
+            order = rank_by_score_then_value(row_scores, matrix)
+            if self._m == 1:
+                out[index] = matrix[int(order[0])]
+            else:
+                out[index] = matrix[order[: self._m]].mean(axis=0)
+        return out

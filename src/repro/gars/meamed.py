@@ -12,7 +12,8 @@ import numpy as np
 
 from repro.gars.base import GAR
 from repro.gars.constants import k_meamed, require_majority_honest
-from repro.typing import Matrix, Vector
+from repro.gars.kernels import mean_around_anchor_batch, meamed_batch, median_batch
+from repro.typing import GradientStack, Matrix, Vector
 
 __all__ = ["MeamedGAR", "mean_around_anchor"]
 
@@ -23,11 +24,10 @@ def mean_around_anchor(gradients: Matrix, anchor: Vector, keep: int) -> Vector:
     Shared by Meamed (anchor = median) and Phocas (anchor = trimmed
     mean).  Distance ties are broken by the value itself (via lexsort)
     so the rule is permutation-invariant even on equidistant inputs.
+    Delegates to the batched kernel, which also accepts ``(B, n, d)``
+    stacks.
     """
-    deviation = np.abs(gradients - anchor[None, :])  # (n, d)
-    closest = np.lexsort((gradients, deviation), axis=0)[:keep]  # (keep, d)
-    picked = np.take_along_axis(gradients, closest, axis=0)
-    return picked.mean(axis=0)
+    return mean_around_anchor_batch(gradients, anchor, keep)
 
 
 class MeamedGAR(GAR):
@@ -44,5 +44,9 @@ class MeamedGAR(GAR):
         return k_meamed(self._n, self._f)
 
     def _aggregate(self, gradients: Matrix) -> Vector:
-        medians = np.median(gradients, axis=0)
-        return mean_around_anchor(gradients, medians, self._n - self._f)
+        return mean_around_anchor(
+            gradients, median_batch(gradients), self._n - self._f
+        )
+
+    def _aggregate_batch(self, stack: GradientStack) -> np.ndarray:
+        return meamed_batch(stack, self._f)

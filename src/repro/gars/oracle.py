@@ -13,9 +13,11 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.exceptions import AggregationError
 from repro.gars.base import GAR
-from repro.typing import Matrix, Vector
+from repro.typing import GradientStack, Matrix, Vector
 
 __all__ = ["OracleGAR"]
 
@@ -48,3 +50,6 @@ class OracleGAR(GAR):
 
     def _aggregate(self, gradients: Matrix) -> Vector:
         return gradients[self._honest_index].copy()
+
+    def _aggregate_batch(self, stack: GradientStack) -> np.ndarray:
+        return stack[:, self._honest_index, :].copy()

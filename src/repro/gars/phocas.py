@@ -12,8 +12,9 @@ import numpy as np
 
 from repro.gars.base import GAR
 from repro.gars.constants import k_phocas, require_majority_honest
+from repro.gars.kernels import phocas_batch, trimmed_mean_batch
 from repro.gars.meamed import mean_around_anchor
-from repro.typing import Matrix, Vector
+from repro.typing import GradientStack, Matrix, Vector
 
 __all__ = ["PhocasGAR"]
 
@@ -31,12 +32,9 @@ class PhocasGAR(GAR):
         """``sqrt(4 + (n - 2f)^2 / (12 (f+1) (n-f)))`` (Appendix A)."""
         return k_phocas(self._n, self._f)
 
-    def _trimmed_mean(self, gradients: Matrix) -> Vector:
-        if self._f == 0:
-            return gradients.mean(axis=0)
-        ordered = np.sort(gradients, axis=0)
-        return ordered[self._f : self._n - self._f].mean(axis=0)
-
     def _aggregate(self, gradients: Matrix) -> Vector:
-        anchor = self._trimmed_mean(gradients)
+        anchor = trimmed_mean_batch(gradients, self._f)
         return mean_around_anchor(gradients, anchor, self._n - self._f)
+
+    def _aggregate_batch(self, stack: GradientStack) -> np.ndarray:
+        return phocas_batch(stack, self._f)

@@ -11,7 +11,8 @@ import numpy as np
 
 from repro.gars.base import GAR
 from repro.gars.constants import k_trimmed_mean, require_majority_honest
-from repro.typing import Matrix, Vector
+from repro.gars.kernels import trimmed_mean_batch
+from repro.typing import GradientStack, Matrix, Vector
 
 __all__ = ["TrimmedMeanGAR"]
 
@@ -30,7 +31,7 @@ class TrimmedMeanGAR(GAR):
         return k_trimmed_mean(self._n, self._f)
 
     def _aggregate(self, gradients: Matrix) -> Vector:
-        if self._f == 0:
-            return gradients.mean(axis=0)
-        ordered = np.sort(gradients, axis=0)
-        return ordered[self._f : self._n - self._f].mean(axis=0)
+        return trimmed_mean_batch(gradients, self._f)
+
+    def _aggregate_batch(self, stack: GradientStack) -> np.ndarray:
+        return trimmed_mean_batch(stack, self._f)

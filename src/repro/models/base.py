@@ -15,7 +15,27 @@ import numpy as np
 
 from repro.typing import Vector
 
-__all__ = ["Model"]
+__all__ = ["Model", "augment_stack_with_bias"]
+
+
+def augment_stack_with_bias(
+    features_stack: np.ndarray, num_features: int
+) -> np.ndarray:
+    """Append a constant-1 bias column to every batch of a ``(W, b, p)``
+    stack, validating the feature count.
+
+    Shared by the linear-family models' vectorized ``gradient_stack`` /
+    ``loss_stack`` overrides (the stacked twin of their per-matrix
+    ``_augment``).
+    """
+    features_stack = np.asarray(features_stack, dtype=np.float64)
+    if features_stack.ndim != 3 or features_stack.shape[2] != num_features:
+        raise ValueError(
+            f"features_stack must have shape (W, b, {num_features}), "
+            f"got {features_stack.shape}"
+        )
+    ones = np.ones(features_stack.shape[:2] + (1,))
+    return np.concatenate([features_stack, ones], axis=2)
 
 
 class Model(ABC):
@@ -47,6 +67,45 @@ class Model(ABC):
         Needed for per-example clipping (the airtight route to the
         ``2 G_max / b`` sensitivity bound of Section 2.3).
         """
+
+    def gradient_stack(
+        self,
+        parameters: Vector,
+        features_stack: np.ndarray,
+        labels_stack: np.ndarray,
+    ) -> np.ndarray:
+        """Mean gradient of each batch in a ``(W, b, ...)`` stack; ``(W, d)``.
+
+        One call covers a whole worker cohort's round.  The base
+        implementation loops over the stack; models with a closed-form
+        batch gradient (linear, logistic) override it with a single
+        einsum so the entire cohort is one matrix contraction.
+        """
+        return np.stack(
+            [
+                self.gradient(parameters, features, labels)
+                for features, labels in zip(features_stack, labels_stack)
+            ]
+        )
+
+    def loss_stack(
+        self,
+        parameters: Vector,
+        features_stack: np.ndarray,
+        labels_stack: np.ndarray,
+    ) -> np.ndarray:
+        """Mean loss of each batch in a ``(W, b, ...)`` stack; ``(W,)``.
+
+        Same contract as :meth:`gradient_stack` for the forward pass;
+        the training loop uses it to score a whole honest cohort's
+        sampled batches in one call.
+        """
+        return np.array(
+            [
+                self.loss(parameters, features, labels)
+                for features, labels in zip(features_stack, labels_stack)
+            ]
+        )
 
     def initial_parameters(self, rng: np.random.Generator | None = None) -> Vector:
         """Starting parameter vector; zeros unless a model overrides it.

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ConfigurationError
-from repro.models.base import Model
+from repro.models.base import Model, augment_stack_with_bias
 from repro.typing import Vector
 
 __all__ = ["LinearRegressionModel"]
@@ -67,6 +67,32 @@ class LinearRegressionModel(Model):
         augmented = self._augment(features)
         residuals = augmented @ parameters - labels
         return residuals[:, None] * augmented
+
+    def _augment_stack(self, features_stack: np.ndarray) -> np.ndarray:
+        return augment_stack_with_bias(features_stack, self._num_features)
+
+    def gradient_stack(
+        self,
+        parameters: Vector,
+        features_stack: np.ndarray,
+        labels_stack: np.ndarray,
+    ) -> np.ndarray:
+        parameters = self._check_parameters(parameters)
+        labels_stack = np.asarray(labels_stack, dtype=np.float64)
+        augmented = self._augment_stack(features_stack)  # (W, b, d)
+        residuals = augmented @ parameters - labels_stack  # (W, b)
+        return np.einsum("wbd,wb->wd", augmented, residuals) / labels_stack.shape[1]
+
+    def loss_stack(
+        self,
+        parameters: Vector,
+        features_stack: np.ndarray,
+        labels_stack: np.ndarray,
+    ) -> np.ndarray:
+        parameters = self._check_parameters(parameters)
+        labels_stack = np.asarray(labels_stack, dtype=np.float64)
+        residuals = self._augment_stack(features_stack) @ parameters - labels_stack
+        return 0.5 * np.mean(residuals**2, axis=1)
 
     def solve_exact(self, features: np.ndarray, labels: np.ndarray) -> Vector:
         """Closed-form least-squares optimum (pseudo-inverse)."""

@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ConfigurationError
-from repro.models.base import Model
+from repro.models.base import Model, augment_stack_with_bias
 from repro.typing import Vector
 
 __all__ = ["LogisticRegressionModel", "sigmoid"]
@@ -121,6 +121,41 @@ class LogisticRegressionModel(Model):
         probabilities, augmented = self._probabilities(parameters, features)
         factor = self._residual_factor(probabilities, labels)
         return factor[:, None] * augmented
+
+    def _augment_stack(self, features_stack: np.ndarray) -> np.ndarray:
+        return augment_stack_with_bias(features_stack, self._num_features)
+
+    def gradient_stack(
+        self,
+        parameters: Vector,
+        features_stack: np.ndarray,
+        labels_stack: np.ndarray,
+    ) -> np.ndarray:
+        parameters = self._check_parameters(parameters)
+        labels_stack = np.asarray(labels_stack, dtype=np.float64)
+        augmented = self._augment_stack(features_stack)  # (W, b, d)
+        probabilities = sigmoid(augmented @ parameters)  # (W, b)
+        factor = self._residual_factor(probabilities, labels_stack)
+        return np.einsum("wbd,wb->wd", augmented, factor) / labels_stack.shape[1]
+
+    def loss_stack(
+        self,
+        parameters: Vector,
+        features_stack: np.ndarray,
+        labels_stack: np.ndarray,
+    ) -> np.ndarray:
+        parameters = self._check_parameters(parameters)
+        labels_stack = np.asarray(labels_stack, dtype=np.float64)
+        probabilities = sigmoid(self._augment_stack(features_stack) @ parameters)
+        if self._loss_kind == "mse":
+            return np.mean((probabilities - labels_stack) ** 2, axis=1)
+        eps = 1e-12
+        clipped = np.clip(probabilities, eps, 1.0 - eps)
+        return -np.mean(
+            labels_stack * np.log(clipped)
+            + (1.0 - labels_stack) * np.log(1.0 - clipped),
+            axis=1,
+        )
 
     def predict(self, parameters: Vector, features: np.ndarray) -> np.ndarray:
         probabilities, _ = self._probabilities(parameters, features)

@@ -100,15 +100,43 @@ class TrainingLoop:
             parameters_before = self._cluster.parameters
             result = self._cluster.step()
             state.last_result = result
-            losses = [
-                self._model.loss(parameters_before, *worker.last_batch)
-                for worker in honest_workers
-                if worker.last_batch is not None
-            ]
-            if losses:
-                self._history.record_loss(
-                    self._cluster.step_count, float(np.mean(losses))
-                )
+            self._record_honest_loss(parameters_before, honest_workers)
             callbacks.on_step_end(state, result)
         callbacks.on_train_end(state)
         return state
+
+    def _record_honest_loss(self, parameters, honest_workers) -> None:
+        """Record the mean training loss over the honest workers' batches.
+
+        When every worker sampled an equal-shaped batch (the common
+        case), the whole cohort is scored with one
+        :meth:`repro.models.base.Model.loss_stack` call; ragged or
+        missing batches fall back to per-worker evaluation.  Rounds
+        where no honest worker sampled record no loss instead of a
+        silent ``NaN``.
+        """
+        batches = [
+            worker.last_batch
+            for worker in honest_workers
+            if worker.last_batch is not None
+        ]
+        if not batches:
+            return
+        shapes = {
+            (np.asarray(features).shape, np.asarray(labels).shape)
+            for features, labels in batches
+        }
+        if len(shapes) == 1:
+            losses = self._model.loss_stack(
+                parameters,
+                np.stack([features for features, _ in batches]),
+                np.stack([labels for _, labels in batches]),
+            )
+        else:
+            losses = [
+                self._model.loss(parameters, features, labels)
+                for features, labels in batches
+            ]
+        self._history.record_loss(
+            self._cluster.step_count, float(np.mean(losses))
+        )

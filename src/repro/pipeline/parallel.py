@@ -56,22 +56,33 @@ def execute_job(job: TrainingJob) -> TrainingResult:
 def run_jobs(
     jobs: Iterable[TrainingJob],
     max_workers: int | None = None,
+    chunksize: int = 1,
 ) -> list[TrainingResult]:
     """Execute ``jobs`` and return their results in submission order.
 
     ``max_workers=None`` (or 1) runs serially in-process; larger values
     fan the jobs out over a :mod:`multiprocessing` pool of at most
     ``min(max_workers, len(jobs))`` processes.  Both paths are
-    deterministic and produce identical results.
+    deterministic and produce identical results: each job's rounds run
+    through the same vectorized aggregation engine
+    (:mod:`repro.gars.kernels`) regardless of where the job executes.
+
+    ``chunksize`` controls how many jobs a pool worker claims at once.
+    The default of 1 maximises load balance — with the engine's batched
+    kernels a job's wall-clock is dominated by its ``(n, d)`` shape, so
+    heterogeneous grids benefit from fine-grained scheduling — while
+    larger values amortise IPC for swarms of tiny jobs.
     """
     jobs = list(jobs)
     if max_workers is not None and max_workers < 1:
         raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+    if chunksize < 1:
+        raise ConfigurationError(f"chunksize must be >= 1, got {chunksize}")
     if max_workers is None or max_workers == 1 or len(jobs) <= 1:
         return [execute_job(job) for job in jobs]
     context = multiprocessing.get_context()
     with context.Pool(processes=min(max_workers, len(jobs))) as pool:
-        return pool.map(execute_job, jobs)
+        return pool.map(execute_job, jobs, chunksize=chunksize)
 
 
 def jobs_for_seeds(

@@ -1,0 +1,16 @@
+"""Shared pytest configuration.
+
+Adds the ``--regen-golden`` flag used by :mod:`tests.test_golden_traces`
+to re-record the committed golden fixtures after an intentional change
+to the numerical pipeline (see README "Performance").
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="re-record the golden-trace fixtures instead of asserting "
+        "against them",
+    )

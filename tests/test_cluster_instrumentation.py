@@ -1,0 +1,282 @@
+"""StepResult instrumentation under the vectorized engine.
+
+The cohort-batched ``Cluster.step`` must keep every per-round
+instrumentation matrix (honest clean / honest submitted / Byzantine
+vector / aggregate) with the shapes, dtypes, and semantics the analysis
+layer consumes — including the ``f = 0`` (no attack) path and the
+dropped-message (lossy network) path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import get_attack
+from repro.data.batching import BatchSampler
+from repro.data.datasets import Dataset
+from repro.distributed.cluster import Cluster
+from repro.distributed.network import LossyNetwork
+from repro.distributed.server import ParameterServer
+from repro.distributed.worker import HonestWorker, compute_cohort
+from repro.gars import get_gar
+from repro.models.linear import LinearRegressionModel
+from repro.optim.sgd import SGDOptimizer
+from repro.rng import SeedTree
+
+NUM_FEATURES = 3
+DIMENSION = NUM_FEATURES + 1  # bias folded in
+
+
+def build_cluster(
+    n=7,
+    f=2,
+    num_byzantine=2,
+    gar="median",
+    attack="little",
+    seed=0,
+    g_max=1e-2,
+    momentum=0.9,
+    network=None,
+):
+    seeds = SeedTree(seed)
+    rng = np.random.default_rng(1)
+    dataset = Dataset(
+        features=rng.standard_normal((60, NUM_FEATURES)),
+        labels=rng.standard_normal(60),
+    )
+    model = LinearRegressionModel(NUM_FEATURES)
+    workers = [
+        HonestWorker(
+            worker_id=i,
+            model=model,
+            sampler=BatchSampler(dataset, 8, seeds.generator("batch", i)),
+            noise_rng=seeds.generator("noise", i),
+            g_max=g_max,
+            momentum=momentum,
+        )
+        for i in range(n - num_byzantine)
+    ]
+    server = ParameterServer(
+        initial_parameters=np.zeros(model.dimension),
+        gar=get_gar(gar, n, f),
+        optimizer=SGDOptimizer(0.1),
+    )
+    resolved = get_attack(attack) if attack else None
+    return Cluster(
+        server=server,
+        honest_workers=workers,
+        num_byzantine=num_byzantine,
+        attack=resolved,
+        attack_rng=seeds.generator("attack") if resolved else None,
+        network=network,
+    )
+
+
+class TestStepResultShapesAndDtypes:
+    def test_under_attack(self):
+        result = build_cluster(n=7, f=2, num_byzantine=2).step()
+        assert result.step == 1
+        assert result.honest_submitted.shape == (5, DIMENSION)
+        assert result.honest_clean.shape == (5, DIMENSION)
+        assert result.aggregated.shape == (DIMENSION,)
+        assert result.byzantine_gradient is not None
+        assert result.byzantine_gradient.shape == (DIMENSION,)
+        for matrix in (
+            result.honest_submitted,
+            result.honest_clean,
+            result.aggregated,
+            result.byzantine_gradient,
+        ):
+            assert matrix.dtype == np.float64
+        assert result.num_honest == 5
+
+    def test_f_zero_no_attack_path(self):
+        cluster = build_cluster(
+            n=5, f=0, num_byzantine=0, gar="average", attack=None
+        )
+        result = cluster.step()
+        assert result.byzantine_gradient is None
+        assert result.honest_submitted.shape == (5, DIMENSION)
+        assert result.honest_clean.shape == (5, DIMENSION)
+        assert result.honest_submitted.dtype == np.float64
+        assert result.num_honest == 5
+        # With averaging and no attack, the aggregate is exactly the
+        # mean of the honest submissions.
+        assert np.allclose(
+            result.aggregated, result.honest_submitted.mean(axis=0), atol=1e-15
+        )
+
+    def test_clean_differs_from_submitted_only_with_noise(self):
+        """Without DP, submitted == clean (momentum applies to both)."""
+        result = build_cluster().step()
+        assert np.array_equal(result.honest_submitted, result.honest_clean)
+
+    def test_step_counter_advances(self):
+        cluster = build_cluster()
+        for expected in (1, 2, 3):
+            assert cluster.step().step == expected
+        assert cluster.step_count == 3
+
+    def test_matrices_are_per_step_snapshots(self):
+        """Each round's matrices are independent arrays: mutating one
+        round's instrumentation must not corrupt the next."""
+        cluster = build_cluster()
+        first = cluster.step()
+        frozen = first.honest_submitted.copy()
+        first.honest_submitted[:] = 1e9
+        second = cluster.step()
+        assert not np.array_equal(second.honest_submitted, first.honest_submitted)
+        del frozen
+
+
+class TestDroppedMessagePath:
+    def test_lossy_network_zeroes_rows_before_aggregation(self):
+        """Reconstruct the drop mask from an identically-seeded RNG and
+        check the aggregate saw zero rows for dropped messages."""
+        drop_probability = 0.6
+        network = LossyNetwork(drop_probability, np.random.default_rng(42))
+        cluster = build_cluster(
+            n=5,
+            f=0,
+            num_byzantine=0,
+            gar="average",
+            attack=None,
+            momentum=0.0,
+            network=network,
+        )
+        shadow_rng = np.random.default_rng(42)
+        result = cluster.step()
+        dropped = shadow_rng.random(5) < drop_probability
+        assert dropped.any()  # seed chosen so the path is actually hit
+        delivered = result.honest_submitted.copy()
+        delivered[dropped] = 0.0
+        assert np.allclose(result.aggregated, delivered.mean(axis=0), atol=1e-15)
+        assert network.dropped_total == int(dropped.sum())
+
+    def test_instrumentation_reports_submitted_not_delivered(self):
+        """honest_submitted records what workers *sent*; drops happen in
+        the network, after instrumentation."""
+        network = LossyNetwork(0.99, np.random.default_rng(0))
+        cluster = build_cluster(
+            n=4, f=0, num_byzantine=0, gar="average", attack=None,
+            momentum=0.0, network=network,
+        )
+        result = cluster.step()
+        # Despite ~every message dropping, the submitted matrix has no
+        # zero rows (the linear model on random data never emits one).
+        assert not np.any(np.all(result.honest_submitted == 0.0, axis=1))
+
+
+class TestCohortMatchesPerWorkerPath:
+    """The vectorized cohort path and per-worker compute() must agree on
+    matching RNG streams (same seeds, fresh workers)."""
+
+    @pytest.mark.parametrize("momentum", [0.0, 0.9])
+    @pytest.mark.parametrize("with_noise", [False, True])
+    def test_agreement(self, momentum, with_noise):
+        from repro.privacy.mechanisms import GaussianMechanism
+
+        def build_workers():
+            seeds = SeedTree(3)
+            rng = np.random.default_rng(1)
+            dataset = Dataset(
+                features=rng.standard_normal((40, NUM_FEATURES)),
+                labels=rng.standard_normal(40),
+            )
+            model = LinearRegressionModel(NUM_FEATURES)
+            mechanism = (
+                GaussianMechanism(
+                    epsilon=0.5, delta=1e-6, l2_sensitivity=2 * 1e-2 / 8
+                )
+                if with_noise
+                else None
+            )
+            return [
+                HonestWorker(
+                    worker_id=i,
+                    model=model,
+                    sampler=BatchSampler(dataset, 8, seeds.generator("batch", i)),
+                    noise_rng=seeds.generator("noise", i),
+                    g_max=1e-2,
+                    mechanism=mechanism,
+                    momentum=momentum,
+                )
+                for i in range(4)
+            ]
+
+        parameters = np.linspace(-0.5, 0.5, DIMENSION)
+        cohort_workers = build_workers()
+        loop_workers = build_workers()
+        for step in (1, 2, 3):  # multiple rounds exercise momentum state
+            submitted, clean = compute_cohort(cohort_workers, parameters, step)
+            loop = [worker.compute(parameters, step) for worker in loop_workers]
+            assert np.allclose(
+                submitted, np.stack([s.submitted for s in loop]), atol=1e-12
+            )
+            assert np.allclose(
+                clean, np.stack([s.clean for s in loop]), atol=1e-12
+            )
+
+    def test_compute_override_wins_over_fast_path(self):
+        """A worker subclass overriding compute() must be honoured by
+        the cohort path (and therefore by Cluster.step)."""
+        seeds = SeedTree(6)
+        rng = np.random.default_rng(3)
+        dataset = Dataset(
+            features=rng.standard_normal((40, NUM_FEATURES)),
+            labels=rng.standard_normal(40),
+        )
+        model = LinearRegressionModel(NUM_FEATURES)
+
+        class ConstantWorker(HonestWorker):
+            def compute(self, parameters, step):
+                from repro.distributed.messages import WorkerSubmission
+
+                value = np.full(DIMENSION, float(step))
+                return WorkerSubmission(submitted=value, clean=value.copy())
+
+        workers = [
+            cls(
+                worker_id=i,
+                model=model,
+                sampler=BatchSampler(dataset, 8, seeds.generator("batch", i)),
+                noise_rng=seeds.generator("noise", i),
+            )
+            for i, cls in enumerate([HonestWorker, ConstantWorker, HonestWorker])
+        ]
+        submitted, clean = compute_cohort(workers, np.zeros(DIMENSION), 4)
+        assert np.array_equal(submitted[1], np.full(DIMENSION, 4.0))
+        assert np.array_equal(clean[1], np.full(DIMENSION, 4.0))
+        assert not np.array_equal(submitted[0], submitted[1])
+
+    def test_heterogeneous_cohort_falls_back(self):
+        """Mixed clip modes take the per-worker fallback and still match."""
+        seeds = SeedTree(5)
+        rng = np.random.default_rng(2)
+        dataset = Dataset(
+            features=rng.standard_normal((40, NUM_FEATURES)),
+            labels=rng.standard_normal(40),
+        )
+        model = LinearRegressionModel(NUM_FEATURES)
+
+        def build(clip_modes):
+            local = SeedTree(5)
+            return [
+                HonestWorker(
+                    worker_id=i,
+                    model=model,
+                    sampler=BatchSampler(dataset, 8, local.generator("batch", i)),
+                    noise_rng=local.generator("noise", i),
+                    g_max=1e-2,
+                    clip_mode=mode,
+                )
+                for i, mode in enumerate(clip_modes)
+            ]
+
+        del seeds
+        parameters = np.zeros(DIMENSION)
+        mixed = build(["batch", "per_example", "batch"])
+        reference = build(["batch", "per_example", "batch"])
+        submitted, clean = compute_cohort(mixed, parameters, 1)
+        loop = [worker.compute(parameters, 1) for worker in reference]
+        assert np.array_equal(submitted, np.stack([s.submitted for s in loop]))
+        assert np.array_equal(clean, np.stack([s.clean for s in loop]))

@@ -1,0 +1,130 @@
+"""Golden-trace regression tests for the vectorized aggregation engine.
+
+Each case pins a seed and runs a short end-to-end training job (one per
+GAR × attack × mechanism combination, including a lossy-network cell)
+and asserts the engine reproduces the committed trace *bit-identically*:
+every recorded loss, every recorded accuracy, and the final parameter
+vector must round-trip exactly.  JSON stores floats via ``repr``, which
+round-trips IEEE-754 doubles exactly, so equality here is equality of
+bits — any change to the order of floating-point operations anywhere in
+the pipeline (kernels, cohort batching, clipping, noise, momentum)
+fails these tests.
+
+Regenerating after an *intentional* numerical change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_traces.py --regen-golden
+
+then commit the updated ``tests/golden/traces.json`` and call out the
+trace change in the PR.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data.phishing import make_phishing_dataset
+from repro.distributed.trainer import train
+from repro.models.logistic import LogisticRegressionModel
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "traces.json"
+
+#: name -> train() keyword overrides.  Every case shares the small
+#: seed-pinned phishing environment below; together they cover the
+#: selection GARs (krum, mda, bulyan), the iterative geometric median,
+#: a coordinate-wise rule, both DP mechanisms, no-DP, four attacks,
+#: the no-attack path, and the dropped-message (lossy network) path.
+CASES = {
+    "mda-little-gaussian": dict(
+        gar="mda", attack="little", epsilon=0.5, noise_kind="gaussian", n=9, f=3
+    ),
+    "krum-signflip-nodp": dict(gar="krum", attack="signflip", n=9, f=3),
+    "median-empire-laplace": dict(
+        gar="median", attack="empire", epsilon=1.0, noise_kind="laplace", n=9, f=4
+    ),
+    "geomedian-little-gaussian": dict(
+        gar="geometric-median",
+        attack="little",
+        epsilon=0.5,
+        noise_kind="gaussian",
+        n=9,
+        f=4,
+    ),
+    "bulyan-zero-nodp": dict(gar="bulyan", attack="zero", n=11, f=2),
+    "trimmedmean-noattack-gaussian": dict(
+        gar="trimmed-mean", attack=None, epsilon=0.2, noise_kind="gaussian", n=9, f=4
+    ),
+    "meamed-little-nodp-lossy": dict(
+        gar="meamed", attack="little", n=9, f=4, drop_probability=0.3
+    ),
+}
+
+
+def _run_case(overrides: dict) -> dict:
+    """One short, fully seed-pinned training run -> JSON-able trace."""
+    dataset = make_phishing_dataset(seed=0, num_points=240, num_features=10)
+    result = train(
+        model=LogisticRegressionModel(10),
+        train_dataset=dataset,
+        test_dataset=make_phishing_dataset(seed=1, num_points=60, num_features=10),
+        num_steps=6,
+        batch_size=10,
+        eval_every=3,
+        seed=7,
+        **overrides,
+    )
+    return {
+        "loss_steps": [int(step) for step in result.history.loss_steps],
+        "losses": [float(loss) for loss in result.history.losses],
+        "accuracy_steps": [int(step) for step in result.history.accuracy_steps],
+        "accuracies": [float(acc) for acc in result.history.accuracies],
+        "final_parameters": [float(value) for value in result.final_parameters],
+    }
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"missing golden fixture {GOLDEN_PATH}; record it with "
+            "--regen-golden"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_regen_golden(request):
+    """Not a test of behaviour: rewrites the fixture when asked to."""
+    if not request.config.getoption("--regen-golden"):
+        pytest.skip("pass --regen-golden to re-record the golden traces")
+    traces = {name: _run_case(overrides) for name, overrides in CASES.items()}
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(traces, indent=2) + "\n")
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_trace_bit_identical(name, golden, request):
+    if request.config.getoption("--regen-golden"):
+        pytest.skip("regenerating, not asserting")
+    assert name in golden, f"no golden trace for {name}; run --regen-golden"
+    expected = golden[name]
+    actual = _run_case(CASES[name])
+    assert actual["loss_steps"] == expected["loss_steps"]
+    assert actual["accuracy_steps"] == expected["accuracy_steps"]
+    # Bit-identical: exact float equality, not allclose.
+    assert actual["losses"] == expected["losses"]
+    assert actual["accuracies"] == expected["accuracies"]
+    assert actual["final_parameters"] == expected["final_parameters"]
+
+
+def test_golden_covers_all_cases(golden):
+    """The fixture and the case table must not drift apart."""
+    assert sorted(golden) == sorted(CASES)
+
+
+def test_traces_are_nontrivial(golden):
+    """Guard against recording a degenerate (all-zero / empty) trace."""
+    for name, trace in golden.items():
+        assert len(trace["losses"]) == 6, name
+        assert any(value != 0.0 for value in trace["final_parameters"]), name
+        assert np.all(np.isfinite(trace["losses"])), name
