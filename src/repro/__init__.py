@@ -16,6 +16,11 @@ The package is organised as:
   (``AccuracyCallback``, ``EarlyStopping``, ``VNRatioCallback``, ...),
   and the parallel multi-seed executor behind
   ``run_config(..., max_workers=N)``.
+* :mod:`repro.simulation` — the discrete-event asynchronous cluster
+  simulator: virtual-clock engine, server policies (sync barrier /
+  buffered semi-sync / async staleness-damped), per-worker latency
+  models, and privacy-amplified partial participation, driven by
+  :meth:`Experiment.simulate` or ``python -m repro simulate``.
 * :mod:`repro.experiments` — configs and runners regenerating every
   table and figure; :mod:`repro.analysis` — leakage and variance
   extras; :mod:`repro.metrics` — histories and aggregation.
@@ -80,16 +85,30 @@ from repro.pipeline import (
 )
 from repro.privacy import GaussianMechanism, LaplaceMechanism
 from repro.rng import SeedTree
+from repro.simulation import (
+    AsyncStalenessPolicy,
+    BufferedSemiSyncPolicy,
+    ClusterSimulator,
+    ConstantLatency,
+    LognormalLatency,
+    SimulationResult,
+    StragglerLatency,
+    SyncPolicy,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AccuracyCallback",
     "AggregationError",
+    "AsyncStalenessPolicy",
+    "BufferedSemiSyncPolicy",
     "Callback",
     "CallbackList",
     "Cluster",
+    "ClusterSimulator",
     "ConfigurationError",
+    "ConstantLatency",
     "DataError",
     "Dataset",
     "EarlyStopping",
@@ -97,6 +116,7 @@ __all__ = [
     "ExperimentConfig",
     "GaussianMechanism",
     "LaplaceMechanism",
+    "LognormalLatency",
     "LogisticRegressionModel",
     "MeanEstimationModel",
     "ParameterServer",
@@ -104,7 +124,10 @@ __all__ = [
     "ReproError",
     "ResilienceError",
     "SeedTree",
+    "SimulationResult",
     "StepResultRecorder",
+    "StragglerLatency",
+    "SyncPolicy",
     "TrainingError",
     "TrainingJob",
     "TrainingLoop",

@@ -14,6 +14,15 @@ protocol (Fig. 1(b)):
 The cluster also exposes per-round instrumentation (honest clean /
 submitted matrices, the crafted vector, the aggregate) that the VN
 ratio and resilience analyses consume.
+
+This synchronous driver *is* Section 2.1's system model: "the training
+is divided into sequential synchronous steps" and a non-received
+gradient is zero.  When the protocol's timing is the object of study —
+stragglers, staleness, partial participation — use the discrete-event
+engine in :mod:`repro.simulation` instead: its
+:class:`~repro.simulation.policies.SyncPolicy` at zero latency replays
+this class bit-identically, while its buffered and asynchronous
+policies relax the barrier the paper assumes away.
 """
 
 from __future__ import annotations

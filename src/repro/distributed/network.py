@@ -7,6 +7,14 @@ independently with a fixed probability and replaces it by the zero
 vector, which is both a realism knob and a mild availability attack
 (a dropped honest gradient looks exactly like a zero-submitting
 Byzantine worker to the GAR).
+
+Drop decisions are *per-message* deterministic: the fate of the
+message ``(step, worker)`` is a pure function of the network's root
+seed, never of the order in which messages are queried.  This is what
+lets the synchronous :class:`repro.distributed.cluster.Cluster` and
+the event-driven :mod:`repro.simulation` engine replay the same
+scenario with the same drops, even though the former queries a whole
+round at once and the latter one arrival at a time.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.rng import SeedTree
 from repro.typing import Matrix
 
 __all__ = ["LossyNetwork", "PerfectNetwork"]
@@ -27,6 +36,11 @@ class PerfectNetwork:
         del step
         return gradients
 
+    def drops_message(self, step: int, worker: int) -> bool:
+        """The perfect network never drops a message."""
+        del step, worker
+        return False
+
     @property
     def drop_probability(self) -> float:
         """Always zero for the perfect network."""
@@ -34,15 +48,40 @@ class PerfectNetwork:
 
 
 class LossyNetwork:
-    """Drops each message independently with probability ``drop_probability``."""
+    """Drops each message independently with probability ``drop_probability``.
 
-    def __init__(self, drop_probability: float, rng: np.random.Generator):
+    Parameters
+    ----------
+    drop_probability:
+        Per-message drop probability in ``[0, 1)``.
+    rng:
+        Legacy seeding surface: a generator whose *first draw* fixes the
+        network's root seed.  The generator is consumed exactly once at
+        construction, so two networks built from identically-seeded
+        generators make identical per-message decisions.
+    seed:
+        Direct root seed; takes precedence over ``rng``.
+    """
+
+    def __init__(
+        self,
+        drop_probability: float,
+        rng: np.random.Generator | None = None,
+        *,
+        seed: int | None = None,
+    ):
         if not 0.0 <= drop_probability < 1.0:
             raise ConfigurationError(
                 f"drop_probability must be in [0, 1), got {drop_probability}"
             )
+        if seed is None:
+            if rng is None:
+                raise ConfigurationError("LossyNetwork needs rng or seed")
+            seed = int(rng.integers(0, 2**63))
         self._drop_probability = float(drop_probability)
-        self._rng = rng
+        # Per-message streams: the decision for (step, worker) comes from
+        # its own SeedTree path, independent of query order.
+        self._seeds = SeedTree(int(seed))
         self._dropped_total = 0
 
     @property
@@ -55,16 +94,45 @@ class LossyNetwork:
         """Total messages dropped so far."""
         return self._dropped_total
 
+    def _step_uniforms(self, step: int, count: int) -> np.ndarray:
+        """The first ``count`` uniforms of step ``step``'s private stream.
+
+        Message ``(step, worker)``'s fate is the ``worker``-th value of
+        the per-step stream — a pure function of ``(seed, step, worker)``
+        however it is queried — while the whole round costs a single
+        generator construction on the synchronous hot path.
+        """
+        return self._seeds.generator("drop", step).random(count)
+
+    def drops_message(self, step: int, worker: int) -> bool:
+        """Whether the message ``(step, worker)`` is dropped.
+
+        Deterministic in ``(root seed, step, worker)``; querying in any
+        order — or twice — yields the same verdict, though each ``True``
+        query increments :attr:`dropped_total`.
+        """
+        if self._drop_probability == 0.0:
+            return False
+        dropped = bool(
+            self._step_uniforms(step, worker + 1)[worker] < self._drop_probability
+        )
+        if dropped:
+            self._dropped_total += 1
+        return dropped
+
     def deliver(self, gradients: Matrix, step: int) -> Matrix:
-        """Zero out dropped rows; returns a new matrix when anything drops."""
-        del step
+        """Zero out dropped rows; returns a new matrix when anything drops.
+
+        Row ``w`` of ``gradients`` is the message from worker ``w``;
+        its fate is exactly :meth:`drops_message` ``(step, w)``.
+        """
         if self._drop_probability == 0.0:
             return gradients
-        dropped = self._rng.random(gradients.shape[0]) < self._drop_probability
-        count = int(dropped.sum())
-        if count == 0:
+        count = gradients.shape[0]
+        dropped = self._step_uniforms(step, count) < self._drop_probability
+        if not dropped.any():
             return gradients
-        self._dropped_total += count
+        self._dropped_total += int(dropped.sum())
         delivered = gradients.copy()
         delivered[dropped] = 0.0
         return delivered

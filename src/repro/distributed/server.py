@@ -71,21 +71,32 @@ class ParameterServer:
         """
         return list(self._received_log)
 
-    def step(self, gradients: Matrix) -> Vector:
+    def step(self, gradients: Matrix, update_scale: float = 1.0) -> Vector:
         """One round: aggregate ``gradients`` and update the parameters.
 
         Returns the aggregated gradient (before the optimizer update),
         which instrumentation uses for VN-ratio and resilience checks.
+
+        ``update_scale`` multiplies the aggregate fed to the optimizer
+        (the returned aggregate is unscaled).  Asynchronous server
+        policies use it for staleness-weighted damping; the default of
+        1.0 takes a scale-free path, so synchronous training is
+        bit-identical to the historical behaviour.
         """
         matrix = np.asarray(gradients, dtype=np.float64)
         if matrix.ndim != 2 or matrix.shape[0] != self._gar.n:
             raise ConfigurationError(
                 f"expected an ({self._gar.n}, d) gradient matrix, got shape {matrix.shape}"
             )
+        if not 0.0 <= update_scale <= 1.0:
+            raise ConfigurationError(
+                f"update_scale must be in [0, 1], got {update_scale}"
+            )
         if self._record_received:
             self._received_log.append(matrix.copy())
         aggregated = self._gar.aggregate(matrix)
-        self._parameters = self._optimizer.step(self._parameters, aggregated)
+        update = aggregated if update_scale == 1.0 else update_scale * aggregated
+        self._parameters = self._optimizer.step(self._parameters, update)
         self._step += 1
         return aggregated
 

@@ -6,7 +6,9 @@ Usage (installed package)::
     python -m repro figure2 --steps 200 --seeds 2
     python -m repro figure4 --output out/fig4.txt
     python -m repro run my_experiments.json --max-workers 4
+    python -m repro simulate examples/simulate_async.json --smoke
     python -m repro bench --smoke
+    python -m repro components
     python -m repro list
 
 Figures print the same ASCII panels + summary tables the benchmark
@@ -14,7 +16,11 @@ harness produces; ``--steps``/``--seeds`` trim the grid for quick looks.
 ``run`` executes arbitrary experiment grids from a JSON config file —
 a single :class:`ExperimentConfig` object, a list of them, or
 ``{"configs": [...], "model": {...}, "data_seed": ...}`` — with every
-component resolved through the unified registry.
+component resolved through the unified registry.  ``simulate`` runs the
+same config format on the discrete-event asynchronous simulator
+(:mod:`repro.simulation`), honouring each cell's policy / latency /
+participation fields; ``components`` lists every registry family and
+its registered names.
 """
 
 from __future__ import annotations
@@ -32,7 +38,14 @@ from repro.experiments.io import save_outcomes
 from repro.experiments.runner import RunOutcome, phishing_environment, run_grid
 from repro.experiments.tables import format_table1, table1_rows
 
-__all__ = ["main", "build_parser", "render_figure_text", "load_run_file", "render_run_summary"]
+__all__ = [
+    "main",
+    "build_parser",
+    "render_figure_text",
+    "load_run_file",
+    "render_run_summary",
+    "render_simulate_summary",
+]
 
 FIGURES = tuple(FIGURE_BATCH_SIZES)  # ("figure2", "figure3", "figure4")
 
@@ -106,6 +119,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--save", type=Path, default=None, help="write full outcomes JSON here"
     )
     run.add_argument("--output", type=Path, default=None, help="write the summary here")
+
+    simulate = subparsers.add_parser(
+        "simulate",
+        help="run experiment configs on the discrete-event async simulator",
+    )
+    simulate.add_argument(
+        "config", type=Path, help="JSON config file (cell, list, or grid)"
+    )
+    simulate.add_argument(
+        "--smoke",
+        action="store_true",
+        help="trim every cell to <= 5 steps and 1 seed (for CI)",
+    )
+    simulate.add_argument(
+        "--data-seed",
+        type=int,
+        default=None,
+        help="environment data seed (overrides the config file's; default 0)",
+    )
+    simulate.add_argument(
+        "--output", type=Path, default=None, help="write the summary here"
+    )
+
+    subparsers.add_parser(
+        "components", help="list every registry family and its registered names"
+    )
     return parser
 
 
@@ -172,6 +211,65 @@ def load_run_file(path: Path) -> tuple[list[ExperimentConfig], dict | str | None
     else:
         entries = [payload]
     return [ExperimentConfig.from_dict(entry) for entry in entries], model_spec, data_seed
+
+
+def _resolve_data_seed(flag_value: int | None, file_value: int | None) -> int:
+    """The explicit flag beats the file; the default is 0."""
+    if flag_value is not None:
+        return flag_value
+    if file_value is not None:
+        return file_value
+    return 0
+
+
+def _build_environment(model_spec, data_seed: int):
+    """The shared task environment for ``run``/``simulate`` configs."""
+    model, train_set, test_set = phishing_environment(data_seed)
+    if model_spec is not None:
+        import inspect
+
+        from repro.pipeline.registry import REGISTRY, ComponentRegistry
+
+        factory = REGISTRY.get("model", ComponentRegistry.parse_spec(model_spec)[0])
+        context = {}
+        if "num_features" in inspect.signature(factory).parameters:
+            context["num_features"] = train_set.num_features
+        model = REGISTRY.build("model", model_spec, **context)
+    return model, train_set, test_set
+
+
+def render_simulate_summary(results: dict[str, list]) -> str:
+    """One row per (cell, seed): policy, losses, clock, amplified budget.
+
+    ``eps*`` is the per-worker amplified basic-composition epsilon
+    (worst worker, i.e. the cohort's guarantee); "-" without DP.
+    """
+    rows = [
+        f"{'cell':<24}{'seed':>5}{'policy':>16}{'final loss':>12}"
+        f"{'final acc':>11}{'v-time':>9}{'rounds':>8}{'eps*':>9}"
+    ]
+    for name, cell_results in results.items():
+        for result in cell_results:
+            config = result.config
+            accuracy = (
+                f"{result.final_accuracy:.3f}"
+                if len(result.history.accuracies)
+                else "n/a"
+            )
+            if result.per_worker_privacy:
+                worst = max(
+                    report.basic.epsilon
+                    for report in result.per_worker_privacy.values()
+                )
+                epsilon = f"{worst:.3g}"
+            else:
+                epsilon = "-"
+            rows.append(
+                f"{name:<24}{config['seed']:>5}{config['policy']:>16}"
+                f"{result.final_loss:>12.4f}{accuracy:>11}"
+                f"{result.virtual_time:>9.2f}{result.rounds:>8}{epsilon:>9}"
+            )
+    return "\n".join(rows)
 
 
 def render_run_summary(outcomes: dict[str, RunOutcome]) -> str:
@@ -262,23 +360,8 @@ def _dispatch(arguments: argparse.Namespace) -> int:
 
     if arguments.command == "run":
         configs, model_spec, file_data_seed = load_run_file(arguments.config)
-        if arguments.data_seed is not None:  # explicit flag beats the file
-            data_seed = arguments.data_seed
-        elif file_data_seed is not None:
-            data_seed = file_data_seed
-        else:
-            data_seed = 0
-        model, train_set, test_set = phishing_environment(data_seed)
-        if model_spec is not None:
-            import inspect
-
-            from repro.pipeline.registry import REGISTRY, ComponentRegistry
-
-            factory = REGISTRY.get("model", ComponentRegistry.parse_spec(model_spec)[0])
-            context = {}
-            if "num_features" in inspect.signature(factory).parameters:
-                context["num_features"] = train_set.num_features
-            model = REGISTRY.build("model", model_spec, **context)
+        data_seed = _resolve_data_seed(arguments.data_seed, file_data_seed)
+        model, train_set, test_set = _build_environment(model_spec, data_seed)
         outcomes = run_grid(
             configs,
             model,
@@ -291,6 +374,42 @@ def _dispatch(arguments: argparse.Namespace) -> int:
             save_outcomes(outcomes, arguments.save)
             print(f"wrote {arguments.save}")
         _emit(render_run_summary(outcomes), arguments.output)
+        return 0
+
+    if arguments.command == "simulate":
+        from repro.pipeline.builder import Experiment
+
+        configs, model_spec, file_data_seed = load_run_file(arguments.config)
+        data_seed = _resolve_data_seed(arguments.data_seed, file_data_seed)
+        model, train_set, test_set = _build_environment(model_spec, data_seed)
+        results: dict[str, list] = {}
+        for config in configs:
+            if config.name in results:
+                raise ValueError(f"duplicate config name {config.name!r}")
+            if arguments.smoke:
+                config = config.with_updates(
+                    num_steps=min(config.num_steps, 5),
+                    eval_every=min(config.eval_every, 5),
+                    seeds=config.seeds[:1],
+                )
+            print(f"simulating {config.describe()}")
+            results[config.name] = [
+                Experiment.from_config(
+                    config, model, train_set, test_set, seed=seed
+                ).simulate()
+                for seed in config.seeds
+            ]
+        _emit(render_simulate_summary(results), arguments.output)
+        return 0
+
+    if arguments.command == "components":
+        from repro.pipeline.registry import REGISTRY
+
+        lines = [
+            f"{family}: {', '.join(REGISTRY.available(family))}"
+            for family in REGISTRY.families()
+        ]
+        print("\n".join(lines))
         return 0
 
     raise AssertionError(f"unhandled command {arguments.command!r}")

@@ -42,6 +42,15 @@ class ExperimentConfig:
     drop_probability: float = 0.0
     eval_every: int = 50
     seeds: tuple[int, ...] = PAPER_SEEDS
+    # Event-driven simulation knobs (consumed by ``python -m repro
+    # simulate`` / :meth:`Experiment.simulate`; the synchronous train
+    # path ignores them).  The defaults replay the paper's protocol.
+    policy: str = "sync"
+    policy_kwargs: tuple[tuple[str, object], ...] = ()
+    latency: str | None = None
+    latency_kwargs: tuple[tuple[str, object], ...] = ()
+    participation_rate: float = 1.0
+    participation_kind: str = "poisson"
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -52,6 +61,10 @@ class ExperimentConfig:
             raise ConfigurationError(f"num_steps must be >= 1, got {self.num_steps}")
         if self.batch_size < 1:
             raise ConfigurationError(f"batch_size must be >= 1, got {self.batch_size}")
+        if not 0.0 < self.participation_rate <= 1.0:
+            raise ConfigurationError(
+                f"participation_rate must be in (0, 1], got {self.participation_rate}"
+            )
 
     @property
     def uses_dp(self) -> bool:
@@ -89,6 +102,20 @@ class ExperimentConfig:
             "seed": seed,
         }
 
+    def simulation_kwargs(self) -> dict:
+        """Extra keyword arguments for :class:`repro.pipeline.Experiment`
+        that configure the event-driven simulator (policy, latency,
+        participation).  Kept out of :meth:`train_kwargs`, whose surface
+        is the legacy ``train()`` signature."""
+        return {
+            "policy": self.policy,
+            "policy_kwargs": dict(self.policy_kwargs) or None,
+            "latency": self.latency,
+            "latency_kwargs": dict(self.latency_kwargs) or None,
+            "participation_rate": self.participation_rate,
+            "participation_kind": self.participation_kind,
+        }
+
     def with_updates(self, **changes) -> "ExperimentConfig":
         """A copy with some fields replaced (dataclasses.replace wrapper)."""
         payload = asdict(self)
@@ -100,6 +127,8 @@ class ExperimentConfig:
         payload = asdict(self)
         payload["seeds"] = [int(seed) for seed in self.seeds]
         payload["attack_kwargs"] = [list(pair) for pair in self.attack_kwargs]
+        payload["policy_kwargs"] = [list(pair) for pair in self.policy_kwargs]
+        payload["latency_kwargs"] = [list(pair) for pair in self.latency_kwargs]
         return payload
 
     @classmethod
@@ -117,24 +146,30 @@ class ExperimentConfig:
             )
         if "seeds" in data:
             data["seeds"] = tuple(int(seed) for seed in data["seeds"])
-        if "attack_kwargs" in data:
-            attack_kwargs = data["attack_kwargs"]
-            if attack_kwargs is None:  # JSON null means "no kwargs"
-                data["attack_kwargs"] = ()
-            elif isinstance(attack_kwargs, dict):
-                data["attack_kwargs"] = tuple(attack_kwargs.items())
+        for kwargs_field in ("attack_kwargs", "policy_kwargs", "latency_kwargs"):
+            if kwargs_field not in data:
+                continue
+            kwargs = data[kwargs_field]
+            if kwargs is None:  # JSON null means "no kwargs"
+                data[kwargs_field] = ()
+            elif isinstance(kwargs, dict):
+                data[kwargs_field] = tuple(kwargs.items())
             else:
-                data["attack_kwargs"] = tuple(
-                    (key, value) for key, value in attack_kwargs
-                )
+                data[kwargs_field] = tuple((key, value) for key, value in kwargs)
         return cls(**data)
 
     def describe(self) -> str:
         """Compact human-readable summary."""
         dp = f"eps={self.epsilon}" if self.uses_dp else "no-DP"
         attack = self.attack if self.attack is not None else "no-attack"
+        extras = ""
+        if self.policy != "sync" or self.latency is not None or self.participation_rate < 1.0:
+            extras = (
+                f", policy={self.policy}, latency={self.latency or 'zero'}, "
+                f"q={self.participation_rate:g}"
+            )
         return (
             f"{self.name}: {self.gar} (n={self.n}, f={self.f}), {attack}, "
             f"b={self.batch_size}, {dp}, T={self.num_steps}, "
-            f"{len(self.seeds)} seeds"
+            f"{len(self.seeds)} seeds{extras}"
         )

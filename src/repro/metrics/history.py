@@ -3,6 +3,11 @@
 Mirrors the paper's measurement protocol (Section 5.1): the average
 training loss on the honest workers' sampled batches at *every* step,
 and the test ("cross") accuracy every ``eval_every`` steps.
+
+The event-driven simulator (:mod:`repro.simulation`) additionally
+records the *virtual wall-clock* at which each server update landed,
+so wall-clock-vs-accuracy comparisons between server policies (sync
+barrier vs buffered semi-sync vs async) read straight off one history.
 """
 
 from __future__ import annotations
@@ -20,6 +25,8 @@ class TrainingHistory:
         self._losses: list[float] = []
         self._accuracy_steps: list[int] = []
         self._accuracies: list[float] = []
+        self._virtual_time_steps: list[int] = []
+        self._virtual_times: list[float] = []
 
     def record_loss(self, step: int, loss: float) -> None:
         """Record the training loss observed at ``step`` (1-indexed)."""
@@ -40,6 +47,25 @@ class TrainingHistory:
         self._accuracy_steps.append(int(step))
         self._accuracies.append(float(accuracy))
 
+    def record_virtual_time(self, step: int, time: float) -> None:
+        """Record the virtual wall-clock at which ``step``'s update landed.
+
+        Steps must be strictly increasing; times non-decreasing (a
+        zero-latency simulation legitimately pins the clock at 0).
+        """
+        if self._virtual_time_steps and step <= self._virtual_time_steps[-1]:
+            raise ValueError(
+                f"virtual-time steps must be increasing, got {step} "
+                f"after {self._virtual_time_steps[-1]}"
+            )
+        if self._virtual_times and time < self._virtual_times[-1]:
+            raise ValueError(
+                f"virtual time must not decrease, got {time} "
+                f"after {self._virtual_times[-1]}"
+            )
+        self._virtual_time_steps.append(int(step))
+        self._virtual_times.append(float(time))
+
     @property
     def loss_steps(self) -> np.ndarray:
         """Steps at which losses were recorded."""
@@ -59,6 +85,23 @@ class TrainingHistory:
     def accuracies(self) -> np.ndarray:
         """Test accuracies, one per evaluation."""
         return np.asarray(self._accuracies, dtype=np.float64)
+
+    @property
+    def virtual_time_steps(self) -> np.ndarray:
+        """Steps at which virtual times were recorded."""
+        return np.asarray(self._virtual_time_steps, dtype=np.int64)
+
+    @property
+    def virtual_times(self) -> np.ndarray:
+        """Virtual wall-clock of each recorded server update."""
+        return np.asarray(self._virtual_times, dtype=np.float64)
+
+    @property
+    def final_virtual_time(self) -> float:
+        """Virtual wall-clock at the last recorded update."""
+        if not self._virtual_times:
+            raise ValueError("no virtual times recorded")
+        return self._virtual_times[-1]
 
     @property
     def final_loss(self) -> float:
@@ -110,16 +153,26 @@ class TrainingHistory:
             "losses": list(self._losses),
             "accuracy_steps": list(self._accuracy_steps),
             "accuracies": list(self._accuracies),
+            "virtual_time_steps": list(self._virtual_time_steps),
+            "virtual_times": list(self._virtual_times),
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "TrainingHistory":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Payloads written before virtual times existed load fine: the
+        time axis just stays empty.
+        """
         history = cls()
         for step, loss in zip(payload["loss_steps"], payload["losses"]):
             history.record_loss(step, loss)
         for step, accuracy in zip(payload["accuracy_steps"], payload["accuracies"]):
             history.record_accuracy(step, accuracy)
+        for step, time in zip(
+            payload.get("virtual_time_steps", ()), payload.get("virtual_times", ())
+        ):
+            history.record_virtual_time(step, time)
         return history
 
     def __len__(self) -> int:

@@ -11,7 +11,12 @@ legacy ``train()`` keyword API is a thin wrapper over this package.
 # Import order matters: results and registry are leaves; loop/builder
 # pull in the distributed substrate, whose trainer module imports the
 # two leaf modules back (already loaded by then).
-from repro.pipeline.results import PrivacyReport, TrainingResult, privacy_report
+from repro.pipeline.results import (
+    PrivacyReport,
+    TrainingResult,
+    amplified_privacy_report,
+    privacy_report,
+)
 from repro.pipeline.registry import (
     REGISTRY,
     ComponentRegistry,
@@ -48,6 +53,7 @@ __all__ = [
     "TrainingLoop",
     "TrainingResult",
     "VNRatioCallback",
+    "amplified_privacy_report",
     "available_components",
     "build_component",
     "build_mechanism",

@@ -145,6 +145,12 @@ class Experiment:
         record_gradients: bool = False,
         network=None,
         callbacks: Iterable[Callback] = (),
+        policy=None,
+        policy_kwargs: dict | None = None,
+        latency=None,
+        latency_kwargs: dict | None = None,
+        participation_rate: float = 1.0,
+        participation_kind: str = "poisson",
     ):
         if num_steps < 1:
             raise ConfigurationError(f"num_steps must be >= 1, got {num_steps}")
@@ -211,6 +217,46 @@ class Experiment:
                     f"network must be one of {REGISTRY.available('network')}, "
                     f"got {network_name!r}"
                 )
+        if isinstance(policy, (str, dict)):
+            policy_name = ComponentRegistry.parse_spec(policy)[0]
+            if not REGISTRY.has("policy", policy_name):
+                raise ConfigurationError(
+                    f"policy must be one of {REGISTRY.available('policy')}, "
+                    f"got {policy_name!r}"
+                )
+        if isinstance(latency, (str, dict)):
+            latency_name = ComponentRegistry.parse_spec(latency)[0]
+            if not REGISTRY.has("latency", latency_name):
+                raise ConfigurationError(
+                    f"latency must be one of {REGISTRY.available('latency')}, "
+                    f"got {latency_name!r}"
+                )
+        if not 0.0 < participation_rate <= 1.0:
+            raise ConfigurationError(
+                f"participation_rate must be in (0, 1], got {participation_rate}"
+            )
+        from repro.simulation.participation import PARTICIPATION_KINDS
+
+        if participation_kind not in PARTICIPATION_KINDS:
+            raise ConfigurationError(
+                f"participation_kind must be one of {PARTICIPATION_KINDS}, "
+                f"got {participation_kind!r}"
+            )
+        if participation_rate < 1.0:
+            # Per-round sampling needs rounds: a non-barrier policy would
+            # freeze the round-1 draw for the whole run (the engine also
+            # enforces this; checking here fails fast at construction).
+            if isinstance(policy, (str, dict)):
+                factory = REGISTRY.get("policy", ComponentRegistry.parse_spec(policy)[0])
+                policy_is_barrier = getattr(factory, "barrier", True)
+            else:
+                policy_is_barrier = getattr(policy, "barrier", True)
+            if not policy_is_barrier:
+                raise ConfigurationError(
+                    "participation_rate < 1 requires a barrier-style policy "
+                    "(sync / semi-sync); non-barrier policies drive workers "
+                    "individually, so per-round sampling is undefined"
+                )
 
         self.model = model
         self.train_dataset = train_dataset
@@ -236,12 +282,19 @@ class Experiment:
         self.record_gradients = bool(record_gradients)
         self.network_spec = network
         self.callbacks: list[Callback] = list(callbacks)
+        self.policy_spec = policy
+        self.policy_kwargs = dict(policy_kwargs or {})
+        self.latency_spec = latency
+        self.latency_kwargs = dict(latency_kwargs or {})
+        self.participation_rate = float(participation_rate)
+        self.participation_kind = participation_kind
 
         self._worker_datasets: list[Dataset] | None = None
         self._workers: list[HonestWorker] | None = None
         self._server: ParameterServer | None = None
         self._network = None
         self._cluster: Cluster | None = None
+        self._simulator = None
 
     @classmethod
     def from_config(
@@ -256,7 +309,10 @@ class Experiment:
     ) -> "Experiment":
         """Build one seed's experiment from an :class:`ExperimentConfig` cell.
 
-        ``seed`` defaults to the config's first seed.
+        ``seed`` defaults to the config's first seed.  The config's
+        simulation fields (policy/latency/participation) are carried
+        over too, so the same cell drives :meth:`run` and
+        :meth:`simulate` alike.
         """
         if seed is None:
             seed = config.seeds[0]
@@ -266,6 +322,7 @@ class Experiment:
             test_dataset=test_dataset,
             callbacks=callbacks,
             **config.train_kwargs(seed),
+            **config.simulation_kwargs(),
         )
 
     # ------------------------------------------------------------------
@@ -361,6 +418,67 @@ class Experiment:
             )
         return self._cluster
 
+    def build_simulation(self):
+        """Stage 4 (event-driven variant): the discrete-event simulator.
+
+        Wires the same workers, adversary, network and server as
+        :meth:`build_cluster`, but under the
+        :class:`repro.simulation.engine.ClusterSimulator` with this
+        experiment's server policy, latency model and participation
+        sampler.  The simulator's private streams live under the seed
+        tree's ``"simulation"`` subtree, so enabling simulation never
+        perturbs the training streams — which is what keeps the
+        zero-latency sync policy bit-identical to :meth:`run`.
+        """
+        if self._simulator is None:
+            from repro.simulation.engine import ClusterSimulator
+            from repro.simulation.latency import ConstantLatency, LatencyModel
+            from repro.simulation.participation import make_participation
+            from repro.simulation.policies import ServerPolicy, SyncPolicy
+
+            def resolve(family, spec, kwargs, default_cls, base_cls):
+                if spec is None:
+                    return default_cls(**kwargs)
+                if isinstance(spec, (str, dict)):
+                    name, spec_kwargs = ComponentRegistry.parse_spec(spec)
+                    return REGISTRY.build(
+                        family, {"name": name, **{**kwargs, **spec_kwargs}}
+                    )
+                if isinstance(spec, base_cls):
+                    return spec
+                raise ConfigurationError(
+                    f"{family} must be a name, spec or {base_cls.__name__}, "
+                    f"got {type(spec).__name__}"
+                )
+
+            policy = resolve(
+                "policy", self.policy_spec, self.policy_kwargs, SyncPolicy, ServerPolicy
+            )
+            latency = resolve(
+                "latency",
+                self.latency_spec,
+                self.latency_kwargs,
+                ConstantLatency,
+                LatencyModel,
+            )
+            self._simulator = ClusterSimulator(
+                server=self.build_server(),
+                honest_workers=self.build_workers(),
+                num_byzantine=self.num_byzantine,
+                attack=self.attack,
+                attack_rng=(
+                    self.seeds.generator("attack") if self.attack is not None else None
+                ),
+                network=self.build_network(),
+                policy=policy,
+                latency=latency,
+                participation=make_participation(
+                    self.participation_kind, self.participation_rate
+                ),
+                seeds=self.seeds.child("simulation"),
+            )
+        return self._simulator
+
     def reset(self) -> None:
         """Drop all built stages; the next build starts fresh.
 
@@ -372,6 +490,7 @@ class Experiment:
         self._server = None
         self._network = None
         self._cluster = None
+        self._simulator = None
 
     # ------------------------------------------------------------------
     # execution
@@ -381,11 +500,11 @@ class Experiment:
         """Final stage: run the training loop and package the result.
 
         ``callbacks`` are appended after the experiment-level ones.  If
-        the cached cluster has already been stepped (a previous
-        :meth:`run`), everything is rebuilt first so repeated runs are
-        independent and identical.
+        the cached stages have already been stepped (a previous
+        :meth:`run` or :meth:`simulate`), everything is rebuilt first so
+        repeated runs are independent and identical.
         """
-        if self._cluster is not None and self._cluster.step_count > 0:
+        if self._server is not None and self._server.step_count > 0:
             self.reset()
         cluster = self.build_cluster()
         all_callbacks = CallbackList([*self.callbacks, *callbacks])
@@ -406,6 +525,92 @@ class Experiment:
             final_parameters=cluster.parameters,
             privacy=privacy,
             config=self.describe(),
+        )
+
+    def simulate(self, callbacks: Iterable[Callback] = ()):
+        """Run the experiment on the discrete-event simulator.
+
+        The event-driven twin of :meth:`run`: same components, same
+        callbacks surface, but executed by
+        :class:`repro.simulation.engine.ClusterSimulator` under this
+        experiment's policy/latency/participation configuration.
+        ``num_steps`` counts *server updates* (rounds for the barrier
+        policies, arrivals for the async policy).  Returns a
+        :class:`repro.simulation.run.SimulationResult` whose
+        ``per_worker_privacy`` reports are amplified by each worker's
+        realized participation rate.
+
+        With the default sync policy at zero latency and full
+        participation this reproduces :meth:`run` bit for bit (the
+        golden-trace suite enforces it).
+        """
+        from repro.pipeline.results import amplified_privacy_report
+        from repro.simulation.run import SimulationLoop, SimulationResult
+
+        if self._server is not None and self._server.step_count > 0:
+            self.reset()
+        simulator = self.build_simulation()
+        all_callbacks = CallbackList([*self.callbacks, *callbacks])
+        if self.test_dataset is not None:
+            all_callbacks.append(
+                AccuracyCallback(self.test_dataset, eval_every=self.eval_every)
+            )
+        loop = SimulationLoop(
+            simulator=simulator,
+            model=self.model,
+            history=TrainingHistory(),
+            callbacks=all_callbacks,
+        )
+        state: LoopState = loop.run(self.num_steps)
+        privacy = privacy_report(self.mechanism, self.epsilon, self.delta, self.num_steps)
+        rates = simulator.participation_rates
+        per_worker = None
+        if self.mechanism is not None and self.epsilon is not None:
+            if simulator.policy.barrier:
+                # Barrier policies: each sampled round invokes the
+                # mechanism with probability q, so the amplified
+                # per-round budget composes over the sampled rounds.
+                rounds = max(1, simulator.sampling_round_count)
+                per_worker = {
+                    worker: amplified_privacy_report(
+                        self.mechanism, self.epsilon, self.delta, rounds, rate
+                    )
+                    for worker, rate in rates.items()
+                }
+            else:
+                # Non-barrier policies have no per-round sampling to
+                # amplify over; compose unamplified over each worker's
+                # actual mechanism invocations (gradient computations).
+                counts = simulator.computation_counts
+                per_worker = {
+                    worker: amplified_privacy_report(
+                        self.mechanism,
+                        self.epsilon,
+                        self.delta,
+                        max(1, int(counts[worker])),
+                        1.0 if counts[worker] else 0.0,
+                    )
+                    for worker in range(simulator.num_honest)
+                }
+        config = self.describe()
+        config.update(
+            {
+                "policy": simulator.policy.name,
+                "latency": getattr(self.latency_spec, "name", self.latency_spec),
+                "participation_rate": self.participation_rate,
+                "participation_kind": self.participation_kind,
+            }
+        )
+        return SimulationResult(
+            history=state.history,
+            final_parameters=simulator.parameters,
+            privacy=privacy,
+            per_worker_privacy=per_worker,
+            participation_rates=rates,
+            virtual_time=simulator.clock,
+            rounds=simulator.round_count,
+            policy_stats=simulator.stats(),
+            config=config,
         )
 
     def describe(self) -> dict:

@@ -19,7 +19,41 @@ from repro.metrics.history import TrainingHistory
 from repro.models.base import Model
 from repro.pipeline.callbacks import Callback, CallbackList
 
-__all__ = ["LoopState", "TrainingLoop"]
+__all__ = ["LoopState", "TrainingLoop", "record_honest_loss"]
+
+
+def record_honest_loss(model, history, step, parameters, honest_workers) -> None:
+    """Record the mean training loss over ``honest_workers``' last batches.
+
+    Shared by the synchronous :class:`TrainingLoop` and the event-driven
+    :class:`repro.simulation.run.SimulationLoop` so both measure the
+    paper's Section 5.1 quantity with the identical (stacked) float
+    pipeline.  When every worker sampled an equal-shaped batch (the
+    common case), the whole cohort is scored with one
+    :meth:`repro.models.base.Model.loss_stack` call; ragged or missing
+    batches fall back to per-worker evaluation.  Rounds where no honest
+    worker sampled record no loss instead of a silent ``NaN``.
+    """
+    batches = [
+        worker.last_batch for worker in honest_workers if worker.last_batch is not None
+    ]
+    if not batches:
+        return
+    shapes = {
+        (np.asarray(features).shape, np.asarray(labels).shape)
+        for features, labels in batches
+    }
+    if len(shapes) == 1:
+        losses = model.loss_stack(
+            parameters,
+            np.stack([features for features, _ in batches]),
+            np.stack([labels for _, labels in batches]),
+        )
+    else:
+        losses = [
+            model.loss(parameters, features, labels) for features, labels in batches
+        ]
+    history.record_loss(step, float(np.mean(losses)))
 
 
 @dataclass
@@ -106,37 +140,11 @@ class TrainingLoop:
         return state
 
     def _record_honest_loss(self, parameters, honest_workers) -> None:
-        """Record the mean training loss over the honest workers' batches.
-
-        When every worker sampled an equal-shaped batch (the common
-        case), the whole cohort is scored with one
-        :meth:`repro.models.base.Model.loss_stack` call; ragged or
-        missing batches fall back to per-worker evaluation.  Rounds
-        where no honest worker sampled record no loss instead of a
-        silent ``NaN``.
-        """
-        batches = [
-            worker.last_batch
-            for worker in honest_workers
-            if worker.last_batch is not None
-        ]
-        if not batches:
-            return
-        shapes = {
-            (np.asarray(features).shape, np.asarray(labels).shape)
-            for features, labels in batches
-        }
-        if len(shapes) == 1:
-            losses = self._model.loss_stack(
-                parameters,
-                np.stack([features for features, _ in batches]),
-                np.stack([labels for _, labels in batches]),
-            )
-        else:
-            losses = [
-                self._model.loss(parameters, features, labels)
-                for features, labels in batches
-            ]
-        self._history.record_loss(
-            self._cluster.step_count, float(np.mean(losses))
+        """Record the honest-batch loss (see :func:`record_honest_loss`)."""
+        record_honest_loss(
+            self._model,
+            self._history,
+            self._cluster.step_count,
+            parameters,
+            honest_workers,
         )

@@ -44,6 +44,8 @@ BUILTIN_FAMILIES = (
     "schedule",
     "distribution",
     "network",
+    "latency",
+    "policy",
 )
 
 #: Legacy alias kept for the trainer's historical error message.
@@ -256,6 +258,22 @@ def _register_builtins(registry: ComponentRegistry) -> None:
     registry.register("distribution", "label-shards", shard_by_label)
     registry.register("network", "perfect", PerfectNetwork)
     registry.register("network", "lossy", LossyNetwork)
+
+    from repro.simulation.latency import (
+        ConstantLatency,
+        LognormalLatency,
+        StragglerLatency,
+    )
+    from repro.simulation.policies import (
+        AsyncStalenessPolicy,
+        BufferedSemiSyncPolicy,
+        SyncPolicy,
+    )
+
+    for latency_cls in (ConstantLatency, LognormalLatency, StragglerLatency):
+        registry.register("latency", latency_cls.name, latency_cls)
+    for policy_cls in (SyncPolicy, BufferedSemiSyncPolicy, AsyncStalenessPolicy):
+        registry.register("policy", policy_cls.name, policy_cls)
 
 
 #: The process-wide default registry, lazily seeded with the built-ins.

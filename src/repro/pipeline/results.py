@@ -21,21 +21,34 @@ from repro.privacy.accountants import (
     PrivacySpend,
     RDPAccountant,
 )
+from repro.privacy.amplification import amplify_by_rate
 from repro.privacy.mechanisms import GaussianMechanism, NoiseMechanism
 from repro.typing import Vector
 
-__all__ = ["PrivacyReport", "TrainingResult", "privacy_report"]
+__all__ = [
+    "PrivacyReport",
+    "TrainingResult",
+    "privacy_report",
+    "amplified_privacy_report",
+]
 
 
 @dataclass(frozen=True)
 class PrivacyReport:
-    """End-to-end privacy accounting for one training run."""
+    """End-to-end privacy accounting for one training run.
+
+    ``sampling_rate`` is set (to the subsampling probability ``q``) when
+    the per-step budget has been amplified by partial participation /
+    subsampling; it stays ``None`` for the classical full-participation
+    accounting.
+    """
 
     per_step: PrivacySpend
     noise_sigma: float
     basic: PrivacySpend
     advanced: PrivacySpend
     rdp: PrivacySpend | None
+    sampling_rate: float | None = None
 
     def summary(self) -> str:
         """One-line human-readable summary."""
@@ -46,6 +59,8 @@ class PrivacyReport:
         ]
         if self.rdp is not None:
             parts.append(f"RDP total ({self.rdp.epsilon:.3g}, {self.rdp.delta:.3g})")
+        if self.sampling_rate is not None:
+            parts.append(f"amplified at rate q={self.sampling_rate:.3g}")
         return "; ".join(parts)
 
 
@@ -99,4 +114,59 @@ def privacy_report(
         sigma = float(np.sqrt(mechanism.per_coordinate_variance))
     return PrivacyReport(
         per_step=per_step, noise_sigma=sigma, basic=basic, advanced=advanced, rdp=rdp
+    )
+
+
+def amplified_privacy_report(
+    mechanism: NoiseMechanism | None,
+    epsilon: float | None,
+    delta: float,
+    num_rounds: int,
+    sampling_rate: float,
+) -> PrivacyReport | None:
+    """Accounting for a worker that participates at ``sampling_rate``.
+
+    A worker joining each of ``num_rounds`` rounds independently with
+    probability ``q = sampling_rate`` invokes its mechanism on a
+    subsampled view of the round stream, so each round costs the
+    amplified budget of :func:`repro.privacy.amplification.amplify_by_rate`
+    and the total composes over all ``num_rounds`` rounds.  The RDP
+    entry is ``None`` — tight subsampled-RDP bounds are out of scope,
+    and reporting the unamplified moments bound here would *overstate*
+    tightness relative to the amplified per-step budget.
+
+    ``sampling_rate == 0`` (the worker never participated, so nothing
+    was released) yields an all-zero report.  Returns ``None`` when DP
+    is off.
+    """
+    if mechanism is None or epsilon is None:
+        return None
+    if isinstance(mechanism, GaussianMechanism):
+        sigma = mechanism.sigma
+    else:
+        sigma = float(np.sqrt(mechanism.per_coordinate_variance))
+    if sampling_rate == 0.0:
+        nothing = PrivacySpend(epsilon=0.0, delta=0.0)
+        return PrivacyReport(
+            per_step=nothing,
+            noise_sigma=sigma,
+            basic=nothing,
+            advanced=nothing,
+            rdp=None,
+            sampling_rate=0.0,
+        )
+    per_step = amplify_by_rate(mechanism.epsilon, mechanism.delta, sampling_rate)
+    basic = BasicCompositionAccountant().compose(
+        per_step.epsilon, per_step.delta, num_rounds
+    )
+    advanced = AdvancedCompositionAccountant().compose(
+        per_step.epsilon, per_step.delta, num_rounds
+    )
+    return PrivacyReport(
+        per_step=per_step,
+        noise_sigma=sigma,
+        basic=basic,
+        advanced=advanced,
+        rdp=None,
+        sampling_rate=float(sampling_rate),
     )

@@ -19,7 +19,7 @@ from repro.privacy.accountants import (
     PrivacySpend,
     RDPAccountant,
 )
-from repro.privacy.amplification import amplify_by_subsampling
+from repro.privacy.amplification import amplify_by_rate, amplify_by_subsampling
 from repro.privacy.clipping import clip_by_l2_norm, clip_per_example
 from repro.privacy.mechanisms import GaussianMechanism, LaplaceMechanism, NoiseMechanism
 from repro.privacy.sensitivity import batch_mean_l1_sensitivity, batch_mean_l2_sensitivity
@@ -32,6 +32,7 @@ __all__ = [
     "NoiseMechanism",
     "PrivacySpend",
     "RDPAccountant",
+    "amplify_by_rate",
     "amplify_by_subsampling",
     "batch_mean_l1_sensitivity",
     "batch_mean_l2_sensitivity",

@@ -12,6 +12,15 @@ with respect to the full local dataset (Balle, Barthe & Gaboardi 2018;
 the paper's Section 7 points to amplification techniques as a future
 direction — this module lets the benchmarks quantify how much
 amplification buys).
+
+The same bound applies to *partial participation*: a worker that joins
+each round independently with probability ``q`` releases a subsampled
+view of its update stream, so its per-round budget amplifies by the
+identical formula.  :func:`amplify_by_rate` exposes the bound directly
+in terms of the rate, which the event-driven simulator
+(:mod:`repro.simulation`) feeds with each worker's *realized*
+participation rate to produce amplified per-worker
+:class:`~repro.pipeline.results.PrivacyReport` entries.
 """
 
 from __future__ import annotations
@@ -21,7 +30,26 @@ import math
 from repro.exceptions import PrivacyError
 from repro.privacy.accountants import PrivacySpend
 
-__all__ = ["amplify_by_subsampling"]
+__all__ = ["amplify_by_rate", "amplify_by_subsampling"]
+
+
+def amplify_by_rate(epsilon: float, delta: float, rate: float) -> PrivacySpend:
+    """Amplified budget for an ``(epsilon, delta)`` mechanism sampled at ``rate``.
+
+    ``rate`` is the subsampling probability ``q`` in ``(0, 1]``; a rate
+    of exactly 1 returns the input budget unchanged (no subsampling, no
+    amplification — bit-exact identity, not just mathematical).
+    """
+    if epsilon <= 0:
+        raise PrivacyError(f"epsilon must be positive, got {epsilon}")
+    if not 0 <= delta < 1:
+        raise PrivacyError(f"delta must be in [0, 1), got {delta}")
+    if not 0.0 < rate <= 1.0:
+        raise PrivacyError(f"rate must be in (0, 1], got {rate}")
+    if rate == 1.0:
+        return PrivacySpend(epsilon=float(epsilon), delta=float(delta))
+    amplified_epsilon = math.log(1.0 + rate * (math.exp(epsilon) - 1.0))
+    return PrivacySpend(epsilon=amplified_epsilon, delta=rate * delta)
 
 
 def amplify_by_subsampling(
@@ -47,6 +75,4 @@ def amplify_by_subsampling(
         raise PrivacyError(
             f"dataset_size ({dataset_size}) must be >= batch_size ({batch_size})"
         )
-    rate = batch_size / dataset_size
-    amplified_epsilon = math.log(1.0 + rate * (math.exp(epsilon) - 1.0))
-    return PrivacySpend(epsilon=amplified_epsilon, delta=rate * delta)
+    return amplify_by_rate(epsilon, delta, batch_size / dataset_size)

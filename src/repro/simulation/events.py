@@ -1,0 +1,107 @@
+"""Discrete-event primitives: timestamped events and a deterministic heap.
+
+The simulator's vocabulary is three event types:
+
+* :class:`ModelBroadcast` — the server publishes parameters and opens a
+  round for a set of workers;
+* :class:`WorkerWake` — a worker starts computing its gradient for a
+  round (scheduled at the broadcast instant; compute + network delay is
+  folded into the message's latency sample);
+* :class:`GradientArrival` — a worker's gradient reaches the server.
+
+:class:`EventQueue` is a binary heap keyed on ``(time, seq)`` where
+``seq`` is a monotonically increasing insertion counter.  Ties in
+virtual time therefore resolve in scheduling order, which makes the
+whole simulation a pure function of its seeds — crucial both for the
+golden-trace harness and for the zero-latency case, where *every*
+event of a run carries the same timestamp.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.typing import Vector
+
+__all__ = ["Event", "EventQueue", "GradientArrival", "ModelBroadcast", "WorkerWake"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base timestamped event; ``time`` is virtual wall-clock seconds."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class ModelBroadcast(Event):
+    """The server opens round ``round_index`` for ``workers``.
+
+    ``workers=None`` broadcasts to the whole cluster (the barrier
+    policies' round start, where participation sampling applies);
+    an explicit tuple targets just those workers (async rebroadcasts,
+    which bypass sampling).
+    """
+
+    round_index: int
+    workers: tuple[int, ...] | None = None
+
+
+@dataclass(frozen=True)
+class WorkerWake(Event):
+    """Worker ``worker_id`` starts computing its round's gradient."""
+
+    round_index: int
+    worker_id: int
+
+
+@dataclass(frozen=True)
+class GradientArrival(Event):
+    """Worker ``worker_id``'s gradient for a round reaches the server.
+
+    ``model_version`` is the server's step count when the gradient's
+    computation started — the staleness reference the async policy
+    compares against the server's version at arrival time.
+    """
+
+    round_index: int
+    worker_id: int
+    model_version: int
+    gradient: Vector = field(repr=False, default=None)
+
+
+class EventQueue:
+    """Min-heap of events ordered by ``(time, insertion order)``."""
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+
+    def push(self, event: Event) -> None:
+        """Schedule ``event``; equal times pop in push order."""
+        if event.time < 0:
+            raise ConfigurationError(f"event time must be >= 0, got {event.time}")
+        heapq.heappush(self._heap, (event.time, self._seq, event))
+        self._seq += 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise ConfigurationError("pop from an empty event queue")
+        return heapq.heappop(self._heap)[2]
+
+    def peek(self) -> Event | None:
+        """The earliest event without removing it (None when empty)."""
+        return self._heap[0][2] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __repr__(self) -> str:
+        head = self._heap[0] if self._heap else None
+        return f"EventQueue(len={len(self._heap)}, next={head[2] if head else None})"

@@ -1,0 +1,184 @@
+"""Per-worker latency models (the ``latency`` component family).
+
+A latency model answers one question: how long after the round's
+broadcast does worker ``w``'s gradient reach the server?  The sample
+for message ``(round, worker)`` is drawn from a generator seeded on
+exactly that pair (the engine passes a fresh per-message stream), so a
+message's delay is independent of event-processing order — the same
+scenario replays identically whether it is simulated or enumerated.
+
+Models:
+
+* :class:`ConstantLatency` — every message takes ``delay`` seconds; at
+  ``delay=0`` the simulator degenerates to the paper's sequential
+  synchronous protocol (Section 2.1) and replays the synchronous
+  cluster bit-identically.
+* :class:`LognormalLatency` — ``median * exp(sigma * N(0,1))``, the
+  classic heavy-ish right-skewed network delay.
+* :class:`StragglerLatency` — heavy tail by mixture: a message (or a
+  fixed set of straggler workers) is ``slowdown`` times slower with
+  probability ``straggler_probability``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "ConstantLatency",
+    "LatencyModel",
+    "LognormalLatency",
+    "StragglerLatency",
+]
+
+
+class LatencyModel(ABC):
+    """Samples the broadcast-to-arrival delay of one message."""
+
+    #: Registry name under the ``latency`` component family.
+    name: str
+
+    @abstractmethod
+    def sample(self, round_index: int, worker: int, rng: np.random.Generator) -> float:
+        """Delay (>= 0) for worker ``worker``'s round-``round_index`` message.
+
+        ``rng`` is a fresh stream seeded on ``(round_index, worker)``;
+        implementations must draw only from it (or not at all) so the
+        sample is a pure function of the message identity.
+        """
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``delay`` virtual seconds."""
+
+    name = "constant"
+
+    def __init__(self, delay: float = 0.0):
+        if delay < 0:
+            raise ConfigurationError(f"delay must be >= 0, got {delay}")
+        self._delay = float(delay)
+
+    @property
+    def delay(self) -> float:
+        """The fixed per-message delay."""
+        return self._delay
+
+    def sample(self, round_index: int, worker: int, rng: np.random.Generator) -> float:
+        del round_index, worker, rng
+        return self._delay
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency(delay={self._delay})"
+
+
+class LognormalLatency(LatencyModel):
+    """Right-skewed delays: ``median * exp(sigma * N(0, 1))``."""
+
+    name = "lognormal"
+
+    def __init__(self, median: float = 1.0, sigma: float = 0.5):
+        if median <= 0:
+            raise ConfigurationError(f"median must be positive, got {median}")
+        if sigma < 0:
+            raise ConfigurationError(f"sigma must be >= 0, got {sigma}")
+        self._median = float(median)
+        self._sigma = float(sigma)
+
+    @property
+    def median(self) -> float:
+        """Median delay (the lognormal's scale)."""
+        return self._median
+
+    @property
+    def sigma(self) -> float:
+        """Log-space standard deviation (the tail-heaviness knob)."""
+        return self._sigma
+
+    def sample(self, round_index: int, worker: int, rng: np.random.Generator) -> float:
+        del round_index, worker
+        return self._median * math.exp(self._sigma * rng.standard_normal())
+
+    def __repr__(self) -> str:
+        return f"LognormalLatency(median={self._median}, sigma={self._sigma})"
+
+
+class StragglerLatency(LatencyModel):
+    """Heavy-tail mixture: occasional (or designated) stragglers.
+
+    Parameters
+    ----------
+    base:
+        The fast-path delay.
+    slowdown:
+        Multiplier (>= 1) applied to straggling messages.
+    straggler_probability:
+        Chance that any given message straggles.
+    straggler_workers:
+        Workers that *always* straggle (deterministic slow nodes, handy
+        for pinned scenarios); sampled stragglers come on top.
+    """
+
+    name = "straggler"
+
+    def __init__(
+        self,
+        base: float = 1.0,
+        slowdown: float = 10.0,
+        straggler_probability: float = 0.1,
+        straggler_workers: tuple[int, ...] | list[int] | None = None,
+    ):
+        if base < 0:
+            raise ConfigurationError(f"base must be >= 0, got {base}")
+        if slowdown < 1:
+            raise ConfigurationError(f"slowdown must be >= 1, got {slowdown}")
+        if not 0.0 <= straggler_probability <= 1.0:
+            raise ConfigurationError(
+                f"straggler_probability must be in [0, 1], got {straggler_probability}"
+            )
+        self._base = float(base)
+        self._slowdown = float(slowdown)
+        self._probability = float(straggler_probability)
+        self._fixed = frozenset(
+            int(worker) for worker in (straggler_workers or ())
+        )
+
+    @property
+    def base(self) -> float:
+        """Fast-path delay."""
+        return self._base
+
+    @property
+    def slowdown(self) -> float:
+        """Straggler delay multiplier."""
+        return self._slowdown
+
+    @property
+    def straggler_probability(self) -> float:
+        """Per-message straggle probability."""
+        return self._probability
+
+    @property
+    def straggler_workers(self) -> frozenset[int]:
+        """Workers that always straggle."""
+        return self._fixed
+
+    def sample(self, round_index: int, worker: int, rng: np.random.Generator) -> float:
+        del round_index
+        if worker in self._fixed:
+            return self._base * self._slowdown
+        if self._probability > 0.0 and rng.random() < self._probability:
+            return self._base * self._slowdown
+        return self._base
+
+    def __repr__(self) -> str:
+        return (
+            f"StragglerLatency(base={self._base}, slowdown={self._slowdown}, "
+            f"straggler_probability={self._probability}, "
+            f"straggler_workers={sorted(self._fixed)})"
+        )

@@ -1,0 +1,160 @@
+"""Partial-participation (client sampling) for barrier rounds.
+
+The paper's protocol has every worker report every round; Section 7
+names subsampling amplification as the open direction.  These samplers
+implement the standard client-sampling schemes — each round, only a
+subset of the honest workers participates, the server zero-fills the
+rest (the Section 2.1 convention for non-received gradients), and each
+worker's *realized* participation rate feeds
+:func:`repro.privacy.amplification.amplify_by_rate` to produce its
+amplified privacy report.
+
+Sampling applies only to honest workers: the colluding Byzantine
+workers are assumed worst-case always-on.  Each round's draw comes
+from a per-round seeded stream, so participation is a pure function of
+``(seed, round)`` — independent of event order, like everything else
+in the simulator.
+
+Every sampler guarantees at least one participant (an empty Poisson
+draw falls back to the lowest-indexed candidate): a round with no
+honest gradient would make the omniscient attack's observed cohort
+empty and the round's loss measurement undefined.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "FullParticipation",
+    "PARTICIPATION_KINDS",
+    "ParticipationSampler",
+    "PoissonParticipation",
+    "UniformParticipation",
+    "make_participation",
+]
+
+#: Participation kinds :func:`make_participation` accepts.
+PARTICIPATION_KINDS = ("poisson", "uniform")
+
+
+class ParticipationSampler(ABC):
+    """Chooses the honest workers reporting in one barrier round."""
+
+    #: Human-readable scheme name.
+    name: str
+
+    @property
+    @abstractmethod
+    def rate(self) -> float:
+        """Nominal per-round participation probability."""
+
+    @abstractmethod
+    def sample(
+        self,
+        round_index: int,
+        candidates: tuple[int, ...],
+        rng: np.random.Generator,
+    ) -> tuple[int, ...]:
+        """The participating subset of ``candidates`` (sorted, non-empty).
+
+        ``rng`` is a fresh per-round stream; implementations must draw
+        only from it.
+        """
+
+
+class FullParticipation(ParticipationSampler):
+    """Everyone, every round — the paper's Section 2.1 protocol."""
+
+    name = "full"
+
+    @property
+    def rate(self) -> float:
+        return 1.0
+
+    def sample(self, round_index, candidates, rng):
+        del round_index, rng
+        return tuple(candidates)
+
+    def __repr__(self) -> str:
+        return "FullParticipation()"
+
+
+def _validate_rate(rate: float) -> float:
+    if not 0.0 < rate <= 1.0:
+        raise ConfigurationError(
+            f"participation rate must be in (0, 1], got {rate}"
+        )
+    return float(rate)
+
+
+class PoissonParticipation(ParticipationSampler):
+    """Independent Bernoulli(``rate``) inclusion per worker per round.
+
+    This is the sampling scheme the amplification-by-subsampling bound
+    is stated for; the realized per-worker rate concentrates around
+    ``rate`` over many rounds.
+    """
+
+    name = "poisson"
+
+    def __init__(self, rate: float):
+        self._rate = _validate_rate(rate)
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    def sample(self, round_index, candidates, rng):
+        del round_index
+        included = tuple(
+            worker for worker in candidates if rng.random() < self._rate
+        )
+        if not included:
+            # Deterministic non-empty fallback (see module docstring).
+            return (min(candidates),)
+        return included
+
+    def __repr__(self) -> str:
+        return f"PoissonParticipation(rate={self._rate})"
+
+
+class UniformParticipation(ParticipationSampler):
+    """A fixed-size uniform subset: ``max(1, round(rate * len))`` workers."""
+
+    name = "uniform"
+
+    def __init__(self, rate: float):
+        self._rate = _validate_rate(rate)
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    def sample(self, round_index, candidates, rng):
+        del round_index
+        count = max(1, int(round(self._rate * len(candidates))))
+        if count >= len(candidates):
+            return tuple(candidates)
+        chosen = rng.choice(len(candidates), size=count, replace=False)
+        return tuple(sorted(candidates[index] for index in chosen))
+
+    def __repr__(self) -> str:
+        return f"UniformParticipation(rate={self._rate})"
+
+
+def make_participation(kind: str, rate: float) -> ParticipationSampler:
+    """Build a sampler from ``(kind, rate)``; rate 1 is always full."""
+    if rate == 1.0:
+        return FullParticipation()
+    if kind == "poisson":
+        return PoissonParticipation(rate)
+    if kind == "uniform":
+        return UniformParticipation(rate)
+    raise ConfigurationError(
+        f"participation kind must be one of {PARTICIPATION_KINDS}, got {kind!r}"
+    )

@@ -1,0 +1,333 @@
+"""Server policies: when does the server aggregate? (``policy`` family.)
+
+Section 2.1 of the paper assumes "sequential synchronous steps" where
+the server waits for the whole round and treats any non-received
+gradient as zero.  A *server policy* generalises exactly that waiting
+rule, leaving everything else (GAR, optimizer, DP pipeline) untouched:
+
+* :class:`SyncPolicy` — the paper's barrier.  Waits for every message
+  of the round (dropped ones resolve as zero vectors, Section 2.1's
+  convention), then aggregates.  At zero latency and full
+  participation this replays :meth:`repro.distributed.cluster.Cluster.step`
+  bit-identically — proven by the golden-trace harness.
+* :class:`BufferedSemiSyncPolicy` — K-of-n barrier (FedBuff-style):
+  aggregate as soon as ``buffer_size`` messages of the current round
+  have resolved, zero-fill the rest; stragglers' late arrivals are
+  discarded.
+* :class:`AsyncStalenessPolicy` — no barrier at all: every arrival
+  refreshes a per-worker cache of latest gradients and triggers an
+  aggregation whose optimizer update is damped by the arrival's
+  staleness (the server-version lag of the parameters the gradient was
+  computed at).
+
+Policies consume :class:`Arrival` records from the engine and return a
+:class:`RoundCompletion` when the server should aggregate.  The
+completion's ``matrix`` always has the full ``(n, d)`` shape the GAR
+family expects — zero rows stand in for missing workers, exactly as in
+the synchronous protocol.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.typing import Matrix, Vector
+
+__all__ = [
+    "Arrival",
+    "AsyncStalenessPolicy",
+    "BufferedSemiSyncPolicy",
+    "RoundCompletion",
+    "ServerPolicy",
+    "STALENESS_DAMPINGS",
+]
+
+#: Damping schemes :class:`AsyncStalenessPolicy` accepts.
+STALENESS_DAMPINGS = ("inverse", "exponential", "constant")
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One resolved message slot, as the policy sees it.
+
+    ``gradient`` is the delivered content: the submitted vector, or
+    zeros when the network dropped the message (``dropped=True``).
+    ``model_version``/``server_version`` are the server's step count
+    when the gradient's computation started vs. when it arrived — their
+    difference is the arrival's staleness.
+    """
+
+    time: float
+    round_index: int
+    worker_id: int
+    model_version: int
+    server_version: int
+    gradient: Vector = field(repr=False, default=None)
+    dropped: bool = False
+
+    @property
+    def staleness(self) -> int:
+        """Server updates that happened while this gradient was in flight."""
+        return max(0, self.server_version - self.model_version)
+
+
+@dataclass(frozen=True)
+class RoundCompletion:
+    """A policy's instruction to aggregate now.
+
+    ``broadcast_to=None`` re-opens a round for the whole cluster (with
+    participation sampling); a tuple re-targets specific workers only.
+    """
+
+    round_index: int
+    matrix: Matrix = field(repr=False)
+    update_scale: float = 1.0
+    broadcast_to: tuple[int, ...] | None = None
+    staleness: float = 0.0
+    arrived_workers: tuple[int, ...] = ()
+
+
+class ServerPolicy(ABC):
+    """Decides, arrival by arrival, when the server aggregates."""
+
+    #: Registry name under the ``policy`` component family.
+    name: str
+
+    #: Whether the policy re-opens each round for the *whole* cluster
+    #: (barrier-style), which is what per-round participation sampling
+    #: and its amplification accounting are defined over.  Non-barrier
+    #: policies (async) drive workers individually instead.
+    barrier: bool = True
+
+    def __init__(self):
+        self._n = 0
+        self._num_honest = 0
+        self._dimension = 0
+
+    def bind(self, n: int, num_honest: int, dimension: int) -> None:
+        """Attach cluster geometry; called once by the engine."""
+        if n < 1 or not 0 < num_honest <= n or dimension < 1:
+            raise ConfigurationError(
+                f"invalid policy binding (n={n}, num_honest={num_honest}, "
+                f"dimension={dimension})"
+            )
+        self._n = int(n)
+        self._num_honest = int(num_honest)
+        self._dimension = int(dimension)
+
+    def on_round_start(self, round_index: int, expected_workers: tuple[int, ...]) -> None:
+        """A broadcast opened ``round_index`` for ``expected_workers``."""
+
+    @abstractmethod
+    def on_arrival(self, arrival: Arrival) -> RoundCompletion | None:
+        """Consume one arrival; return a completion to aggregate now."""
+
+    def rewake(self, arrival: Arrival) -> tuple[int, ...] | None:
+        """Workers to re-open a round for when ``on_arrival`` declined.
+
+        Consulted by the engine only when ``on_arrival`` returned no
+        completion.  Barrier policies never need it (their rounds close
+        via the barrier), but a non-barrier policy whose workers are
+        driven by their own completions must rewake the sender of a
+        discarded message or its event chain would end forever.
+        """
+        del arrival
+        return None
+
+    def stats(self) -> dict:
+        """Policy-specific counters for the simulation result."""
+        return {}
+
+    def _empty_matrix(self) -> np.ndarray:
+        return np.zeros((self._n, self._dimension), dtype=np.float64)
+
+
+class SyncPolicy(ServerPolicy):
+    """The paper's barrier: wait for every message of the round.
+
+    Dropped messages still resolve their slot (as zero vectors — the
+    server "considers any non-received gradient to be 0", Section 2.1),
+    so the barrier always closes.  Workers excluded by participation
+    sampling contribute zero rows without being waited on.
+    """
+
+    name = "sync"
+
+    def __init__(self):
+        super().__init__()
+        self._expected: dict[int, int] = {}
+        self._buffers: dict[int, dict[int, Vector]] = {}
+
+    def on_round_start(self, round_index, expected_workers):
+        self._expected[round_index] = len(expected_workers)
+        self._buffers[round_index] = {}
+
+    def on_arrival(self, arrival):
+        buffer = self._buffers.get(arrival.round_index)
+        if buffer is None:
+            raise ConfigurationError(
+                f"arrival for unopened round {arrival.round_index}"
+            )
+        buffer[arrival.worker_id] = arrival.gradient
+        if len(buffer) < self._expected[arrival.round_index]:
+            return None
+        matrix = self._empty_matrix()
+        for worker_id, gradient in buffer.items():
+            matrix[worker_id] = gradient
+        del self._buffers[arrival.round_index]
+        del self._expected[arrival.round_index]
+        return RoundCompletion(
+            round_index=arrival.round_index,
+            matrix=matrix,
+            arrived_workers=tuple(sorted(buffer)),
+        )
+
+
+class BufferedSemiSyncPolicy(ServerPolicy):
+    """K-of-n barrier: aggregate on the first ``buffer_size`` resolutions.
+
+    The round closes once ``min(buffer_size, expected)`` message slots
+    of the *current* round have resolved; the rest of the round's
+    messages — the stragglers — are discarded when they eventually
+    arrive (counted in :meth:`stats`).  Missing workers are zero rows.
+
+    A round closes *permanently* when its completion is emitted: the
+    leftover arrivals of an already-aggregated round are stale even if
+    they land before the next round's broadcast is processed (with a
+    constant latency every arrival of a round carries the same
+    timestamp, so this ordering is the common case, not a corner).
+    """
+
+    name = "semi-sync"
+
+    def __init__(self, buffer_size: int):
+        super().__init__()
+        if buffer_size < 1:
+            raise ConfigurationError(
+                f"buffer_size must be >= 1, got {buffer_size}"
+            )
+        self._buffer_size = int(buffer_size)
+        self._current_round: int | None = None  # None = no open round
+        self._needed = 0
+        self._buffer: dict[int, Vector] = {}
+        self._stale_discarded = 0
+
+    @property
+    def buffer_size(self) -> int:
+        """Arrivals needed to close a round."""
+        return self._buffer_size
+
+    def on_round_start(self, round_index, expected_workers):
+        self._current_round = round_index
+        self._needed = min(self._buffer_size, len(expected_workers))
+        self._buffer = {}
+
+    def on_arrival(self, arrival):
+        if arrival.round_index != self._current_round:
+            self._stale_discarded += 1
+            return None
+        self._buffer[arrival.worker_id] = arrival.gradient
+        if len(self._buffer) < self._needed:
+            return None
+        matrix = self._empty_matrix()
+        for worker_id, gradient in self._buffer.items():
+            matrix[worker_id] = gradient
+        arrived = tuple(sorted(self._buffer))
+        self._buffer = {}
+        self._current_round = None  # closed: later round arrivals are stale
+        return RoundCompletion(
+            round_index=arrival.round_index,
+            matrix=matrix,
+            arrived_workers=arrived,
+        )
+
+    def stats(self):
+        return {"stale_discarded": self._stale_discarded}
+
+
+class AsyncStalenessPolicy(ServerPolicy):
+    """Aggregate on every arrival, damped by the arrival's staleness.
+
+    The server keeps the latest gradient received from each worker
+    (zeros until a worker's first arrival) and re-aggregates the whole
+    cache whenever a message lands, scaling the optimizer update by a
+    staleness weight:
+
+    * ``"inverse"`` — ``1 / (1 + s)`` (Xie et al. 2019's polynomial
+      damping at a = 1);
+    * ``"exponential"`` — ``alpha ** s``;
+    * ``"constant"`` — no damping.
+
+    where ``s`` is the number of server updates that happened while the
+    gradient was in flight.  After each update only the worker that
+    delivered is re-broadcast to — workers run free, never waiting on a
+    barrier.  Dropped messages carry no information and trigger no
+    aggregation (the cache keeps the previous gradient), but the sender
+    is rewoken so a lossy network cannot silence a worker forever.
+    """
+
+    name = "async-staleness"
+    barrier = False
+
+    def __init__(self, damping: str = "inverse", alpha: float = 0.5):
+        super().__init__()
+        if damping not in STALENESS_DAMPINGS:
+            raise ConfigurationError(
+                f"damping must be one of {STALENESS_DAMPINGS}, got {damping!r}"
+            )
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self._damping = damping
+        self._alpha = float(alpha)
+        self._cache: np.ndarray | None = None
+        self._dropped_skipped = 0
+        self._max_staleness = 0
+
+    @property
+    def damping(self) -> str:
+        """The configured damping scheme."""
+        return self._damping
+
+    def bind(self, n, num_honest, dimension):
+        super().bind(n, num_honest, dimension)
+        self._cache = self._empty_matrix()
+
+    def weight(self, staleness: int) -> float:
+        """The update scale for an arrival ``staleness`` versions late."""
+        if self._damping == "inverse":
+            return 1.0 / (1.0 + staleness)
+        if self._damping == "exponential":
+            return self._alpha**staleness
+        return 1.0
+
+    def rewake(self, arrival):
+        # A dropped arrival produced no completion (hence no rebroadcast);
+        # rewake its sender so the worker keeps computing.
+        return (arrival.worker_id,) if arrival.dropped else None
+
+    def on_arrival(self, arrival):
+        assert self._cache is not None, "policy used before bind()"
+        if arrival.dropped:
+            self._dropped_skipped += 1
+            return None
+        staleness = arrival.staleness
+        self._max_staleness = max(self._max_staleness, staleness)
+        self._cache[arrival.worker_id] = arrival.gradient
+        return RoundCompletion(
+            round_index=arrival.round_index,
+            matrix=self._cache.copy(),
+            update_scale=self.weight(staleness),
+            broadcast_to=(arrival.worker_id,),
+            staleness=float(staleness),
+            arrived_workers=(arrival.worker_id,),
+        )
+
+    def stats(self):
+        return {
+            "dropped_skipped": self._dropped_skipped,
+            "max_staleness": self._max_staleness,
+        }

@@ -130,8 +130,9 @@ class TestStepResultShapesAndDtypes:
 
 class TestDroppedMessagePath:
     def test_lossy_network_zeroes_rows_before_aggregation(self):
-        """Reconstruct the drop mask from an identically-seeded RNG and
-        check the aggregate saw zero rows for dropped messages."""
+        """Reconstruct the drop mask from an identically-seeded shadow
+        network (drops are per-message deterministic) and check the
+        aggregate saw zero rows for dropped messages."""
         drop_probability = 0.6
         network = LossyNetwork(drop_probability, np.random.default_rng(42))
         cluster = build_cluster(
@@ -143,9 +144,9 @@ class TestDroppedMessagePath:
             momentum=0.0,
             network=network,
         )
-        shadow_rng = np.random.default_rng(42)
+        shadow = LossyNetwork(drop_probability, np.random.default_rng(42))
         result = cluster.step()
-        dropped = shadow_rng.random(5) < drop_probability
+        dropped = np.array([shadow.drops_message(1, worker) for worker in range(5)])
         assert dropped.any()  # seed chosen so the path is actually hit
         delivered = result.honest_submitted.copy()
         delivered[dropped] = 0.0

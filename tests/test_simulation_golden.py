@@ -1,0 +1,193 @@
+"""Golden traces for the discrete-event simulator.
+
+Two guarantees are pinned here:
+
+1. **Sync equivalence** — the simulator under ``SyncPolicy``, zero
+   latency and full participation must replay the *existing* golden
+   traces (``tests/golden/traces.json``, recorded through the
+   synchronous ``train()`` path) bit-identically: same losses, same
+   accuracies, same final parameters, for every case including the
+   lossy-network one.  This proves the event engine is a strict
+   generalisation of the paper's Section 2.1 protocol, not a parallel
+   implementation that merely resembles it.
+
+2. **Async scenarios** — seed-pinned traces for the genuinely
+   asynchronous regimes (straggler latency under semi-sync and
+   async-staleness policies, partial participation) live in
+   ``tests/golden/simulation_traces.json``.  Regenerate after an
+   intentional change with::
+
+       PYTHONPATH=src python -m pytest tests/test_simulation_golden.py --regen-golden
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data.phishing import make_phishing_dataset
+from repro.models.logistic import LogisticRegressionModel
+from repro.pipeline.builder import Experiment
+
+from tests.test_golden_traces import CASES as SYNC_CASES
+from tests.test_golden_traces import GOLDEN_PATH as SYNC_GOLDEN_PATH
+
+SIM_GOLDEN_PATH = Path(__file__).parent / "golden" / "simulation_traces.json"
+
+#: name -> Experiment keyword overrides for the async golden scenarios.
+#: Each exercises a different policy x latency x participation corner:
+#: a K-of-n barrier with two fixed stragglers, a fully asynchronous
+#: staleness-damped run on lognormal delays, and a Poisson-subsampled
+#: barrier whose drops and sampling must replay identically.
+SIM_CASES = {
+    "semisync-straggler-little-gaussian": dict(
+        gar="mda",
+        attack="little",
+        epsilon=0.5,
+        n=9,
+        f=3,
+        policy={"name": "semi-sync", "buffer_size": 4},
+        latency={
+            "name": "straggler",
+            "base": 1.0,
+            "slowdown": 4.0,
+            "straggler_probability": 0.0,
+            "straggler_workers": [1, 2],
+        },
+    ),
+    # Coordinate-wise GAR on purpose: a selection GAR (krum) under an
+    # async zero-filled cache keeps electing the central zero row until
+    # every worker has reported, which makes for a degenerate trace.
+    "asyncstale-lognormal-signflip-nodp": dict(
+        gar="trimmed-mean",
+        attack="signflip",
+        n=9,
+        f=3,
+        # Long enough for the latest-gradient cache to mostly fill.
+        num_steps=14,
+        policy={"name": "async-staleness", "damping": "inverse"},
+        latency={"name": "lognormal", "median": 1.0, "sigma": 0.8},
+    ),
+    "sync-poisson-participation-lossy": dict(
+        gar="median",
+        attack="empire",
+        n=9,
+        f=4,
+        drop_probability=0.2,
+        participation_rate=0.7,
+        participation_kind="poisson",
+    ),
+}
+
+
+def _environment():
+    return (
+        LogisticRegressionModel(10),
+        make_phishing_dataset(seed=0, num_points=240, num_features=10),
+        make_phishing_dataset(seed=1, num_points=60, num_features=10),
+    )
+
+
+def _build_experiment(overrides: dict) -> Experiment:
+    model, train_set, test_set = _environment()
+    return Experiment(
+        model=model,
+        train_dataset=train_set,
+        test_dataset=test_set,
+        batch_size=10,
+        eval_every=3,
+        seed=7,
+        **{"num_steps": 6, **overrides},
+    )
+
+
+def _simulate_case(overrides: dict) -> dict:
+    result = _build_experiment(overrides).simulate()
+    return {
+        "loss_steps": [int(step) for step in result.history.loss_steps],
+        "losses": [float(loss) for loss in result.history.losses],
+        "accuracy_steps": [int(step) for step in result.history.accuracy_steps],
+        "accuracies": [float(acc) for acc in result.history.accuracies],
+        "final_parameters": [float(value) for value in result.final_parameters],
+        "virtual_times": [float(time) for time in result.history.virtual_times],
+        "rounds": int(result.rounds),
+    }
+
+
+class TestSyncEquivalence:
+    """Zero latency + full participation + SyncPolicy == ``train()``."""
+
+    @pytest.mark.parametrize("name", sorted(SYNC_CASES))
+    def test_replays_training_golden_trace(self, name):
+        golden = json.loads(SYNC_GOLDEN_PATH.read_text())
+        assert name in golden, f"missing golden trace for {name}"
+        expected = golden[name]
+        result = _build_experiment(SYNC_CASES[name]).simulate()
+        # Bit-identical: exact float equality, not allclose.
+        assert [int(s) for s in result.history.loss_steps] == expected["loss_steps"]
+        assert [float(l) for l in result.history.losses] == expected["losses"]
+        assert [float(a) for a in result.history.accuracies] == expected["accuracies"]
+        assert (
+            [float(v) for v in result.final_parameters]
+            == expected["final_parameters"]
+        )
+
+    def test_sync_simulation_matches_run_exactly(self):
+        """Belt and braces: simulate() == run() on a fresh case too."""
+        overrides = dict(gar="trimmed-mean", attack="little", n=7, f=2, epsilon=0.3)
+        trained = _build_experiment(overrides).run()
+        simulated = _build_experiment(overrides).simulate()
+        assert list(trained.history.losses) == list(simulated.history.losses)
+        assert list(trained.history.accuracies) == list(simulated.history.accuracies)
+        assert list(trained.final_parameters) == list(simulated.final_parameters)
+
+    def test_zero_latency_clock_stays_at_zero(self):
+        result = _build_experiment(dict(gar="average", f=0, n=6)).simulate()
+        assert np.all(result.history.virtual_times == 0.0)
+
+
+@pytest.fixture(scope="module")
+def sim_golden():
+    if not SIM_GOLDEN_PATH.exists():
+        pytest.fail(
+            f"missing golden fixture {SIM_GOLDEN_PATH}; record it with --regen-golden"
+        )
+    return json.loads(SIM_GOLDEN_PATH.read_text())
+
+
+def test_regen_simulation_golden(request):
+    """Not a test of behaviour: rewrites the fixture when asked to."""
+    if not request.config.getoption("--regen-golden"):
+        pytest.skip("pass --regen-golden to re-record the simulation traces")
+    traces = {name: _simulate_case(overrides) for name, overrides in SIM_CASES.items()}
+    SIM_GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    SIM_GOLDEN_PATH.write_text(json.dumps(traces, indent=2) + "\n")
+
+
+@pytest.mark.parametrize("name", sorted(SIM_CASES))
+def test_simulation_trace_bit_identical(name, sim_golden, request):
+    if request.config.getoption("--regen-golden"):
+        pytest.skip("regenerating, not asserting")
+    assert name in sim_golden, f"no golden trace for {name}; run --regen-golden"
+    expected = sim_golden[name]
+    actual = _simulate_case(SIM_CASES[name])
+    assert actual == expected  # bit-identical floats via repr round-trip
+
+
+def test_simulation_golden_covers_all_cases(sim_golden):
+    """The fixture and the case table must not drift apart."""
+    assert sorted(sim_golden) == sorted(SIM_CASES)
+
+
+def test_simulation_traces_are_nontrivial(sim_golden):
+    """Guard against degenerate recordings: the async scenarios must
+    actually exercise latency (a moving clock) and keep finite losses."""
+    for name, trace in sim_golden.items():
+        assert trace["losses"], name
+        assert np.all(np.isfinite(trace["losses"])), name
+        assert any(value != 0.0 for value in trace["final_parameters"]), name
+    straggler = sim_golden["semisync-straggler-little-gaussian"]
+    assert straggler["virtual_times"][-1] > 0.0
+    async_trace = sim_golden["asyncstale-lognormal-signflip-nodp"]
+    assert async_trace["rounds"] >= len(async_trace["losses"])
