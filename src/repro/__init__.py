@@ -45,6 +45,14 @@ The same run, spec-driven through the pipeline API:
 """
 
 from repro.attacks import available_attacks, get_attack
+from repro.campaign import (
+    CampaignCell,
+    ResultStore,
+    ScenarioMatrix,
+    cell_key,
+    render_campaign_report,
+    run_campaign,
+)
 from repro.core import (
     certify_vn_condition,
     empirical_vn_ratio,
@@ -96,7 +104,7 @@ from repro.simulation import (
     SyncPolicy,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AccuracyCallback",
@@ -105,6 +113,7 @@ __all__ = [
     "BufferedSemiSyncPolicy",
     "Callback",
     "CallbackList",
+    "CampaignCell",
     "Cluster",
     "ClusterSimulator",
     "ConfigurationError",
@@ -123,6 +132,8 @@ __all__ = [
     "PrivacyError",
     "ReproError",
     "ResilienceError",
+    "ResultStore",
+    "ScenarioMatrix",
     "SeedTree",
     "SimulationResult",
     "StepResultRecorder",
@@ -137,6 +148,7 @@ __all__ = [
     "available_components",
     "available_gars",
     "build_component",
+    "cell_key",
     "certify_vn_condition",
     "component_families",
     "empirical_vn_ratio",
@@ -147,6 +159,8 @@ __all__ = [
     "min_batch_size_for_gar",
     "phishing_environment",
     "register_component",
+    "render_campaign_report",
+    "run_campaign",
     "run_config",
     "run_grid",
     "run_jobs",

@@ -1,0 +1,50 @@
+"""Campaign orchestration: scenario matrices, result store, runner, report.
+
+The sweep-scale substrate over the experiment pipeline: a declarative
+:class:`~repro.campaign.matrix.ScenarioMatrix` expands cartesian axes
+(plus include/exclude overrides) into concrete
+:class:`~repro.experiments.config.ExperimentConfig` cells; a
+content-addressed :class:`~repro.campaign.store.ResultStore` makes
+campaigns resumable and deduplicated; the runner shards pending
+(cell, seed) runs over the multiprocessing executor, bit-identical to
+serial/direct execution; and the report joins the store back into the
+tables/ascii-figure layer.  CLI: ``python -m repro campaign``.
+"""
+
+from repro.campaign.matrix import (
+    CAMPAIGN_MODES,
+    CampaignCell,
+    ScenarioMatrix,
+    derive_cell_seeds,
+    expand_matrix,
+)
+from repro.campaign.report import CAMPAIGN_METRICS, cell_results, render_campaign_report
+from repro.campaign.runner import (
+    CampaignPlan,
+    CampaignRunSummary,
+    CellJob,
+    execute_cell,
+    plan_campaign,
+    run_campaign,
+)
+from repro.campaign.store import STORE_SCHEMA, ResultStore, cell_key
+
+__all__ = [
+    "CAMPAIGN_METRICS",
+    "CAMPAIGN_MODES",
+    "CampaignCell",
+    "CampaignPlan",
+    "CampaignRunSummary",
+    "CellJob",
+    "ResultStore",
+    "STORE_SCHEMA",
+    "ScenarioMatrix",
+    "cell_key",
+    "cell_results",
+    "derive_cell_seeds",
+    "execute_cell",
+    "expand_matrix",
+    "plan_campaign",
+    "render_campaign_report",
+    "run_campaign",
+]

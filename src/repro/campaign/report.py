@@ -1,0 +1,205 @@
+"""Aggregate campaign reporting: join the store back into tables/figures.
+
+The report is a pure function of (matrix, store contents): it recomputes
+every cell's content address, loads whatever records exist, aggregates
+across seeds, and renders
+
+* a per-cell summary table (final/min loss, final accuracy, privacy
+  budget, median VN ratio, virtual time — cross-seed means);
+* optional paper-style pivot grids (``report`` spec in the matrix:
+  ``{"rows": "gar", "cols": "attack", "metrics": ["final_accuracy"]}``)
+  through :func:`repro.experiments.tables.format_campaign_grid`;
+* optional mean-accuracy curves (``"curves": true``) through the
+  existing :func:`repro.experiments.ascii_plot.ascii_line_plot` layer.
+
+Because nothing time- or path-dependent enters the text, an interrupted
+campaign that is later resumed produces a report byte-identical to an
+uninterrupted run — the resumability test pins exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.campaign.matrix import CampaignCell, ScenarioMatrix
+from repro.campaign.runner import job_key
+from repro.campaign.store import ResultStore
+from repro.exceptions import ConfigurationError
+from repro.experiments.ascii_plot import ascii_line_plot
+from repro.experiments.tables import format_campaign_cells, format_campaign_grid
+from repro.metrics.aggregate import aggregate_accuracy
+from repro.metrics.history import TrainingHistory
+
+__all__ = ["CAMPAIGN_METRICS", "cell_results", "render_campaign_report"]
+
+#: Metrics a report's pivot grids may aggregate.
+CAMPAIGN_METRICS = (
+    "final_accuracy",
+    "final_loss",
+    "min_loss",
+    "epsilon",
+    "vn_submitted",
+)
+
+
+def cell_results(
+    matrix: ScenarioMatrix, store: ResultStore
+) -> list[tuple[CampaignCell, list[dict]]]:
+    """Each cell with its completed records (seed order, missing skipped)."""
+    results = []
+    for cell in matrix.cells:
+        records = []
+        for seed in cell.config.seeds:
+            key = job_key(cell, seed, matrix)
+            if store.has(key):
+                records.append(store.load(key))
+        results.append((cell, records))
+    return results
+
+
+def _mean(values: list[float | None]) -> float | None:
+    """Mean of the non-missing values (None when nothing to average)."""
+    concrete = [value for value in values if value is not None]
+    if not concrete:
+        return None
+    return float(sum(concrete) / len(concrete))
+
+
+def _record_epsilon(record: dict) -> float | None:
+    """The record's end-to-end budget: basic-composition total epsilon."""
+    privacy = record.get("privacy")
+    if privacy is None:
+        return None
+    return float(privacy["basic"][0])
+
+
+def _record_metric(record: dict, metric: str) -> float | None:
+    """One record's value of a pivot metric."""
+    if metric == "epsilon":
+        return _record_epsilon(record)
+    if metric == "vn_submitted":
+        vn = record.get("vn")
+        return None if vn is None else float(vn["median_submitted"])
+    value = record.get(metric)
+    return None if value is None else float(value)
+
+
+def _summary_rows(results: list[tuple[CampaignCell, list[dict]]]) -> list[dict]:
+    rows = []
+    for cell, records in results:
+        vn_medians = [
+            record["vn"]["median_submitted"]
+            for record in records
+            if record.get("vn") is not None
+        ]
+        simulations = [
+            record["simulation"]
+            for record in records
+            if record.get("simulation") is not None
+        ]
+        rows.append(
+            {
+                "name": cell.name,
+                "mode": cell.mode,
+                "seeds_done": len(records),
+                "seeds_total": len(cell.config.seeds),
+                "final_loss": _mean([record["final_loss"] for record in records]),
+                "min_loss": _mean([record["min_loss"] for record in records]),
+                "final_accuracy": _mean(
+                    [record["final_accuracy"] for record in records]
+                ),
+                "epsilon": _mean([_record_epsilon(record) for record in records]),
+                "vn_submitted": _mean(vn_medians),
+                "virtual_time": _mean(
+                    [simulation["virtual_time"] for simulation in simulations]
+                ),
+            }
+        )
+    return rows
+
+
+def _pivot_sections(
+    matrix: ScenarioMatrix, results: list[tuple[CampaignCell, list[dict]]]
+) -> list[str]:
+    spec = matrix.report_spec
+    row_field = spec.get("rows")
+    col_field = spec.get("cols")
+    if row_field is None or col_field is None:
+        return []
+    metrics = spec.get("metrics", ["final_accuracy"])
+    if isinstance(metrics, str):
+        metrics = [metrics]
+    for metric in metrics:
+        if metric not in CAMPAIGN_METRICS:
+            raise ConfigurationError(
+                f"report metric must be one of {CAMPAIGN_METRICS}, got {metric!r}"
+            )
+    row_values = matrix.axis_values(row_field)
+    col_values = matrix.axis_values(col_field)
+    sections = []
+    for metric in metrics:
+        buckets: dict[tuple, list[float]] = {}
+        for cell, records in results:
+            coordinate = (
+                getattr(cell.config, row_field),
+                getattr(cell.config, col_field),
+            )
+            for record in records:
+                value = _record_metric(record, metric)
+                if value is not None and math.isfinite(value):
+                    buckets.setdefault(coordinate, []).append(value)
+        values = {
+            coordinate: _mean(bucket) for coordinate, bucket in buckets.items()
+        }
+        precision = ".3f" if metric == "final_accuracy" else ".4g"
+        sections.append(
+            format_campaign_grid(
+                metric, row_field, col_field, row_values, col_values, values,
+                precision=precision,
+            )
+        )
+    return sections
+
+
+def _curve_section(results: list[tuple[CampaignCell, list[dict]]]) -> str | None:
+    series = {}
+    for cell, records in results:
+        histories = [
+            TrainingHistory.from_dict(record["history"]) for record in records
+        ]
+        histories = [history for history in histories if len(history.accuracies)]
+        if not histories:
+            continue
+        try:
+            stats = aggregate_accuracy(histories)
+        except ValueError:
+            continue  # seeds evaluated at different steps; nothing to average
+        series[cell.name] = (stats.steps.tolist(), stats.mean.tolist())
+    if not series:
+        return None
+    return ascii_line_plot(series, title="test accuracy (mean over completed seeds)")
+
+
+def render_campaign_report(matrix: ScenarioMatrix, store: ResultStore) -> str:
+    """The full campaign report for the store's current contents."""
+    results = cell_results(matrix, store)
+    done = sum(len(records) for _, records in results)
+    total = matrix.total_runs
+    sections = [
+        f"=== campaign {matrix.name} ===\n"
+        f"cells: {len(matrix.cells)}   runs: {done}/{total} completed"
+    ]
+    sections.append(format_campaign_cells(_summary_rows(results)))
+    sections.extend(_pivot_sections(matrix, results))
+    if matrix.report_spec.get("curves"):
+        curves = _curve_section(results)
+        if curves is not None:
+            sections.append(curves)
+    pending = [
+        f"{cell.name} ({len(cell.config.seeds) - len(records)} seed(s) pending)"
+        for cell, records in results
+        if len(records) < len(cell.config.seeds)
+    ]
+    if pending:
+        sections.append("pending: " + ", ".join(pending))
+    return "\n\n".join(sections)

@@ -1,0 +1,315 @@
+"""Campaign execution: shard pending cells over the job executor.
+
+:func:`plan_campaign` joins a :class:`~repro.campaign.matrix.ScenarioMatrix`
+against a :class:`~repro.campaign.store.ResultStore` and splits the
+campaign's (cell, seed) runs into *completed* (already content-addressed
+in the store) and *pending*.  :func:`run_campaign` executes the pending
+runs — serially or over the :func:`repro.pipeline.parallel.map_tasks`
+multiprocessing executor — persisting each record the moment it
+finishes, so killing a campaign loses at most the in-flight runs and
+re-invoking the same manifest completes only the missing cells.
+
+Each run dispatches through the same entry points a direct caller would
+use — :meth:`repro.pipeline.builder.Experiment.run` for ``"train"``
+cells, :meth:`~repro.pipeline.builder.Experiment.simulate` for
+``"simulate"`` cells — with the seed passed straight through, so
+campaign execution is bit-identical to calling ``run_config`` /
+``simulate`` by hand (the differential suite enforces this, parallel
+and serial, cold and warm cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.campaign.matrix import CampaignCell, ScenarioMatrix
+from repro.campaign.store import STORE_SCHEMA, ResultStore, cell_key
+from repro.data.datasets import Dataset
+from repro.exceptions import ReproError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_environment
+from repro.models.base import Model
+from repro.pipeline.builder import Experiment
+from repro.pipeline.callbacks import VNRatioCallback
+from repro.pipeline.parallel import map_tasks
+from repro.simulation.run import SimulationResult
+
+__all__ = [
+    "CampaignPlan",
+    "CampaignRunSummary",
+    "CellJob",
+    "execute_cell",
+    "plan_campaign",
+    "run_campaign",
+]
+
+
+@dataclass(frozen=True)
+class CellJob:
+    """One pending (cell, seed) run, picklable for the process pool."""
+
+    key: str
+    name: str
+    seed: int
+    mode: str
+    config: ExperimentConfig
+    model: Model
+    train_dataset: Dataset
+    test_dataset: Dataset | None
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """The join of a matrix against a store: what runs, what's cached."""
+
+    matrix: ScenarioMatrix
+    pending: tuple[CellJob, ...]
+    completed: tuple[tuple[str, int, str], ...]  # (cell name, seed, key)
+
+    @property
+    def total_runs(self) -> int:
+        """All (cell, seed) runs the campaign describes."""
+        return len(self.pending) + len(self.completed)
+
+
+@dataclass
+class CampaignRunSummary:
+    """What one :func:`run_campaign` invocation did."""
+
+    campaign: str
+    total_runs: int
+    executed: int
+    skipped: int
+    store_root: str
+    diverged: list[tuple[str, int]] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """One-line progress summary."""
+        line = (
+            f"campaign {self.campaign!r}: {self.executed} run(s) executed, "
+            f"{self.skipped} cached, {self.total_runs} total"
+        )
+        if self.diverged:
+            cells = ", ".join(f"{name}/seed{seed}" for name, seed in self.diverged)
+            line += f"; non-finite results: {cells}"
+        return line
+
+
+def _vn_payload(callback: VNRatioCallback | None) -> dict | None:
+    """Summary of the run's VN trajectory, None when unavailable."""
+    if callback is None:
+        return None
+    try:
+        trajectory = callback.trajectory
+        if not trajectory.steps:
+            return None
+        return {
+            "k_f": trajectory.k_f,
+            "median_clean": trajectory.median_ratio("clean"),
+            "median_submitted": trajectory.median_ratio("submitted"),
+            "clean_violation_fraction": trajectory.clean_violation_fraction,
+            "submitted_violation_fraction": trajectory.submitted_violation_fraction,
+        }
+    except ReproError:
+        return None
+
+
+def _base_record(job: CellJob, history, final_parameters, privacy) -> dict:
+    accuracies = history.accuracies
+    return {
+        "schema": STORE_SCHEMA,
+        "key": job.key,
+        "name": job.name,
+        "seed": int(job.seed),
+        "mode": job.mode,
+        "config": job.config.to_dict(),
+        "history": history.to_dict(),
+        "final_loss": float(history.final_loss) if len(history) else None,
+        "final_accuracy": float(accuracies[-1]) if len(accuracies) else None,
+        "min_loss": float(history.min_loss) if len(history) else None,
+        "final_parameters": np.asarray(final_parameters, dtype=np.float64).tolist(),
+        "privacy": privacy.to_dict() if privacy is not None else None,
+        "vn": None,
+        "simulation": None,
+    }
+
+
+def execute_cell(job: CellJob) -> dict:
+    """Run one (cell, seed) to completion and package its store record.
+
+    Module-level so :func:`repro.pipeline.parallel.map_tasks` can ship
+    it to pool workers.  The VN-ratio trajectory is tracked for
+    synchronous cells with at least two honest workers (the estimator
+    needs a cross-worker sample); the callback only observes the run, so
+    attaching it never perturbs the numbers.
+    """
+    experiment = Experiment.from_config(
+        job.config,
+        job.model,
+        job.train_dataset,
+        job.test_dataset,
+        seed=job.seed,
+    )
+    if job.mode == "simulate":
+        result: SimulationResult = experiment.simulate()
+        record = _base_record(job, result.history, result.final_parameters, result.privacy)
+        worst_epsilon = None
+        if result.per_worker_privacy:
+            worst_epsilon = max(
+                report.basic.epsilon for report in result.per_worker_privacy.values()
+            )
+        record["simulation"] = {
+            "virtual_time": result.virtual_time,
+            "rounds": result.rounds,
+            "policy": result.config.get("policy"),
+            "policy_stats": result.policy_stats,
+            "participation_rates": {
+                str(worker): rate for worker, rate in result.participation_rates.items()
+            },
+            "worst_amplified_epsilon": worst_epsilon,
+            "tightest_amplified_epsilon": result.tightest_worker_epsilon,
+        }
+        return record
+    vn_callback = None
+    if experiment.num_honest >= 2:
+        vn_callback = VNRatioCallback()
+        experiment.callbacks.append(vn_callback)
+    training = experiment.run()
+    record = _base_record(
+        job, training.history, training.final_parameters, training.privacy
+    )
+    record["vn"] = _vn_payload(vn_callback)
+    return record
+
+
+@dataclass(frozen=True)
+class _KeyedExecute:
+    """Pairs each result with its job's store key.
+
+    Needed because results may arrive out of submission order; a frozen
+    dataclass (not a closure) so pool workers can pickle it.
+    """
+
+    execute: Callable[["CellJob"], dict]
+
+    def __call__(self, job: "CellJob") -> tuple[str, dict]:
+        return job.key, self.execute(job)
+
+
+def plan_campaign(
+    matrix: ScenarioMatrix,
+    store: ResultStore,
+    *,
+    smoke: bool = False,
+) -> CampaignPlan:
+    """Join the matrix against the store and list the pending runs.
+
+    The shared environment (dataset + model) is built only when at
+    least one run is actually pending: planning against a warm store —
+    a dry run, a report, a no-op resume — is pure key arithmetic.
+    """
+    if smoke:
+        matrix = matrix.smoke()
+    missing: list[tuple[CampaignCell, int, str]] = []
+    completed: list[tuple[str, int, str]] = []
+    for cell in matrix.cells:
+        for seed in cell.config.seeds:
+            key = job_key(cell, seed, matrix)
+            if store.has(key):
+                completed.append((cell.name, int(seed), key))
+            else:
+                missing.append((cell, int(seed), key))
+    pending: list[CellJob] = []
+    if missing:
+        model, train_set, test_set = build_environment(
+            matrix.model_spec, matrix.data_seed
+        )
+        pending = [
+            CellJob(
+                key=key,
+                name=cell.name,
+                seed=seed,
+                mode=cell.mode,
+                config=cell.config,
+                model=model,
+                train_dataset=train_set,
+                test_dataset=test_set,
+            )
+            for cell, seed, key in missing
+        ]
+    return CampaignPlan(matrix=matrix, pending=tuple(pending), completed=tuple(completed))
+
+
+def job_key(cell: CampaignCell, seed: int, matrix: ScenarioMatrix) -> str:
+    """The store key of one (cell, seed) run under the matrix environment."""
+    return cell_key(
+        cell.config,
+        seed,
+        mode=cell.mode,
+        data_seed=matrix.data_seed,
+        model_spec=matrix.model_spec,
+    )
+
+
+def run_campaign(
+    matrix: ScenarioMatrix,
+    store: ResultStore,
+    *,
+    max_workers: int | None = None,
+    smoke: bool = False,
+    verbose: bool = False,
+    execute: Callable[[CellJob], dict] | None = None,
+) -> CampaignRunSummary:
+    """Execute every pending run of the campaign, persisting as it goes.
+
+    Pending runs are sharded over ``max_workers`` processes (serial when
+    ``None``/1); each finished record is written to the store
+    immediately, in submission order, so an interrupted campaign resumes
+    from exactly the completed prefix plus whatever later runs already
+    landed.  ``execute`` is injectable for testing (it must stay a
+    picklable module-level callable when ``max_workers`` > 1).
+    """
+    if execute is None:
+        execute = execute_cell  # resolved late so tests can monkeypatch it
+    plan = plan_campaign(matrix, store, smoke=smoke)
+    if verbose:
+        print(
+            f"campaign {matrix.name!r}: {len(plan.pending)} pending run(s), "
+            f"{len(plan.completed)} cached, store {store.root}"
+        )
+        for job in plan.pending:
+            print(f"  running {job.name} (seed {job.seed}, {job.mode})")
+    summary = CampaignRunSummary(
+        campaign=matrix.name,
+        total_runs=plan.total_runs,
+        executed=0,
+        skipped=len(plan.completed),
+        store_root=str(store.root),
+    )
+    jobs_by_key = {job.key: job for job in plan.pending}
+    # Unordered: each record is persisted the moment its run completes,
+    # so one slow cell can never hold finished results hostage in the
+    # pool — a kill loses only the genuinely in-flight runs.
+    for key, record in map_tasks(
+        _KeyedExecute(execute), plan.pending, max_workers=max_workers, ordered=False
+    ):
+        store.save(key, record)
+        summary.executed += 1
+        job = jobs_by_key[key]
+        final_loss = record.get("final_loss")
+        if final_loss is not None and not np.isfinite(final_loss):
+            summary.diverged.append((job.name, job.seed))
+    for name, seed, key in plan.completed:
+        final_loss = store.load(key).get("final_loss")
+        if final_loss is not None and not np.isfinite(final_loss):
+            summary.diverged.append((name, seed))
+    # Out-of-order completion must not leak into the summary: report
+    # divergences in plan order regardless of which worker finished when.
+    plan_order = {(job.name, job.seed): index for index, job in enumerate(plan.pending)}
+    for index, (name, seed, _) in enumerate(plan.completed):
+        plan_order[(name, seed)] = len(plan.pending) + index
+    summary.diverged.sort(key=plan_order.__getitem__)
+    return summary

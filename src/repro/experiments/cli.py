@@ -7,6 +7,8 @@ Usage (installed package)::
     python -m repro figure4 --output out/fig4.txt
     python -m repro run my_experiments.json --max-workers 4
     python -m repro simulate examples/simulate_async.json --smoke
+    python -m repro campaign examples/campaign_paper_grid.json --smoke
+    python -m repro campaign examples/campaign_paper_grid.json --report
     python -m repro bench --smoke
     python -m repro components
     python -m repro list
@@ -19,8 +21,14 @@ a single :class:`ExperimentConfig` object, a list of them, or
 component resolved through the unified registry.  ``simulate`` runs the
 same config format on the discrete-event asynchronous simulator
 (:mod:`repro.simulation`), honouring each cell's policy / latency /
-participation fields; ``components`` lists every registry family and
+participation fields; ``campaign`` expands a scenario-matrix manifest
+and runs it against a content-addressed, resumable result store
+(:mod:`repro.campaign`); ``components`` lists every registry family and
 its registered names.
+
+Exit codes: 0 on success, 1 when runs completed but produced non-finite
+losses (divergence), 2 on expected errors (bad files, invalid configs,
+unknown components).
 """
 
 from __future__ import annotations
@@ -30,12 +38,19 @@ import json
 import sys
 from pathlib import Path
 
+import numpy as np
+
 from repro.exceptions import ReproError
 from repro.experiments.ascii_plot import ascii_line_plot
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import FIGURE_BATCH_SIZES, figure_configs
 from repro.experiments.io import save_outcomes
-from repro.experiments.runner import RunOutcome, phishing_environment, run_grid
+from repro.experiments.runner import (
+    RunOutcome,
+    build_environment,
+    phishing_environment,
+    run_grid,
+)
 from repro.experiments.tables import format_table1, table1_rows
 
 __all__ = [
@@ -142,6 +157,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None, help="write the summary here"
     )
 
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run a scenario-matrix manifest against a resumable result store",
+    )
+    campaign.add_argument("matrix", type=Path, help="JSON scenario-matrix manifest")
+    campaign.add_argument(
+        "--store",
+        type=Path,
+        default=Path("campaign-store"),
+        help="result store directory (default ./campaign-store)",
+    )
+    campaign.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="shard pending (cell, seed) runs over this many processes",
+    )
+    campaign.add_argument(
+        "--smoke",
+        action="store_true",
+        help="trim every cell to <= 5 steps and 1 seed (for CI); smoke "
+        "runs use distinct store keys",
+    )
+    campaign.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="expand the matrix and show the cache join without running",
+    )
+    campaign.add_argument(
+        "--report",
+        action="store_true",
+        help="only render the report from the store's current contents",
+    )
+    campaign.add_argument(
+        "--output", type=Path, default=None, help="write the report here"
+    )
+
     subparsers.add_parser(
         "components", help="list every registry family and its registered names"
     )
@@ -224,18 +276,31 @@ def _resolve_data_seed(flag_value: int | None, file_value: int | None) -> int:
 
 def _build_environment(model_spec, data_seed: int):
     """The shared task environment for ``run``/``simulate`` configs."""
-    model, train_set, test_set = phishing_environment(data_seed)
-    if model_spec is not None:
-        import inspect
+    return build_environment(model_spec, data_seed)
 
-        from repro.pipeline.registry import REGISTRY, ComponentRegistry
 
-        factory = REGISTRY.get("model", ComponentRegistry.parse_spec(model_spec)[0])
-        context = {}
-        if "num_features" in inspect.signature(factory).parameters:
-            context["num_features"] = train_set.num_features
-        model = REGISTRY.build("model", model_spec, **context)
-    return model, train_set, test_set
+def _non_finite_cells(histories_by_name: dict[str, list]) -> list[str]:
+    """Cells whose recorded losses went non-finite (diverged runs)."""
+    failed = []
+    for name, histories in histories_by_name.items():
+        for history in histories:
+            losses = history.losses
+            if len(losses) and not bool(np.isfinite(losses).all()):
+                failed.append(name)
+                break
+    return failed
+
+
+def _report_divergence(failed: list[str]) -> int:
+    """Print the divergence notice; returns the CLI exit code."""
+    if not failed:
+        return 0
+    print(
+        f"error: non-finite losses in {len(failed)} cell(s): "
+        + ", ".join(failed),
+        file=sys.stderr,
+    )
+    return 1
 
 
 def render_simulate_summary(results: dict[str, list]) -> str:
@@ -374,7 +439,11 @@ def _dispatch(arguments: argparse.Namespace) -> int:
             save_outcomes(outcomes, arguments.save)
             print(f"wrote {arguments.save}")
         _emit(render_run_summary(outcomes), arguments.output)
-        return 0
+        return _report_divergence(
+            _non_finite_cells(
+                {name: outcome.histories for name, outcome in outcomes.items()}
+            )
+        )
 
     if arguments.command == "simulate":
         from repro.pipeline.builder import Experiment
@@ -400,7 +469,57 @@ def _dispatch(arguments: argparse.Namespace) -> int:
                 for seed in config.seeds
             ]
         _emit(render_simulate_summary(results), arguments.output)
-        return 0
+        return _report_divergence(
+            _non_finite_cells(
+                {
+                    name: [result.history for result in cell_results]
+                    for name, cell_results in results.items()
+                }
+            )
+        )
+
+    if arguments.command == "campaign":
+        from repro.campaign import (
+            ResultStore,
+            ScenarioMatrix,
+            plan_campaign,
+            render_campaign_report,
+            run_campaign,
+        )
+
+        matrix = ScenarioMatrix.from_file(arguments.matrix)
+        store = ResultStore(arguments.store)
+        if arguments.dry_run:
+            plan = plan_campaign(matrix, store, smoke=arguments.smoke)
+            lines = [
+                f"campaign {plan.matrix.name!r}: {len(plan.pending)} pending "
+                f"run(s), {len(plan.completed)} cached, {plan.total_runs} total"
+            ]
+            lines += [
+                f"  miss  {job.name:<28} seed {job.seed:<11} "
+                f"{job.mode:<9} {job.key[:12]}"
+                for job in plan.pending
+            ]
+            lines += [
+                f"  hit   {name:<28} seed {seed:<11} {'':<9} {key[:12]}"
+                for name, seed, key in plan.completed
+            ]
+            _emit("\n".join(lines), arguments.output)
+            return 0
+        effective = matrix.smoke() if arguments.smoke else matrix
+        if arguments.report:
+            _emit(render_campaign_report(effective, store), arguments.output)
+            return 0
+        summary = run_campaign(
+            matrix,
+            store,
+            max_workers=arguments.max_workers,
+            smoke=arguments.smoke,
+            verbose=True,
+        )
+        print(summary.describe())
+        _emit(render_campaign_report(effective, store), arguments.output)
+        return 1 if summary.diverged else 0
 
     if arguments.command == "components":
         from repro.pipeline.registry import REGISTRY

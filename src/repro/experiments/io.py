@@ -19,24 +19,17 @@ __all__ = ["outcome_to_dict", "outcome_from_dict", "save_outcomes", "load_outcom
 
 def outcome_to_dict(outcome: RunOutcome) -> dict:
     """JSON-serialisable representation of a :class:`RunOutcome`."""
-    payload = {
+    return {
         "config": outcome.config.to_dict(),
         "histories": [history.to_dict() for history in outcome.histories],
         "loss_stats": outcome.loss_stats.to_dict(),
         "accuracy_stats": (
             outcome.accuracy_stats.to_dict() if outcome.accuracy_stats is not None else None
         ),
-        "privacy": None,
+        "privacy": (
+            outcome.privacy.to_dict() if outcome.privacy is not None else None
+        ),
     }
-    if outcome.privacy is not None:
-        payload["privacy"] = {
-            "per_step": list(outcome.privacy.per_step),
-            "noise_sigma": outcome.privacy.noise_sigma,
-            "basic": list(outcome.privacy.basic),
-            "advanced": list(outcome.privacy.advanced),
-            "rdp": list(outcome.privacy.rdp) if outcome.privacy.rdp is not None else None,
-        }
-    return payload
 
 
 def outcome_from_dict(payload: dict) -> RunOutcome:

@@ -24,7 +24,13 @@ from repro.models.logistic import LogisticRegressionModel
 from repro.pipeline.parallel import TrainingJob, run_jobs
 from repro.rng import generator_from_seed
 
-__all__ = ["RunOutcome", "phishing_environment", "run_config", "run_grid"]
+__all__ = [
+    "RunOutcome",
+    "build_environment",
+    "phishing_environment",
+    "run_config",
+    "run_grid",
+]
 
 
 @dataclass
@@ -83,6 +89,30 @@ def phishing_environment(
         dataset, PHISHING_TRAIN_SIZE, generator_from_seed(data_seed + 1)
     )
     model = LogisticRegressionModel(num_features=dataset.num_features, loss_kind="mse")
+    return model, train_set, test_set
+
+
+def build_environment(
+    model_spec: dict | str | None = None, data_seed: int = 0
+) -> tuple[Model, Dataset, Dataset]:
+    """The shared task environment for a config grid or campaign.
+
+    The phishing dataset/split at ``data_seed``, with the model either
+    the paper's logistic regression or, when ``model_spec`` is given, a
+    registry build of that spec (``num_features`` injected when the
+    factory accepts it).
+    """
+    model, train_set, test_set = phishing_environment(data_seed)
+    if model_spec is not None:
+        import inspect
+
+        from repro.pipeline.registry import REGISTRY, ComponentRegistry
+
+        factory = REGISTRY.get("model", ComponentRegistry.parse_spec(model_spec)[0])
+        context = {}
+        if "num_features" in inspect.signature(factory).parameters:
+            context["num_features"] = train_set.num_features
+        model = REGISTRY.build("model", model_spec, **context)
     return model, train_set, test_set
 
 

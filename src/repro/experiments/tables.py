@@ -14,7 +14,13 @@ from dataclasses import dataclass
 from repro.core import feasibility
 from repro.gars import GAR_REGISTRY
 
-__all__ = ["Table1Row", "table1_rows", "format_table1"]
+__all__ = [
+    "Table1Row",
+    "format_campaign_cells",
+    "format_campaign_grid",
+    "format_table1",
+    "table1_rows",
+]
 
 # (gar registry name, Table-1 condition as printed in the paper)
 _TABLE1_GARS: tuple[tuple[str, str], ...] = (
@@ -115,6 +121,78 @@ def table1_rows(
             )
         )
     return rows
+
+
+def _cell_number(value, precision: str = ".4f") -> str:
+    """A numeric table cell: formatted float, or '-' when missing."""
+    if value is None:
+        return "-"
+    if not math.isfinite(value):
+        return str(value)
+    return format(value, precision)
+
+
+def format_campaign_cells(rows: list[dict]) -> str:
+    """Per-cell summary table of a campaign (one row per cell).
+
+    Each row dict carries ``name``, ``mode``, ``seeds_done``,
+    ``seeds_total`` and the cross-seed means ``final_loss``,
+    ``min_loss``, ``final_accuracy``, ``epsilon`` (basic-composition
+    total; ``None`` renders "-"), ``vn_submitted`` (median VN ratio)
+    and ``virtual_time``.
+    """
+    header = (
+        f"{'cell':<28}{'mode':>10}{'seeds':>8}{'final loss':>12}"
+        f"{'min loss':>10}{'final acc':>11}{'eps':>9}{'vn':>9}{'v-time':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        seeds = f"{row['seeds_done']}/{row['seeds_total']}"
+        lines.append(
+            f"{row['name']:<28}{row['mode']:>10}{seeds:>8}"
+            f"{_cell_number(row.get('final_loss')):>12}"
+            f"{_cell_number(row.get('min_loss')):>10}"
+            f"{_cell_number(row.get('final_accuracy'), '.3f'):>11}"
+            f"{_cell_number(row.get('epsilon'), '.3g'):>9}"
+            f"{_cell_number(row.get('vn_submitted'), '.3g'):>9}"
+            f"{_cell_number(row.get('virtual_time'), '.1f'):>9}"
+        )
+    return "\n".join(lines)
+
+
+def format_campaign_grid(
+    metric: str,
+    row_field: str,
+    col_field: str,
+    row_values: list,
+    col_values: list,
+    values: dict[tuple, float | None],
+    precision: str = ".4f",
+) -> str:
+    """A paper-style pivot grid: ``metric`` by ``row_field`` x ``col_field``.
+
+    ``values`` maps ``(row_value, col_value)`` to the aggregated metric
+    (``None``/missing renders "-"), mirroring the paper's GAR x attack
+    grids.
+    """
+
+    def label(value) -> str:
+        return "none" if value is None else str(value)
+
+    width = max(12, max((len(label(value)) for value in col_values), default=0) + 2)
+    left = max(14, max((len(label(value)) for value in row_values), default=0) + 2)
+    corner = row_field + " x " + col_field
+    header = f"{corner:<{left}}" + "".join(
+        f"{label(value):>{width}}" for value in col_values
+    )
+    lines = [f"{metric} grid", header, "-" * len(header)]
+    for row_value in row_values:
+        cells = "".join(
+            f"{_cell_number(values.get((row_value, col_value)), precision):>{width}}"
+            for col_value in col_values
+        )
+        lines.append(f"{label(row_value):<{left}}" + cells)
+    return "\n".join(lines)
 
 
 def format_table1(rows: list[Table1Row], dimension: int, batch_size: int) -> str:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.data.datasets import Dataset
 from repro.exceptions import ConfigurationError
@@ -23,7 +23,16 @@ from repro.models.base import Model
 from repro.pipeline.builder import Experiment
 from repro.pipeline.results import TrainingResult
 
-__all__ = ["TrainingJob", "execute_job", "jobs_for_seeds", "run_jobs"]
+__all__ = [
+    "TrainingJob",
+    "execute_job",
+    "jobs_for_seeds",
+    "map_tasks",
+    "run_jobs",
+]
+
+_Task = TypeVar("_Task")
+_Result = TypeVar("_Result")
 
 
 @dataclass(frozen=True)
@@ -73,16 +82,41 @@ def run_jobs(
     heterogeneous grids benefit from fine-grained scheduling — while
     larger values amortise IPC for swarms of tiny jobs.
     """
-    jobs = list(jobs)
+    return list(map_tasks(execute_job, jobs, max_workers=max_workers, chunksize=chunksize))
+
+
+def map_tasks(
+    function: Callable[[_Task], _Result],
+    tasks: Iterable[_Task],
+    max_workers: int | None = None,
+    chunksize: int = 1,
+    ordered: bool = True,
+) -> Iterator[_Result]:
+    """Apply ``function`` to ``tasks``, yielding results incrementally.
+
+    The generic executor behind :func:`run_jobs` (and the campaign
+    runner): ``max_workers`` of ``None``/1 runs serially in-process;
+    larger values fan out over a :mod:`multiprocessing` pool.
+    ``ordered=True`` yields results in task order; ``ordered=False``
+    yields them *as they complete*, so a consumer that persists each
+    result loses at most the in-flight work on a crash — one slow task
+    never holds finished results hostage inside the pool.  ``function``
+    must be a picklable module-level callable and each task's result
+    independent of the others, which keeps all paths bit-identical.
+    """
+    tasks = list(tasks)
     if max_workers is not None and max_workers < 1:
         raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
     if chunksize < 1:
         raise ConfigurationError(f"chunksize must be >= 1, got {chunksize}")
-    if max_workers is None or max_workers == 1 or len(jobs) <= 1:
-        return [execute_job(job) for job in jobs]
+    if max_workers is None or max_workers == 1 or len(tasks) <= 1:
+        for task in tasks:
+            yield function(task)
+        return
     context = multiprocessing.get_context()
-    with context.Pool(processes=min(max_workers, len(jobs))) as pool:
-        return pool.map(execute_job, jobs, chunksize=chunksize)
+    with context.Pool(processes=min(max_workers, len(tasks))) as pool:
+        mapper = pool.imap if ordered else pool.imap_unordered
+        yield from mapper(function, tasks, chunksize=chunksize)
 
 
 def jobs_for_seeds(

@@ -63,6 +63,17 @@ class PrivacyReport:
             parts.append(f"amplified at rate q={self.sampling_rate:.3g}")
         return "; ".join(parts)
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (the one shape every store uses)."""
+        return {
+            "per_step": list(self.per_step),
+            "noise_sigma": self.noise_sigma,
+            "basic": list(self.basic),
+            "advanced": list(self.advanced),
+            "rdp": list(self.rdp) if self.rdp is not None else None,
+            "sampling_rate": self.sampling_rate,
+        }
+
 
 @dataclass
 class TrainingResult:

@@ -29,6 +29,7 @@ the synchronous protocol.
 
 from __future__ import annotations
 
+import sys
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
@@ -297,11 +298,17 @@ class AsyncStalenessPolicy(ServerPolicy):
         self._cache = self._empty_matrix()
 
     def weight(self, staleness: int) -> float:
-        """The update scale for an arrival ``staleness`` versions late."""
+        """The update scale for an arrival ``staleness`` versions late.
+
+        Always in ``(0, 1]``: mathematically each scheme is, and the
+        exponential case is clamped away from the floating-point
+        underflow to 0.0 (an exactly-zero scale would silently freeze
+        the server on extremely stale arrivals instead of damping them).
+        """
         if self._damping == "inverse":
             return 1.0 / (1.0 + staleness)
         if self._damping == "exponential":
-            return self._alpha**staleness
+            return max(self._alpha**staleness, sys.float_info.min)
         return 1.0
 
     def rewake(self, arrival):

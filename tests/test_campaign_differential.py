@@ -1,0 +1,151 @@
+"""Differential tests: campaign execution vs direct run_config/simulate.
+
+The campaign runner must be a pure orchestration layer: for a pinned
+matrix, every cell executed through the campaign (serial or parallel,
+cold or warm cache) is bit-identical to calling
+:func:`repro.experiments.runner.run_config` (train cells) or
+:meth:`repro.pipeline.builder.Experiment.simulate` (simulate cells)
+directly with the same config and seeds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign.matrix import ScenarioMatrix
+from repro.campaign.runner import job_key, run_campaign
+from repro.campaign.store import ResultStore
+from repro.experiments.runner import build_environment, run_config
+from repro.pipeline.builder import Experiment
+
+PINNED_MATRIX = {
+    "name": "differential",
+    "model": {"name": "logistic", "loss_kind": "mse"},
+    "data_seed": 0,
+    "base": {
+        "num_steps": 3,
+        "n": 5,
+        "f": 2,
+        "batch_size": 6,
+        "eval_every": 1,
+        "seeds": [1, 2],
+    },
+    "axes": {"gar": ["mda", "median"], "epsilon": [None, 0.5]},
+    "exclude": [{"gar": "median", "epsilon": 0.5}],
+    "include": [
+        {
+            "name": "semisync-sim",
+            "gar": "mda",
+            "attack": "little",
+            "mode": "simulate",
+            "policy": "semi-sync",
+            "policy_kwargs": {"buffer_size": 3},
+            "latency": "lognormal",
+            "latency_kwargs": {"median": 1.0, "sigma": 0.4},
+        }
+    ],
+}
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return ScenarioMatrix.from_dict(PINNED_MATRIX)
+
+
+@pytest.fixture(scope="module")
+def environment(matrix):
+    return build_environment(matrix.model_spec, matrix.data_seed)
+
+
+@pytest.fixture(scope="module")
+def campaign_store(matrix, tmp_path_factory):
+    store = ResultStore(tmp_path_factory.mktemp("campaign") / "store")
+    summary = run_campaign(matrix, store)
+    assert summary.executed == matrix.total_runs
+    return store
+
+
+def cell_records(matrix, store, cell):
+    return [store.load(job_key(cell, seed, matrix)) for seed in cell.config.seeds]
+
+
+class TestTrainCellsMatchRunConfig:
+    def test_histories_bit_identical(self, matrix, environment, campaign_store):
+        model, train_set, test_set = environment
+        for cell in matrix.cells:
+            if cell.mode != "train":
+                continue
+            outcome = run_config(cell.config, model, train_set, test_set)
+            records = cell_records(matrix, campaign_store, cell)
+            assert len(records) == len(outcome.histories)
+            for record, history in zip(records, outcome.histories):
+                assert record["history"] == history.to_dict()
+
+    def test_final_parameters_bit_identical(self, matrix, environment, campaign_store):
+        model, train_set, test_set = environment
+        for cell in matrix.cells:
+            if cell.mode != "train":
+                continue
+            for seed, record in zip(
+                cell.config.seeds, cell_records(matrix, campaign_store, cell)
+            ):
+                direct = Experiment.from_config(
+                    cell.config, model, train_set, test_set, seed=seed
+                ).run()
+                assert record["final_parameters"] == direct.final_parameters.tolist()
+                assert record["final_loss"] == direct.history.final_loss
+
+    def test_privacy_reports_match(self, matrix, environment, campaign_store):
+        model, train_set, test_set = environment
+        for cell in matrix.cells:
+            if cell.mode != "train" or cell.config.epsilon is None:
+                continue
+            outcome = run_config(cell.config, model, train_set, test_set)
+            for record in cell_records(matrix, campaign_store, cell):
+                assert record["privacy"]["basic"] == list(outcome.privacy.basic)
+                assert record["privacy"]["noise_sigma"] == outcome.privacy.noise_sigma
+
+
+class TestSimulateCellsMatchDirectSimulate:
+    def test_bit_identical(self, matrix, environment, campaign_store):
+        model, train_set, test_set = environment
+        for cell in matrix.cells:
+            if cell.mode != "simulate":
+                continue
+            for seed, record in zip(
+                cell.config.seeds, cell_records(matrix, campaign_store, cell)
+            ):
+                direct = Experiment.from_config(
+                    cell.config, model, train_set, test_set, seed=seed
+                ).simulate()
+                assert record["history"] == direct.history.to_dict()
+                assert record["final_parameters"] == direct.final_parameters.tolist()
+                assert record["simulation"]["virtual_time"] == direct.virtual_time
+                assert record["simulation"]["rounds"] == direct.rounds
+
+
+class TestExecutionPathsAgree:
+    def test_parallel_cold_matches_serial_cold(self, matrix, campaign_store, tmp_path):
+        parallel_store = ResultStore(tmp_path / "parallel")
+        summary = run_campaign(matrix, parallel_store, max_workers=3)
+        assert summary.executed == matrix.total_runs
+        assert parallel_store.keys() == campaign_store.keys()
+        for key in campaign_store.keys():
+            assert parallel_store.load(key) == campaign_store.load(key)
+
+    def test_warm_cache_leaves_records_untouched(self, matrix, campaign_store):
+        before = {key: campaign_store.load(key) for key in campaign_store.keys()}
+        summary = run_campaign(matrix, campaign_store)
+        assert summary.executed == 0
+        assert summary.skipped == matrix.total_runs
+        after = {key: campaign_store.load(key) for key in campaign_store.keys()}
+        assert before == after
+
+    def test_warm_parallel_also_skips(self, matrix, campaign_store):
+        summary = run_campaign(matrix, campaign_store, max_workers=2)
+        assert (summary.executed, summary.skipped) == (0, matrix.total_runs)
+
+    def test_store_roundtrip_preserves_float_bits(self, matrix, campaign_store):
+        for key in campaign_store.keys():
+            record = campaign_store.load(key)
+            for loss in record["history"]["losses"]:
+                assert np.float64(loss) == loss

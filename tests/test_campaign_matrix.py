@@ -1,0 +1,254 @@
+"""Unit tests for scenario-matrix expansion (repro.campaign.matrix)."""
+
+import json
+
+import pytest
+
+from repro.campaign.matrix import (
+    CampaignCell,
+    ScenarioMatrix,
+    derive_cell_seeds,
+    expand_matrix,
+)
+from repro.exceptions import ConfigurationError
+
+BASE = {
+    "num_steps": 4,
+    "n": 5,
+    "f": 2,
+    "batch_size": 8,
+    "eval_every": 2,
+    "seeds": [1],
+}
+
+
+def document(**overrides):
+    payload = {
+        "name": "unit",
+        "base": dict(BASE),
+        "axes": {"gar": ["mda", "median"], "epsilon": [None, 0.5]},
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestExpansion:
+    def test_cartesian_order_last_axis_fastest(self):
+        cells = expand_matrix(document())
+        assert [cell.name for cell in cells] == [
+            "gar=mda,epsilon=none",
+            "gar=mda,epsilon=0.5",
+            "gar=median,epsilon=none",
+            "gar=median,epsilon=0.5",
+        ]
+        assert [cell.config.gar for cell in cells] == ["mda", "mda", "median", "median"]
+        assert [cell.config.epsilon for cell in cells] == [None, 0.5, None, 0.5]
+
+    def test_base_fields_shared(self):
+        for cell in expand_matrix(document()):
+            assert cell.config.num_steps == 4
+            assert cell.config.seeds == (1,)
+            assert cell.mode == "train"
+
+    def test_name_template(self):
+        cells = expand_matrix(document(name_template="{gar}|eps={epsilon}"))
+        assert cells[0].name == "mda|eps=none"
+        assert cells[-1].name == "median|eps=0.5"
+
+    def test_name_template_unknown_field(self):
+        with pytest.raises(ConfigurationError, match="name_template"):
+            expand_matrix(document(name_template="{nonexistent}"))
+
+    def test_exclude_drops_matching_cells(self):
+        cells = expand_matrix(document(exclude=[{"gar": "median", "epsilon": None}]))
+        assert len(cells) == 3
+        assert "gar=median,epsilon=none" not in {cell.name for cell in cells}
+
+    def test_exclude_matches_base_fields_too(self):
+        cells = expand_matrix(document(exclude=[{"batch_size": 8, "gar": "mda"}]))
+        assert [cell.config.gar for cell in cells] == ["median", "median"]
+
+    def test_include_appended_and_exempt_from_exclude(self):
+        cells = expand_matrix(
+            document(
+                exclude=[{"gar": "mda"}],
+                include=[{"name": "extra", "gar": "mda", "epsilon": 0.9}],
+            )
+        )
+        assert [cell.name for cell in cells][-1] == "extra"
+        assert cells[-1].config.epsilon == 0.9
+        assert all(cell.config.gar == "median" for cell in cells[:-1])
+
+    def test_include_requires_name(self):
+        with pytest.raises(ConfigurationError, match="needs a 'name'"):
+            expand_matrix(document(include=[{"gar": "krum"}]))
+
+    def test_mode_global_axis_and_cell(self):
+        cells = expand_matrix(
+            document(
+                mode="simulate",
+                include=[{"name": "sync-one", "mode": "train"}],
+            )
+        )
+        assert {cell.mode for cell in cells[:-1]} == {"simulate"}
+        assert cells[-1].mode == "train"
+        axis_cells = expand_matrix(
+            {
+                "name": "axis-mode",
+                "base": dict(BASE),
+                "axes": {"mode": ["train", "simulate"]},
+            }
+        )
+        assert [cell.mode for cell in axis_cells] == ["train", "simulate"]
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            expand_matrix(document(mode="warp"))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            expand_matrix(document(name_template="same-for-all"))
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown matrix keys"):
+            expand_matrix(document(grids=[1]))
+
+    def test_malformed_exclude_rejected(self):
+        # An easy JSON mistake: an object instead of a list of objects.
+        with pytest.raises(ConfigurationError, match="exclude"):
+            expand_matrix(document(exclude={"gar": "mda"}))
+        with pytest.raises(ConfigurationError, match="exclude"):
+            expand_matrix(document(exclude=["gar"]))
+
+    def test_malformed_include_rejected(self):
+        with pytest.raises(ConfigurationError, match="include"):
+            expand_matrix(document(include={"name": "x"}))
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ConfigurationError, match="zero cells"):
+            expand_matrix({"name": "empty", "base": dict(BASE)})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            expand_matrix(document(axes={"gar": []}))
+
+    def test_invalid_config_field_surfaces(self):
+        bad = document()
+        bad["base"]["num_steps"] = 0
+        with pytest.raises(ConfigurationError, match="num_steps"):
+            expand_matrix(bad)
+
+    def test_axes_only_includes(self):
+        cells = expand_matrix(
+            {
+                "name": "includes-only",
+                "base": dict(BASE),
+                "include": [{"name": "only", "gar": "krum"}],
+            }
+        )
+        assert [cell.name for cell in cells] == ["only"]
+
+
+class TestSeedDerivation:
+    def test_deterministic_and_distinct(self):
+        first = derive_cell_seeds(7, "cell-a", 5)
+        second = derive_cell_seeds(7, "cell-a", 5)
+        assert first == second
+        assert len(set(first)) == 5
+
+    def test_prefix_stable(self):
+        assert derive_cell_seeds(7, "cell-a", 3) == derive_cell_seeds(7, "cell-a", 5)[:3]
+
+    def test_varies_with_cell_and_root(self):
+        assert derive_cell_seeds(7, "cell-a", 3) != derive_cell_seeds(7, "cell-b", 3)
+        assert derive_cell_seeds(7, "cell-a", 3) != derive_cell_seeds(8, "cell-a", 3)
+
+    def test_count_validated(self):
+        with pytest.raises(ConfigurationError, match="count"):
+            derive_cell_seeds(7, "cell-a", 0)
+
+    def test_matrix_seed_rule_fills_cells(self):
+        base = {key: value for key, value in BASE.items() if key != "seeds"}
+        cells = expand_matrix(
+            {
+                "name": "derived",
+                "base": base,
+                "axes": {"gar": ["mda", "median"]},
+                "seeds": {"count": 2, "root": 11},
+            }
+        )
+        for cell in cells:
+            assert len(cell.config.seeds) == 2
+            assert cell.config.seeds == derive_cell_seeds(11, cell.name, 2)
+        assert cells[0].config.seeds != cells[1].config.seeds
+
+    def test_matrix_seed_list_is_base_shorthand(self):
+        base = {key: value for key, value in BASE.items() if key != "seeds"}
+        cells = expand_matrix(
+            {
+                "name": "listed",
+                "base": base,
+                "axes": {"gar": ["mda"]},
+                "seeds": [3, 4],
+            }
+        )
+        assert cells[0].config.seeds == (3, 4)
+
+    def test_explicit_cell_seeds_win_over_rule(self):
+        cells = expand_matrix(
+            {
+                "name": "explicit",
+                "base": dict(BASE),  # base carries seeds = [1]
+                "axes": {"gar": ["mda"]},
+                "seeds": {"count": 4, "root": 0},
+            }
+        )
+        assert cells[0].config.seeds == (1,)
+
+    def test_bad_seed_rules_rejected(self):
+        for rule in ({"count": 0}, {"count": "three"}, {"bogus": 1}, "all"):
+            with pytest.raises(ConfigurationError):
+                expand_matrix(document(seeds=rule))
+
+
+class TestScenarioMatrix:
+    def test_from_dict_carries_environment(self):
+        matrix = ScenarioMatrix.from_dict(
+            document(model={"name": "logistic"}, data_seed=3, report={"rows": "gar"})
+        )
+        assert matrix.name == "unit"
+        assert matrix.model_spec == {"name": "logistic"}
+        assert matrix.data_seed == 3
+        assert matrix.report_spec == {"rows": "gar"}
+        assert len(matrix) == 4
+        assert matrix.total_runs == 4  # one seed per cell
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "matrix.json"
+        path.write_text(json.dumps(document()))
+        matrix = ScenarioMatrix.from_file(path)
+        assert len(matrix.cells) == 4
+
+    def test_smoke_trims_and_keeps_modes(self):
+        base = dict(BASE, num_steps=100, eval_every=50, seeds=[1, 2, 3])
+        matrix = ScenarioMatrix.from_dict(document(base=base, mode="simulate"))
+        smoke = matrix.smoke()
+        for cell in smoke.cells:
+            assert cell.config.num_steps == 5
+            assert cell.config.eval_every == 5
+            assert cell.config.seeds == (1,)
+            assert cell.mode == "simulate"
+        # The original is untouched (configs are frozen dataclasses).
+        assert matrix.cells[0].config.num_steps == 100
+
+    def test_axis_values_in_cell_order(self):
+        matrix = ScenarioMatrix.from_dict(document())
+        assert matrix.axis_values("gar") == ["mda", "median"]
+        assert matrix.axis_values("epsilon") == [None, 0.5]
+
+    def test_cell_rejects_bad_mode(self):
+        from repro.experiments.config import ExperimentConfig
+
+        config = ExperimentConfig(name="x", **{k: v for k, v in BASE.items() if k != "seeds"})
+        with pytest.raises(ConfigurationError, match="mode"):
+            CampaignCell(config=config, mode="bogus")

@@ -1,0 +1,97 @@
+"""Campaign report tests: store join, pivot grids, curves, purity."""
+
+import pytest
+
+from repro.campaign.matrix import ScenarioMatrix
+from repro.campaign.report import cell_results, render_campaign_report
+from repro.campaign.runner import run_campaign
+from repro.campaign.store import ResultStore
+from repro.exceptions import ConfigurationError
+
+MATRIX = {
+    "name": "report-test",
+    "model": {"name": "logistic", "loss_kind": "mse"},
+    "data_seed": 0,
+    "base": {
+        "num_steps": 2,
+        "n": 3,
+        "f": 1,
+        "batch_size": 5,
+        "eval_every": 1,
+        "seeds": [1, 2],
+    },
+    "axes": {"gar": ["mda", "median"], "epsilon": [None, 0.5]},
+    "report": {
+        "rows": "gar",
+        "cols": "epsilon",
+        "metrics": ["final_accuracy", "epsilon", "vn_submitted"],
+        "curves": True,
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return ScenarioMatrix.from_dict(MATRIX)
+
+
+@pytest.fixture(scope="module")
+def store(matrix, tmp_path_factory):
+    store = ResultStore(tmp_path_factory.mktemp("report") / "store")
+    run_campaign(matrix, store)
+    return store
+
+
+class TestCellResults:
+    def test_joins_every_cell(self, matrix, store):
+        results = cell_results(matrix, store)
+        assert [cell.name for cell, _ in results] == [c.name for c in matrix.cells]
+        assert all(len(records) == 2 for _, records in results)
+
+    def test_partial_store_joins_partially(self, matrix, tmp_path):
+        empty = ResultStore(tmp_path / "empty")
+        results = cell_results(matrix, empty)
+        assert all(records == [] for _, records in results)
+
+
+class TestRenderReport:
+    def test_sections_present(self, matrix, store):
+        text = render_campaign_report(matrix, store)
+        assert "=== campaign report-test ===" in text
+        assert "runs: 8/8 completed" in text
+        assert "final_accuracy grid" in text
+        assert "epsilon grid" in text
+        assert "vn_submitted grid" in text
+        assert "gar x epsilon" in text
+        assert "test accuracy (mean over completed seeds)" in text
+        assert "pending" not in text
+
+    def test_partial_report_lists_pending(self, matrix, tmp_path):
+        text = render_campaign_report(matrix, ResultStore(tmp_path / "empty"))
+        assert "runs: 0/8 completed" in text
+        assert "pending" in text
+        assert "-" in text  # missing metrics render as dashes
+
+    def test_report_is_pure_function_of_store(self, matrix, store, tmp_path):
+        """Same matrix + same records => same bytes, wherever the store lives."""
+        copy = ResultStore(tmp_path / "copy")
+        for key in store.keys():
+            copy.save(key, store.load(key))
+        assert render_campaign_report(matrix, copy) == render_campaign_report(
+            matrix, store
+        )
+
+    def test_unknown_metric_rejected(self, matrix, store):
+        document = dict(MATRIX, report={"rows": "gar", "cols": "epsilon",
+                                        "metrics": ["bogus"]})
+        bad = ScenarioMatrix.from_dict(document)
+        with pytest.raises(ConfigurationError, match="metric"):
+            render_campaign_report(bad, store)
+
+    def test_no_report_spec_skips_pivots(self, store):
+        document = dict(MATRIX)
+        document.pop("report")
+        plain = ScenarioMatrix.from_dict(document)
+        text = render_campaign_report(plain, store)
+        assert "grid" not in text
+        assert "report-test" in text

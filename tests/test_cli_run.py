@@ -129,18 +129,18 @@ class TestRunCommand:
 
     def test_data_seed_flag_beats_config_file(self, tmp_path, monkeypatch):
         """--data-seed must override a data_seed key in the file."""
-        import repro.experiments.cli as cli_module
+        import repro.experiments.runner as runner_module
 
         path = tmp_path / "grid.json"
         path.write_text(json.dumps({"configs": [tiny_cell()], "data_seed": 5}))
         seen = []
-        real_environment = cli_module.phishing_environment
+        real_environment = runner_module.phishing_environment
 
         def spy(data_seed=0):
             seen.append(data_seed)
             return real_environment(data_seed)
 
-        monkeypatch.setattr(cli_module, "phishing_environment", spy)
+        monkeypatch.setattr(runner_module, "phishing_environment", spy)
         assert main(["run", str(path), "--data-seed", "9"]) == 0
         assert seen == [9]
         assert main(["run", str(path)]) == 0

@@ -1,0 +1,129 @@
+"""Hypothesis property tests for the PR 3 simulation server policies.
+
+Two invariants the campaign substrate leans on:
+
+* a :class:`BufferedSemiSyncPolicy` whose buffer covers the whole
+  cluster (K = n) at zero latency *is* the sync barrier — same rounds,
+  same histories, same final parameters, bit for bit;
+* :class:`AsyncStalenessPolicy` damping factors stay in ``(0, 1]`` for
+  every scheme, alpha and staleness (including the deep-staleness
+  regime where a naive ``alpha ** s`` underflows to exactly 0.0).
+"""
+
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.datasets import train_test_split
+from repro.data.phishing import make_phishing_dataset
+from repro.models.logistic import LogisticRegressionModel
+from repro.pipeline.builder import Experiment
+from repro.rng import generator_from_seed
+from repro.simulation.policies import (
+    STALENESS_DAMPINGS,
+    AsyncStalenessPolicy,
+    BufferedSemiSyncPolicy,
+    SyncPolicy,
+)
+
+
+def tiny_environment():
+    dataset = make_phishing_dataset(seed=0, num_points=80, num_features=4)
+    train_set, test_set = train_test_split(dataset, 60, generator_from_seed(1))
+    model = LogisticRegressionModel(4, loss_kind="mse")
+    return model, train_set, test_set
+
+
+def simulate(policy, policy_kwargs, *, n, f, gar, attack, epsilon, seed, num_steps):
+    model, train_set, test_set = tiny_environment()
+    experiment = Experiment(
+        model=model,
+        train_dataset=train_set,
+        test_dataset=test_set,
+        num_steps=num_steps,
+        n=n,
+        f=f,
+        gar=gar,
+        attack=attack,
+        batch_size=4,
+        epsilon=epsilon,
+        eval_every=2,
+        seed=seed,
+        policy=policy,
+        policy_kwargs=policy_kwargs,
+    )
+    return experiment.simulate()
+
+
+class TestSemiSyncFullBufferIsSync:
+    @given(
+        n=st.integers(3, 6),
+        f=st.integers(0, 1),
+        gar=st.sampled_from(["median", "mda", "average"]),
+        epsilon=st.sampled_from([None, 0.5]),
+        seed=st.integers(1, 3),
+        num_steps=st.integers(2, 4),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_bit_identical_histories(self, n, f, gar, epsilon, seed, num_steps):
+        attack = "little" if f > 0 else None
+        shared = dict(
+            n=n, f=f, gar=gar, attack=attack, epsilon=epsilon,
+            seed=seed, num_steps=num_steps,
+        )
+        sync = simulate("sync", None, **shared)
+        semi = simulate("semi-sync", {"buffer_size": n}, **shared)
+        assert semi.history.to_dict() == sync.history.to_dict()
+        assert semi.final_parameters.tolist() == sync.final_parameters.tolist()
+        assert semi.rounds == sync.rounds
+        assert semi.virtual_time == sync.virtual_time == 0.0
+
+    def test_policy_objects_agree_on_geometry(self):
+        sync, semi = SyncPolicy(), BufferedSemiSyncPolicy(buffer_size=5)
+        for policy in (sync, semi):
+            policy.bind(5, 4, 3)
+        assert semi.buffer_size == 5
+        assert sync.barrier and semi.barrier
+
+
+class TestAsyncDampingRange:
+    @given(
+        damping=st.sampled_from(STALENESS_DAMPINGS),
+        alpha=st.floats(
+            min_value=sys.float_info.min, max_value=1.0, exclude_min=False
+        ),
+        staleness=st.integers(0, 10**6),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_weight_in_unit_interval(self, damping, alpha, staleness):
+        policy = AsyncStalenessPolicy(damping=damping, alpha=alpha)
+        weight = policy.weight(staleness)
+        assert 0.0 < weight <= 1.0
+
+    @given(
+        alpha=st.floats(min_value=0.01, max_value=0.99),
+        first=st.integers(0, 100),
+        second=st.integers(0, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_exponential_monotone_in_staleness(self, alpha, first, second):
+        policy = AsyncStalenessPolicy(damping="exponential", alpha=alpha)
+        if first <= second:
+            assert policy.weight(first) >= policy.weight(second)
+        else:
+            assert policy.weight(first) <= policy.weight(second)
+
+    @given(staleness=st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_inverse_is_exact(self, staleness):
+        policy = AsyncStalenessPolicy(damping="inverse")
+        assert policy.weight(staleness) == 1.0 / (1.0 + staleness)
+
+    def test_deep_staleness_never_underflows_to_zero(self):
+        policy = AsyncStalenessPolicy(damping="exponential", alpha=0.01)
+        assert policy.weight(10**6) > 0.0
+
+    def test_constant_is_one(self):
+        policy = AsyncStalenessPolicy(damping="constant")
+        assert all(policy.weight(s) == 1.0 for s in (0, 1, 10, 10**6))
