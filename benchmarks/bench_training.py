@@ -1,0 +1,49 @@
+"""End-to-end training benchmark: fused round engine vs the kept slow path.
+
+Times whole synchronous training rounds — batch sampling, stacked
+gradients, clipping, DP noise, momentum, the colluding attack, the
+network and the server update — through the fused
+:class:`repro.distributed.engine.RoundEngine` and through the verbatim
+pre-fusion loop kept in :mod:`repro.distributed.reference`, on
+identically-seeded experiments.  Both paths must agree bit for bit
+(losses and final parameters) or the cell is flagged.
+
+Two ways to run it::
+
+    # standalone: prints the table and writes BENCH_training.json
+    PYTHONPATH=src python benchmarks/bench_training.py [--smoke]
+
+    # same engine, via the CLI (supports the CI regression guard)
+    python -m repro bench --training [--smoke] [--check BENCH_training.json]
+
+The JSON document (``BENCH_training.json``) records the repo's
+end-to-end training throughput trajectory; see README "Performance"
+for the schema and how to read it next to ``BENCH_kernels.json``.
+"""
+
+import sys
+from pathlib import Path
+
+from repro.distributed.benchmark import (
+    default_training_grid,
+    format_training_table,
+    run_training_benchmarks,
+    save_benchmarks,
+    smoke_training_grid,
+)
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    smoke = "--smoke" in argv
+    grid = smoke_training_grid() if smoke else default_training_grid()
+    payload = run_training_benchmarks(grid, repeats=5, verbose=True)
+    output = Path("BENCH_training.json")
+    save_benchmarks(payload, output)
+    print(f"wrote {output}")
+    print(format_training_table(payload))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,7 +62,7 @@ from repro.core import (
     theorem1_rate,
 )
 from repro.data import Dataset, make_phishing_dataset, train_test_split
-from repro.distributed import Cluster, ParameterServer, TrainingResult, train
+from repro.distributed import Cluster, ParameterServer, RoundEngine, TrainingResult, train
 from repro.exceptions import (
     AggregationError,
     ConfigurationError,
@@ -104,7 +104,7 @@ from repro.simulation import (
     SyncPolicy,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AccuracyCallback",
@@ -129,6 +129,7 @@ __all__ = [
     "LogisticRegressionModel",
     "MeanEstimationModel",
     "ParameterServer",
+    "RoundEngine",
     "PrivacyError",
     "ReproError",
     "ResilienceError",

@@ -259,6 +259,7 @@ def run_campaign(
     store: ResultStore,
     *,
     max_workers: int | None = None,
+    chunksize: int | None = None,
     smoke: bool = False,
     verbose: bool = False,
     execute: Callable[[CellJob], dict] | None = None,
@@ -271,6 +272,14 @@ def run_campaign(
     from exactly the completed prefix plus whatever later runs already
     landed.  ``execute`` is injectable for testing (it must stay a
     picklable module-level callable when ``max_workers`` > 1).
+
+    ``chunksize`` batches (cell, seed) runs per pool claim: ``None``
+    (the default) applies the executor's task-count heuristic
+    (:func:`repro.pipeline.parallel.default_chunksize`), which stops
+    swarms of tiny smoke cells from paying one IPC round-trip each.
+    Records still persist as their chunk completes, so a kill loses at
+    most the in-flight chunks; pass ``chunksize=1`` to restore
+    per-run persistence granularity for long cells.
     """
     if execute is None:
         execute = execute_cell  # resolved late so tests can monkeypatch it
@@ -290,11 +299,17 @@ def run_campaign(
         store_root=str(store.root),
     )
     jobs_by_key = {job.key: job for job in plan.pending}
-    # Unordered: each record is persisted the moment its run completes,
-    # so one slow cell can never hold finished results hostage in the
-    # pool — a kill loses only the genuinely in-flight runs.
+    # Unordered: records are persisted as their pool chunk completes,
+    # so one slow cell never holds finished results hostage — a kill
+    # loses at most the in-flight chunks (exactly the in-flight *runs*
+    # when chunksize=1; the heuristic default trades a coarser crash
+    # granularity for amortised IPC on swarms of tiny cells).
     for key, record in map_tasks(
-        _KeyedExecute(execute), plan.pending, max_workers=max_workers, ordered=False
+        _KeyedExecute(execute),
+        plan.pending,
+        max_workers=max_workers,
+        chunksize=chunksize,
+        ordered=False,
     ):
         store.save(key, record)
         summary.executed += 1

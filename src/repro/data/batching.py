@@ -64,9 +64,45 @@ class BatchSampler:
         """The dataset batches are drawn from."""
         return self._dataset
 
-    def sample(self) -> tuple[np.ndarray, np.ndarray]:
-        """Draw one batch; returns ``(features, labels)`` views."""
-        indices = self._rng.choice(
+    def sample_indices(self) -> np.ndarray:
+        """Draw one batch's ``(batch_size,)`` index vector."""
+        return self._rng.choice(
             self._dataset.num_points, size=self._batch_size, replace=self._replace
         )
+
+    def sample_index_block(self, rounds: int) -> np.ndarray:
+        """Pre-draw ``rounds`` batches of indices as one ``(R, b)`` block.
+
+        Row ``r`` is bit-identical to the ``r``-th sequential
+        :meth:`sample_indices` call, and the sampler's generator ends in
+        the same state either way — which is what lets the fused round
+        engine pull all of a block's batch sampling out of the round
+        loop (pinned by the hypothesis property suite).
+
+        With-replacement sampling is a single vectorized draw (uniform
+        ``choice`` is ``integers`` underneath, filled value-by-value in
+        C order, so an ``(R, b)`` fill consumes the same stream as ``R``
+        sequential ``(b,)`` fills).  Without replacement each round is
+        its own partial-shuffle draw, so the block is assembled from the
+        sequential draws themselves — trivially identical, and still
+        hoisted out of the hot loop.
+        """
+        if rounds < 1:
+            raise DataError(f"rounds must be >= 1, got {rounds}")
+        if self._replace:
+            return self._rng.choice(
+                self._dataset.num_points,
+                size=(rounds, self._batch_size),
+                replace=True,
+            )
+        choice = self._rng.choice
+        num_points = self._dataset.num_points
+        batch_size = self._batch_size
+        return np.stack(
+            [choice(num_points, size=batch_size, replace=False) for _ in range(rounds)]
+        )
+
+    def sample(self) -> tuple[np.ndarray, np.ndarray]:
+        """Draw one batch; returns ``(features, labels)`` views."""
+        indices = self.sample_indices()
         return self._dataset.features[indices], self._dataset.labels[indices]

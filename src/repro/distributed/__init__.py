@@ -1,6 +1,7 @@
 """Distributed substrate: the simulated parameter-server deployment."""
 
 from repro.distributed.cluster import Cluster, StepResult
+from repro.distributed.engine import RoundEngine
 from repro.distributed.messages import GradientMessage, WorkerSubmission
 from repro.distributed.network import LossyNetwork, PerfectNetwork
 from repro.distributed.server import ParameterServer
@@ -15,6 +16,7 @@ __all__ = [
     "ParameterServer",
     "PerfectNetwork",
     "PrivacyReport",
+    "RoundEngine",
     "StepResult",
     "TrainingResult",
     "WorkerSubmission",

@@ -1,0 +1,334 @@
+"""End-to-end training benchmark: fused engine vs the kept slow path.
+
+Where :mod:`repro.gars.benchmark` times one aggregation kernel,
+this module times *whole training rounds* — sampling, gradients,
+clipping, DP noise, momentum, the attack, the network and the server
+update — through two executions of identically-seeded experiments:
+
+* the **engine** path: :class:`repro.distributed.engine.RoundEngine`
+  via ``Experiment.run`` (fused blocks, blockwise RNG pre-draw,
+  preallocated buffers, in-place updates);
+* the **reference** path:
+  :func:`repro.distributed.reference.reference_training_rounds`, the
+  pre-fusion round loop kept verbatim.
+
+Both paths must produce bit-identical losses and final parameters
+(``outputs_identical`` is recorded per cell and the table flags any
+mismatch), so the benchmark can never race ahead of correctness.
+Repeats are *interleaved* — engine, reference, engine, reference … —
+and each path reports its best repeat, which keeps the ratio honest on
+noisy shared machines.
+
+Front ends: ``python -m repro bench --training`` (writes
+``BENCH_training.json``) and ``benchmarks/bench_training.py``.
+``check_speedup_regressions`` powers the CI guard that fails when a
+smoke cell's measured speedup regresses against the committed
+baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.data.phishing import make_phishing_dataset
+from repro.distributed.reference import reference_training_rounds
+from repro.gars.benchmark import save_benchmarks
+from repro.metrics.history import TrainingHistory
+from repro.models.logistic import LogisticRegressionModel
+
+__all__ = [
+    "TrainingBenchCase",
+    "TrainingBenchResult",
+    "check_speedup_regressions",
+    "default_training_grid",
+    "format_training_table",
+    "run_training_benchmarks",
+    "save_benchmarks",
+    "smoke_training_grid",
+]
+
+#: Document format version for ``BENCH_training.json``.
+SCHEMA = "repro.bench_training/1"
+
+
+@dataclass(frozen=True)
+class TrainingBenchCase:
+    """One training-throughput cell: a full experiment configuration."""
+
+    name: str
+    gar: str
+    n: int
+    f: int
+    num_features: int  #: model features; the parameter dimension is +1
+    batch_size: int
+    rounds: int
+    epsilon: float | None = None
+    noise_kind: str = "gaussian"
+    momentum: float = 0.99
+    attack: str | None = "little"
+    num_points: int = 2000
+    seed: int = 1
+
+    @property
+    def dimension(self) -> int:
+        """Model parameter dimension ``d``."""
+        return self.num_features + 1
+
+    def build_experiment(self):
+        """One fresh, fully-seeded experiment for this cell."""
+        from repro.pipeline.builder import Experiment
+
+        dataset = make_phishing_dataset(
+            seed=0, num_points=self.num_points, num_features=self.num_features
+        )
+        return Experiment(
+            model=LogisticRegressionModel(self.num_features),
+            train_dataset=dataset,
+            test_dataset=None,
+            num_steps=self.rounds,
+            n=self.n,
+            f=self.f,
+            gar=self.gar,
+            attack=self.attack,
+            batch_size=self.batch_size,
+            g_max=1e-2,
+            epsilon=self.epsilon,
+            noise_kind=self.noise_kind,
+            momentum=self.momentum,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class TrainingBenchResult:
+    """Timings for one cell, in training rounds per second."""
+
+    case: TrainingBenchCase
+    reference_rounds_per_sec: float
+    engine_rounds_per_sec: float
+    outputs_identical: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.engine_rounds_per_sec / self.reference_rounds_per_sec
+
+    def to_dict(self) -> dict:
+        case = self.case
+        return {
+            "name": case.name,
+            "gar": case.gar,
+            "n": case.n,
+            "f": case.f,
+            "d": case.dimension,
+            "batch_size": case.batch_size,
+            "rounds": case.rounds,
+            "epsilon": case.epsilon,
+            "noise_kind": case.noise_kind if case.epsilon is not None else None,
+            "momentum": case.momentum,
+            "attack": case.attack,
+            "reference_rounds_per_sec": self.reference_rounds_per_sec,
+            "engine_rounds_per_sec": self.engine_rounds_per_sec,
+            "speedup": self.speedup,
+            "outputs_identical": self.outputs_identical,
+        }
+
+
+def default_training_grid() -> list[TrainingBenchCase]:
+    """GAR × DP × momentum × (n, d) cells.
+
+    ``krum-dp-momentum`` is the headline paper-scale cell of the fused
+    engine's acceptance target: n = 25 workers at the paper's ~45 %
+    Byzantine fraction (f = 11), d = 100 parameters, Krum, the Gaussian
+    mechanism and worker momentum 0.99.
+    """
+    return [
+        TrainingBenchCase("krum-dp-momentum", "krum", 25, 11, 99, 50, 400, epsilon=0.5),
+        TrainingBenchCase("krum-dp-momentum-b150", "krum", 25, 11, 99, 150, 300, epsilon=0.5),
+        TrainingBenchCase("krum-nodp-momentum", "krum", 25, 11, 99, 50, 400),
+        TrainingBenchCase("krum-dp-nomomentum", "krum", 25, 11, 99, 50, 400, epsilon=0.5, momentum=0.0),
+        TrainingBenchCase("krum-paper-shape", "krum", 11, 4, 68, 50, 400, epsilon=0.5),
+        TrainingBenchCase("median-dp-momentum", "median", 25, 11, 99, 50, 400, epsilon=0.5),
+        TrainingBenchCase("mda-dp-momentum", "mda", 11, 5, 68, 50, 300, epsilon=0.5),
+        TrainingBenchCase("geomedian-dp-momentum", "geometric-median", 25, 11, 99, 50, 300, epsilon=0.5),
+        TrainingBenchCase("average-dp-momentum", "average", 25, 0, 99, 50, 400, epsilon=0.5, attack=None),
+        TrainingBenchCase("krum-dp-laplace", "krum", 25, 11, 99, 50, 400, epsilon=0.5, noise_kind="laplace"),
+        TrainingBenchCase("krum-dp-momentum-d1000", "krum", 25, 11, 999, 50, 150, epsilon=0.5),
+    ]
+
+
+#: Cells the CI smoke job runs, by name.
+_SMOKE_CELLS = ("krum-dp-momentum", "krum-nodp-momentum", "average-dp-momentum")
+
+
+def smoke_training_grid() -> list[TrainingBenchCase]:
+    """A seconds-scale subset for CI.
+
+    Every smoke cell is the *exact* :func:`default_training_grid`
+    member (same rounds, same configuration), so the regression guard's
+    name join against the committed full-grid ``BENCH_training.json``
+    compares like with like.
+    """
+    by_name = {case.name: case for case in default_training_grid()}
+    return [by_name[name] for name in _SMOKE_CELLS]
+
+
+def run_case(case: TrainingBenchCase, repeats: int = 3) -> TrainingBenchResult:
+    """Time one cell, interleaving engine and reference repeats.
+
+    Both timers cover exactly the round loop — cluster construction,
+    data sharding and result packaging happen outside on *both* paths —
+    so the guarded ratio compares the quantity the engine changes, not
+    fixed per-run setup.
+    """
+    engine_best = float("inf")
+    reference_best = float("inf")
+    outputs_identical = True
+    for repeat in range(max(1, repeats)):
+        fused = case.build_experiment()
+        fused_cluster = fused.build_cluster()
+        fused_history = TrainingHistory()
+        engine = fused_cluster.engine
+        start = time.perf_counter()
+        engine.run(case.rounds, history=fused_history)
+        engine_best = min(engine_best, time.perf_counter() - start)
+
+        reference = case.build_experiment()
+        cluster = reference.build_cluster()
+        history = TrainingHistory()
+        start = time.perf_counter()
+        reference_training_rounds(cluster, reference.model, history, case.rounds)
+        reference_best = min(reference_best, time.perf_counter() - start)
+
+        if repeat == 0:
+            outputs_identical = bool(
+                history.losses.tolist() == fused_history.losses.tolist()
+                and cluster.parameters.tolist()
+                == fused_cluster.parameters.tolist()
+            )
+    return TrainingBenchResult(
+        case=case,
+        reference_rounds_per_sec=case.rounds / reference_best,
+        engine_rounds_per_sec=case.rounds / engine_best,
+        outputs_identical=outputs_identical,
+    )
+
+
+def run_training_benchmarks(
+    cases: Sequence[TrainingBenchCase] | None = None,
+    repeats: int = 3,
+    verbose: bool = False,
+) -> dict:
+    """Run the grid and return the ``BENCH_training.json`` document."""
+    if cases is None:
+        cases = default_training_grid()
+    results = []
+    for case in cases:
+        result = run_case(case, repeats=repeats)
+        results.append(result)
+        if verbose:
+            flag = "" if result.outputs_identical else "  !! OUTPUT MISMATCH"
+            print(
+                f"  {case.name:<26} "
+                f"{result.reference_rounds_per_sec:>8.0f} -> "
+                f"{result.engine_rounds_per_sec:>8.0f} rounds/s "
+                f"({result.speedup:.2f}x){flag}"
+            )
+    return {
+        "schema": SCHEMA,
+        "unit": "training_rounds_per_second",
+        "repeats": repeats,
+        "results": [result.to_dict() for result in results],
+    }
+
+
+def format_training_table(payload: dict) -> str:
+    """Human-readable summary of a training benchmark document."""
+    rows = [
+        f"{'cell':<26}{'gar':>10}{'n':>4}{'f':>4}{'d':>6}{'b':>5}"
+        f"{'dp':>9}{'mom':>6}{'ref r/s':>10}{'engine r/s':>12}{'speedup':>9}"
+    ]
+    for entry in payload["results"]:
+        dp = "-" if entry["epsilon"] is None else f"{entry['noise_kind'][:5]}"
+        flag = "" if entry.get("outputs_identical", True) else "  MISMATCH"
+        rows.append(
+            f"{entry['name']:<26}{entry['gar']:>10}{entry['n']:>4}{entry['f']:>4}"
+            f"{entry['d']:>6}{entry['batch_size']:>5}{dp:>9}{entry['momentum']:>6}"
+            f"{entry['reference_rounds_per_sec']:>10.0f}"
+            f"{entry['engine_rounds_per_sec']:>12.0f}"
+            f"{entry['speedup']:>8.2f}x{flag}"
+        )
+    return "\n".join(rows)
+
+
+def _result_key(entry: dict) -> tuple:
+    """Cell identity for baseline matching, schema-agnostic.
+
+    Training results carry a unique ``name``; kernel results are keyed
+    by their ``(gar, n, f, d, stack)`` shape.
+    """
+    if "name" in entry:
+        return ("name", entry["name"])
+    return tuple(
+        (field, entry.get(field)) for field in ("gar", "n", "f", "d", "stack")
+    )
+
+
+def check_speedup_regressions(
+    current: dict, baseline: dict, tolerance: float = 0.30
+) -> list[str]:
+    """Compare measured speedups against a committed baseline document.
+
+    Returns one message per regression: a cell present in both
+    documents whose current speedup fell more than ``tolerance``
+    (fractionally) below the baseline's, or whose outputs no longer
+    match.  Cells present in only one document are ignored — grids may
+    grow — and *absolute* rounds/sec are never compared, because they
+    are machine-dependent while the engine/reference ratio is not.
+    Works on both ``BENCH_training.json`` and ``BENCH_kernels.json``
+    payloads; correctness drift is flagged via ``outputs_identical``
+    (training cells, exact) or ``max_abs_diff`` (kernel cells, against
+    a 1e-9 sanity bound — the committed diffs sit at rounding scale,
+    ~1e-16, and the tier-1 golden/property suites own exactness).
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    baseline_by_key = {
+        _result_key(entry): entry for entry in baseline.get("results", [])
+    }
+    failures = []
+    joined = 0
+    for entry in current.get("results", []):
+        reference = baseline_by_key.get(_result_key(entry))
+        if reference is not None:
+            joined += 1
+        if not entry.get("outputs_identical", True):
+            failures.append(
+                f"{_result_key(entry)}: engine and reference outputs diverged"
+            )
+            continue
+        if entry.get("max_abs_diff", 0.0) > 1e-9:
+            failures.append(
+                f"{_result_key(entry)}: kernel output drifted from the "
+                f"reference by {entry['max_abs_diff']:.3g}"
+            )
+            continue
+        if reference is None:
+            continue
+        floor = reference["speedup"] * (1.0 - tolerance)
+        if entry["speedup"] < floor:
+            failures.append(
+                f"{_result_key(entry)}: speedup {entry['speedup']:.2f}x fell "
+                f"below {floor:.2f}x (baseline {reference['speedup']:.2f}x "
+                f"- {tolerance:.0%} tolerance)"
+            )
+    if current.get("results") and joined == 0:
+        # A guard that joins zero cells guards nothing: wrong baseline
+        # file, or every cell key drifted.  Fail loudly instead of
+        # reporting a vacuous pass.
+        failures.append(
+            "no benchmark cell matched the baseline document — wrong "
+            "baseline file or renamed cells?"
+        )
+    return failures

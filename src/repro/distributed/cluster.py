@@ -44,17 +44,35 @@ __all__ = ["Cluster", "StepResult"]
 
 @dataclass(frozen=True)
 class StepResult:
-    """Instrumentation for one synchronous round."""
+    """Instrumentation for one synchronous round.
+
+    The matrix payloads are *opt-in*: rounds executed with
+    ``record=False`` (the default training path) carry ``None`` for
+    ``honest_submitted`` / ``honest_clean`` so the hot loop never
+    allocates instrumentation it does not report.  Consumers that need
+    the matrices (VN-ratio monitoring, resilience analyses, recorders)
+    run with ``record=True`` — the historical default of
+    :meth:`Cluster.step` — and see exactly the old payloads.
+    """
 
     step: int
     aggregated: Vector = field(repr=False)
-    honest_submitted: Matrix = field(repr=False)
-    honest_clean: Matrix = field(repr=False)
+    honest_submitted: Matrix | None = field(repr=False, default=None)
+    honest_clean: Matrix | None = field(repr=False, default=None)
     byzantine_gradient: Vector | None = field(repr=False, default=None)
+
+    @property
+    def recorded(self) -> bool:
+        """Whether this round carried its matrix payloads."""
+        return self.honest_submitted is not None
 
     @property
     def num_honest(self) -> int:
         """Number of honest submissions this round."""
+        if self.honest_submitted is None:
+            raise ConfigurationError(
+                "this round ran with record=False and carries no matrices"
+            )
         return int(self.honest_submitted.shape[0])
 
 
@@ -100,6 +118,7 @@ class Cluster:
         self._attack_rng = attack_rng
         self._network = network if network is not None else PerfectNetwork()
         self._step = 0
+        self._engine = None
 
     @property
     def server(self) -> ParameterServer:
@@ -136,8 +155,27 @@ class Cluster:
         """Rounds completed so far."""
         return self._step
 
-    def step(self) -> StepResult:
-        """Run one synchronous round and return its instrumentation."""
+    @property
+    def engine(self):
+        """This cluster's fused :class:`repro.distributed.engine.RoundEngine`.
+
+        Built lazily and cached; the engine executes blocks of rounds
+        bit-identically to :meth:`step` (see its module docstring for
+        eligibility and the fallback contract).
+        """
+        if self._engine is None:
+            from repro.distributed.engine import RoundEngine
+
+            self._engine = RoundEngine(self)
+        return self._engine
+
+    def step(self, record: bool = True) -> StepResult:
+        """Run one synchronous round and return its instrumentation.
+
+        ``record=False`` omits the honest matrix payloads from the
+        result (the round itself is unchanged); loops whose callbacks
+        never read them use it to skip the retained allocations.
+        """
         self._step += 1
         parameters = self._server.parameters
 
@@ -176,8 +214,8 @@ class Cluster:
         return StepResult(
             step=self._step,
             aggregated=aggregated,
-            honest_submitted=honest_submitted,
-            honest_clean=honest_clean,
+            honest_submitted=honest_submitted if record else None,
+            honest_clean=honest_clean if record else None,
             byzantine_gradient=byzantine_gradient,
         )
 

@@ -1,0 +1,620 @@
+"""The fused round engine: blocks of synchronous rounds, allocation-free.
+
+The paper's experiments are thousands of *short* rounds (n ~ 25
+workers, d ~ 100 parameters), a regime where wall-clock is dominated by
+per-round Python and allocator overhead rather than FLOPs.
+:class:`RoundEngine` executes the synchronous protocol of
+:class:`repro.distributed.cluster.Cluster` in fused blocks of ``R``
+rounds that remove that overhead without changing a single output bit:
+
+* **blockwise RNG pre-draw** — each worker's batch indices
+  (:meth:`repro.data.batching.BatchSampler.sample_index_block`) and DP
+  noise (:meth:`repro.privacy.mechanisms.NoiseMechanism.sample_noise_block`)
+  for the whole block are drawn up front.  This is sound because every
+  worker owns private generator streams and NumPy ``Generator`` draws
+  are consumed value-by-value, so a block draw reads the identical
+  stream as the per-round draws (pinned by hypothesis properties and
+  the golden traces);
+* **preallocated round buffers** — one ``(n, d)`` wire matrix, one
+  ``(W, b, p)`` batch gather target and persistent ``(W, d)`` momentum
+  stacks are reused across every round of the run;
+* **single-pass forward/backward** — the honest-batch training loss and
+  the cohort gradients come from one
+  :meth:`repro.models.base.Model.loss_and_gradient_stack` call;
+* **in-place server updates** — the optimizer writes the parameter
+  buffer through :meth:`repro.optim.sgd.SGDOptimizer.step`'s ``out=``
+  path, and the loop reads :attr:`ParameterServer.parameters_view`
+  instead of per-round defensive copies;
+* **opt-in instrumentation** — :class:`StepResult` matrix payloads are
+  produced only under ``record=True``; the default training path copies
+  nothing it does not report.
+
+Every elementary float operation happens in the same order as the
+per-round path, so fused execution is *bit-identical* to
+``Cluster.step`` — the golden-trace suite replays the committed traces
+through the engine unmodified.  Configurations the fused pipeline does
+not cover (per-example clipping, custom worker/sampler/mechanism
+subclasses, heterogeneous cohorts) simply report
+``supports_fused == False`` and the caller steps per round; correctness
+never depends on the fast path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import AttackContext
+from repro.data.batching import BatchSampler
+from repro.distributed.cluster import Cluster, StepResult
+from repro.distributed.server import ParameterServer
+from repro.distributed.worker import HonestWorker
+from repro.exceptions import ConfigurationError
+from repro.metrics.history import TrainingHistory
+from repro.models.base import Model
+from repro.optim.sgd import SGDOptimizer
+from repro.privacy.mechanisms import (
+    GaussianMechanism,
+    LaplaceMechanism,
+    NoiseMechanism,
+)
+
+__all__ = ["RoundEngine", "default_block_rounds"]
+
+#: Target footprint of one block's pre-drawn RNG buffers (noise and
+#: batch indices).  Blocks are sized so the pre-draw stays cache-warm
+#: instead of ballooning on large-d configurations.
+_BLOCK_BYTES = 8 << 20
+
+#: Hard cap on rounds per block; past this the amortisation is flat.
+_MAX_BLOCK_ROUNDS = 256
+
+
+def default_block_rounds(
+    num_workers: int, dimension: int, batch_size: int, num_noised: int
+) -> int:
+    """Rounds per fused block for a cohort of the given shape."""
+    per_round = 8 * (num_noised * dimension + num_workers * batch_size)
+    return int(np.clip(_BLOCK_BYTES // max(per_round, 1), 1, _MAX_BLOCK_ROUNDS))
+
+
+class RoundEngine:
+    """Fused executor for a :class:`~repro.distributed.cluster.Cluster`.
+
+    Built lazily by :attr:`Cluster.engine`; holds the preallocated
+    buffers and the cohort's static configuration.  :meth:`run`
+    executes fused blocks; eligibility is a pure function of the
+    cluster's configuration, exposed as :attr:`supports_fused` /
+    :attr:`fused_unsupported_reason`.
+    """
+
+    def __init__(self, cluster):
+        self._cluster = cluster
+        self._workers = list(cluster._honest_workers)
+        self._server = cluster._server
+        self._network = cluster._network
+        self._attack = cluster._attack
+        self._attack_rng = cluster._attack_rng
+        self._num_byzantine = cluster._num_byzantine
+        self._reason = self._probe()
+        self._buffers_ready = False
+
+    # ------------------------------------------------------------------
+    # eligibility
+    # ------------------------------------------------------------------
+
+    def _probe(self) -> str | None:
+        """Why the fused path cannot run, or ``None`` when it can."""
+        workers = self._workers
+        for worker in workers:
+            cls = type(worker)
+            if cls.compute is not HonestWorker.compute or cls._finish is not HonestWorker._finish:
+                return f"worker subclass {cls.__name__} overrides the pipeline"
+            sampler = worker._sampler
+            if not isinstance(sampler, BatchSampler) or (
+                type(sampler).sample is not BatchSampler.sample
+                or type(sampler).sample_indices is not BatchSampler.sample_indices
+            ):
+                return f"sampler {type(sampler).__name__} overrides sampling"
+            mechanism = worker._mechanism
+            if mechanism is not None:
+                if not isinstance(mechanism, NoiseMechanism) or (
+                    type(mechanism).privatize is not NoiseMechanism.privatize
+                ):
+                    return f"mechanism {type(mechanism).__name__} overrides privatize"
+                reason = self._probe_mechanism(mechanism)
+                if reason is not None:
+                    return reason
+            if worker._clip_mode != "batch":
+                return "per-example clipping is not fused"
+        # The blockwise pre-draw consumes each stream in one run, which
+        # only reproduces the per-round interleaving when every consumed
+        # stream is private.  A bit generator shared between any two
+        # consumed roles (sampler/noise/attack, same worker or across
+        # workers — even via distinct Generator wrappers) would be read
+        # in a different order, so such cohorts step per round.
+        # Never-consumed streams (the noise rng of a worker without a
+        # mechanism) are exempt on both paths.
+        consumed = [worker._sampler._rng for worker in workers]
+        consumed += [
+            worker._noise_rng for worker in workers if worker._mechanism is not None
+        ]
+        if self._attack_rng is not None:
+            consumed.append(self._attack_rng)
+        streams = {id(generator.bit_generator) for generator in consumed}
+        if len(streams) != len(consumed):
+            return "workers share RNG streams"
+        if type(self._cluster).step is not Cluster.step:
+            return f"cluster {type(self._cluster).__name__} overrides step"
+        model = workers[0]._model
+        if any(w._model is not model for w in workers):
+            return "heterogeneous cohort models"
+        reason = self._probe_model(model)
+        if reason is not None:
+            return reason
+        # The in-place update path goes through ParameterServer.step's
+        # in_place= branch and SGDOptimizer.step's out= branch; a
+        # subclass overriding either would be bypassed (or silently
+        # ignore out=), so such servers step per round.
+        server = self._server
+        if type(server).step is not ParameterServer.step:
+            return f"server {type(server).__name__} overrides step"
+        if type(server._optimizer).step is not SGDOptimizer.step:
+            return (
+                f"optimizer {type(server._optimizer).__name__} overrides step"
+            )
+        batch_size = workers[0]._sampler.batch_size
+        if any(w._sampler.batch_size != batch_size for w in workers):
+            return "heterogeneous batch sizes"
+        first = workers[0]._sampler.dataset
+        feature_shape = first.features.shape[1:]
+        label_shape = first.labels.shape[1:]
+        for worker in workers:
+            dataset = worker._sampler.dataset
+            if (
+                dataset.features.shape[1:] != feature_shape
+                or dataset.labels.shape[1:] != label_shape
+                or dataset.features.dtype != first.features.dtype
+                or dataset.labels.dtype != first.labels.dtype
+            ):
+                return "heterogeneous dataset shapes"
+        return None
+
+    @staticmethod
+    def _probe_mechanism(mechanism) -> str | None:
+        """Reject mechanisms whose inherited vectorized block draw would
+        bypass an overridden ``sample_noise``.
+
+        The generic :meth:`NoiseMechanism.sample_noise_block` performs
+        the sequential draws itself, so it honours any ``sample_noise``
+        override; the Gaussian/Laplace vectorized blocks are only
+        equivalent to *their own* ``sample_noise``.  A subclass that
+        overrides ``sample_noise_block`` itself owns the equivalence
+        contract (documented on the method) and is accepted.
+        """
+        cls = type(mechanism)
+        for family in (GaussianMechanism, LaplaceMechanism):
+            if (
+                cls.sample_noise_block is family.sample_noise_block
+                and cls.sample_noise is not family.sample_noise
+            ):
+                return (
+                    f"mechanism {cls.__name__} overrides sample_noise but "
+                    "inherits the vectorized block draw"
+                )
+        return None
+
+    @staticmethod
+    def _probe_model(model) -> str | None:
+        """Reject models whose inherited single-pass stack would bypass
+        overridden ``gradient_stack`` / ``loss_stack`` methods.
+
+        The base :meth:`Model.loss_and_gradient_stack` delegates to
+        ``self.loss_stack`` / ``self.gradient_stack``, so it honours any
+        override.  A model that inherits a *single-pass* implementation
+        (linear, logistic) while overriding the two-pass methods — or
+        the augmentation hooks the fused path substitutes — would train
+        with the parent's formulas on the fused path only; those cohorts
+        step per round instead.
+        """
+
+        def defining_class(name):
+            for klass in type(model).__mro__:
+                if name in vars(klass):
+                    return klass
+            return None
+
+        owner = defining_class("loss_and_gradient_stack")
+        if owner is Model:
+            return None  # delegating implementation: overrides are honoured
+        checked = ["gradient_stack", "loss_stack"]
+        if model.supports_augmented_stack:
+            checked += ["augment_features", "_augment_stack"]
+        for name in checked:
+            if defining_class(name) is not owner:
+                return (
+                    f"model {type(model).__name__} overrides {name} but "
+                    f"inherits {owner.__name__}.loss_and_gradient_stack"
+                )
+        return None
+
+    @property
+    def supports_fused(self) -> bool:
+        """Whether :meth:`run` may execute this cohort."""
+        return self._reason is None
+
+    @property
+    def fused_unsupported_reason(self) -> str | None:
+        """Human-readable reason the fused path is unavailable."""
+        return self._reason
+
+    @property
+    def cohort_model(self) -> Model:
+        """The model the cohort computes (and the engine records) with."""
+        return self._workers[0]._model
+
+    # ------------------------------------------------------------------
+    # buffers
+    # ------------------------------------------------------------------
+
+    def _ensure_buffers(self) -> None:
+        if self._buffers_ready:
+            return
+        workers = self._workers
+        num_honest = len(workers)
+        dimension = int(self._server.parameters_view.shape[0])
+        batch_size = workers[0]._sampler.batch_size
+        first = workers[0]._sampler.dataset
+        n = num_honest + self._num_byzantine
+
+        self._dimension = dimension
+        self._batch_size = batch_size
+        self._model = workers[0]._model
+        self._all_gradients = np.zeros((n, dimension), dtype=np.float64)
+        # Shared-dataset cohorts (the paper's "shared" distribution)
+        # gather all workers' batches with one indexed take.  The take
+        # runs with ``mode='clip'`` into preallocated buffers: sampler
+        # indices are always in range, so clipping is value-identical,
+        # and it selects take's unbuffered fast path (the default
+        # ``mode='raise'`` with ``out=`` is ~3x slower) while keeping
+        # the gather target cache-warm across rounds.
+        self._shared_dataset = (
+            first
+            if all(w._sampler.dataset is first for w in workers)
+            else None
+        )
+        # Linear-family models: append the bias column to each dataset
+        # once, so no round re-concatenates it (the gathered rows are
+        # bit-identical to augmenting the gathered raw rows).
+        self._augmented = bool(self._model.supports_augmented_stack)
+        if self._augmented:
+            caches: dict[int, np.ndarray] = {}
+            self._feature_sources = []
+            for worker in workers:
+                dataset = worker._sampler.dataset
+                key = id(dataset)
+                if key not in caches:
+                    caches[key] = self._model.augment_features(dataset.features)
+                self._feature_sources.append(caches[key])
+            self._raw_feature_width = int(first.features.shape[1])
+        else:
+            self._feature_sources = [w._sampler.dataset.features for w in workers]
+            self._raw_feature_width = None
+        self._label_sources = [w._sampler.dataset.labels for w in workers]
+        self._features_buf = np.empty(
+            (num_honest, batch_size) + self._feature_sources[0].shape[1:],
+            dtype=self._feature_sources[0].dtype,
+        )
+        self._labels_buf = np.empty(
+            (num_honest, batch_size) + first.labels.shape[1:],
+            dtype=first.labels.dtype,
+        )
+        self._have_batches = False
+        self._g_max = np.array(
+            [np.inf if w._g_max is None else w._g_max for w in workers]
+        )
+        self._momenta = np.array([w._momentum for w in workers])
+        self._momentum_mask = self._momenta > 0.0
+        self._any_momentum = bool(self._momentum_mask.any())
+        self._all_momentum = bool(self._momentum_mask.all())
+        self._noised_indices = [
+            index for index, w in enumerate(workers) if w._mechanism is not None
+        ]
+        self._all_noised = len(self._noised_indices) == num_honest
+        self._any_noised = bool(self._noised_indices)
+        if self._any_momentum:
+            self._velocity_submitted = np.zeros((num_honest, dimension))
+            self._velocity_clean = np.zeros((num_honest, dimension))
+            self._momenta_col = self._momenta[:, None]
+        self._buffers_ready = True
+
+    def _import_velocities(self) -> None:
+        """Load the workers' live momentum buffers into the stacks."""
+        for index, worker in enumerate(self._workers):
+            if not self._momentum_mask[index]:
+                continue
+            if worker._velocity_submitted is None:
+                self._velocity_submitted[index] = 0.0
+                self._velocity_clean[index] = 0.0
+            else:
+                self._velocity_submitted[index] = worker._velocity_submitted
+                self._velocity_clean[index] = worker._velocity_clean
+
+    def _export_state(self) -> None:
+        """Write engine-held per-worker state back onto the workers."""
+        for index, worker in enumerate(self._workers):
+            if self._any_momentum and self._momentum_mask[index]:
+                worker._velocity_submitted = self._velocity_submitted[index].copy()
+                worker._velocity_clean = self._velocity_clean[index].copy()
+            if self._have_batches:
+                # The gather buffers are reused next round, so the
+                # workers get copies; on the augmented path the bias
+                # column is sliced back off.
+                features = self._features_buf[index]
+                if self._augmented:
+                    features = features[:, : self._raw_feature_width]
+                worker._last_batch = (
+                    features.copy(),
+                    self._labels_buf[index].copy(),
+                )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        num_rounds: int,
+        *,
+        model: Model | None = None,
+        history: TrainingHistory | None = None,
+        record: bool = False,
+        block_size: int | None = None,
+    ):
+        """Execute ``num_rounds`` fused rounds; returns the last round's
+        :class:`~repro.distributed.cluster.StepResult`.
+
+        ``history`` enables per-round honest-batch loss recording (the
+        same quantity, bit for bit, that
+        :func:`repro.pipeline.loop.record_honest_loss` records on the
+        per-round path).  The loss always comes from the cohort's own
+        shared forward pass, so a ``model`` argument, when given, must
+        be :attr:`cohort_model` — a different probe model would record
+        a different loss than the caller asked for, which the engine
+        refuses rather than silently substituting.  ``record=True``
+        attaches copied
+        ``honest_submitted`` / ``honest_clean`` matrices to the returned
+        result; the default allocates no instrumentation.
+
+        Worker-visible state (momentum buffers, ``last_batch``) is
+        synchronised at the end of the run — and on divergence — so a
+        fused run leaves the cluster exactly where the per-round path
+        would have.
+        """
+        if self._reason is not None:
+            raise ConfigurationError(
+                f"fused execution unavailable: {self._reason}"
+            )
+        if num_rounds < 1:
+            raise ConfigurationError(f"num_rounds must be >= 1, got {num_rounds}")
+        if block_size is not None and block_size < 1:
+            raise ConfigurationError(f"block_size must be >= 1, got {block_size}")
+        if model is not None and model is not self.cohort_model:
+            raise ConfigurationError(
+                "the fused engine records loss with the cohort's own model; "
+                "pass model=None or the workers' model"
+            )
+        self._ensure_buffers()
+        workers = self._workers
+        if block_size is None:
+            block_size = default_block_rounds(
+                len(workers),
+                self._dimension,
+                self._batch_size,
+                len(self._noised_indices),
+            )
+        if self._any_momentum:
+            self._import_velocities()
+        index_blocks = [None] * len(workers)
+        noise_blocks = [None] * len(workers)
+        result = None
+        remaining = int(num_rounds)
+        self._rounds_executed = 0
+        # Loss recording is deferred per block: each round parks its
+        # (W,) cohort losses and the whole block's means are computed
+        # with one axis reduction — bit-identical to the per-round
+        # ``float(np.mean(...))`` (same pairwise summation per
+        # contiguous row), pinned by the property suite.
+        pending_losses: list[tuple[int, np.ndarray]] = []
+
+        def flush_losses() -> None:
+            if not pending_losses:
+                return
+            means = np.stack([losses for _, losses in pending_losses]).mean(axis=1)
+            for (step, _), mean in zip(pending_losses, means):
+                history.record_loss(step, float(mean))
+            pending_losses.clear()
+
+        try:
+            while remaining > 0:
+                rounds = min(remaining, block_size)
+                # Blockwise pre-draw: every worker's private streams are
+                # consumed exactly as the per-round path would, just all
+                # at once (see module docstring).
+                for index, worker in enumerate(workers):
+                    index_blocks[index] = worker._sampler.sample_index_block(rounds)
+                    if worker._mechanism is not None:
+                        noise_blocks[index] = worker._mechanism.sample_noise_block(
+                            rounds, self._dimension, worker._noise_rng
+                        )
+                if self._shared_dataset is not None:
+                    # (R, W, b): round r's whole-cohort gather is one
+                    # fancy index with block_indices[r].
+                    block_indices = np.stack(index_blocks, axis=1)
+                else:
+                    block_indices = None
+                if self._all_noised:
+                    # (R, W, d): round r's cohort noise is one slice, so
+                    # the round loop adds it with a single ufunc call.
+                    noise_stack = np.stack(noise_blocks, axis=1)
+                else:
+                    noise_stack = None
+                for r in range(rounds):
+                    is_last = remaining == rounds and r == rounds - 1
+                    round_result = self._fused_round(
+                        index_blocks,
+                        block_indices,
+                        noise_blocks,
+                        noise_stack,
+                        r,
+                        pending_losses if history is not None else None,
+                        record=record,
+                        build_result=is_last,
+                    )
+                    if round_result is not None:
+                        result = round_result
+                flush_losses()
+                remaining -= rounds
+        finally:
+            # Divergence can abort mid-block; worker-visible state and
+            # the recorded losses are synchronised for exactly the
+            # rounds that did run (matching the per-round path, which
+            # never records the diverging round's loss).
+            flush_losses()
+            if self._rounds_executed > 0:
+                self._export_state()
+        return result
+
+    def _fused_round(
+        self,
+        index_blocks,
+        block_indices,
+        noise_blocks,
+        noise_stack,
+        r: int,
+        pending_losses: list | None,
+        record: bool,
+        build_result: bool,
+    ):
+        cluster = self._cluster
+        workers = self._workers
+        server = self._server
+        num_honest = len(workers)
+        cluster._step += 1
+        self._rounds_executed += 1
+        step = cluster._step
+        parameters = server.parameters_view
+
+        # Batch gather into the warm preallocated buffers: one indexed
+        # take for the whole cohort on shared data, per-worker takes on
+        # sharded data.  Sources carry the pre-appended bias column
+        # when the model supports it; ``mode='clip'`` is exact for the
+        # always-in-range sampler indices (see ``_ensure_buffers``).
+        features = self._features_buf
+        labels = self._labels_buf
+        if block_indices is not None:
+            round_indices = block_indices[r]
+            np.take(
+                self._feature_sources[0], round_indices, axis=0,
+                out=features, mode="clip",
+            )
+            np.take(
+                self._label_sources[0], round_indices, axis=0,
+                out=labels, mode="clip",
+            )
+        else:
+            for index in range(num_honest):
+                np.take(
+                    self._feature_sources[index], index_blocks[index][r], axis=0,
+                    out=features[index], mode="clip",
+                )
+                np.take(
+                    self._label_sources[index], index_blocks[index][r], axis=0,
+                    out=labels[index], mode="clip",
+                )
+        self._have_batches = True
+
+        # Forward/backward: one shared pass for the round's loss and
+        # cohort gradients.
+        if self._augmented:
+            losses, gradients = self._model.loss_and_gradient_stack(
+                parameters, features, labels, augmented=True
+            )
+        else:
+            losses, gradients = self._model.loss_and_gradient_stack(
+                parameters, features, labels
+            )
+        clean = np.asarray(gradients, dtype=np.float64)
+
+        # Batched clip — the identical operations compute_cohort runs.
+        norms = np.sqrt(np.einsum("wd,wd->w", clean, clean))
+        exceeds = norms > self._g_max
+        if exceeds.any():
+            clean[exceeds] *= (self._g_max[exceeds] / norms[exceeds])[:, None]
+
+        # DP noise from the pre-drawn block, written straight into the
+        # wire matrix (rows without a mechanism carry the clean row).
+        submitted = self._all_gradients[:num_honest]
+        if noise_stack is not None:
+            np.add(clean, noise_stack[r], out=submitted)
+        else:
+            submitted[:] = clean
+            for index in self._noised_indices:
+                np.add(clean[index], noise_blocks[index][r], out=submitted[index])
+
+        # Momentum on the persistent stacks (v <- m v; v <- v + g).
+        if self._any_momentum:
+            self._velocity_submitted *= self._momenta_col
+            self._velocity_submitted += submitted
+            self._velocity_clean *= self._momenta_col
+            self._velocity_clean += clean
+            if self._all_momentum:
+                submitted[:] = self._velocity_submitted
+                clean[:] = self._velocity_clean
+            else:
+                mask = self._momentum_mask
+                submitted[mask] = self._velocity_submitted[mask]
+                clean[mask] = self._velocity_clean[mask]
+
+        byzantine_gradient = None
+        if self._num_byzantine > 0:
+            # The context gets fresh per-round copies, exactly like the
+            # per-round path: an attack may legally retain its context
+            # across rounds (adaptive attacks), and handing it views of
+            # the engine's reused buffers would silently rewrite what it
+            # retained.  Two (W, d) copies per attacked round is noise
+            # next to the craft itself.
+            context = AttackContext(
+                step=step,
+                honest_submitted=submitted.copy(),
+                honest_clean=clean.copy(),
+                parameters=parameters.copy(),
+                num_byzantine=self._num_byzantine,
+                rng=self._attack_rng,
+            )
+            byzantine_gradient = np.asarray(
+                self._attack.craft(context), dtype=np.float64
+            )
+            if byzantine_gradient.shape != parameters.shape:
+                raise ConfigurationError(
+                    f"attack produced shape {byzantine_gradient.shape}, "
+                    f"expected {parameters.shape}"
+                )
+            self._all_gradients[num_honest:] = byzantine_gradient
+
+        delivered = self._network.deliver(self._all_gradients, step)
+        aggregated = server.step(delivered, in_place=True)
+
+        if pending_losses is not None:
+            # Parked only after a successful server update, exactly as
+            # the per-round path never records a diverging round.
+            pending_losses.append((step, losses))
+
+        if not build_result:
+            return None
+        return StepResult(
+            step=step,
+            aggregated=aggregated,
+            honest_submitted=submitted.copy() if record else None,
+            honest_clean=clean.copy() if record else None,
+            byzantine_gradient=byzantine_gradient,
+        )

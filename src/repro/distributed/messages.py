@@ -43,6 +43,11 @@ class WorkerSubmission:
         The clipped gradient before DP noise — used for the omniscient
         attack view and for VN-ratio instrumentation; never visible to
         the server.
+
+    Both fields may *borrow* worker-owned buffers (they alias each
+    other when no DP noise is injected, and alias the live momentum
+    buffers when worker momentum is on): read or copy them before the
+    owning worker's next ``compute``.
     """
 
     submitted: Vector

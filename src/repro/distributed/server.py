@@ -49,6 +49,17 @@ class ParameterServer:
         return self._parameters.copy()
 
     @property
+    def parameters_view(self) -> Vector:
+        """The live parameter buffer, *without* the defensive copy.
+
+        For the fused round engine's hot loop only: the array is
+        mutated in place by every in-place server step, so callers must
+        treat it as read-only and must not retain it across rounds.
+        Everyone else should read :attr:`parameters`.
+        """
+        return self._parameters
+
+    @property
     def gar(self) -> GAR:
         """The configured aggregation rule."""
         return self._gar
@@ -71,7 +82,7 @@ class ParameterServer:
         """
         return list(self._received_log)
 
-    def step(self, gradients: Matrix, update_scale: float = 1.0) -> Vector:
+    def step(self, gradients: Matrix, update_scale: float = 1.0, *, in_place: bool = False) -> Vector:
         """One round: aggregate ``gradients`` and update the parameters.
 
         Returns the aggregated gradient (before the optimizer update),
@@ -82,6 +93,13 @@ class ParameterServer:
         policies use it for staleness-weighted damping; the default of
         1.0 takes a scale-free path, so synchronous training is
         bit-identical to the historical behaviour.
+
+        ``in_place=True`` routes the optimizer update through
+        :meth:`repro.optim.sgd.SGDOptimizer.step`'s ``out=`` path, so
+        the round allocates no new parameter vector.  The update is
+        bit-identical to the allocating path; previously handed-out
+        :attr:`parameters` copies are unaffected, but
+        :attr:`parameters_view` readers observe the mutation.
         """
         matrix = np.asarray(gradients, dtype=np.float64)
         if matrix.ndim != 2 or matrix.shape[0] != self._gar.n:
@@ -96,7 +114,10 @@ class ParameterServer:
             self._received_log.append(matrix.copy())
         aggregated = self._gar.aggregate(matrix)
         update = aggregated if update_scale == 1.0 else update_scale * aggregated
-        self._parameters = self._optimizer.step(self._parameters, update)
+        if in_place:
+            self._optimizer.step(self._parameters, update, out=self._parameters)
+        else:
+            self._parameters = self._optimizer.step(self._parameters, update)
         self._step += 1
         return aggregated
 

@@ -152,21 +152,33 @@ class HonestWorker:
             if self._g_max is not None:
                 gradient = clip_by_l2_norm(gradient, self._g_max)
 
-        clean = np.array(gradient, dtype=np.float64, copy=True)
+        # The model hands back a fresh array (clipping at most rescales
+        # it), so owning it needs no copy — only a dtype guarantee.
+        clean = np.asarray(gradient, dtype=np.float64)
         if self._mechanism is not None:
             noisy = self._mechanism.privatize(clean, self._noise_rng)
         else:
-            noisy = clean.copy()
+            # No noise: the wire vector *is* the clean gradient.  Both
+            # submission fields share the one array; consumers stack or
+            # copy before mutating.
+            noisy = clean
 
         if self._momentum > 0.0:
             if self._velocity_submitted is None:
                 self._velocity_submitted = np.zeros_like(noisy)
                 self._velocity_clean = np.zeros_like(clean)
-            self._velocity_submitted = self._momentum * self._velocity_submitted + noisy
-            self._velocity_clean = self._momentum * self._velocity_clean + clean
+            # In-place accumulation: v <- m*v, v <- v + g — the same
+            # elementwise operations as the allocating form, without the
+            # two fresh buffers and two copies per round.  The returned
+            # submission borrows the live buffers; they are stable until
+            # this worker's next compute.
+            self._velocity_submitted *= self._momentum
+            self._velocity_submitted += noisy
+            self._velocity_clean *= self._momentum
+            self._velocity_clean += clean
             return WorkerSubmission(
-                submitted=self._velocity_submitted.copy(),
-                clean=self._velocity_clean.copy(),
+                submitted=self._velocity_submitted,
+                clean=self._velocity_clean,
             )
         return WorkerSubmission(submitted=noisy, clean=clean)
 
@@ -281,7 +293,10 @@ def compute_cohort(
 
     # DP noise per worker: each stream is private, so the draws stay
     # sequential, but each is already vectorized over the dimension.
-    submitted = clean.copy()
+    # When every worker injects noise the loop overwrites every row, so
+    # seeding the matrix with a copy of ``clean`` would be pure waste.
+    all_noised = all(w._mechanism is not None for w in workers)
+    submitted = np.empty_like(clean) if all_noised else clean.copy()
     for index, worker in enumerate(workers):
         if worker._mechanism is not None:
             submitted[index] = worker._mechanism.privatize(
@@ -292,28 +307,20 @@ def compute_cohort(
     with_momentum = momenta > 0.0
     if with_momentum.any():
         dimension = clean.shape[1]
-        velocity_submitted = np.stack(
-            [
-                w._velocity_submitted
-                if w._velocity_submitted is not None
-                else np.zeros(dimension)
-                for w in workers
-            ]
-        )
-        velocity_clean = np.stack(
-            [
-                w._velocity_clean
-                if w._velocity_clean is not None
-                else np.zeros(dimension)
-                for w in workers
-            ]
-        )
-        velocity_submitted = momenta[:, None] * velocity_submitted + submitted
-        velocity_clean = momenta[:, None] * velocity_clean + clean
+        # Masked in-place accumulation directly on each worker's buffer
+        # (v <- m*v, v <- v + g: the same elementwise operations as the
+        # stacked form) and row writes into the round matrices — no
+        # stacked velocity copies, no full-matrix ``np.where``.
         for index, worker in enumerate(workers):
-            if with_momentum[index]:
-                worker._velocity_submitted = velocity_submitted[index].copy()
-                worker._velocity_clean = velocity_clean[index].copy()
-        submitted = np.where(with_momentum[:, None], velocity_submitted, submitted)
-        clean = np.where(with_momentum[:, None], velocity_clean, clean)
+            if not with_momentum[index]:
+                continue
+            if worker._velocity_submitted is None:
+                worker._velocity_submitted = np.zeros(dimension)
+                worker._velocity_clean = np.zeros(dimension)
+            worker._velocity_submitted *= worker._momentum
+            worker._velocity_submitted += submitted[index]
+            worker._velocity_clean *= worker._momentum
+            worker._velocity_clean += clean[index]
+            submitted[index] = worker._velocity_submitted
+            clean[index] = worker._velocity_clean
     return submitted, clean

@@ -166,6 +166,27 @@ def krum_scores_from_sq_distances(sq_distances: np.ndarray, f: int) -> np.ndarra
     return nearest.sum(axis=-1)
 
 
+def select_best_by_score_then_value(scores: np.ndarray, gradients: Matrix) -> int:
+    """Index of the best row: ``rank_by_score_then_value(...)[0]``.
+
+    Classic Krum (``m = 1``) only needs the winner, so the full stable
+    argsort — and the scan over every non-winning tie run — is wasted
+    work on the hot path.  Equivalence: the stable argsort places the
+    minimal-score rows first in submission order, and the tie handler
+    re-ranks exactly that run lexicographically; selecting the
+    lexicographically-smallest row among the minimal scores (submission
+    order when they are fully identical) returns the same index.
+    """
+    scores = np.asarray(scores)
+    tied = np.flatnonzero(scores == scores.min())
+    if tied.size == 1:
+        return int(tied[0])
+    rows = gradients[tied]
+    if (rows == rows[0]).all():
+        return int(tied[0])
+    return int(tied[np.lexsort(rows.T[::-1])[0]])
+
+
 def rank_by_score_then_value(scores: np.ndarray, gradients: Matrix) -> np.ndarray:
     """Indices sorted by score, breaking exact ties lexicographically.
 
@@ -193,6 +214,12 @@ def rank_by_score_then_value(scores: np.ndarray, gradients: Matrix) -> np.ndarra
                 stop += 1
             block = order[start:stop]
             rows = gradients[block]
+            if (rows == rows[0]).all():
+                # Fully identical rows keep submission order — exactly
+                # what a stable lexsort over equal keys returns, minus
+                # the d-key sort.  This is every attacked round's tie
+                # run (the f Byzantine submissions are one vector).
+                continue
             # lexsort keys are least-significant first: feed the columns
             # reversed so column 0 is the primary key.
             order[start:stop] = block[np.lexsort(rows.T[::-1])]

@@ -21,6 +21,7 @@ from repro.gars.kernels import (
     krum_scores_from_sq_distances,
     pairwise_sq_distances,
     rank_by_score_then_value,
+    select_best_by_score_then_value,
 )
 from repro.typing import GradientStack, Matrix, Vector
 
@@ -69,9 +70,10 @@ class KrumGAR(GAR):
 
     def _aggregate(self, gradients: Matrix) -> Vector:
         scores = krum_scores(gradients, self._f)
-        order = rank_by_score_then_value(scores, gradients)
         if self._m == 1:
-            return gradients[int(order[0])].copy()
+            # Winner-only selection; bit-identical to rank[...][0].
+            return gradients[select_best_by_score_then_value(scores, gradients)].copy()
+        order = rank_by_score_then_value(scores, gradients)
         return gradients[order[: self._m]].mean(axis=0)
 
     def _aggregate_batch(self, stack: GradientStack) -> np.ndarray:
@@ -82,9 +84,9 @@ class KrumGAR(GAR):
         )
         out = np.empty((stack.shape[0], stack.shape[2]))
         for index, (matrix, row_scores) in enumerate(zip(stack, scores)):
-            order = rank_by_score_then_value(row_scores, matrix)
             if self._m == 1:
-                out[index] = matrix[int(order[0])]
+                out[index] = matrix[select_best_by_score_then_value(row_scores, matrix)]
             else:
+                order = rank_by_score_then_value(row_scores, matrix)
                 out[index] = matrix[order[: self._m]].mean(axis=0)
         return out

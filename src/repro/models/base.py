@@ -44,6 +44,26 @@ class Model(ABC):
     #: Registry name, set by each subclass (e.g. ``"logistic"``).
     name: str = "abstract"
 
+    #: Whether this model accepts *pre-augmented* feature stacks in
+    #: :meth:`loss_and_gradient_stack` (``augmented=True``) together
+    #: with an :meth:`augment_features` precompute.  The fused round
+    #: engine uses this to append the bias column to a dataset once
+    #: instead of re-concatenating it every round.  Only the
+    #: linear-family models (whose augmentation is a constant bias
+    #: column) opt in.
+    supports_augmented_stack: bool = False
+
+    def augment_features(self, features: np.ndarray) -> np.ndarray:
+        """Precompute the model's augmented feature matrix.
+
+        Only meaningful when :attr:`supports_augmented_stack` is true;
+        rows of the result gathered into a ``(W, b, d)`` stack must be
+        bit-identical to augmenting the gathered raw rows.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support pre-augmented stacks"
+        )
+
     @property
     @abstractmethod
     def dimension(self) -> int:
@@ -105,6 +125,27 @@ class Model(ABC):
                 self.loss(parameters, features, labels)
                 for features, labels in zip(features_stack, labels_stack)
             ]
+        )
+
+    def loss_and_gradient_stack(
+        self,
+        parameters: Vector,
+        features_stack: np.ndarray,
+        labels_stack: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Both :meth:`loss_stack` and :meth:`gradient_stack` in one pass.
+
+        Returns ``(losses, gradients)`` with shapes ``(W,)`` and
+        ``(W, d)``, exactly equal (bit for bit) to calling the two
+        methods separately — the fused round engine uses this to score
+        and differentiate a round's cohort batches without running the
+        forward contraction twice.  Models with a shared forward pass
+        (linear, logistic) override it to compute the augmented stack
+        and the logits once; the base implementation simply delegates.
+        """
+        return (
+            self.loss_stack(parameters, features_stack, labels_stack),
+            self.gradient_stack(parameters, features_stack, labels_stack),
         )
 
     def initial_parameters(self, rng: np.random.Generator | None = None) -> Vector:

@@ -94,6 +94,42 @@ class LinearRegressionModel(Model):
         residuals = self._augment_stack(features_stack) @ parameters - labels_stack
         return 0.5 * np.mean(residuals**2, axis=1)
 
+    supports_augmented_stack = True
+
+    def augment_features(self, features: np.ndarray) -> np.ndarray:
+        """``(N, p) -> (N, p + 1)``: the bias column appended once
+        (:meth:`_augment` applied to the whole dataset)."""
+        return self._augment(features)
+
+    def loss_and_gradient_stack(
+        self,
+        parameters: Vector,
+        features_stack: np.ndarray,
+        labels_stack: np.ndarray,
+        *,
+        augmented: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        # Shared forward pass (augment + residuals computed once); the
+        # loss and gradient expressions are the verbatim bodies of
+        # loss_stack / gradient_stack, so the pair is bit-identical to
+        # the two separate calls.  ``augmented=True``: see the logistic
+        # twin.
+        parameters = self._check_parameters(parameters)
+        labels_stack = np.asarray(labels_stack, dtype=np.float64)
+        if augmented:
+            if features_stack.shape[2] != self.dimension:
+                raise ValueError(
+                    f"augmented stack must have {self.dimension} columns, "
+                    f"got {features_stack.shape}"
+                )
+            augmented_stack = features_stack
+        else:
+            augmented_stack = self._augment_stack(features_stack)  # (W, b, d)
+        residuals = augmented_stack @ parameters - labels_stack  # (W, b)
+        losses = 0.5 * np.mean(residuals**2, axis=1)
+        gradients = np.einsum("wbd,wb->wd", augmented_stack, residuals) / labels_stack.shape[1]
+        return losses, gradients
+
     def solve_exact(self, features: np.ndarray, labels: np.ndarray) -> Vector:
         """Closed-form least-squares optimum (pseudo-inverse)."""
         augmented = self._augment(features)

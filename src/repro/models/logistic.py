@@ -24,13 +24,20 @@ __all__ = ["LogisticRegressionModel", "sigmoid"]
 
 
 def sigmoid(z: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic sigmoid."""
-    out = np.empty_like(z, dtype=np.float64)
-    positive = z >= 0
-    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
-    exp_z = np.exp(z[~positive])
-    out[~positive] = exp_z / (1.0 + exp_z)
-    return out
+    """Numerically stable logistic sigmoid.
+
+    Branch-free evaluation of the classic two-branch form: with
+    ``e = exp(-|z|)``, positive inputs get ``1 / (1 + e)`` (identical to
+    ``1 / (1 + exp(-z))`` since ``-|z| == -z`` there) and negative
+    inputs get ``e / (1 + e)`` (identical to ``exp(z) / (1 + exp(z))``).
+    Every element's value is bit-identical to the branchy original; the
+    ``where`` select just avoids the four boolean gather/scatter passes
+    on the hot path.
+    """
+    z = np.asarray(z, dtype=np.float64)
+    exp_neg = np.exp(-np.abs(z))
+    denominator = 1.0 + exp_neg
+    return np.where(z >= 0, 1.0 / denominator, exp_neg / denominator)
 
 
 class LogisticRegressionModel(Model):
@@ -156,6 +163,58 @@ class LogisticRegressionModel(Model):
             + (1.0 - labels_stack) * np.log(1.0 - clipped),
             axis=1,
         )
+
+    supports_augmented_stack = True
+
+    def augment_features(self, features: np.ndarray) -> np.ndarray:
+        """``(N, p) -> (N, p + 1)``: the bias column appended once.
+
+        Rows gathered from the result are bit-identical to augmenting
+        the gathered raw rows (the appended constant is exact); the
+        whole-dataset precompute is just :meth:`_augment` applied once.
+        """
+        return self._augment(features)
+
+    def loss_and_gradient_stack(
+        self,
+        parameters: Vector,
+        features_stack: np.ndarray,
+        labels_stack: np.ndarray,
+        *,
+        augmented: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        # Shared forward pass: augmenting and the (W, b, d) @ (d,)
+        # contraction run once.  The loss and gradient formulas are the
+        # verbatim bodies of loss_stack / gradient_stack, so the pair is
+        # bit-identical to the two separate calls.  ``augmented=True``
+        # takes a stack whose bias column is already present (gathered
+        # from :meth:`augment_features`'s precompute — same values, the
+        # per-round concatenation skipped).
+        parameters = self._check_parameters(parameters)
+        labels_stack = np.asarray(labels_stack, dtype=np.float64)
+        if augmented:
+            if features_stack.shape[2] != self.dimension:
+                raise ValueError(
+                    f"augmented stack must have {self.dimension} columns, "
+                    f"got {features_stack.shape}"
+                )
+            augmented_stack = features_stack
+        else:
+            augmented_stack = self._augment_stack(features_stack)  # (W, b, d)
+        probabilities = sigmoid(augmented_stack @ parameters)  # (W, b)
+        if self._loss_kind == "mse":
+            losses = np.mean((probabilities - labels_stack) ** 2, axis=1)
+        else:
+            eps = 1e-12
+            clipped = np.clip(probabilities, eps, 1.0 - eps)
+            losses = -np.mean(
+                labels_stack * np.log(clipped)
+                + (1.0 - labels_stack) * np.log(1.0 - clipped),
+                axis=1,
+            )
+        factor = self._residual_factor(probabilities, labels_stack)
+        gradients = np.einsum("wbd,wb->wd", augmented_stack, factor) / labels_stack.shape[1]
+        return losses, gradients
 
     def predict(self, parameters: Vector, features: np.ndarray) -> np.ndarray:
         probabilities, _ = self._probabilities(parameters, features)

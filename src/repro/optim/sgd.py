@@ -54,6 +54,10 @@ class SGDOptimizer:
         self._nesterov = bool(nesterov)
         self._velocity: Vector | None = None
         self._step_count = 0
+        # Scratch buffers for the allocation-free ``out=`` path, lazily
+        # sized to the parameter dimension on first use.
+        self._direction_scratch: Vector | None = None
+        self._update_scratch: Vector | None = None
 
     @property
     def momentum(self) -> float:
@@ -79,14 +83,26 @@ class SGDOptimizer:
         """Clear velocity and the step counter."""
         self._velocity = None
         self._step_count = 0
+        self._direction_scratch = None
+        self._update_scratch = None
 
-    def step(self, parameters: Vector, gradient: Vector) -> Vector:
+    def step(self, parameters: Vector, gradient: Vector, out: Vector | None = None) -> Vector:
         """Apply one update and return the new parameter vector.
+
+        ``out``, when given, receives the updated parameters in place
+        (it may be ``parameters`` itself — the fused round engine passes
+        the server's live buffer) and no per-step arrays are allocated:
+        the velocity, the direction and the scaled update all land in
+        buffers owned by the optimizer.  Both paths perform the same
+        elementary float operations in the same order, so they are
+        bit-identical — the golden traces hold whichever path runs.
 
         Raises
         ------
         TrainingError
             If the update produces non-finite parameters (divergence).
+            On the ``out=`` path the buffer has already been updated
+            when this raises; a diverged run is dead either way.
         """
         parameters = np.asarray(parameters, dtype=np.float64)
         gradient = np.asarray(gradient, dtype=np.float64)
@@ -98,12 +114,33 @@ class SGDOptimizer:
         rate = self._schedule.rate(self._step_count)
         if self._velocity is None:
             self._velocity = np.zeros_like(parameters)
-        self._velocity = self._momentum * self._velocity + gradient
+        # In-place heavy-ball: v <- m*v, v <- v + g — the same two
+        # elementwise operations the allocating form performs.
+        self._velocity *= self._momentum
+        self._velocity += gradient
         if self._nesterov:
-            direction = self._momentum * self._velocity + gradient
+            if out is None:
+                direction = self._momentum * self._velocity + gradient
+            else:
+                if self._direction_scratch is None or self._direction_scratch.shape != parameters.shape:
+                    self._direction_scratch = np.empty_like(parameters)
+                np.multiply(self._velocity, self._momentum, out=self._direction_scratch)
+                self._direction_scratch += gradient
+                direction = self._direction_scratch
         else:
             direction = self._velocity
-        updated = parameters - rate * direction
+        if out is None:
+            updated = parameters - rate * direction
+        else:
+            if out.shape != parameters.shape:
+                raise ValueError(
+                    f"out shape {out.shape} does not match parameters {parameters.shape}"
+                )
+            if self._update_scratch is None or self._update_scratch.shape != parameters.shape:
+                self._update_scratch = np.empty_like(parameters)
+            np.multiply(direction, rate, out=self._update_scratch)
+            np.subtract(parameters, self._update_scratch, out=out)
+            updated = out
         if not np.all(np.isfinite(updated)):
             raise TrainingError(
                 f"parameters became non-finite at step {self._step_count}; "

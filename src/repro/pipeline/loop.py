@@ -108,11 +108,25 @@ class TrainingLoop:
         """The composed callback list."""
         return self._callbacks
 
-    def run(self, num_steps: int) -> LoopState:
+    def run(self, num_steps: int, record: bool | None = None) -> LoopState:
         """Run up to ``num_steps`` rounds; returns the final state.
 
         A callback returning True from ``should_stop`` ends the run
         before the next round and sets ``state.stopped_early``.
+
+        Routing: with no callbacks attached, eligible clusters execute
+        through the fused :class:`repro.distributed.engine.RoundEngine`
+        (blocks of rounds, preallocated buffers, blockwise RNG
+        pre-draw) — bit-identical to per-round stepping, including the
+        recorded losses.  Any attached callback falls back to per-round
+        stepping so ``should_stop`` / ``on_step_end`` fire with their
+        historical semantics.
+
+        ``record`` controls the :class:`StepResult` matrix payloads:
+        the default ``None`` produces them exactly when some attached
+        callback declares ``needs_step_matrices``; pass ``True`` to
+        force them (e.g. to read ``state.last_result.honest_submitted``
+        after a callback-free run) or ``False`` to suppress them.
         """
         if num_steps < 1:
             raise ConfigurationError(f"num_steps must be >= 1, got {num_steps}")
@@ -123,8 +137,25 @@ class TrainingLoop:
             callbacks=self._callbacks,
             num_steps=int(num_steps),
         )
-        honest_workers = self._cluster.honest_workers
         callbacks = self._callbacks
+        if record is None:
+            record = len(callbacks) > 0 and callbacks.needs_step_matrices
+        engine = getattr(self._cluster, "engine", None)
+        if (
+            len(callbacks) == 0
+            and engine is not None
+            and engine.supports_fused
+            # A probe model differing from the cohort's would record a
+            # different loss than the fused shared pass: step per round.
+            and engine.cohort_model is self._model
+        ):
+            callbacks.on_train_start(state)
+            state.last_result = engine.run(
+                num_steps, model=self._model, history=self._history, record=record
+            )
+            callbacks.on_train_end(state)
+            return state
+        honest_workers = self._cluster.honest_workers
         callbacks.on_train_start(state)
         for _ in range(num_steps):
             if callbacks.should_stop(state):
@@ -132,7 +163,7 @@ class TrainingLoop:
                 break
             callbacks.on_step_start(state)
             parameters_before = self._cluster.parameters
-            result = self._cluster.step()
+            result = self._cluster.step(record=record)
             state.last_result = result
             self._record_honest_loss(parameters_before, honest_workers)
             callbacks.on_step_end(state, result)

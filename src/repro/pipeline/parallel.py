@@ -25,6 +25,7 @@ from repro.pipeline.results import TrainingResult
 
 __all__ = [
     "TrainingJob",
+    "default_chunksize",
     "execute_job",
     "jobs_for_seeds",
     "map_tasks",
@@ -85,11 +86,25 @@ def run_jobs(
     return list(map_tasks(execute_job, jobs, max_workers=max_workers, chunksize=chunksize))
 
 
+def default_chunksize(num_tasks: int, pool_size: int) -> int:
+    """Heuristic pool chunk: about four chunks per worker process.
+
+    Swarms of tiny tasks (campaign smoke cells, micro-benchmarks) are
+    dominated by per-task IPC when ``chunksize=1``; batching ~4 chunks
+    per worker amortises that while still leaving enough chunks for the
+    pool to balance moderately uneven task durations.  Small task
+    counts degrade to 1, which is the old behaviour.
+    """
+    if num_tasks < 1 or pool_size < 1:
+        return 1
+    return max(1, num_tasks // (pool_size * 4))
+
+
 def map_tasks(
     function: Callable[[_Task], _Result],
     tasks: Iterable[_Task],
     max_workers: int | None = None,
-    chunksize: int = 1,
+    chunksize: int | None = 1,
     ordered: bool = True,
 ) -> Iterator[_Result]:
     """Apply ``function`` to ``tasks``, yielding results incrementally.
@@ -103,18 +118,27 @@ def map_tasks(
     never holds finished results hostage inside the pool.  ``function``
     must be a picklable module-level callable and each task's result
     independent of the others, which keeps all paths bit-identical.
+
+    ``chunksize`` controls how many tasks a pool worker claims at once:
+    an explicit integer is passed through, and ``None`` applies
+    :func:`default_chunksize` (which also coarsens the as-they-complete
+    granularity of ``ordered=False`` to one chunk — callers persisting
+    per-result should weigh that against the IPC savings).
     """
     tasks = list(tasks)
     if max_workers is not None and max_workers < 1:
         raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
-    if chunksize < 1:
+    if chunksize is not None and chunksize < 1:
         raise ConfigurationError(f"chunksize must be >= 1, got {chunksize}")
     if max_workers is None or max_workers == 1 or len(tasks) <= 1:
         for task in tasks:
             yield function(task)
         return
+    pool_size = min(max_workers, len(tasks))
+    if chunksize is None:
+        chunksize = default_chunksize(len(tasks), pool_size)
     context = multiprocessing.get_context()
-    with context.Pool(processes=min(max_workers, len(tasks))) as pool:
+    with context.Pool(processes=pool_size) as pool:
         mapper = pool.imap if ordered else pool.imap_unordered
         yield from mapper(function, tasks, chunksize=chunksize)
 

@@ -55,6 +55,33 @@ class NoiseMechanism(ABC):
     def sample_noise(self, dimension: int, rng: np.random.Generator) -> Vector:
         """Draw a noise vector of the given dimension."""
 
+    def sample_noise_block(
+        self, rounds: int, dimension: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw a ``(rounds, dimension)`` block of noise in one call.
+
+        Bit-identical to ``rounds`` sequential :meth:`sample_noise`
+        calls on the same generator: row ``r`` of the block equals the
+        ``r``-th sequential draw, and the generator is left in the same
+        state either way.  The fused round engine pre-draws each
+        worker's whole block of per-round noise up front, which is only
+        sound because of this equivalence (pinned by the hypothesis
+        property suite).
+
+        The base implementation literally performs the sequential
+        draws, so any custom mechanism is block-safe by construction;
+        :class:`GaussianMechanism` and :class:`LaplaceMechanism`
+        override it with a single vectorized draw, which is equivalent
+        because NumPy ``Generator`` streams are consumed value-by-value
+        in C order — an ``(R, d)`` fill reads the identical stream as
+        ``R`` sequential ``(d,)`` fills.
+        """
+        if rounds < 1:
+            raise PrivacyError(f"rounds must be >= 1, got {rounds}")
+        return np.stack(
+            [self.sample_noise(dimension, rng) for _ in range(rounds)]
+        )
+
     def privatize(self, gradient: Vector, rng: np.random.Generator) -> Vector:
         """Return ``gradient + noise``; does not modify the input."""
         gradient = np.asarray(gradient, dtype=np.float64)
@@ -147,6 +174,20 @@ class GaussianMechanism(NoiseMechanism):
             raise PrivacyError(f"dimension must be >= 1, got {dimension}")
         return self._sigma * rng.standard_normal(dimension)
 
+    def sample_noise_block(
+        self, rounds: int, dimension: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        # One (R, d) ziggurat fill consumes the identical stream as R
+        # sequential (d,) fills; IEEE-754 multiplication is commutative,
+        # so the in-place scale matches ``sigma * draw`` bit for bit.
+        if rounds < 1:
+            raise PrivacyError(f"rounds must be >= 1, got {rounds}")
+        if dimension < 1:
+            raise PrivacyError(f"dimension must be >= 1, got {dimension}")
+        block = rng.standard_normal((rounds, dimension))
+        block *= self._sigma
+        return block
+
     def __repr__(self) -> str:
         return (
             f"GaussianMechanism(epsilon={self._epsilon}, delta={self._delta}, "
@@ -203,6 +244,17 @@ class LaplaceMechanism(NoiseMechanism):
         if dimension < 1:
             raise PrivacyError(f"dimension must be >= 1, got {dimension}")
         return rng.laplace(loc=0.0, scale=self._scale, size=dimension)
+
+    def sample_noise_block(
+        self, rounds: int, dimension: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        # Inverse-CDF sampling is per-value sequential, so the (R, d)
+        # fill reads the same stream as R sequential (d,) fills.
+        if rounds < 1:
+            raise PrivacyError(f"rounds must be >= 1, got {rounds}")
+        if dimension < 1:
+            raise PrivacyError(f"dimension must be >= 1, got {dimension}")
+        return rng.laplace(loc=0.0, scale=self._scale, size=(rounds, dimension))
 
     def __repr__(self) -> str:
         return (

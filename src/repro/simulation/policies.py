@@ -154,37 +154,61 @@ class SyncPolicy(ServerPolicy):
     server "considers any non-received gradient to be 0", Section 2.1),
     so the barrier always closes.  Workers excluded by participation
     sampling contribute zero rows without being waited on.
+
+    The barrier admits exactly one open round at a time (the engine
+    broadcasts round ``k + 1`` only after round ``k``'s completion), so
+    the policy assembles arrivals directly into one preallocated
+    ``(n, d)`` matrix reused across every round of the simulation —
+    zeroed at each round start — instead of allocating a per-round
+    buffer dict plus a fresh matrix at completion.  The emitted
+    completion *borrows* that matrix; it is valid until the next round
+    opens, which outlives its only consumer (the server's aggregation).
     """
 
     name = "sync"
 
     def __init__(self):
         super().__init__()
-        self._expected: dict[int, int] = {}
-        self._buffers: dict[int, dict[int, Vector]] = {}
+        self._round: int | None = None
+        self._expected = 0
+        self._received = 0
+        self._matrix: np.ndarray | None = None
+        self._arrived: np.ndarray | None = None
 
     def on_round_start(self, round_index, expected_workers):
-        self._expected[round_index] = len(expected_workers)
-        self._buffers[round_index] = {}
+        if self._round is not None:
+            raise ConfigurationError(
+                f"round {round_index} opened while round {self._round} is "
+                "still waiting on its barrier"
+            )
+        if self._matrix is None:
+            self._matrix = self._empty_matrix()
+            self._arrived = np.zeros(self._n, dtype=bool)
+        else:
+            self._matrix.fill(0.0)
+            self._arrived.fill(False)
+        self._round = round_index
+        self._expected = len(expected_workers)
+        self._received = 0
 
     def on_arrival(self, arrival):
-        buffer = self._buffers.get(arrival.round_index)
-        if buffer is None:
+        if self._round is None or arrival.round_index != self._round:
             raise ConfigurationError(
                 f"arrival for unopened round {arrival.round_index}"
             )
-        buffer[arrival.worker_id] = arrival.gradient
-        if len(buffer) < self._expected[arrival.round_index]:
+        if not self._arrived[arrival.worker_id]:
+            self._arrived[arrival.worker_id] = True
+            self._received += 1
+        self._matrix[arrival.worker_id] = arrival.gradient
+        if self._received < self._expected:
             return None
-        matrix = self._empty_matrix()
-        for worker_id, gradient in buffer.items():
-            matrix[worker_id] = gradient
-        del self._buffers[arrival.round_index]
-        del self._expected[arrival.round_index]
+        self._round = None
         return RoundCompletion(
             round_index=arrival.round_index,
-            matrix=matrix,
-            arrived_workers=tuple(sorted(buffer)),
+            matrix=self._matrix,
+            arrived_workers=tuple(
+                int(worker) for worker in np.flatnonzero(self._arrived)
+            ),
         )
 
 

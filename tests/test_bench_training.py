@@ -1,0 +1,192 @@
+"""The training benchmark harness and its CI regression guard."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.benchmark import (
+    SCHEMA,
+    TrainingBenchCase,
+    check_speedup_regressions,
+    default_training_grid,
+    format_training_table,
+    run_case,
+    run_training_benchmarks,
+    smoke_training_grid,
+)
+
+
+def _tiny_case(**overrides):
+    base = dict(
+        name="tiny",
+        gar="average",
+        n=4,
+        f=0,
+        num_features=6,
+        batch_size=8,
+        rounds=4,
+        attack=None,
+        num_points=120,
+    )
+    base.update(overrides)
+    return TrainingBenchCase(**base)
+
+
+class TestRunCase:
+    def test_outputs_identical_and_positive_rates(self):
+        result = run_case(_tiny_case(), repeats=1)
+        assert result.outputs_identical
+        assert result.engine_rounds_per_sec > 0
+        assert result.reference_rounds_per_sec > 0
+        assert result.speedup > 0
+
+    def test_dp_and_attack_cell(self):
+        case = _tiny_case(
+            name="tiny-dp", gar="krum", n=7, f=2, epsilon=0.5, attack="little"
+        )
+        result = run_case(case, repeats=1)
+        assert result.outputs_identical
+
+    def test_payload_schema(self):
+        payload = run_training_benchmarks([_tiny_case()], repeats=1)
+        assert payload["schema"] == SCHEMA
+        assert payload["unit"] == "training_rounds_per_second"
+        (entry,) = payload["results"]
+        assert entry["name"] == "tiny"
+        assert entry["d"] == 7
+        assert entry["outputs_identical"] is True
+        assert entry["noise_kind"] is None  # no DP in this cell
+        table = format_training_table(payload)
+        assert "tiny" in table and "speedup" in table
+
+
+class TestGrids:
+    def test_headline_cell_is_paper_scale(self):
+        cells = {case.name: case for case in default_training_grid()}
+        headline = cells["krum-dp-momentum"]
+        assert headline.gar == "krum"
+        assert headline.n == 25
+        assert headline.dimension == 100
+        assert headline.epsilon is not None
+        assert headline.noise_kind == "gaussian"
+        assert headline.momentum == 0.99
+
+    def test_grid_covers_the_issue_axes(self):
+        """GAR x DP on/off x momentum on/off x (n, d) variation."""
+        cases = default_training_grid()
+        assert len({case.gar for case in cases}) >= 4
+        assert any(case.epsilon is None for case in cases)
+        assert any(case.epsilon is not None for case in cases)
+        assert any(case.momentum == 0.0 for case in cases)
+        assert any(case.momentum > 0.0 for case in cases)
+        assert len({(case.n, case.dimension) for case in cases}) >= 3
+
+    def test_smoke_cells_are_exact_full_grid_members(self):
+        """The CI guard joins by name, so the configurations must match."""
+        full = {case.name: case for case in default_training_grid()}
+        smoke = smoke_training_grid()
+        assert smoke
+        for case in smoke:
+            assert case == full[case.name]
+
+    def test_names_unique(self):
+        names = [case.name for case in default_training_grid()]
+        assert len(names) == len(set(names))
+
+
+def _payload(cells):
+    return {
+        "schema": SCHEMA,
+        "results": [
+            {
+                "name": name,
+                "speedup": speedup,
+                "outputs_identical": identical,
+            }
+            for name, speedup, identical in cells
+        ],
+    }
+
+
+class TestRegressionGuard:
+    def test_no_regression_when_equal(self):
+        payload = _payload([("a", 3.0, True)])
+        assert check_speedup_regressions(payload, payload) == []
+
+    def test_within_tolerance_passes(self):
+        current = _payload([("a", 2.2, True)])
+        baseline = _payload([("a", 3.0, True)])
+        assert check_speedup_regressions(current, baseline, tolerance=0.30) == []
+
+    def test_beyond_tolerance_fails(self):
+        current = _payload([("a", 2.0, True)])
+        baseline = _payload([("a", 3.0, True)])
+        failures = check_speedup_regressions(current, baseline, tolerance=0.30)
+        assert len(failures) == 1
+        assert "2.00x" in failures[0]
+
+    def test_faster_than_baseline_passes(self):
+        current = _payload([("a", 9.0, True)])
+        baseline = _payload([("a", 3.0, True)])
+        assert check_speedup_regressions(current, baseline) == []
+
+    def test_output_mismatch_always_fails(self):
+        current = _payload([("a", 9.0, False)])
+        baseline = _payload([("a", 3.0, True)])
+        failures = check_speedup_regressions(current, baseline)
+        assert len(failures) == 1
+        assert "diverged" in failures[0]
+
+    def test_unknown_cells_are_ignored_when_others_join(self):
+        current = _payload([("a", 3.0, True), ("new-cell", 1.0, True)])
+        baseline = _payload([("a", 3.0, True)])
+        assert check_speedup_regressions(current, baseline) == []
+
+    def test_zero_joined_cells_fails_loudly(self):
+        """Pointing --check at the wrong baseline must not pass vacuously."""
+        current = _payload([("new-cell", 1.0, True)])
+        baseline = _payload([("a", 3.0, True)])
+        failures = check_speedup_regressions(current, baseline)
+        assert len(failures) == 1
+        assert "no benchmark cell matched" in failures[0]
+        # Empty current results (nothing ran) stays a non-failure.
+        assert check_speedup_regressions({"results": []}, baseline) == []
+
+    def test_kernel_payloads_supported(self):
+        entry = {"gar": "krum", "n": 11, "f": 4, "d": 69, "stack": 2, "speedup": 10.0}
+        current = {"results": [dict(entry, speedup=5.0)]}
+        baseline = {"results": [entry]}
+        failures = check_speedup_regressions(current, baseline, tolerance=0.30)
+        assert len(failures) == 1
+        current = {"results": [dict(entry, speedup=8.0)]}
+        assert check_speedup_regressions(current, baseline, tolerance=0.30) == []
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            check_speedup_regressions({}, {}, tolerance=1.5)
+
+
+class TestCommittedBaseline:
+    """The committed BENCH_training.json stays consistent with the code."""
+
+    @pytest.fixture(scope="class")
+    def committed(self):
+        import json
+        from pathlib import Path
+
+        path = Path(__file__).parent.parent / "BENCH_training.json"
+        assert path.exists(), "BENCH_training.json must be committed"
+        return json.loads(path.read_text())
+
+    def test_schema_and_outputs(self, committed):
+        assert committed["schema"] == SCHEMA
+        committed_names = {entry["name"] for entry in committed["results"]}
+        assert {case.name for case in default_training_grid()} <= committed_names
+        for entry in committed["results"]:
+            assert entry["outputs_identical"] is True
+            assert np.isfinite(entry["speedup"]) and entry["speedup"] > 1.0
+
+    def test_smoke_cells_present_in_baseline(self, committed):
+        """The CI guard joins smoke cells against the committed file."""
+        committed_names = {entry["name"] for entry in committed["results"]}
+        for case in smoke_training_grid():
+            assert case.name in committed_names

@@ -72,7 +72,18 @@ class TestMain:
         arguments = build_parser().parse_args(["bench"])
         assert arguments.smoke is False
         assert arguments.repeats == 3
-        assert str(arguments.output) == "BENCH_kernels.json"
+        assert arguments.training is False
+        assert arguments.output is None  # resolved per mode at dispatch
+        assert arguments.check is None
+        assert arguments.check_tolerance == pytest.approx(0.30)
+
+    def test_bench_parser_training_flags(self):
+        arguments = build_parser().parse_args(
+            ["bench", "--training", "--smoke", "--check", "BENCH_training.json"]
+        )
+        assert arguments.training is True
+        assert arguments.smoke is True
+        assert str(arguments.check) == "BENCH_training.json"
 
     @pytest.mark.slow
     def test_figure_tiny_run(self, tmp_path, capsys):

@@ -104,3 +104,42 @@ class TestRunConfigParallel:
             assert np.array_equal(
                 serial[name].loss_stats.mean, parallel[name].loss_stats.mean
             )
+
+
+def _double(x):
+    return x * 2
+
+
+class TestChunksizeHeuristic:
+    def test_default_chunksize_values(self):
+        from repro.pipeline.parallel import default_chunksize
+
+        assert default_chunksize(1, 4) == 1
+        assert default_chunksize(16, 4) == 1
+        assert default_chunksize(64, 4) == 4
+        assert default_chunksize(400, 4) == 25
+        assert default_chunksize(0, 4) == 1
+        assert default_chunksize(10, 0) == 1
+
+    def test_map_tasks_auto_chunksize_matches_serial(self):
+        from repro.pipeline.parallel import map_tasks
+
+        tasks = list(range(40))
+        serial = list(map_tasks(_double, tasks))
+        auto = list(map_tasks(_double, tasks, max_workers=2, chunksize=None))
+        assert auto == serial
+
+    def test_map_tasks_auto_chunksize_unordered_same_multiset(self):
+        from repro.pipeline.parallel import map_tasks
+
+        tasks = list(range(40))
+        unordered = list(
+            map_tasks(_double, tasks, max_workers=2, chunksize=None, ordered=False)
+        )
+        assert sorted(unordered) == [x * 2 for x in tasks]
+
+    def test_explicit_chunksize_still_validated(self):
+        from repro.pipeline.parallel import map_tasks
+
+        with pytest.raises(ConfigurationError, match="chunksize"):
+            list(map_tasks(_double, [1, 2], max_workers=2, chunksize=0))
