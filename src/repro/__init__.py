@@ -104,7 +104,7 @@ from repro.simulation import (
     SyncPolicy,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AccuracyCallback",

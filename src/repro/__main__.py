@@ -2,7 +2,7 @@
 
 import sys
 
-from repro.experiments.cli import main
+from repro.experiments.cli import console_main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(console_main())

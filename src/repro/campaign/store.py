@@ -44,13 +44,20 @@ STORE_SCHEMA = "repro.campaign-store/1"
 def _canonical_config_payload(config: ExperimentConfig) -> dict:
     """The config's identity payload: everything numerically meaningful.
 
-    ``name`` and ``seeds`` are dropped (see module docstring); the
-    ``*_kwargs`` pair lists are sorted by key so that two specs spelling
-    the same kwargs in a different order collide, as they should.
+    ``name`` and ``seeds`` are dropped (see module docstring); so are
+    the execution-backend fields (``backend``/``num_shards``/
+    ``round_timeout``): the multiprocess backend is bit-identical to
+    in-process, so *where* a cell ran is not part of its numerical
+    identity — and keys minted before those fields existed stay valid.
+    The ``*_kwargs`` pair lists are sorted by key so that two specs
+    spelling the same kwargs in a different order collide, as they
+    should.
     """
     payload = config.to_dict()
     payload.pop("name")
     payload.pop("seeds")
+    for backend_field in ("backend", "num_shards", "round_timeout"):
+        payload.pop(backend_field, None)
     for kwargs_field in ("attack_kwargs", "policy_kwargs", "latency_kwargs"):
         payload[kwargs_field] = sorted(payload[kwargs_field], key=lambda pair: pair[0])
     return payload

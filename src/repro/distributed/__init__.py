@@ -4,6 +4,7 @@ from repro.distributed.cluster import Cluster, StepResult
 from repro.distributed.engine import RoundEngine
 from repro.distributed.messages import GradientMessage, WorkerSubmission
 from repro.distributed.network import LossyNetwork, PerfectNetwork
+from repro.distributed.runtime import MultiprocessCluster, WirePlane, WorkerShardSpec
 from repro.distributed.server import ParameterServer
 from repro.distributed.trainer import PrivacyReport, TrainingResult, build_mechanism, train
 from repro.distributed.worker import HonestWorker, compute_cohort
@@ -13,12 +14,15 @@ __all__ = [
     "GradientMessage",
     "HonestWorker",
     "LossyNetwork",
+    "MultiprocessCluster",
     "ParameterServer",
     "PerfectNetwork",
     "PrivacyReport",
     "RoundEngine",
     "StepResult",
     "TrainingResult",
+    "WirePlane",
+    "WorkerShardSpec",
     "WorkerSubmission",
     "build_mechanism",
     "compute_cohort",

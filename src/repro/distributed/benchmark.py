@@ -55,7 +55,15 @@ SCHEMA = "repro.bench_training/1"
 
 @dataclass(frozen=True)
 class TrainingBenchCase:
-    """One training-throughput cell: a full experiment configuration."""
+    """One training-throughput cell: a full experiment configuration.
+
+    ``backend="multiprocess"`` cells measure the multiprocess cluster
+    runtime instead of the fused engine: the *reference* side is then
+    the fused in-process engine (the number printed next to it in the
+    table) and the *engine* side is the multiprocess backend, so the
+    cell's "speedup" reads as the multiprocess/in-process throughput
+    ratio and the per-round IPC overhead is reported alongside.
+    """
 
     name: str
     gar: str
@@ -70,6 +78,8 @@ class TrainingBenchCase:
     attack: str | None = "little"
     num_points: int = 2000
     seed: int = 1
+    backend: str = "inprocess"
+    num_shards: int | None = None
 
     @property
     def dimension(self) -> int:
@@ -98,12 +108,20 @@ class TrainingBenchCase:
             noise_kind=self.noise_kind,
             momentum=self.momentum,
             seed=self.seed,
+            backend=self.backend,
+            num_shards=self.num_shards,
         )
 
 
 @dataclass(frozen=True)
 class TrainingBenchResult:
-    """Timings for one cell, in training rounds per second."""
+    """Timings for one cell, in training rounds per second.
+
+    For ``backend="multiprocess"`` cells the reference side is the
+    fused in-process engine and the engine side is the multiprocess
+    runtime; ``per_round_overhead_ms`` then reads as the wall-clock IPC
+    cost each round pays for crossing process boundaries.
+    """
 
     case: TrainingBenchCase
     reference_rounds_per_sec: float
@@ -113,6 +131,13 @@ class TrainingBenchResult:
     @property
     def speedup(self) -> float:
         return self.engine_rounds_per_sec / self.reference_rounds_per_sec
+
+    @property
+    def per_round_overhead_ms(self) -> float:
+        """Per-round wall-clock cost of the engine path over the reference."""
+        return (
+            1.0 / self.engine_rounds_per_sec - 1.0 / self.reference_rounds_per_sec
+        ) * 1e3
 
     def to_dict(self) -> dict:
         case = self.case
@@ -128,9 +153,15 @@ class TrainingBenchResult:
             "noise_kind": case.noise_kind if case.epsilon is not None else None,
             "momentum": case.momentum,
             "attack": case.attack,
+            "backend": case.backend,
             "reference_rounds_per_sec": self.reference_rounds_per_sec,
             "engine_rounds_per_sec": self.engine_rounds_per_sec,
             "speedup": self.speedup,
+            "ipc_overhead_ms": (
+                self.per_round_overhead_ms
+                if case.backend == "multiprocess"
+                else None
+            ),
             "outputs_identical": self.outputs_identical,
         }
 
@@ -155,6 +186,8 @@ def default_training_grid() -> list[TrainingBenchCase]:
         TrainingBenchCase("average-dp-momentum", "average", 25, 0, 99, 50, 400, epsilon=0.5, attack=None),
         TrainingBenchCase("krum-dp-laplace", "krum", 25, 11, 99, 50, 400, epsilon=0.5, noise_kind="laplace"),
         TrainingBenchCase("krum-dp-momentum-d1000", "krum", 25, 11, 999, 50, 150, epsilon=0.5),
+        TrainingBenchCase("mp-krum-dp-momentum", "krum", 25, 11, 99, 50, 200, epsilon=0.5, backend="multiprocess"),
+        TrainingBenchCase("mp-krum-dp-momentum-d1000", "krum", 25, 11, 999, 50, 100, epsilon=0.5, backend="multiprocess"),
     ]
 
 
@@ -182,6 +215,8 @@ def run_case(case: TrainingBenchCase, repeats: int = 3) -> TrainingBenchResult:
     so the guarded ratio compares the quantity the engine changes, not
     fixed per-run setup.
     """
+    if case.backend == "multiprocess":
+        return _run_multiprocess_case(case, repeats)
     engine_best = float("inf")
     reference_best = float("inf")
     outputs_identical = True
@@ -206,6 +241,56 @@ def run_case(case: TrainingBenchCase, repeats: int = 3) -> TrainingBenchResult:
                 history.losses.tolist() == fused_history.losses.tolist()
                 and cluster.parameters.tolist()
                 == fused_cluster.parameters.tolist()
+            )
+    return TrainingBenchResult(
+        case=case,
+        reference_rounds_per_sec=case.rounds / reference_best,
+        engine_rounds_per_sec=case.rounds / engine_best,
+        outputs_identical=outputs_identical,
+    )
+
+
+def _run_multiprocess_case(case: TrainingBenchCase, repeats: int) -> TrainingBenchResult:
+    """Time a multiprocess cell against its fused in-process twin.
+
+    Reference = the fused engine of the identical ``backend="inprocess"``
+    case; engine = the multiprocess runtime stepped through
+    ``TrainingLoop``.  Process startup and plane creation stay outside
+    the timer on the multiprocess side (like cluster construction on
+    the in-process side), so the gap between the two numbers is the
+    steady-state per-round IPC cost, not fork latency.
+    """
+    from dataclasses import replace
+
+    from repro.pipeline.loop import TrainingLoop
+
+    fused_case = replace(case, backend="inprocess", num_shards=None)
+    engine_best = float("inf")
+    reference_best = float("inf")
+    outputs_identical = True
+    for repeat in range(max(1, repeats)):
+        fused = fused_case.build_experiment()
+        fused_cluster = fused.build_cluster()
+        fused_history = TrainingHistory()
+        start = time.perf_counter()
+        fused_cluster.engine.run(case.rounds, history=fused_history)
+        reference_best = min(reference_best, time.perf_counter() - start)
+
+        multiprocess = case.build_experiment()
+        runtime = multiprocess.build_multiprocess_cluster()
+        history = TrainingHistory()
+        loop = TrainingLoop(cluster=runtime, model=multiprocess.model, history=history)
+        with runtime:
+            start = time.perf_counter()
+            loop.run(case.rounds)
+            engine_best = min(engine_best, time.perf_counter() - start)
+            final_parameters = runtime.parameters.tolist()
+        multiprocess.reset()
+
+        if repeat == 0:
+            outputs_identical = bool(
+                history.losses.tolist() == fused_history.losses.tolist()
+                and final_parameters == fused_cluster.parameters.tolist()
             )
     return TrainingBenchResult(
         case=case,
@@ -247,17 +332,22 @@ def format_training_table(payload: dict) -> str:
     """Human-readable summary of a training benchmark document."""
     rows = [
         f"{'cell':<26}{'gar':>10}{'n':>4}{'f':>4}{'d':>6}{'b':>5}"
-        f"{'dp':>9}{'mom':>6}{'ref r/s':>10}{'engine r/s':>12}{'speedup':>9}"
+        f"{'dp':>9}{'mom':>6}{'bk':>4}{'ref r/s':>10}{'engine r/s':>12}"
+        f"{'speedup':>9}{'ipc ms':>8}"
     ]
     for entry in payload["results"]:
         dp = "-" if entry["epsilon"] is None else f"{entry['noise_kind'][:5]}"
+        backend = "mp" if entry.get("backend") == "multiprocess" else "in"
+        overhead = entry.get("ipc_overhead_ms")
+        ipc = "-" if overhead is None else f"{overhead:.2f}"
         flag = "" if entry.get("outputs_identical", True) else "  MISMATCH"
         rows.append(
             f"{entry['name']:<26}{entry['gar']:>10}{entry['n']:>4}{entry['f']:>4}"
             f"{entry['d']:>6}{entry['batch_size']:>5}{dp:>9}{entry['momentum']:>6}"
+            f"{backend:>4}"
             f"{entry['reference_rounds_per_sec']:>10.0f}"
             f"{entry['engine_rounds_per_sec']:>12.0f}"
-            f"{entry['speedup']:>8.2f}x{flag}"
+            f"{entry['speedup']:>8.2f}x{ipc:>8}{flag}"
         )
     return "\n".join(rows)
 

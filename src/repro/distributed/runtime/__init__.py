@@ -1,0 +1,55 @@
+"""Multi-process cluster runtime.
+
+Process-per-worker (or process-per-shard) execution of the paper's
+synchronous protocol behind the exact in-process ``Cluster`` /
+``TrainingLoop`` surface: a chief process owns the parameter server,
+adversary and network; worker shards compute clipped+noised gradients
+in their own processes and publish them through a shared-memory wire
+plane.  Selected via ``Experiment(backend="multiprocess")`` and
+bit-identical to the in-process engine (see the differential test
+suite); crash/timeout of a worker degrades to the dropped-message
+semantics instead of hanging the round.
+
+Layout: :mod:`~repro.distributed.runtime.wire` (the shared-memory
+plane), :mod:`~repro.distributed.runtime.shard` (worker-side process
+loop), :mod:`~repro.distributed.runtime.cluster` (the chief),
+:mod:`~repro.distributed.runtime.context` (pinned start method).
+"""
+
+from repro.distributed.runtime.cluster import MultiprocessCluster
+from repro.distributed.runtime.context import (
+    START_METHOD_ENV,
+    multiprocessing_context,
+    pinned_start_method,
+)
+from repro.distributed.runtime.shard import (
+    CRASH_EXIT_CODE,
+    FAIL_MODES,
+    WorkerShardSpec,
+    shard_main,
+)
+from repro.distributed.runtime.wire import (
+    SEGMENT_PREFIX,
+    PlaneSpec,
+    WirePlane,
+    wire_segment_names,
+)
+
+__all__ = [
+    "BACKENDS",
+    "CRASH_EXIT_CODE",
+    "FAIL_MODES",
+    "MultiprocessCluster",
+    "PlaneSpec",
+    "SEGMENT_PREFIX",
+    "START_METHOD_ENV",
+    "WirePlane",
+    "WorkerShardSpec",
+    "multiprocessing_context",
+    "pinned_start_method",
+    "shard_main",
+    "wire_segment_names",
+]
+
+#: Execution backends selectable on :class:`repro.pipeline.Experiment`.
+BACKENDS = ("inprocess", "multiprocess")

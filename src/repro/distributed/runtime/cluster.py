@@ -1,0 +1,489 @@
+"""The chief process: multiprocess twin of :class:`repro.distributed.Cluster`.
+
+:class:`MultiprocessCluster` exposes the in-process cluster's stepping
+surface (``step`` / ``run`` / ``parameters`` / ``step_count`` …) while
+executing the honest cohort in worker-shard processes
+(:mod:`repro.distributed.runtime.shard`) over a shared-memory wire
+plane (:mod:`repro.distributed.runtime.wire`).  The chief itself plays
+the parameter server and the adversary: it owns the
+:class:`~repro.distributed.server.ParameterServer`, the attack and its
+RNG, and the network model, so the aggregation half of every round is
+*literally the same code* as the in-process path — only the production
+of the honest ``(H, d)`` matrices moves across process boundaries.
+
+Round protocol (per :meth:`step`):
+
+1. publish the current parameters into the plane;
+2. send ``("round", step)`` to every live shard;
+3. collect ``("done", shard, step)`` replies under ``round_timeout``,
+   watching for dead processes while waiting;
+4. copy the wire/clean/loss arrays out of the plane, zero the rows of
+   departed workers, and run the unchanged attack → network → GAR →
+   SGD tail.
+
+Degraded semantics (crash/timeout/leave): a departed worker stops
+existing from the protocol's point of view — its wire row is the zero
+vector, exactly what the paper's model ("a non-received gradient is
+zero") and the :class:`~repro.distributed.network.LossyNetwork` deliver
+for a dropped message, applied one stage earlier because the message
+was never produced.  Its clean row is zeroed too (the omniscient
+adversary cannot observe a gradient that was never computed) and its
+loss row leaves the honest-loss mean.  Departure is permanent and
+deterministic given the departure round, so a crashed run's trace is
+pinnable.  A timed-out shard is SIGKILLed before the round proceeds,
+which guarantees it can never write into a later round.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.attacks.base import AttackContext, ByzantineAttack
+from repro.distributed.cluster import StepResult
+from repro.distributed.network import PerfectNetwork
+from repro.distributed.runtime.context import multiprocessing_context
+from repro.distributed.runtime.shard import WorkerShardSpec, shard_main
+from repro.distributed.runtime.wire import WirePlane
+from repro.distributed.server import ParameterServer
+from repro.exceptions import ConfigurationError, TrainingError
+from repro.typing import Vector
+
+__all__ = ["MultiprocessCluster"]
+
+#: How often the chief re-checks liveness while waiting on shard replies.
+_POLL_SECONDS = 0.05
+
+
+class MultiprocessCluster:
+    """Run cluster rounds with the honest cohort in worker processes.
+
+    Constructor mirrors :class:`repro.distributed.Cluster`, with the
+    honest workers described by picklable :class:`WorkerShardSpec`\\ s
+    (whose ``worker_ids`` must partition ``0..H-1`` contiguously)
+    instead of live :class:`HonestWorker` objects.
+
+    Use as a context manager (``with cluster: loop.run(...)``) or call
+    :meth:`start` / :meth:`shutdown` explicitly; :meth:`step` starts
+    the runtime lazily, and :meth:`shutdown` is idempotent and safe to
+    call from ``finally`` blocks.
+    """
+
+    def __init__(
+        self,
+        server: ParameterServer,
+        shard_specs: Sequence[WorkerShardSpec],
+        num_byzantine: int = 0,
+        attack: ByzantineAttack | None = None,
+        attack_rng: np.random.Generator | None = None,
+        network: PerfectNetwork | None = None,
+        round_timeout: float = 30.0,
+        join_timeout: float = 30.0,
+        start_method: str | None = None,
+    ):
+        shard_specs = list(shard_specs)
+        if not shard_specs:
+            raise ConfigurationError("need at least one worker shard")
+        expected = 0
+        for spec in shard_specs:
+            if spec.worker_ids[0] != expected:
+                raise ConfigurationError(
+                    "shard specs must partition worker ids 0..H-1 contiguously; "
+                    f"shard {spec.shard_id} starts at {spec.worker_ids[0]}, "
+                    f"expected {expected}"
+                )
+            expected = spec.worker_ids[-1] + 1
+        num_honest = expected
+        if num_byzantine < 0:
+            raise ConfigurationError(f"num_byzantine must be >= 0, got {num_byzantine}")
+        if num_byzantine > 0 and attack is None:
+            raise ConfigurationError(
+                "num_byzantine > 0 requires an attack (use ZeroGradientAttack "
+                "for crash-style Byzantine workers)"
+            )
+        if attack is not None and attack_rng is None:
+            raise ConfigurationError("an attack requires attack_rng")
+        total = num_honest + num_byzantine
+        if total != server.gar.n:
+            raise ConfigurationError(
+                f"server GAR expects n={server.gar.n} workers but the cluster "
+                f"has {num_honest} honest + {num_byzantine} Byzantine = {total}"
+            )
+        if num_byzantine > server.gar.f:
+            raise ConfigurationError(
+                f"cluster has {num_byzantine} Byzantine workers but the GAR "
+                f"only tolerates f={server.gar.f}"
+            )
+        if round_timeout <= 0:
+            raise ConfigurationError(f"round_timeout must be > 0, got {round_timeout}")
+        if join_timeout <= 0:
+            raise ConfigurationError(f"join_timeout must be > 0, got {join_timeout}")
+
+        self._server = server
+        self._shard_specs = shard_specs
+        self._num_honest = num_honest
+        self._num_byzantine = int(num_byzantine)
+        self._attack = attack
+        self._attack_rng = attack_rng
+        self._network = network if network is not None else PerfectNetwork()
+        self._round_timeout = float(round_timeout)
+        self._join_timeout = float(join_timeout)
+        self._start_method = start_method
+        self._step = 0
+        self._started = False
+        self._closed = False
+        self._plane: WirePlane | None = None
+        self._processes: dict[int, object] = {}
+        self._commands: dict[int, object] = {}
+        self._results = None
+        self._departed: dict[int, str] = {}
+        self._dead_rows: list[int] = []
+        self._last_honest_losses: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # cluster surface (mirrors Cluster)
+    # ------------------------------------------------------------------
+
+    @property
+    def server(self) -> ParameterServer:
+        """The chief-owned parameter server."""
+        return self._server
+
+    @property
+    def honest_workers(self) -> list:
+        """Always empty: honest workers live in shard processes.
+
+        Present so :class:`~repro.pipeline.loop.TrainingLoop` can treat
+        both cluster flavours uniformly; the loop reads
+        :attr:`last_honest_losses` instead of worker batches here.
+        """
+        return []
+
+    @property
+    def parameters(self) -> Vector:
+        """Current model parameters held by the server."""
+        return self._server.parameters
+
+    @property
+    def n(self) -> int:
+        """Total workers (honest + Byzantine)."""
+        return self._num_honest + self._num_byzantine
+
+    @property
+    def num_honest(self) -> int:
+        """Number of honest workers (including departed ones)."""
+        return self._num_honest
+
+    @property
+    def num_byzantine(self) -> int:
+        """Number of Byzantine workers actually attacking."""
+        return self._num_byzantine
+
+    @property
+    def step_count(self) -> int:
+        """Rounds completed so far."""
+        return self._step
+
+    @property
+    def last_honest_losses(self) -> np.ndarray | None:
+        """Per-worker batch losses of the live rows of the last round.
+
+        ``None`` before the first round or when every shard has
+        departed.  The training loop averages this instead of re-scoring
+        worker batches (which live in other processes).
+        """
+        return self._last_honest_losses
+
+    @property
+    def departed(self) -> dict[int, str]:
+        """``shard_id -> reason`` for every departed shard (a copy)."""
+        return dict(self._departed)
+
+    @property
+    def departed_workers(self) -> list[int]:
+        """Worker ids whose rows are permanently zeroed (sorted)."""
+        return list(self._dead_rows)
+
+    @property
+    def live_worker_count(self) -> int:
+        """Honest workers still participating."""
+        return self._num_honest - len(self._dead_rows)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Create the wire plane, launch shard processes, await joins.
+
+        Shards that fail to join within ``join_timeout`` (or die/error
+        during startup) are departed; if *none* joins the runtime is
+        torn down and a :class:`TrainingError` raised — a run where no
+        honest worker ever existed is a configuration failure, not a
+        degraded round.
+        """
+        if self._closed:
+            raise TrainingError("cluster already shut down; build a new one")
+        if self._started:
+            return
+        context = multiprocessing_context(self._start_method)
+        dimension = int(self._server.parameters_view.shape[0])
+        self._plane = WirePlane.create(self._num_honest, dimension)
+        self._results = context.Queue()
+        try:
+            for spec in self._shard_specs:
+                commands = context.Queue()
+                process = context.Process(
+                    target=shard_main,
+                    args=(spec, self._plane.spec, commands, self._results),
+                    daemon=True,
+                    name=f"repro-shard-{spec.shard_id}",
+                )
+                process.start()
+                self._commands[spec.shard_id] = commands
+                self._processes[spec.shard_id] = process
+            self._await_joins()
+        except BaseException:
+            self._started = True  # so shutdown tears down the partial launch
+            self.shutdown()
+            raise
+        self._started = True
+        if len(self._departed) == len(self._shard_specs):
+            reasons = "; ".join(
+                f"shard {shard}: {reason}" for shard, reason in sorted(self._departed.items())
+            )
+            self.shutdown()
+            raise TrainingError(f"no worker shard joined the runtime ({reasons})")
+
+    def _await_joins(self) -> None:
+        waiting = {spec.shard_id for spec in self._shard_specs}
+        deadline = time.monotonic() + self._join_timeout
+        while waiting:
+            try:
+                message = self._results.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                for shard_id in list(waiting):
+                    process = self._processes[shard_id]
+                    if not process.is_alive():
+                        waiting.discard(shard_id)
+                        self._depart(
+                            shard_id,
+                            f"exited before joining (code {process.exitcode})",
+                        )
+                if time.monotonic() >= deadline:
+                    for shard_id in sorted(waiting):
+                        self._depart(shard_id, "failed to join in time", kill=True)
+                    return
+                continue
+            if message[0] == "join":
+                waiting.discard(message[1])
+            elif message[0] == "error":
+                waiting.discard(message[1])
+                self._depart(message[1], f"startup error: {message[2]}")
+
+    def shutdown(self) -> None:
+        """Stop shards, reap processes, release the wire plane.
+
+        Idempotent; after shutdown the cluster cannot step again (the
+        server keeps its final parameters, so results remain readable).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if not self._started and self._plane is None:
+            return
+        for shard_id, commands in self._commands.items():
+            if shard_id not in self._departed:
+                try:
+                    commands.put(("stop",))
+                except Exception:  # pragma: no cover - queue already broken
+                    pass
+        for process in self._processes.values():
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=1.0)
+        for commands in self._commands.values():
+            commands.close()
+            commands.cancel_join_thread()
+        if self._results is not None:
+            self._results.close()
+            self._results.cancel_join_thread()
+            self._results = None
+        if self._plane is not None:
+            self._plane.close()
+            self._plane = None
+        self._commands.clear()
+        self._processes.clear()
+
+    def __enter__(self) -> "MultiprocessCluster":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def leave(self, shard_id: int) -> None:
+        """Gracefully retire a shard: stop it, then zero its rows forever.
+
+        From the next round on the shard's workers behave like crashed
+        ones (zero wire rows); the departure is recorded with reason
+        ``"left"``.  Unknown or already-departed shards are rejected /
+        ignored respectively.
+        """
+        if shard_id not in self._commands and not any(
+            spec.shard_id == shard_id for spec in self._shard_specs
+        ):
+            raise ConfigurationError(f"unknown shard {shard_id}")
+        if shard_id in self._departed:
+            return
+        if not self._started:
+            self.start()
+        commands = self._commands[shard_id]
+        try:
+            commands.put(("stop",))
+        except Exception:  # pragma: no cover - queue already broken
+            pass
+        process = self._processes[shard_id]
+        process.join(timeout=2.0)
+        self._depart(shard_id, "left", kill=process.is_alive())
+
+    def _depart(self, shard_id: int, reason: str, kill: bool = False) -> None:
+        """Permanently remove a shard from the protocol."""
+        if shard_id in self._departed:
+            return
+        self._departed[shard_id] = reason
+        spec = next(s for s in self._shard_specs if s.shard_id == shard_id)
+        self._dead_rows = sorted(set(self._dead_rows) | set(spec.worker_ids))
+        process = self._processes.get(shard_id)
+        if process is not None and kill and process.is_alive():
+            # SIGKILL, not terminate: a hung shard must never wake up and
+            # write rows into a later round's wire matrix.
+            process.kill()
+            process.join(timeout=1.0)
+
+    # ------------------------------------------------------------------
+    # rounds
+    # ------------------------------------------------------------------
+
+    def step(self, record: bool = True) -> StepResult:
+        """Run one synchronous round and return its instrumentation.
+
+        Identical contract to :meth:`repro.distributed.Cluster.step`;
+        rounds whose shards all respond are bit-identical to it, and a
+        dead/hung/departed shard degrades per the module docstring
+        without ever blocking past ``round_timeout``.
+        """
+        if self._closed:
+            raise TrainingError("cluster already shut down; build a new one")
+        if not self._started:
+            self.start()
+        self._step += 1
+        parameters = self._server.parameters
+        np.copyto(self._plane.parameters, parameters)
+
+        pending: set[int] = set()
+        for spec in self._shard_specs:
+            if spec.shard_id not in self._departed:
+                self._commands[spec.shard_id].put(("round", self._step))
+                pending.add(spec.shard_id)
+        self._collect(pending)
+
+        honest_submitted = np.array(self._plane.wire)
+        honest_clean = np.array(self._plane.clean)
+        losses = np.array(self._plane.losses)
+        if self._dead_rows:
+            honest_submitted[self._dead_rows] = 0.0
+            honest_clean[self._dead_rows] = 0.0
+            live_rows = np.setdiff1d(
+                np.arange(self._num_honest), np.asarray(self._dead_rows)
+            )
+            self._last_honest_losses = losses[live_rows] if live_rows.size else None
+        else:
+            self._last_honest_losses = losses
+
+        byzantine_gradient: Vector | None = None
+        if self._num_byzantine > 0:
+            assert self._attack is not None and self._attack_rng is not None
+            context = AttackContext(
+                step=self._step,
+                honest_submitted=honest_submitted,
+                honest_clean=honest_clean,
+                parameters=parameters,
+                num_byzantine=self._num_byzantine,
+                rng=self._attack_rng,
+            )
+            byzantine_gradient = np.asarray(
+                self._attack.craft(context), dtype=np.float64
+            )
+            if byzantine_gradient.shape != parameters.shape:
+                raise ConfigurationError(
+                    f"attack produced shape {byzantine_gradient.shape}, "
+                    f"expected {parameters.shape}"
+                )
+            byzantine_block = np.tile(byzantine_gradient, (self._num_byzantine, 1))
+            all_gradients = np.vstack([honest_submitted, byzantine_block])
+        else:
+            all_gradients = honest_submitted
+
+        delivered = self._network.deliver(all_gradients, self._step)
+        aggregated = self._server.step(delivered)
+        return StepResult(
+            step=self._step,
+            aggregated=aggregated,
+            honest_submitted=honest_submitted if record else None,
+            honest_clean=honest_clean if record else None,
+            byzantine_gradient=byzantine_gradient,
+        )
+
+    def _collect(self, pending: set[int]) -> None:
+        """Await ``("done", ...)`` replies; depart the dead and the late."""
+        deadline = time.monotonic() + self._round_timeout
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0.0:
+                for shard_id in sorted(pending):
+                    self._depart(shard_id, "round timed out", kill=True)
+                pending.clear()
+                return
+            try:
+                message = self._results.get(timeout=min(remaining, _POLL_SECONDS))
+            except queue_module.Empty:
+                # No reply in flight: a shard that is no longer alive can
+                # never answer, so depart it now instead of burning the
+                # whole round timeout.
+                for shard_id in list(pending):
+                    process = self._processes[shard_id]
+                    if not process.is_alive():
+                        pending.discard(shard_id)
+                        self._depart(
+                            shard_id, f"process died (code {process.exitcode})"
+                        )
+                continue
+            kind = message[0]
+            if kind == "done":
+                _, shard_id, step = message
+                if step == self._step:
+                    pending.discard(shard_id)
+            elif kind == "error":
+                _, shard_id, reason = message
+                pending.discard(shard_id)
+                self._depart(shard_id, f"worker error: {reason}")
+            # stray "join" messages (late joiner already departed) are dropped
+
+    def run(self, num_steps: int) -> StepResult:
+        """Run ``num_steps`` rounds; returns the last round's result."""
+        if num_steps < 1:
+            raise ConfigurationError(f"num_steps must be >= 1, got {num_steps}")
+        result: StepResult | None = None
+        for _ in range(num_steps):
+            result = self.step()
+        assert result is not None
+        return result

@@ -1,0 +1,66 @@
+"""Pinned multiprocessing start method.
+
+Python's default start method differs by platform (``fork`` on Linux,
+``spawn`` on macOS/Windows) and has changed across Python versions —
+letting the platform default leak through makes process behaviour
+silently environment-dependent.  Everything in this repository that
+spawns processes (:func:`repro.pipeline.parallel.map_tasks`, the
+multiprocess cluster runtime) goes through :func:`multiprocessing_context`,
+which pins an explicit, documented choice:
+
+* the ``REPRO_START_METHOD`` environment variable, when set, wins
+  (validated against ``fork``/``spawn``/``forkserver`` and against the
+  platform's supported methods);
+* otherwise ``fork`` where available — child processes inherit the
+  already-imported numpy and the already-built datasets for free, which
+  keeps per-process startup in the low milliseconds;
+* otherwise ``spawn`` (macOS/Windows).
+
+The choice affects only startup cost, never results: every shard and
+pool task rebuilds its state from a picklable spec and draws randomness
+from path-addressed :class:`repro.rng.SeedTree` streams, so ``fork``
+and ``spawn`` runs are bit-identical (the runtime test suite pins
+this).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["START_METHOD_ENV", "pinned_start_method", "multiprocessing_context"]
+
+#: Environment variable overriding the pinned start method.
+START_METHOD_ENV = "REPRO_START_METHOD"
+
+_KNOWN_METHODS = ("fork", "spawn", "forkserver")
+
+
+def pinned_start_method() -> str:
+    """The start method every process-spawning path in repro uses."""
+    available = multiprocessing.get_all_start_methods()
+    override = os.environ.get(START_METHOD_ENV)
+    if override:
+        if override not in _KNOWN_METHODS:
+            raise ConfigurationError(
+                f"{START_METHOD_ENV} must be one of {_KNOWN_METHODS}, "
+                f"got {override!r}"
+            )
+        if override not in available:
+            raise ConfigurationError(
+                f"{START_METHOD_ENV}={override!r} is not supported on this "
+                f"platform (available: {tuple(available)})"
+            )
+        return override
+    return "fork" if "fork" in available else "spawn"
+
+
+def multiprocessing_context(method: str | None = None):
+    """A :mod:`multiprocessing` context bound to the pinned start method.
+
+    ``method`` overrides the pin (used by the start-method-independence
+    tests); normal callers pass nothing.
+    """
+    return multiprocessing.get_context(method if method is not None else pinned_start_method())

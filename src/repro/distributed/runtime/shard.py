@@ -1,0 +1,209 @@
+"""Worker-shard processes: the compute side of the multiprocess runtime.
+
+A *shard* is one OS process owning a contiguous slice of the honest
+cohort (one worker per process in the default process-per-worker
+layout).  Each round it copies the parameters from the wire plane, runs
+the exact in-process cohort pipeline (:func:`compute_cohort` — batch
+sampling, stacked gradient, clip, DP noise, momentum) on its own
+workers, scores their sampled batches at the pre-update parameters, and
+writes its rows of the wire/clean/loss arrays.
+
+Bit-identity with the in-process engine rests on two facts:
+
+* seed streams are *path-addressed* (:class:`repro.rng.SeedTree`), so a
+  shard rebuilding ``("worker", i, "batch")`` / ``("worker", i,
+  "noise")`` from the root seed draws exactly the in-process streams,
+  in the same order, regardless of which process consumes them;
+* the stacked cohort kernels are row-stable: every per-worker quantity
+  (batch gradient, clip rescale, noise add, momentum update, batch
+  loss) is computed by per-row reductions whose float evaluation order
+  does not depend on how many rows are stacked, so a shard computing
+  rows ``[a, b)`` reproduces rows ``[a, b)`` of the full-cohort stack
+  bit for bit.  The differential suite (in-process vs multiprocess,
+  per-round) is the empirical arbiter of this property.
+
+Control flow is two tiny queues per shard — commands in (``("round",
+step)`` / ``("stop",)``), results out (``("join", ...)``, ``("done",
+...)``, ``("error", ...)``) — while all numerical payloads travel
+through shared memory.
+
+The spec carries an optional *failure-injection seam* (``fail_step`` /
+``fail_mode``) used by the crash-resilience tests: real mid-round
+crashes are inherently racy to stage from outside, whereas an injected
+``os._exit`` (or hang) at a pinned round makes the degraded trace
+deterministic and therefore pinnable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.batching import BatchSampler
+from repro.data.datasets import Dataset
+from repro.distributed.runtime.wire import PlaneSpec, WirePlane
+from repro.distributed.worker import CLIP_MODES, HonestWorker, compute_cohort
+from repro.exceptions import ConfigurationError
+from repro.models.base import Model
+from repro.privacy.mechanisms import NoiseMechanism
+from repro.rng import SeedTree
+
+__all__ = ["WorkerShardSpec", "shard_main", "FAIL_MODES", "CRASH_EXIT_CODE"]
+
+#: Supported failure-injection modes: ``"die"`` exits the process
+#: abruptly (no message, no rows written); ``"hang"`` blocks until the
+#: chief's round timeout kills it.
+FAIL_MODES = ("die", "hang")
+
+#: Exit code of a ``"die"``-injected shard, distinguishable from a
+#: normal exit (0) and a SIGKILL (-9) in test assertions.
+CRASH_EXIT_CODE = 23
+
+
+@dataclass(frozen=True)
+class WorkerShardSpec:
+    """Picklable recipe for one shard process's slice of the cohort.
+
+    ``worker_ids`` are *global* honest indices (also the shard's row
+    indices in the wire plane) and must be contiguous and ascending.
+    ``root_seed`` is the experiment's root seed: the shard derives its
+    workers' private streams from a fresh :class:`SeedTree` by path, so
+    they match the chief-side in-process streams exactly.
+
+    ``fail_step``/``fail_mode`` are the failure-injection seam: at round
+    ``fail_step`` the shard fails *before* writing anything (``0``
+    means before even joining).  Production specs leave them at
+    ``None``.
+    """
+
+    shard_id: int
+    worker_ids: tuple[int, ...]
+    model: Model
+    datasets: tuple[Dataset, ...]
+    batch_size: int
+    root_seed: int
+    g_max: float | None = None
+    mechanism: NoiseMechanism | None = None
+    clip_mode: str = "batch"
+    momentum: float = 0.0
+    fail_step: int | None = None
+    fail_mode: str = "die"
+
+    def __post_init__(self) -> None:
+        if not self.worker_ids:
+            raise ConfigurationError("a shard needs at least one worker")
+        ids = list(self.worker_ids)
+        if ids != list(range(ids[0], ids[0] + len(ids))):
+            raise ConfigurationError(
+                f"shard worker_ids must be contiguous and ascending, got {ids}"
+            )
+        if len(self.datasets) != len(ids):
+            raise ConfigurationError(
+                f"shard has {len(ids)} workers but {len(self.datasets)} datasets"
+            )
+        if self.clip_mode not in CLIP_MODES:
+            raise ConfigurationError(
+                f"clip_mode must be one of {CLIP_MODES}, got {self.clip_mode!r}"
+            )
+        if self.fail_step is not None and self.fail_step < 0:
+            raise ConfigurationError(f"fail_step must be >= 0, got {self.fail_step}")
+        if self.fail_mode not in FAIL_MODES:
+            raise ConfigurationError(
+                f"fail_mode must be one of {FAIL_MODES}, got {self.fail_mode!r}"
+            )
+
+    @property
+    def rows(self) -> slice:
+        """This shard's row range in the wire plane's ``(H, d)`` arrays."""
+        return slice(self.worker_ids[0], self.worker_ids[-1] + 1)
+
+    def build_workers(self) -> list[HonestWorker]:
+        """Reconstruct this shard's workers with their exact seed streams."""
+        seeds = SeedTree(self.root_seed)
+        return [
+            HonestWorker(
+                worker_id=worker_id,
+                model=self.model,
+                sampler=BatchSampler(
+                    self.datasets[local],
+                    self.batch_size,
+                    seeds.generator("worker", worker_id, "batch"),
+                ),
+                noise_rng=seeds.generator("worker", worker_id, "noise"),
+                g_max=self.g_max,
+                mechanism=self.mechanism,
+                clip_mode=self.clip_mode,
+                momentum=self.momentum,
+            )
+            for local, worker_id in enumerate(self.worker_ids)
+        ]
+
+
+def _inject_failure(spec: WorkerShardSpec) -> None:
+    """Fire the spec's failure seam (never returns for ``"die"``)."""
+    if spec.fail_mode == "die":
+        # Abrupt death: no queue message, no row writes, skip all
+        # cleanup — the closest deterministic stand-in for a SIGKILL.
+        os._exit(CRASH_EXIT_CODE)
+    while True:  # "hang": outlive any round timeout until the chief kills us
+        time.sleep(3600.0)
+
+
+def shard_main(spec: WorkerShardSpec, plane_spec: PlaneSpec, commands, results) -> None:
+    """Entry point of one shard process.
+
+    Attaches the wire plane, rebuilds the shard's workers, announces
+    itself with ``("join", shard_id, pid)``, then serves rounds until a
+    ``("stop",)`` command.  Any exception is reported as ``("error",
+    shard_id, message)`` so the chief can depart the shard instead of
+    timing out on it.  The plane attachment is closed on every exit
+    path; the shard never unlinks the segment (the chief owns it).
+    """
+    try:
+        with WirePlane.attach(plane_spec) as plane:
+            if spec.fail_step == 0:
+                _inject_failure(spec)
+            workers = spec.build_workers()
+            rows = spec.rows
+            results.put(("join", spec.shard_id, os.getpid()))
+            while True:
+                command = commands.get()
+                if command[0] == "stop":
+                    break
+                step = command[1]
+                if spec.fail_step is not None and step >= spec.fail_step:
+                    _inject_failure(spec)
+                # Copy the chief-published parameters out of shared
+                # memory: float64 bits survive the round trip untouched.
+                parameters = np.array(plane.parameters)
+                submitted, clean = compute_cohort(workers, parameters, step)
+                losses = _batch_losses(spec.model, parameters, workers)
+                plane.wire[rows] = submitted
+                plane.clean[rows] = clean
+                plane.losses[rows] = losses
+                results.put(("done", spec.shard_id, step))
+    except KeyboardInterrupt:  # pragma: no cover - chief tears us down
+        pass
+    except Exception as error:
+        try:
+            results.put(("error", spec.shard_id, f"{type(error).__name__}: {error}"))
+        except Exception:  # pragma: no cover - queue already torn down
+            pass
+
+
+def _batch_losses(model: Model, parameters: np.ndarray, workers) -> np.ndarray:
+    """Per-worker losses of the just-sampled batches (pre-update params).
+
+    The stacked twin of the loop's honest-loss instrumentation
+    (:func:`repro.pipeline.loop.record_honest_loss`): one
+    ``loss_stack`` call over the shard's uniform batches.  Per-row
+    stability makes the rows independent of the stack height, so the
+    chief-side mean over all shards' rows equals the in-process mean
+    bit for bit.
+    """
+    features = np.stack([worker.last_batch[0] for worker in workers])
+    labels = np.stack([worker.last_batch[1] for worker in workers])
+    return np.asarray(model.loss_stack(parameters, features, labels), dtype=np.float64)

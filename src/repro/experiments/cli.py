@@ -55,6 +55,7 @@ from repro.experiments.tables import format_table1, table1_rows
 
 __all__ = [
     "main",
+    "console_main",
     "build_parser",
     "render_figure_text",
     "load_run_file",
@@ -150,6 +151,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="environment data seed (overrides the config file's; default 0)",
+    )
+    run.add_argument(
+        "--backend",
+        choices=("inprocess", "multiprocess"),
+        default=None,
+        help="execution backend for every cell (overrides the config "
+        "file's; results are bit-identical either way)",
     )
     run.add_argument(
         "--save", type=Path, default=None, help="write full outcomes JSON here"
@@ -409,6 +417,24 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
 
+def console_main(argv: list[str] | None = None) -> int:
+    """Process entry point (``python -m repro`` / the ``repro`` script).
+
+    Converts ^C into the conventional exit code 130 instead of a
+    traceback; :func:`main` itself lets ``KeyboardInterrupt`` propagate
+    so programmatic callers (and the campaign resume tests) observe the
+    interrupt.  Multiprocess runs release their shard processes and
+    unlink their shared-memory segments on the way out (context
+    managers on the interrupt path, atexit as backstop) — see
+    :mod:`repro.distributed.runtime.wire`.
+    """
+    try:
+        return main(argv)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+
+
 def _dispatch(arguments: argparse.Namespace) -> int:
 
     if arguments.command == "list":
@@ -501,6 +527,10 @@ def _dispatch(arguments: argparse.Namespace) -> int:
 
     if arguments.command == "run":
         configs, model_spec, file_data_seed = load_run_file(arguments.config)
+        if arguments.backend is not None:
+            configs = [
+                config.with_updates(backend=arguments.backend) for config in configs
+            ]
         data_seed = _resolve_data_seed(arguments.data_seed, file_data_seed)
         model, train_set, test_set = _build_environment(model_spec, data_seed)
         outcomes = run_grid(

@@ -51,6 +51,12 @@ class ExperimentConfig:
     latency_kwargs: tuple[tuple[str, object], ...] = ()
     participation_rate: float = 1.0
     participation_kind: str = "poisson"
+    # Execution backend knobs (where the rounds run, not what they
+    # compute: the multiprocess backend is bit-identical to in-process,
+    # so these fields are excluded from campaign cell keys).
+    backend: str = "inprocess"
+    num_shards: int | None = None
+    round_timeout: float = 30.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -64,6 +70,18 @@ class ExperimentConfig:
         if not 0.0 < self.participation_rate <= 1.0:
             raise ConfigurationError(
                 f"participation_rate must be in (0, 1], got {self.participation_rate}"
+            )
+        if self.backend not in ("inprocess", "multiprocess"):
+            raise ConfigurationError(
+                f"backend must be 'inprocess' or 'multiprocess', got {self.backend!r}"
+            )
+        if self.num_shards is not None and self.num_shards < 1:
+            raise ConfigurationError(
+                f"num_shards must be >= 1, got {self.num_shards}"
+            )
+        if self.round_timeout <= 0:
+            raise ConfigurationError(
+                f"round_timeout must be > 0, got {self.round_timeout}"
             )
 
     @property
@@ -79,7 +97,12 @@ class ExperimentConfig:
         return self.num_byzantine is None or self.num_byzantine > 0
 
     def train_kwargs(self, seed: int) -> dict:
-        """Keyword arguments for :func:`repro.distributed.train`."""
+        """Keyword arguments for :class:`repro.pipeline.Experiment`.
+
+        (Historically the surface of :func:`repro.distributed.train`;
+        the backend keys are an ``Experiment``-only extension and every
+        consumer of this method builds an ``Experiment``.)
+        """
         return {
             "num_steps": self.num_steps,
             "n": self.n,
@@ -100,6 +123,9 @@ class ExperimentConfig:
             "drop_probability": self.drop_probability,
             "eval_every": self.eval_every,
             "seed": seed,
+            "backend": self.backend,
+            "num_shards": self.num_shards,
+            "round_timeout": self.round_timeout,
         }
 
     def simulation_kwargs(self) -> dict:
@@ -168,6 +194,8 @@ class ExperimentConfig:
                 f", policy={self.policy}, latency={self.latency or 'zero'}, "
                 f"q={self.participation_rate:g}"
             )
+        if self.backend != "inprocess":
+            extras += f", backend={self.backend}"
         return (
             f"{self.name}: {self.gar} (n={self.n}, f={self.f}), {attack}, "
             f"b={self.batch_size}, {dp}, T={self.num_steps}, "

@@ -32,6 +32,7 @@ from repro.attacks import ByzantineAttack, get_attack
 from repro.data.batching import BatchSampler
 from repro.data.datasets import Dataset
 from repro.distributed.cluster import Cluster
+from repro.distributed.runtime import BACKENDS, MultiprocessCluster, WorkerShardSpec
 from repro.distributed.server import ParameterServer
 from repro.distributed.worker import HonestWorker
 from repro.exceptions import ConfigurationError
@@ -53,7 +54,7 @@ from repro.pipeline.results import TrainingResult, privacy_report
 from repro.privacy.mechanisms import NoiseMechanism
 from repro.rng import SeedTree
 
-__all__ = ["Experiment", "MOMENTUM_PLACEMENTS"]
+__all__ = ["Experiment", "MOMENTUM_PLACEMENTS", "BACKENDS"]
 
 
 def _resolve_gar(gar, n: int, f: int, gar_kwargs: dict | None) -> GAR:
@@ -151,11 +152,24 @@ class Experiment:
         latency_kwargs: dict | None = None,
         participation_rate: float = 1.0,
         participation_kind: str = "poisson",
+        backend: str = "inprocess",
+        num_shards: int | None = None,
+        round_timeout: float = 30.0,
     ):
         if num_steps < 1:
             raise ConfigurationError(f"num_steps must be >= 1, got {num_steps}")
         if eval_every < 1:
             raise ConfigurationError(f"eval_every must be >= 1, got {eval_every}")
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        if num_shards is not None and num_shards < 1:
+            raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+        if round_timeout <= 0:
+            raise ConfigurationError(
+                f"round_timeout must be > 0, got {round_timeout}"
+            )
         if momentum_at not in MOMENTUM_PLACEMENTS:
             raise ConfigurationError(
                 f"momentum_at must be one of {MOMENTUM_PLACEMENTS}, got {momentum_at!r}"
@@ -288,12 +302,16 @@ class Experiment:
         self.latency_kwargs = dict(latency_kwargs or {})
         self.participation_rate = float(participation_rate)
         self.participation_kind = participation_kind
+        self.backend = backend
+        self.num_shards = num_shards if num_shards is None else int(num_shards)
+        self.round_timeout = float(round_timeout)
 
         self._worker_datasets: list[Dataset] | None = None
         self._workers: list[HonestWorker] | None = None
         self._server: ParameterServer | None = None
         self._network = None
         self._cluster: Cluster | None = None
+        self._mp_cluster: MultiprocessCluster | None = None
         self._simulator = None
 
     @classmethod
@@ -418,6 +436,69 @@ class Experiment:
             )
         return self._cluster
 
+    def build_shard_specs(self) -> list[WorkerShardSpec]:
+        """Stage 2 (multiprocess variant): picklable worker-shard recipes.
+
+        The honest cohort is split into ``num_shards`` contiguous slices
+        (``None`` means process-per-worker); each spec carries the data,
+        hyperparameters and the experiment's *root seed*, from which the
+        shard process re-derives the exact per-worker seed streams that
+        :meth:`build_workers` would use — path-addressing makes the two
+        constructions interchangeable.
+        """
+        datasets = self.build_data()
+        worker_momentum = self.momentum if self.momentum_at == "worker" else 0.0
+        num_shards = self.num_honest if self.num_shards is None else self.num_shards
+        num_shards = min(num_shards, self.num_honest)
+        base, extra = divmod(self.num_honest, num_shards)
+        specs = []
+        start = 0
+        for shard_id in range(num_shards):
+            size = base + (1 if shard_id < extra else 0)
+            ids = tuple(range(start, start + size))
+            specs.append(
+                WorkerShardSpec(
+                    shard_id=shard_id,
+                    worker_ids=ids,
+                    model=self.model,
+                    datasets=tuple(datasets[index] for index in ids),
+                    batch_size=self.batch_size,
+                    root_seed=self.seed,
+                    g_max=self.g_max,
+                    mechanism=self.mechanism,
+                    clip_mode=self.clip_mode,
+                    momentum=worker_momentum,
+                )
+            )
+            start += size
+        return specs
+
+    def build_multiprocess_cluster(self) -> MultiprocessCluster:
+        """Stage 4 (multiprocess variant): the chief-side cluster runtime.
+
+        Wires the same server, adversary and network objects as
+        :meth:`build_cluster` — the aggregation half of every round is
+        chief-local and shared with the in-process path — around worker
+        shards described by :meth:`build_shard_specs`.  The returned
+        cluster is a context manager; callers own its lifecycle
+        (:meth:`run` wraps it in ``with`` so shard processes and the
+        shared-memory segment are released on any exit, including
+        SIGINT).
+        """
+        if self._mp_cluster is None:
+            self._mp_cluster = MultiprocessCluster(
+                server=self.build_server(),
+                shard_specs=self.build_shard_specs(),
+                num_byzantine=self.num_byzantine,
+                attack=self.attack,
+                attack_rng=(
+                    self.seeds.generator("attack") if self.attack is not None else None
+                ),
+                network=self.build_network(),
+                round_timeout=self.round_timeout,
+            )
+        return self._mp_cluster
+
     def build_simulation(self):
         """Stage 4 (event-driven variant): the discrete-event simulator.
 
@@ -490,6 +571,7 @@ class Experiment:
         self._server = None
         self._network = None
         self._cluster = None
+        self._mp_cluster = None
         self._simulator = None
 
     # ------------------------------------------------------------------
@@ -506,19 +588,33 @@ class Experiment:
         """
         if self._server is not None and self._server.step_count > 0:
             self.reset()
-        cluster = self.build_cluster()
         all_callbacks = CallbackList([*self.callbacks, *callbacks])
         if self.test_dataset is not None:
             all_callbacks.append(
                 AccuracyCallback(self.test_dataset, eval_every=self.eval_every)
             )
-        loop = TrainingLoop(
-            cluster=cluster,
-            model=self.model,
-            history=TrainingHistory(),
-            callbacks=all_callbacks,
-        )
-        state: LoopState = loop.run(self.num_steps)
+        if self.backend == "multiprocess":
+            cluster = self.build_multiprocess_cluster()
+            loop = TrainingLoop(
+                cluster=cluster,
+                model=self.model,
+                history=TrainingHistory(),
+                callbacks=all_callbacks,
+            )
+            # The context manager guarantees shard teardown and
+            # shared-memory release on every exit path (including
+            # KeyboardInterrupt); the server keeps the final parameters.
+            with cluster:
+                state = loop.run(self.num_steps)
+        else:
+            cluster = self.build_cluster()
+            loop = TrainingLoop(
+                cluster=cluster,
+                model=self.model,
+                history=TrainingHistory(),
+                callbacks=all_callbacks,
+            )
+            state = loop.run(self.num_steps)
         privacy = privacy_report(self.mechanism, self.epsilon, self.delta, self.num_steps)
         return TrainingResult(
             history=state.history,
@@ -634,6 +730,7 @@ class Experiment:
             "data_distribution": self.data_distribution,
             "seed": self.seed,
             "model_dimension": self.model.dimension,
+            "backend": self.backend,
         }
 
     def __repr__(self) -> str:

@@ -171,7 +171,24 @@ class TrainingLoop:
         return state
 
     def _record_honest_loss(self, parameters, honest_workers) -> None:
-        """Record the honest-batch loss (see :func:`record_honest_loss`)."""
+        """Record the honest-batch loss (see :func:`record_honest_loss`).
+
+        Clusters whose workers live in other processes (the multiprocess
+        runtime) expose ``last_honest_losses`` — the per-worker batch
+        losses already scored shard-side at the pre-update parameters.
+        Averaging those reproduces the in-process measurement bit for
+        bit (same per-row values, same ``np.mean``), without shipping
+        batches across process boundaries.  Rounds where every shard
+        has departed record no loss, matching the in-process behaviour
+        for rounds where no honest worker sampled.
+        """
+        if hasattr(self._cluster, "last_honest_losses"):
+            losses = self._cluster.last_honest_losses
+            if losses is not None and len(losses) > 0:
+                self._history.record_loss(
+                    self._cluster.step_count, float(np.mean(losses))
+                )
+            return
         record_honest_loss(
             self._model,
             self._history,

@@ -13,11 +13,11 @@ same order.
 
 from __future__ import annotations
 
-import multiprocessing
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.data.datasets import Dataset
+from repro.distributed.runtime.context import multiprocessing_context
 from repro.exceptions import ConfigurationError
 from repro.models.base import Model
 from repro.pipeline.builder import Experiment
@@ -137,7 +137,9 @@ def map_tasks(
     pool_size = min(max_workers, len(tasks))
     if chunksize is None:
         chunksize = default_chunksize(len(tasks), pool_size)
-    context = multiprocessing.get_context()
+    # Pinned start method (not the platform default): see
+    # repro.distributed.runtime.context for the choice and override.
+    context = multiprocessing_context()
     with context.Pool(processes=pool_size) as pool:
         mapper = pool.imap if ordered else pool.imap_unordered
         yield from mapper(function, tasks, chunksize=chunksize)

@@ -183,7 +183,16 @@ class TestCommittedBaseline:
         assert {case.name for case in default_training_grid()} <= committed_names
         for entry in committed["results"]:
             assert entry["outputs_identical"] is True
-            assert np.isfinite(entry["speedup"]) and entry["speedup"] > 1.0
+            assert np.isfinite(entry["speedup"]) and entry["speedup"] > 0.0
+            if entry.get("backend") == "multiprocess":
+                # The mp "speedup" is the multiprocess/in-process
+                # throughput ratio: expected < 1, with the gap reported
+                # as a positive per-round IPC overhead.
+                assert entry["speedup"] < 1.0
+                assert np.isfinite(entry["ipc_overhead_ms"])
+                assert entry["ipc_overhead_ms"] > 0.0
+            else:
+                assert entry["speedup"] > 1.0
 
     def test_smoke_cells_present_in_baseline(self, committed):
         """The CI guard joins smoke cells against the committed file."""
