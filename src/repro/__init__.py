@@ -24,6 +24,12 @@ The package is organised as:
 * :mod:`repro.experiments` — configs and runners regenerating every
   table and figure; :mod:`repro.analysis` — leakage and variance
   extras; :mod:`repro.metrics` — histories and aggregation.
+* :mod:`repro.telemetry` — the unified observability plane: structured
+  tracing (schema-versioned JSONL), a typed metrics registry, and
+  per-round phase profiling across the engine, the multiprocess
+  runtime, the simulator, and campaigns.  Off by default and free when
+  off; bit-identical when on (``Experiment(telemetry=...)``,
+  ``--telemetry`` on the CLI, ``repro trace summarize`` to inspect).
 
 Quickstart
 ----------
@@ -103,8 +109,18 @@ from repro.simulation import (
     StragglerLatency,
     SyncPolicy,
 )
+from repro.telemetry import (
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    Telemetry,
+    TraceError,
+    read_trace,
+    summarize_trace,
+    validate_events,
+)
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AccuracyCallback",
@@ -124,22 +140,27 @@ __all__ = [
     "Experiment",
     "ExperimentConfig",
     "GaussianMechanism",
+    "JsonlSink",
     "LaplaceMechanism",
-    "LognormalLatency",
     "LogisticRegressionModel",
+    "LognormalLatency",
     "MeanEstimationModel",
+    "MemorySink",
+    "MetricsRegistry",
     "ParameterServer",
-    "RoundEngine",
     "PrivacyError",
     "ReproError",
     "ResilienceError",
     "ResultStore",
+    "RoundEngine",
     "ScenarioMatrix",
     "SeedTree",
     "SimulationResult",
     "StepResultRecorder",
     "StragglerLatency",
     "SyncPolicy",
+    "Telemetry",
+    "TraceError",
     "TrainingError",
     "TrainingJob",
     "TrainingLoop",
@@ -159,15 +180,18 @@ __all__ = [
     "master_condition_can_hold",
     "min_batch_size_for_gar",
     "phishing_environment",
+    "read_trace",
     "register_component",
     "render_campaign_report",
     "run_campaign",
     "run_config",
     "run_grid",
     "run_jobs",
+    "summarize_trace",
     "theorem1_bounds",
     "theorem1_rate",
     "train",
     "train_test_split",
+    "validate_events",
     "__version__",
 ]

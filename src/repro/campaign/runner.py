@@ -21,6 +21,7 @@ and serial, cold and warm cache).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -49,7 +50,13 @@ __all__ = [
 
 @dataclass(frozen=True)
 class CellJob:
-    """One pending (cell, seed) run, picklable for the process pool."""
+    """One pending (cell, seed) run, picklable for the process pool.
+
+    ``telemetry`` is the run's JSONL trace path (or ``None``): run
+    infrastructure, deliberately excluded from the content-addressed
+    store key, so warming a store with telemetry on and resuming with
+    it off (or vice versa) still joins on the same cells.
+    """
 
     key: str
     name: str
@@ -59,6 +66,7 @@ class CellJob:
     model: Model
     train_dataset: Dataset
     test_dataset: Dataset | None
+    telemetry: str | None = None
 
 
 @dataclass(frozen=True)
@@ -134,6 +142,7 @@ def _base_record(job: CellJob, history, final_parameters, privacy) -> dict:
         "privacy": privacy.to_dict() if privacy is not None else None,
         "vn": None,
         "simulation": None,
+        "telemetry": job.telemetry,
     }
 
 
@@ -152,6 +161,7 @@ def execute_cell(job: CellJob) -> dict:
         job.train_dataset,
         job.test_dataset,
         seed=job.seed,
+        telemetry=job.telemetry,
     )
     if job.mode == "simulate":
         result: SimulationResult = experiment.simulate()
@@ -204,12 +214,18 @@ def plan_campaign(
     store: ResultStore,
     *,
     smoke: bool = False,
+    telemetry: str | None = None,
 ) -> CampaignPlan:
     """Join the matrix against the store and list the pending runs.
 
     The shared environment (dataset + model) is built only when at
     least one run is actually pending: planning against a warm store —
     a dry run, a report, a no-op resume — is pure key arithmetic.
+
+    ``telemetry`` names a *directory*: each pending run then writes a
+    JSONL trace at ``<telemetry>/<key>.jsonl`` (the store key is the
+    natural per-run name — content-addressed, collision-free, and the
+    record stamps the path so reports can link result to trace).
     """
     if smoke:
         matrix = matrix.smoke()
@@ -237,6 +253,11 @@ def plan_campaign(
                 model=model,
                 train_dataset=train_set,
                 test_dataset=test_set,
+                telemetry=(
+                    str(Path(telemetry) / f"{key}.jsonl")
+                    if telemetry is not None
+                    else None
+                ),
             )
             for cell, seed, key in missing
         ]
@@ -263,6 +284,7 @@ def run_campaign(
     smoke: bool = False,
     verbose: bool = False,
     execute: Callable[[CellJob], dict] | None = None,
+    telemetry: str | None = None,
 ) -> CampaignRunSummary:
     """Execute every pending run of the campaign, persisting as it goes.
 
@@ -280,10 +302,14 @@ def run_campaign(
     Records still persist as their chunk completes, so a kill loses at
     most the in-flight chunks; pass ``chunksize=1`` to restore
     per-run persistence granularity for long cells.
+
+    ``telemetry`` names a trace directory (see :func:`plan_campaign`):
+    every executed run writes ``<telemetry>/<key>.jsonl`` and its store
+    record carries the path under the ``"telemetry"`` key.
     """
     if execute is None:
         execute = execute_cell  # resolved late so tests can monkeypatch it
-    plan = plan_campaign(matrix, store, smoke=smoke)
+    plan = plan_campaign(matrix, store, smoke=smoke, telemetry=telemetry)
     if verbose:
         print(
             f"campaign {matrix.name!r}: {len(plan.pending)} pending run(s), "

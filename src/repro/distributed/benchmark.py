@@ -28,7 +28,6 @@ baseline.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -37,8 +36,10 @@ from repro.distributed.reference import reference_training_rounds
 from repro.gars.benchmark import save_benchmarks
 from repro.metrics.history import TrainingHistory
 from repro.models.logistic import LogisticRegressionModel
+from repro.telemetry.timing import Stopwatch
 
 __all__ = [
+    "TELEMETRY_OVERHEAD_LIMIT",
     "TrainingBenchCase",
     "TrainingBenchResult",
     "check_speedup_regressions",
@@ -51,6 +52,11 @@ __all__ = [
 
 #: Document format version for ``BENCH_training.json``.
 SCHEMA = "repro.bench_training/1"
+
+#: Absolute ceiling on a telemetry cell's enabled-overhead fraction —
+#: the CI guard fails any run whose telemetry-on engine loses more than
+#: this to its telemetry-off twin, independent of the baseline.
+TELEMETRY_OVERHEAD_LIMIT = 0.03
 
 
 @dataclass(frozen=True)
@@ -80,6 +86,11 @@ class TrainingBenchCase:
     seed: int = 1
     backend: str = "inprocess"
     num_shards: int | None = None
+    #: ``True`` measures the telemetry plane itself: engine = fused
+    #: engine with a live in-memory telemetry sink, reference = the same
+    #: fused engine with telemetry off.  The cell's overhead fraction is
+    #: what the disabled-overhead CI guard pins below 3 %.
+    telemetry: bool = False
 
     @property
     def dimension(self) -> int:
@@ -127,6 +138,14 @@ class TrainingBenchResult:
     reference_rounds_per_sec: float
     engine_rounds_per_sec: float
     outputs_identical: bool
+    #: Fractional slowdown of telemetry-on over telemetry-off, for
+    #: ``telemetry=True`` cells only (``None`` elsewhere).  Estimated
+    #: as the *minimum over interleaved repeat pairs* of the on/off
+    #: time ratio — the paired twin of best-of-N timing: machine-wide
+    #: noise inflates both halves of a pair together, so the cleanest
+    #: pair lower-bounds the true overhead while a real regression
+    #: shows up in every pair.  Negative values are timing noise.
+    telemetry_overhead_fraction: float | None = None
 
     @property
     def speedup(self) -> float:
@@ -162,6 +181,7 @@ class TrainingBenchResult:
                 if case.backend == "multiprocess"
                 else None
             ),
+            "telemetry_overhead_fraction": self.telemetry_overhead_fraction,
             "outputs_identical": self.outputs_identical,
         }
 
@@ -186,13 +206,19 @@ def default_training_grid() -> list[TrainingBenchCase]:
         TrainingBenchCase("average-dp-momentum", "average", 25, 0, 99, 50, 400, epsilon=0.5, attack=None),
         TrainingBenchCase("krum-dp-laplace", "krum", 25, 11, 99, 50, 400, epsilon=0.5, noise_kind="laplace"),
         TrainingBenchCase("krum-dp-momentum-d1000", "krum", 25, 11, 999, 50, 150, epsilon=0.5),
+        TrainingBenchCase("krum-dp-momentum-telemetry", "krum", 25, 11, 99, 50, 400, epsilon=0.5, telemetry=True),
         TrainingBenchCase("mp-krum-dp-momentum", "krum", 25, 11, 99, 50, 200, epsilon=0.5, backend="multiprocess"),
         TrainingBenchCase("mp-krum-dp-momentum-d1000", "krum", 25, 11, 999, 50, 100, epsilon=0.5, backend="multiprocess"),
     ]
 
 
 #: Cells the CI smoke job runs, by name.
-_SMOKE_CELLS = ("krum-dp-momentum", "krum-nodp-momentum", "average-dp-momentum")
+_SMOKE_CELLS = (
+    "krum-dp-momentum",
+    "krum-nodp-momentum",
+    "average-dp-momentum",
+    "krum-dp-momentum-telemetry",
+)
 
 
 def smoke_training_grid() -> list[TrainingBenchCase]:
@@ -215,26 +241,29 @@ def run_case(case: TrainingBenchCase, repeats: int = 3) -> TrainingBenchResult:
     so the guarded ratio compares the quantity the engine changes, not
     fixed per-run setup.
     """
+    if case.telemetry:
+        return _run_telemetry_case(case, repeats)
     if case.backend == "multiprocess":
         return _run_multiprocess_case(case, repeats)
     engine_best = float("inf")
     reference_best = float("inf")
     outputs_identical = True
+    watch = Stopwatch()
     for repeat in range(max(1, repeats)):
         fused = case.build_experiment()
         fused_cluster = fused.build_cluster()
         fused_history = TrainingHistory()
         engine = fused_cluster.engine
-        start = time.perf_counter()
+        watch.restart()
         engine.run(case.rounds, history=fused_history)
-        engine_best = min(engine_best, time.perf_counter() - start)
+        engine_best = min(engine_best, watch.elapsed_seconds())
 
         reference = case.build_experiment()
         cluster = reference.build_cluster()
         history = TrainingHistory()
-        start = time.perf_counter()
+        watch.restart()
         reference_training_rounds(cluster, reference.model, history, case.rounds)
-        reference_best = min(reference_best, time.perf_counter() - start)
+        reference_best = min(reference_best, watch.elapsed_seconds())
 
         if repeat == 0:
             outputs_identical = bool(
@@ -247,6 +276,56 @@ def run_case(case: TrainingBenchCase, repeats: int = 3) -> TrainingBenchResult:
         reference_rounds_per_sec=case.rounds / reference_best,
         engine_rounds_per_sec=case.rounds / engine_best,
         outputs_identical=outputs_identical,
+    )
+
+
+def _run_telemetry_case(case: TrainingBenchCase, repeats: int) -> TrainingBenchResult:
+    """Time the fused engine with telemetry on vs off.
+
+    Reference = telemetry off, engine = telemetry on (a
+    :class:`~repro.telemetry.Telemetry` over an in-memory sink, so the
+    measured overhead is span bookkeeping, not file I/O).  Interleaved
+    repeats like the other cells; the first repeat also asserts the
+    bit-identity contract — telemetry must never change a number.
+    """
+    from repro.telemetry import MemorySink, Telemetry
+
+    on_best = float("inf")
+    off_best = float("inf")
+    pair_overheads = []
+    outputs_identical = True
+    watch = Stopwatch()
+    for repeat in range(max(1, repeats)):
+        on = case.build_experiment()
+        on_cluster = on.build_cluster()
+        on_cluster.telemetry = Telemetry(sinks=[MemorySink()])
+        on_history = TrainingHistory()
+        watch.restart()
+        on_cluster.engine.run(case.rounds, history=on_history)
+        on_seconds = watch.elapsed_seconds()
+        on_best = min(on_best, on_seconds)
+
+        off = case.build_experiment()
+        off_cluster = off.build_cluster()
+        off_history = TrainingHistory()
+        watch.restart()
+        off_cluster.engine.run(case.rounds, history=off_history)
+        off_seconds = watch.elapsed_seconds()
+        off_best = min(off_best, off_seconds)
+        pair_overheads.append(on_seconds / off_seconds - 1.0)
+
+        if repeat == 0:
+            outputs_identical = bool(
+                on_history.losses.tolist() == off_history.losses.tolist()
+                and on_cluster.parameters.tolist()
+                == off_cluster.parameters.tolist()
+            )
+    return TrainingBenchResult(
+        case=case,
+        reference_rounds_per_sec=case.rounds / off_best,
+        engine_rounds_per_sec=case.rounds / on_best,
+        outputs_identical=outputs_identical,
+        telemetry_overhead_fraction=min(pair_overheads),
     )
 
 
@@ -268,22 +347,23 @@ def _run_multiprocess_case(case: TrainingBenchCase, repeats: int) -> TrainingBen
     engine_best = float("inf")
     reference_best = float("inf")
     outputs_identical = True
+    watch = Stopwatch()
     for repeat in range(max(1, repeats)):
         fused = fused_case.build_experiment()
         fused_cluster = fused.build_cluster()
         fused_history = TrainingHistory()
-        start = time.perf_counter()
+        watch.restart()
         fused_cluster.engine.run(case.rounds, history=fused_history)
-        reference_best = min(reference_best, time.perf_counter() - start)
+        reference_best = min(reference_best, watch.elapsed_seconds())
 
         multiprocess = case.build_experiment()
         runtime = multiprocess.build_multiprocess_cluster()
         history = TrainingHistory()
         loop = TrainingLoop(cluster=runtime, model=multiprocess.model, history=history)
         with runtime:
-            start = time.perf_counter()
+            watch.restart()
             loop.run(case.rounds)
-            engine_best = min(engine_best, time.perf_counter() - start)
+            engine_best = min(engine_best, watch.elapsed_seconds())
             final_parameters = runtime.parameters.tolist()
         multiprocess.reset()
 
@@ -381,6 +461,11 @@ def check_speedup_regressions(
     (training cells, exact) or ``max_abs_diff`` (kernel cells, against
     a 1e-9 sanity bound — the committed diffs sit at rounding scale,
     ~1e-16, and the tier-1 golden/property suites own exactness).
+
+    Telemetry cells additionally enforce an *absolute* bound: a
+    ``telemetry_overhead_fraction`` above
+    ``TELEMETRY_OVERHEAD_LIMIT`` (3 %) fails regardless of the
+    baseline, pinning the plane's enabled-overhead contract in CI.
     """
     if not 0.0 <= tolerance < 1.0:
         raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
@@ -403,6 +488,18 @@ def check_speedup_regressions(
                 f"{_result_key(entry)}: kernel output drifted from the "
                 f"reference by {entry['max_abs_diff']:.3g}"
             )
+            continue
+        overhead = entry.get("telemetry_overhead_fraction")
+        if overhead is not None:
+            # Telemetry cells compare on/off, not engine/reference:
+            # their "speedup" is a noise-dominated ~1.0 ratio, so the
+            # paired overhead estimate is the only guarded quantity.
+            if overhead > TELEMETRY_OVERHEAD_LIMIT:
+                failures.append(
+                    f"{_result_key(entry)}: telemetry overhead "
+                    f"{overhead:.1%} exceeds the "
+                    f"{TELEMETRY_OVERHEAD_LIMIT:.0%} limit"
+                )
             continue
         if reference is None:
             continue

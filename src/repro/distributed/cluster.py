@@ -27,6 +27,7 @@ policies relax the barrier the paper assumes away.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -40,6 +41,28 @@ from repro.exceptions import ConfigurationError
 from repro.typing import Matrix, Vector
 
 __all__ = ["Cluster", "StepResult"]
+
+
+def _emit_round_metrics(telemetry, delivered, aggregated, num_honest: int) -> None:
+    """Round counters for an instrumented path (never on the null path).
+
+    GAR-agnostic winner detection: the aggregate is compared against
+    the delivered rows; a matching row means the GAR selected that
+    worker's gradient verbatim (Krum, MDA, ...).  The Byzantine block
+    is ``f`` *identical* rows, so a selected attack gradient matches
+    several indices at once — the round counts as Byzantine-selected
+    when every matching row sits past the honest block.  Averaging
+    GARs match no row and emit no winner — correctly so.
+    """
+    telemetry.counter("rounds")
+    matches = np.flatnonzero((delivered == aggregated).all(axis=1))
+    if matches.size:
+        byzantine = bool(matches[0] >= num_honest)
+        if byzantine or matches[-1] < num_honest:
+            telemetry.gauge("gar.winner_index", int(matches[0]))
+            telemetry.counter("gar.winner_rounds")
+            if byzantine:
+                telemetry.counter("gar.byzantine_selected")
 
 
 @dataclass(frozen=True)
@@ -119,6 +142,10 @@ class Cluster:
         self._network = network if network is not None else PerfectNetwork()
         self._step = 0
         self._engine = None
+        # Null telemetry by default: the hot path pays exactly one
+        # attribute load + `is None` test per round (pinned by
+        # tests/test_telemetry_integration.py's off-path guard).
+        self._telemetry = None
 
     @property
     def server(self) -> ParameterServer:
@@ -169,6 +196,15 @@ class Cluster:
             self._engine = RoundEngine(self)
         return self._engine
 
+    @property
+    def telemetry(self):
+        """The installed :class:`repro.telemetry.Telemetry` handle (or None)."""
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, handle) -> None:
+        self._telemetry = handle
+
     def step(self, record: bool = True) -> StepResult:
         """Run one synchronous round and return its instrumentation.
 
@@ -176,6 +212,8 @@ class Cluster:
         result (the round itself is unchanged); loops whose callbacks
         never read them use it to skip the retained allocations.
         """
+        if self._telemetry is not None:
+            return self._instrumented_step(record)
         self._step += 1
         parameters = self._server.parameters
 
@@ -211,6 +249,74 @@ class Cluster:
 
         delivered = self._network.deliver(all_gradients, self._step)
         aggregated = self._server.step(delivered)
+        return StepResult(
+            step=self._step,
+            aggregated=aggregated,
+            honest_submitted=honest_submitted if record else None,
+            honest_clean=honest_clean if record else None,
+            byzantine_gradient=byzantine_gradient,
+        )
+
+    def _instrumented_step(self, record: bool = True) -> StepResult:
+        """:meth:`step` with telemetry spans — a deliberate duplicate.
+
+        The null path must stay free of span plumbing (no wrapper
+        callables, no per-phase branches), so this twin mirrors
+        :meth:`step`'s body exactly and adds the observation points.
+        Any behavioural change to :meth:`step` must be made here too;
+        the differential and golden-trace tests pin the equivalence.
+        Telemetry only *observes* — no RNG stream is ever touched.
+        """
+        telemetry = self._telemetry
+        self._step += 1
+        telemetry.set_step(self._step)
+        parameters = self._server.parameters
+
+        started = time.perf_counter_ns()
+        honest_submitted, honest_clean = compute_cohort(
+            self._honest_workers, parameters, self._step
+        )
+        telemetry.span_ns("round.cohort", time.perf_counter_ns() - started)
+
+        byzantine_gradient: Vector | None = None
+        if self._num_byzantine > 0:
+            assert self._attack is not None and self._attack_rng is not None
+            started = time.perf_counter_ns()
+            context = AttackContext(
+                step=self._step,
+                honest_submitted=honest_submitted,
+                honest_clean=honest_clean,
+                parameters=parameters,
+                num_byzantine=self._num_byzantine,
+                rng=self._attack_rng,
+            )
+            byzantine_gradient = np.asarray(
+                self._attack.craft(context), dtype=np.float64
+            )
+            if byzantine_gradient.shape != parameters.shape:
+                raise ConfigurationError(
+                    f"attack produced shape {byzantine_gradient.shape}, "
+                    f"expected {parameters.shape}"
+                )
+            byzantine_block = np.tile(byzantine_gradient, (self._num_byzantine, 1))
+            all_gradients = np.vstack([honest_submitted, byzantine_block])
+            telemetry.span_ns("round.attack", time.perf_counter_ns() - started)
+        else:
+            all_gradients = honest_submitted
+
+        dropped_before = getattr(self._network, "dropped_total", None)
+        started = time.perf_counter_ns()
+        delivered = self._network.deliver(all_gradients, self._step)
+        telemetry.span_ns("round.network", time.perf_counter_ns() - started)
+        if dropped_before is not None:
+            dropped = self._network.dropped_total - dropped_before
+            if dropped:
+                telemetry.counter("network.dropped", dropped)
+
+        started = time.perf_counter_ns()
+        aggregated = self._server.step(delivered)
+        telemetry.span_ns("round.server", time.perf_counter_ns() - started)
+        _emit_round_metrics(telemetry, delivered, aggregated, len(self._honest_workers))
         return StepResult(
             step=self._step,
             aggregated=aggregated,

@@ -41,6 +41,8 @@ never depends on the fast path.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.attacks.base import AttackContext
@@ -67,6 +69,29 @@ _BLOCK_BYTES = 8 << 20
 
 #: Hard cap on rounds per block; past this the amortisation is flat.
 _MAX_BLOCK_ROUNDS = 256
+
+
+class _PhaseLap:
+    """Accumulating per-phase lap timer for the instrumented block path.
+
+    One instance per round (allocated only when telemetry is on);
+    ``mark(name)`` charges the time since the previous mark to that
+    phase's running total.  The engine emits one span per phase per
+    *block*, so telemetry adds O(phases) events per block rather than
+    per round — this is what keeps the enabled-path overhead inside the
+    bench guard's 3% budget.
+    """
+
+    __slots__ = ("acc", "t")
+
+    def __init__(self, acc: dict):
+        self.acc = acc
+        self.t = time.perf_counter_ns()
+
+    def mark(self, name: str) -> None:
+        now = time.perf_counter_ns()
+        self.acc[name] = self.acc.get(name, 0) + (now - self.t)
+        self.t = now
 
 
 def default_block_rounds(
@@ -405,6 +430,11 @@ class RoundEngine:
             )
         self._ensure_buffers()
         workers = self._workers
+        # The fused path shares the cluster's telemetry handle; when it
+        # is None (the default) every observation point below folds to a
+        # single `is not None` test.
+        telemetry = self._cluster._telemetry
+        phase_acc: dict | None = {} if telemetry is not None else None
         if block_size is None:
             block_size = default_block_rounds(
                 len(workers),
@@ -437,6 +467,14 @@ class RoundEngine:
         try:
             while remaining > 0:
                 rounds = min(remaining, block_size)
+                if telemetry is not None:
+                    self._clip_hits = 0
+                    self._winner_rounds = 0
+                    self._byzantine_rounds = 0
+                    self._dropped_before = getattr(
+                        self._network, "dropped_total", None
+                    )
+                    predraw_started = time.perf_counter_ns()
                 # Blockwise pre-draw: every worker's private streams are
                 # consumed exactly as the per-round path would, just all
                 # at once (see module docstring).
@@ -458,6 +496,12 @@ class RoundEngine:
                     noise_stack = np.stack(noise_blocks, axis=1)
                 else:
                     noise_stack = None
+                if phase_acc is not None:
+                    # The block pre-draw IS the round's sampling/noise
+                    # RNG work, amortised: charge it to its own phase.
+                    phase_acc["round.predraw"] = phase_acc.get(
+                        "round.predraw", 0
+                    ) + (time.perf_counter_ns() - predraw_started)
                 for r in range(rounds):
                     is_last = remaining == rounds and r == rounds - 1
                     round_result = self._fused_round(
@@ -469,10 +513,13 @@ class RoundEngine:
                         pending_losses if history is not None else None,
                         record=record,
                         build_result=is_last,
+                        phase_acc=phase_acc,
                     )
                     if round_result is not None:
                         result = round_result
                 flush_losses()
+                if telemetry is not None:
+                    self._emit_block_telemetry(telemetry, rounds, phase_acc)
                 remaining -= rounds
         finally:
             # Divergence can abort mid-block; worker-visible state and
@@ -484,6 +531,29 @@ class RoundEngine:
                 self._export_state()
         return result
 
+    def _emit_block_telemetry(self, telemetry, rounds: int, phase_acc: dict) -> None:
+        """Flush one block's accumulated phases and counters as events.
+
+        One span per phase per block (tagged with the rounds it
+        covers), plus the counters the block accumulated inline.
+        Emission happens *between* blocks, never inside the round loop.
+        """
+        telemetry.set_step(self._cluster._step)
+        for name in sorted(phase_acc):
+            telemetry.span_ns(name, phase_acc[name], rounds=rounds)
+        phase_acc.clear()
+        telemetry.counter("rounds", rounds)
+        if self._clip_hits:
+            telemetry.counter("clip.activations", self._clip_hits)
+        if self._winner_rounds:
+            telemetry.counter("gar.winner_rounds", self._winner_rounds)
+        if self._byzantine_rounds:
+            telemetry.counter("gar.byzantine_selected", self._byzantine_rounds)
+        if self._dropped_before is not None:
+            dropped = self._network.dropped_total - self._dropped_before
+            if dropped:
+                telemetry.counter("network.dropped", dropped)
+
     def _fused_round(
         self,
         index_blocks,
@@ -494,6 +564,7 @@ class RoundEngine:
         pending_losses: list | None,
         record: bool,
         build_result: bool,
+        phase_acc: dict | None = None,
     ):
         cluster = self._cluster
         workers = self._workers
@@ -503,6 +574,7 @@ class RoundEngine:
         self._rounds_executed += 1
         step = cluster._step
         parameters = server.parameters_view
+        lap = _PhaseLap(phase_acc) if phase_acc is not None else None
 
         # Batch gather into the warm preallocated buffers: one indexed
         # take for the whole cohort on shared data, per-worker takes on
@@ -532,6 +604,8 @@ class RoundEngine:
                     out=labels[index], mode="clip",
                 )
         self._have_batches = True
+        if lap is not None:
+            lap.mark("round.sample")
 
         # Forward/backward: one shared pass for the round's loss and
         # cohort gradients.
@@ -550,6 +624,10 @@ class RoundEngine:
         exceeds = norms > self._g_max
         if exceeds.any():
             clean[exceeds] *= (self._g_max[exceeds] / norms[exceeds])[:, None]
+            if lap is not None:
+                self._clip_hits += int(np.count_nonzero(exceeds))
+        if lap is not None:
+            lap.mark("round.cohort")
 
         # DP noise from the pre-drawn block, written straight into the
         # wire matrix (rows without a mechanism carry the clean row).
@@ -560,6 +638,8 @@ class RoundEngine:
             submitted[:] = clean
             for index in self._noised_indices:
                 np.add(clean[index], noise_blocks[index][r], out=submitted[index])
+        if lap is not None:
+            lap.mark("round.noise")
 
         # Momentum on the persistent stacks (v <- m v; v <- v + g).
         if self._any_momentum:
@@ -574,6 +654,8 @@ class RoundEngine:
                 mask = self._momentum_mask
                 submitted[mask] = self._velocity_submitted[mask]
                 clean[mask] = self._velocity_clean[mask]
+            if lap is not None:
+                lap.mark("round.momentum")
 
         byzantine_gradient = None
         if self._num_byzantine > 0:
@@ -600,9 +682,24 @@ class RoundEngine:
                     f"expected {parameters.shape}"
                 )
             self._all_gradients[num_honest:] = byzantine_gradient
+            if lap is not None:
+                lap.mark("round.attack")
 
         delivered = self._network.deliver(self._all_gradients, step)
+        if lap is not None:
+            lap.mark("round.network")
         aggregated = server.step(delivered, in_place=True)
+        if lap is not None:
+            lap.mark("round.server")
+            # Same winner rule as _emit_round_metrics: all-honest or
+            # all-Byzantine match sets count, mixed matches don't.
+            matches = np.flatnonzero((delivered == aggregated).all(axis=1))
+            if matches.size:
+                if matches[0] >= num_honest:
+                    self._winner_rounds += 1
+                    self._byzantine_rounds += 1
+                elif matches[-1] < num_honest:
+                    self._winner_rounds += 1
 
         if pending_losses is not None:
             # Parked only after a successful server update, exactly as

@@ -43,7 +43,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.attacks.base import AttackContext, ByzantineAttack
-from repro.distributed.cluster import StepResult
+from repro.distributed.cluster import StepResult, _emit_round_metrics
 from repro.distributed.network import PerfectNetwork
 from repro.distributed.runtime.context import multiprocessing_context
 from repro.distributed.runtime.shard import WorkerShardSpec, shard_main
@@ -83,6 +83,7 @@ class MultiprocessCluster:
         round_timeout: float = 30.0,
         join_timeout: float = 30.0,
         start_method: str | None = None,
+        telemetry=None,
     ):
         shard_specs = list(shard_specs)
         if not shard_specs:
@@ -142,6 +143,10 @@ class MultiprocessCluster:
         self._departed: dict[int, str] = {}
         self._dead_rows: list[int] = []
         self._last_honest_losses: np.ndarray | None = None
+        # Chief-side telemetry source; when set, start() also creates
+        # the shared shard->chief event queue the merge drains.
+        self._telemetry = telemetry
+        self._telemetry_queue = None
 
     # ------------------------------------------------------------------
     # cluster surface (mirrors Cluster)
@@ -212,6 +217,20 @@ class MultiprocessCluster:
         """Honest workers still participating."""
         return self._num_honest - len(self._dead_rows)
 
+    @property
+    def telemetry(self):
+        """The installed :class:`repro.telemetry.Telemetry` handle (or None)."""
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, handle) -> None:
+        if self._started and handle is not None and self._telemetry_queue is None:
+            raise ConfigurationError(
+                "telemetry must be installed before the runtime starts "
+                "(shard processes are launched with the telemetry queue)"
+            )
+        self._telemetry = handle
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -233,12 +252,24 @@ class MultiprocessCluster:
         dimension = int(self._server.parameters_view.shape[0])
         self._plane = WirePlane.create(self._num_honest, dimension)
         self._results = context.Queue()
+        if self._telemetry is not None:
+            # One shared event queue for all shards: each shard's
+            # QueueSink batches put their events in order, and the
+            # chief's drain preserves per-source ordering — all the
+            # merged trace's validation requires.
+            self._telemetry_queue = context.Queue()
         try:
             for spec in self._shard_specs:
                 commands = context.Queue()
                 process = context.Process(
                     target=shard_main,
-                    args=(spec, self._plane.spec, commands, self._results),
+                    args=(
+                        spec,
+                        self._plane.spec,
+                        commands,
+                        self._results,
+                        self._telemetry_queue,
+                    ),
                     daemon=True,
                     name=f"repro-shard-{spec.shard_id}",
                 )
@@ -306,6 +337,14 @@ class MultiprocessCluster:
             if process.is_alive():
                 process.kill()
                 process.join(timeout=1.0)
+        # Final merge: with every shard joined (or killed) the queue
+        # feeder threads have flushed, so a single drain collects all
+        # remaining shard events — including the shard.stop marks.
+        self._drain_shard_events()
+        if self._telemetry_queue is not None:
+            self._telemetry_queue.close()
+            self._telemetry_queue.cancel_join_thread()
+            self._telemetry_queue = None
         for commands in self._commands.values():
             commands.close()
             commands.cancel_join_thread()
@@ -368,6 +407,19 @@ class MultiprocessCluster:
             # write rows into a later round's wire matrix.
             process.kill()
             process.join(timeout=1.0)
+        if self._telemetry is not None:
+            # The legible final event for a shard that can no longer
+            # speak for itself: id, round, reason, exit code.
+            self._telemetry.warning(
+                "shard.departed",
+                f"shard {shard_id} departed at step {self._step}: {reason}",
+                shard=shard_id,
+                reason=reason,
+                fail_step=self._step,
+                exit_code=process.exitcode if process is not None else None,
+                workers=list(spec.worker_ids),
+            )
+            self._telemetry.counter("shard.departed")
 
     # ------------------------------------------------------------------
     # rounds
@@ -386,6 +438,13 @@ class MultiprocessCluster:
         if not self._started:
             self.start()
         self._step += 1
+        # Inline-gated telemetry: unlike Cluster.step's duplicated twin,
+        # the per-round cost here is dominated by IPC, so a handful of
+        # `is not None` branches in one body is the clearer trade.
+        telemetry = self._telemetry
+        if telemetry is not None:
+            telemetry.set_step(self._step)
+            phase_started = time.perf_counter_ns()
         parameters = self._server.parameters
         np.copyto(self._plane.parameters, parameters)
 
@@ -394,7 +453,16 @@ class MultiprocessCluster:
             if spec.shard_id not in self._departed:
                 self._commands[spec.shard_id].put(("round", self._step))
                 pending.add(spec.shard_id)
+        if telemetry is not None:
+            now = time.perf_counter_ns()
+            telemetry.span_ns("round.publish", now - phase_started)
+            phase_started = now
         self._collect(pending)
+        if telemetry is not None:
+            now = time.perf_counter_ns()
+            telemetry.span_ns("round.wait", now - phase_started)
+            self._drain_shard_events()
+            phase_started = time.perf_counter_ns()
 
         honest_submitted = np.array(self._plane.wire)
         honest_clean = np.array(self._plane.clean)
@@ -408,6 +476,10 @@ class MultiprocessCluster:
             self._last_honest_losses = losses[live_rows] if live_rows.size else None
         else:
             self._last_honest_losses = losses
+        if telemetry is not None:
+            now = time.perf_counter_ns()
+            telemetry.span_ns("round.copyout", now - phase_started)
+            phase_started = now
 
         byzantine_gradient: Vector | None = None
         if self._num_byzantine > 0:
@@ -432,9 +504,25 @@ class MultiprocessCluster:
             all_gradients = np.vstack([honest_submitted, byzantine_block])
         else:
             all_gradients = honest_submitted
+        if telemetry is not None:
+            now = time.perf_counter_ns()
+            telemetry.span_ns("round.attack", now - phase_started)
+            dropped_before = getattr(self._network, "dropped_total", None)
+            phase_started = now
 
         delivered = self._network.deliver(all_gradients, self._step)
+        if telemetry is not None:
+            now = time.perf_counter_ns()
+            telemetry.span_ns("round.network", now - phase_started)
+            if dropped_before is not None:
+                dropped = self._network.dropped_total - dropped_before
+                if dropped:
+                    telemetry.counter("network.dropped", dropped)
+            phase_started = now
         aggregated = self._server.step(delivered)
+        if telemetry is not None:
+            telemetry.span_ns("round.server", time.perf_counter_ns() - phase_started)
+            _emit_round_metrics(telemetry, delivered, aggregated, self._num_honest)
         return StepResult(
             step=self._step,
             aggregated=aggregated,
@@ -442,6 +530,26 @@ class MultiprocessCluster:
             honest_clean=honest_clean if record else None,
             byzantine_gradient=byzantine_gradient,
         )
+
+    def _drain_shard_events(self) -> None:
+        """Merge every queued shard event into the chief's trace.
+
+        Shard events keep their original ``src``/``seq``: drain order
+        is causal per shard (one queue, FIFO feeders), which is exactly
+        the ordering the trace schema validates.  A batch a shard
+        flushed late simply merges on a later drain — or on the final
+        drain in :meth:`shutdown`.
+        """
+        queue = self._telemetry_queue
+        if queue is None or self._telemetry is None:
+            return
+        while True:
+            try:
+                batch = queue.get_nowait()
+            except (queue_module.Empty, OSError, ValueError):
+                return
+            for event in batch:
+                self._telemetry.forward(event)
 
     def _collect(self, pending: set[int]) -> None:
         """Await ``("done", ...)`` replies; depart the dead and the late."""

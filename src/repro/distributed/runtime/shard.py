@@ -152,7 +152,13 @@ def _inject_failure(spec: WorkerShardSpec) -> None:
         time.sleep(3600.0)
 
 
-def shard_main(spec: WorkerShardSpec, plane_spec: PlaneSpec, commands, results) -> None:
+def shard_main(
+    spec: WorkerShardSpec,
+    plane_spec: PlaneSpec,
+    commands,
+    results,
+    telemetry_queue=None,
+) -> None:
     """Entry point of one shard process.
 
     Attaches the wire plane, rebuilds the shard's workers, announces
@@ -161,13 +167,34 @@ def shard_main(spec: WorkerShardSpec, plane_spec: PlaneSpec, commands, results) 
     shard_id, message)`` so the chief can depart the shard instead of
     timing out on it.  The plane attachment is closed on every exit
     path; the shard never unlinks the segment (the chief owns it).
+
+    ``telemetry_queue`` (chief-created, one per run) enables the
+    shard's telemetry source: span/counter events tagged
+    ``src="shard:<id>"`` are batched through a
+    :class:`~repro.telemetry.sinks.QueueSink` and flushed once per
+    round *before* the ``("done", ...)`` reply, so the chief's drain
+    after collecting the round usually sees them immediately — and
+    always eventually, since per-source ordering is all the merged
+    trace requires.  Telemetry never touches the workers' RNG streams.
     """
+    telemetry = None
+    if telemetry_queue is not None:
+        from repro.telemetry import QueueSink, Telemetry
+
+        telemetry = Telemetry(
+            sinks=[QueueSink(telemetry_queue)], src=f"shard:{spec.shard_id}"
+        )
     try:
         with WirePlane.attach(plane_spec) as plane:
             if spec.fail_step == 0:
                 _inject_failure(spec)
             workers = spec.build_workers()
             rows = spec.rows
+            if telemetry is not None:
+                telemetry.mark(
+                    "shard.start", pid=os.getpid(), workers=list(spec.worker_ids)
+                )
+                telemetry.flush()
             results.put(("join", spec.shard_id, os.getpid()))
             while True:
                 command = commands.get()
@@ -176,6 +203,9 @@ def shard_main(spec: WorkerShardSpec, plane_spec: PlaneSpec, commands, results) 
                 step = command[1]
                 if spec.fail_step is not None and step >= spec.fail_step:
                     _inject_failure(spec)
+                if telemetry is not None:
+                    telemetry.set_step(step)
+                    round_started = time.perf_counter_ns()
                 # Copy the chief-published parameters out of shared
                 # memory: float64 bits survive the round trip untouched.
                 parameters = np.array(plane.parameters)
@@ -184,10 +214,27 @@ def shard_main(spec: WorkerShardSpec, plane_spec: PlaneSpec, commands, results) 
                 plane.wire[rows] = submitted
                 plane.clean[rows] = clean
                 plane.losses[rows] = losses
+                if telemetry is not None:
+                    telemetry.span_ns(
+                        "round.cohort", time.perf_counter_ns() - round_started
+                    )
+                    telemetry.counter("rounds")
+                    telemetry.flush()
                 results.put(("done", spec.shard_id, step))
+            if telemetry is not None:
+                telemetry.mark("shard.stop")
+                telemetry.flush()
     except KeyboardInterrupt:  # pragma: no cover - chief tears us down
         pass
     except Exception as error:
+        if telemetry is not None:
+            try:
+                telemetry.warning(
+                    "shard.error", f"{type(error).__name__}: {error}"
+                )
+                telemetry.flush()
+            except Exception:  # pragma: no cover - queue already torn down
+                pass
         try:
             results.put(("error", spec.shard_id, f"{type(error).__name__}: {error}"))
         except Exception:  # pragma: no cover - queue already torn down

@@ -58,6 +58,7 @@ def train(
     seed: int = 1,
     record_gradients: bool = False,
     callbacks=(),
+    telemetry=None,
 ) -> TrainingResult:
     """Run one distributed training experiment end to end.
 
@@ -82,6 +83,10 @@ def train(
       ``"iid-shards"`` (disjoint random shards) or ``"label-shards"``
       (pathological non-IID label-sorted shards — an extension beyond
       the paper's i.i.d. assumption).
+    * ``telemetry`` enables the observability plane: pass a
+      :class:`repro.telemetry.Telemetry` instance or a path (the run
+      then writes a schema-versioned JSONL trace there).  Telemetry
+      never draws randomness — results are bit-identical either way.
     * ``gar``, ``attack`` and the other component arguments also accept
       ``{"name": ..., **kwargs}`` registry specs, and ``callbacks``
       (:class:`repro.pipeline.Callback` instances) hook into the
@@ -123,5 +128,6 @@ def train(
         seed=seed,
         record_gradients=record_gradients,
         callbacks=callbacks,
+        telemetry=telemetry,
     )
     return experiment.run()

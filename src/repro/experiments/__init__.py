@@ -16,7 +16,13 @@ from repro.experiments.io import (
     outcome_to_dict,
     save_outcomes,
 )
-from repro.experiments.runner import RunOutcome, phishing_environment, run_config, run_grid
+from repro.experiments.runner import (
+    RunOutcome,
+    phishing_environment,
+    run_config,
+    run_grid,
+    telemetry_path_for,
+)
 from repro.experiments.tables import Table1Row, format_table1, table1_rows
 
 __all__ = [
@@ -40,4 +46,5 @@ __all__ = [
     "run_grid",
     "save_outcomes",
     "table1_rows",
+    "telemetry_path_for",
 ]

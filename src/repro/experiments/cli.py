@@ -10,6 +10,8 @@ Usage (installed package)::
     python -m repro campaign examples/campaign_paper_grid.json --smoke
     python -m repro campaign examples/campaign_paper_grid.json --report
     python -m repro bench --smoke
+    python -m repro run my_experiments.json --telemetry out/trace.jsonl
+    python -m repro trace summarize out/trace.jsonl
     python -m repro components
     python -m repro list
 
@@ -50,6 +52,7 @@ from repro.experiments.runner import (
     build_environment,
     phishing_environment,
     run_grid,
+    telemetry_path_for,
 )
 from repro.experiments.tables import format_table1, table1_rows
 
@@ -163,6 +166,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--save", type=Path, default=None, help="write full outcomes JSON here"
     )
     run.add_argument("--output", type=Path, default=None, help="write the summary here")
+    run.add_argument(
+        "--telemetry",
+        type=Path,
+        default=None,
+        metavar="OUT.JSONL",
+        help="write one JSONL trace per run here (multi-cell/multi-seed "
+        "invocations derive -{name}/-s{seed} suffixed paths; overrides "
+        "the config file's \"telemetry\" key)",
+    )
 
     simulate = subparsers.add_parser(
         "simulate",
@@ -184,6 +196,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument(
         "--output", type=Path, default=None, help="write the summary here"
+    )
+    simulate.add_argument(
+        "--telemetry",
+        type=Path,
+        default=None,
+        metavar="OUT.JSONL",
+        help="write one JSONL trace per simulated run here (suffixed as "
+        "in `run`; overrides the config file's \"telemetry\" key)",
     )
 
     campaign = subparsers.add_parser(
@@ -228,6 +248,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--output", type=Path, default=None, help="write the report here"
+    )
+    campaign.add_argument(
+        "--telemetry",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write one JSONL trace per (cell, seed) run into this "
+        "directory, named by the run's store key; the path is stamped "
+        "into each result record",
+    )
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect JSONL telemetry traces"
+    )
+    trace.add_argument(
+        "action",
+        choices=("summarize",),
+        help="summarize: validate the trace and render phase timings, "
+        "counters, gauges and warnings",
+    )
+    trace.add_argument("trace", type=Path, help="JSONL trace file to read")
+    trace.add_argument(
+        "--output", type=Path, default=None, help="write the summary here"
     )
 
     subparsers.add_parser(
@@ -280,25 +323,43 @@ def render_figure_text(name: str, outcomes: dict[str, RunOutcome]) -> str:
     return "\n\n".join(sections)
 
 
-def load_run_file(path: Path) -> tuple[list[ExperimentConfig], dict | str | None, int | None]:
+def load_run_file(
+    path: Path,
+) -> tuple[list[ExperimentConfig], dict | str | None, int | None, str | None]:
     """Parse a ``run`` config file.
 
-    Returns ``(configs, model_spec, data_seed)``.  The file may be one
-    config object, a list of them, or a grid document
-    ``{"configs": [...], "model": <registry spec>, "data_seed": int}``.
+    Returns ``(configs, model_spec, data_seed, telemetry)``.  The file
+    may be one config object, a list of them, or a grid document
+    ``{"configs": [...], "model": <registry spec>, "data_seed": int,
+    "telemetry": "trace.jsonl"}``.  ``telemetry`` is the trace-path
+    request (the ``--telemetry`` flag overrides it).
     """
     payload = json.loads(Path(path).read_text())
     model_spec: dict | str | None = None
     data_seed: int | None = None
+    telemetry: str | None = None
     if isinstance(payload, list):
         entries = payload
     elif isinstance(payload, dict) and "configs" in payload:
         entries = payload["configs"]
         model_spec = payload.get("model")
         data_seed = payload.get("data_seed")
+        telemetry = payload.get("telemetry")
     else:
         entries = [payload]
-    return [ExperimentConfig.from_dict(entry) for entry in entries], model_spec, data_seed
+    return (
+        [ExperimentConfig.from_dict(entry) for entry in entries],
+        model_spec,
+        data_seed,
+        telemetry,
+    )
+
+
+def _resolve_telemetry(flag_value, file_value) -> str | None:
+    """The explicit ``--telemetry`` flag beats the file's key."""
+    if flag_value is not None:
+        return str(flag_value)
+    return file_value
 
 
 def _resolve_data_seed(flag_value: int | None, file_value: int | None) -> int:
@@ -374,7 +435,12 @@ def render_simulate_summary(results: dict[str, list]) -> str:
 
 
 def render_run_summary(outcomes: dict[str, RunOutcome]) -> str:
-    """One row per cell: losses, accuracy ("n/a" when absent), privacy."""
+    """One row per cell: losses, accuracy ("n/a" when absent), privacy.
+
+    Degraded multiprocess runs (shards that crashed, hung or left)
+    append one ``degraded:`` line per affected seed, so the summary
+    never silently presents a short-cohort run as a clean one.
+    """
     rows = [
         f"{'cell':<24}{'gar':>8}{'attack':>10}{'eps':>7}"
         f"{'final loss':>12}{'min loss':>10}{'final acc':>11}"
@@ -391,6 +457,13 @@ def render_run_summary(outcomes: dict[str, RunOutcome]) -> str:
             f"{name:<24}{row['gar']:>8}{row['attack']:>10}{epsilon:>7}"
             f"{row['final_loss']:>12.4f}{row['min_loss']:>10.4f}{accuracy:>11}"
         )
+    for name, outcome in outcomes.items():
+        for seed, departed in outcome.departures:
+            details = "; ".join(
+                f"shard {shard_id}: {reason}"
+                for shard_id, reason in sorted(departed.items())
+            )
+            rows.append(f"degraded: {name} seed {seed} — {details}")
     return "\n".join(rows)
 
 
@@ -526,12 +599,15 @@ def _dispatch(arguments: argparse.Namespace) -> int:
         return 0
 
     if arguments.command == "run":
-        configs, model_spec, file_data_seed = load_run_file(arguments.config)
+        configs, model_spec, file_data_seed, file_telemetry = load_run_file(
+            arguments.config
+        )
         if arguments.backend is not None:
             configs = [
                 config.with_updates(backend=arguments.backend) for config in configs
             ]
         data_seed = _resolve_data_seed(arguments.data_seed, file_data_seed)
+        telemetry = _resolve_telemetry(arguments.telemetry, file_telemetry)
         model, train_set, test_set = _build_environment(model_spec, data_seed)
         outcomes = run_grid(
             configs,
@@ -540,6 +616,7 @@ def _dispatch(arguments: argparse.Namespace) -> int:
             test_set,
             verbose=True,
             max_workers=arguments.max_workers,
+            telemetry=telemetry,
         )
         if arguments.save is not None:
             save_outcomes(outcomes, arguments.save)
@@ -554,9 +631,13 @@ def _dispatch(arguments: argparse.Namespace) -> int:
     if arguments.command == "simulate":
         from repro.pipeline.builder import Experiment
 
-        configs, model_spec, file_data_seed = load_run_file(arguments.config)
+        configs, model_spec, file_data_seed, file_telemetry = load_run_file(
+            arguments.config
+        )
         data_seed = _resolve_data_seed(arguments.data_seed, file_data_seed)
+        telemetry = _resolve_telemetry(arguments.telemetry, file_telemetry)
         model, train_set, test_set = _build_environment(model_spec, data_seed)
+        multi_config = len(configs) > 1
         results: dict[str, list] = {}
         for config in configs:
             if config.name in results:
@@ -568,12 +649,27 @@ def _dispatch(arguments: argparse.Namespace) -> int:
                     seeds=config.seeds[:1],
                 )
             print(f"simulating {config.describe()}")
-            results[config.name] = [
-                Experiment.from_config(
-                    config, model, train_set, test_set, seed=seed
-                ).simulate()
-                for seed in config.seeds
-            ]
+            multi_seed = len(config.seeds) > 1
+            cell_results = []
+            for seed in config.seeds:
+                run_telemetry = None
+                if telemetry is not None:
+                    run_telemetry = telemetry_path_for(
+                        telemetry,
+                        name=config.name if multi_config else None,
+                        seed=seed if multi_seed else None,
+                    )
+                cell_results.append(
+                    Experiment.from_config(
+                        config,
+                        model,
+                        train_set,
+                        test_set,
+                        seed=seed,
+                        telemetry=run_telemetry,
+                    ).simulate()
+                )
+            results[config.name] = cell_results
         _emit(render_simulate_summary(results), arguments.output)
         return _report_divergence(
             _non_finite_cells(
@@ -623,10 +719,21 @@ def _dispatch(arguments: argparse.Namespace) -> int:
             chunksize=arguments.chunksize,
             smoke=arguments.smoke,
             verbose=True,
+            telemetry=(
+                str(arguments.telemetry) if arguments.telemetry is not None else None
+            ),
         )
         print(summary.describe())
         _emit(render_campaign_report(effective, store), arguments.output)
         return 1 if summary.diverged else 0
+
+    if arguments.command == "trace":
+        from repro.telemetry import read_trace, render_trace_summary, summarize_trace
+
+        events = read_trace(arguments.trace)
+        summary = summarize_trace(events)
+        _emit(render_trace_summary(summary), arguments.output)
+        return 0
 
     if arguments.command == "components":
         from repro.pipeline.registry import REGISTRY

@@ -29,6 +29,9 @@ def outcome_to_dict(outcome: RunOutcome) -> dict:
         "privacy": (
             outcome.privacy.to_dict() if outcome.privacy is not None else None
         ),
+        "departures": [
+            [seed, departed] for seed, departed in outcome.departures
+        ],
     }
 
 
@@ -48,6 +51,10 @@ def outcome_from_dict(payload: dict) -> RunOutcome:
         loss_stats=loss_stats,
         accuracy_stats=accuracy_stats,
         privacy=None,
+        departures=[
+            (int(seed), {int(shard): reason for shard, reason in departed.items()})
+            for seed, departed in payload.get("departures", [])
+        ],
     )
 
 

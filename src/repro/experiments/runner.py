@@ -12,6 +12,7 @@ results are bit-identical to the serial path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.data.datasets import Dataset, train_test_split
 from repro.data.phishing import PHISHING_TRAIN_SIZE, make_phishing_dataset
@@ -30,6 +31,7 @@ __all__ = [
     "phishing_environment",
     "run_config",
     "run_grid",
+    "telemetry_path_for",
 ]
 
 
@@ -42,6 +44,10 @@ class RunOutcome:
     loss_stats: SeriesStats = field(repr=False)
     accuracy_stats: SeriesStats | None = field(repr=False)
     privacy: PrivacyReport | None
+    #: Multiprocess-backend degradation evidence: ``(seed, departed)``
+    #: for every seed whose run lost shards (empty for clean runs and
+    #: the in-process backend).  The CLI prints these in the summary.
+    departures: list[tuple[int, dict]] = field(default_factory=list)
 
     @property
     def final_loss_mean(self) -> float:
@@ -116,6 +122,28 @@ def build_environment(
     return model, train_set, test_set
 
 
+def telemetry_path_for(
+    base: str | Path, *, name: str | None = None, seed: int | None = None
+) -> str:
+    """Derive a per-run trace path from a requested base path.
+
+    Each run owns exactly one JSONL trace file, so a multi-config or
+    multi-seed invocation cannot write every run to the same ``base``.
+    ``name`` (the config's) and ``seed`` are appended as ``-{name}`` /
+    ``-s{seed}`` suffixes before the extension; passing neither returns
+    ``base`` unchanged (the single-run case keeps the exact path the
+    user asked for).
+    """
+    base = Path(base)
+    suffix = base.suffix or ".jsonl"
+    stem = base.name[: -len(base.suffix)] if base.suffix else base.name
+    if name is not None:
+        stem = f"{stem}-{name}"
+    if seed is not None:
+        stem = f"{stem}-s{seed}"
+    return str(base.with_name(stem + suffix))
+
+
 def run_config(
     config: ExperimentConfig,
     model: Model,
@@ -123,21 +151,35 @@ def run_config(
     test_dataset: Dataset | None = None,
     *,
     max_workers: int | None = None,
+    telemetry: str | Path | None = None,
 ) -> RunOutcome:
     """Run one cell over all its seeds and aggregate the curves.
 
     ``max_workers`` > 1 runs the seeds on a multiprocessing pool;
     histories are bit-identical to the serial default.
+
+    ``telemetry`` is a trace-path request: each seed's run writes one
+    JSONL trace, at ``telemetry`` itself for a single-seed cell and at
+    :func:`telemetry_path_for`'s ``-s{seed}`` derivation otherwise.
+    The path rides inside the job's ``train_kwargs`` (a plain string,
+    so jobs stay picklable) and never enters the config's identity.
     """
-    jobs = [
-        TrainingJob(
-            model=model,
-            train_dataset=train_dataset,
-            test_dataset=test_dataset,
-            train_kwargs=config.train_kwargs(seed),
+    multi_seed = len(config.seeds) > 1
+    jobs = []
+    for seed in config.seeds:
+        train_kwargs = config.train_kwargs(seed)
+        if telemetry is not None:
+            train_kwargs["telemetry"] = telemetry_path_for(
+                telemetry, seed=seed if multi_seed else None
+            )
+        jobs.append(
+            TrainingJob(
+                model=model,
+                train_dataset=train_dataset,
+                test_dataset=test_dataset,
+                train_kwargs=train_kwargs,
+            )
         )
-        for seed in config.seeds
-    ]
     results: list[TrainingResult] = run_jobs(jobs, max_workers=max_workers)
     histories = [result.history for result in results]
     loss_stats = aggregate_losses(histories)
@@ -151,6 +193,11 @@ def run_config(
         loss_stats=loss_stats,
         accuracy_stats=accuracy_stats,
         privacy=results[0].privacy,
+        departures=[
+            (seed, result.departed)
+            for seed, result in zip(config.seeds, results)
+            if result.departed
+        ],
     )
 
 
@@ -162,19 +209,32 @@ def run_grid(
     verbose: bool = False,
     *,
     max_workers: int | None = None,
+    telemetry: str | Path | None = None,
 ) -> dict[str, RunOutcome]:
     """Run several cells; returns ``{config.name: outcome}``.
 
     ``max_workers`` parallelises each cell's seeds (cells themselves
-    run in order, so progress output stays readable).
+    run in order, so progress output stays readable).  ``telemetry``
+    requests per-run traces: with more than one config each cell's
+    trace base gets a ``-{config.name}`` suffix (and each seed its
+    ``-s{seed}``, as in :func:`run_config`).
     """
+    multi_config = len(configs) > 1
     outcomes: dict[str, RunOutcome] = {}
     for config in configs:
         if config.name in outcomes:
             raise ValueError(f"duplicate config name {config.name!r}")
         if verbose:
             print(f"running {config.describe()}")
+        cell_telemetry = telemetry
+        if telemetry is not None and multi_config:
+            cell_telemetry = telemetry_path_for(telemetry, name=config.name)
         outcomes[config.name] = run_config(
-            config, model, train_dataset, test_dataset, max_workers=max_workers
+            config,
+            model,
+            train_dataset,
+            test_dataset,
+            max_workers=max_workers,
+            telemetry=cell_telemetry,
         )
     return outcomes

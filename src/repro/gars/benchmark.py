@@ -22,15 +22,15 @@ silently race ahead of correctness.
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from repro.gars import get_gar
 from repro.gars.reference import REFERENCE_AGGREGATORS, krum_aggregate_reference
+from repro.telemetry.timing import best_of_ns
 
 __all__ = [
     "BenchCase",
@@ -140,18 +140,6 @@ def smoke_grid() -> list[BenchCase]:
     ]
 
 
-def _best_ns(fn: Callable[[], object], repeats: int) -> float:
-    """Best-of-``repeats`` wall time of ``fn`` in nanoseconds (after one
-    untimed warm-up call)."""
-    fn()
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter_ns()
-        fn()
-        best = min(best, float(time.perf_counter_ns() - start))
-    return best
-
-
 def run_case(case: BenchCase, repeats: int = 3, seed: int = 0) -> BenchResult:
     """Time one grid cell, reference loop vs batched kernel."""
     rng = np.random.default_rng(seed)
@@ -177,8 +165,8 @@ def run_case(case: BenchCase, repeats: int = 3, seed: int = 0) -> BenchResult:
     kernel_output = run_kernel()
     max_abs_diff = float(np.max(np.abs(reference_output - kernel_output)))
 
-    reference_ns = _best_ns(run_reference, repeats)
-    kernel_ns = _best_ns(run_kernel, repeats)
+    reference_ns = best_of_ns(run_reference, repeats)
+    kernel_ns = best_of_ns(run_kernel, repeats)
     return BenchResult(
         case=case,
         reference_ns_per_op=reference_ns / case.stack,

@@ -26,6 +26,8 @@ from the same arguments reproduces ``train()`` exactly.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from pathlib import Path
 from typing import Iterable
 
 from repro.attacks import ByzantineAttack, get_attack
@@ -155,6 +157,7 @@ class Experiment:
         backend: str = "inprocess",
         num_shards: int | None = None,
         round_timeout: float = 30.0,
+        telemetry=None,
     ):
         if num_steps < 1:
             raise ConfigurationError(f"num_steps must be >= 1, got {num_steps}")
@@ -305,6 +308,19 @@ class Experiment:
         self.backend = backend
         self.num_shards = num_shards if num_shards is None else int(num_shards)
         self.round_timeout = float(round_timeout)
+        # None | Telemetry instance | trace path.  A path means each
+        # run()/simulate() opens a fresh run-owned handle writing one
+        # JSONL trace there; an instance is caller-owned (we open/close
+        # the run on it but never close its sinks).
+        if telemetry is not None and not isinstance(telemetry, (str, Path)):
+            from repro.telemetry import Telemetry
+
+            if not isinstance(telemetry, Telemetry):
+                raise ConfigurationError(
+                    "telemetry must be None, a Telemetry instance, or a "
+                    f"trace path, got {type(telemetry).__name__}"
+                )
+        self.telemetry = telemetry
 
         self._worker_datasets: list[Dataset] | None = None
         self._workers: list[HonestWorker] | None = None
@@ -324,13 +340,15 @@ class Experiment:
         *,
         seed: int | None = None,
         callbacks: Iterable[Callback] = (),
+        telemetry=None,
     ) -> "Experiment":
         """Build one seed's experiment from an :class:`ExperimentConfig` cell.
 
         ``seed`` defaults to the config's first seed.  The config's
         simulation fields (policy/latency/participation) are carried
         over too, so the same cell drives :meth:`run` and
-        :meth:`simulate` alike.
+        :meth:`simulate` alike.  ``telemetry`` is run infrastructure,
+        not part of the cell (it never enters the config's identity).
         """
         if seed is None:
             seed = config.seeds[0]
@@ -339,6 +357,7 @@ class Experiment:
             train_dataset=train_dataset,
             test_dataset=test_dataset,
             callbacks=callbacks,
+            telemetry=telemetry,
             **config.train_kwargs(seed),
             **config.simulation_kwargs(),
         )
@@ -578,6 +597,46 @@ class Experiment:
     # execution
     # ------------------------------------------------------------------
 
+    @contextmanager
+    def _telemetry_run(self, mode: str):
+        """Run-scoped telemetry handle (or ``None`` when disabled).
+
+        Emits ``run_start``/``run_end`` around the body.  A path spec
+        builds a fresh run-owned :class:`~repro.telemetry.Telemetry`
+        writing one JSONL trace, closed on exit; a caller-provided
+        instance keeps its sinks open (flushed only), so one handle can
+        observe several runs or feed custom sinks.
+        """
+        spec = self.telemetry
+        if spec is None:
+            yield None
+            return
+        from repro.telemetry import JsonlSink, Telemetry
+
+        if isinstance(spec, Telemetry):
+            handle, owned = spec, False
+        else:
+            handle, owned = Telemetry(sinks=[JsonlSink(spec)]), True
+        handle.open_run(
+            mode=mode,
+            gar=self.gar.name,
+            attack=self.attack.name if self.attack is not None else None,
+            n=self.n,
+            f=self.f,
+            num_steps=self.num_steps,
+            seed=self.seed,
+            backend=self.backend,
+            epsilon=self.epsilon,
+        )
+        try:
+            yield handle
+        finally:
+            handle.close_run()
+            if owned:
+                handle.close()
+            else:
+                handle.flush()
+
     def run(self, callbacks: Iterable[Callback] = ()) -> TrainingResult:
         """Final stage: run the training loop and package the result.
 
@@ -593,34 +652,47 @@ class Experiment:
             all_callbacks.append(
                 AccuracyCallback(self.test_dataset, eval_every=self.eval_every)
             )
-        if self.backend == "multiprocess":
-            cluster = self.build_multiprocess_cluster()
-            loop = TrainingLoop(
-                cluster=cluster,
-                model=self.model,
-                history=TrainingHistory(),
-                callbacks=all_callbacks,
-            )
-            # The context manager guarantees shard teardown and
-            # shared-memory release on every exit path (including
-            # KeyboardInterrupt); the server keeps the final parameters.
-            with cluster:
+        with self._telemetry_run("train") as telemetry:
+            if self.backend == "multiprocess":
+                cluster = self.build_multiprocess_cluster()
+                # Installed before the context manager starts the
+                # runtime: shard processes are launched with the
+                # telemetry queue.
+                cluster.telemetry = telemetry
+                loop = TrainingLoop(
+                    cluster=cluster,
+                    model=self.model,
+                    history=TrainingHistory(),
+                    callbacks=all_callbacks,
+                )
+                # The context manager guarantees shard teardown and
+                # shared-memory release on every exit path (including
+                # KeyboardInterrupt); the server keeps the final parameters.
+                with cluster:
+                    state = loop.run(self.num_steps)
+                departed = cluster.departed or None
+            else:
+                cluster = self.build_cluster()
+                cluster.telemetry = telemetry
+                loop = TrainingLoop(
+                    cluster=cluster,
+                    model=self.model,
+                    history=TrainingHistory(),
+                    callbacks=all_callbacks,
+                )
                 state = loop.run(self.num_steps)
-        else:
-            cluster = self.build_cluster()
-            loop = TrainingLoop(
-                cluster=cluster,
-                model=self.model,
-                history=TrainingHistory(),
-                callbacks=all_callbacks,
+                departed = None
+            privacy = privacy_report(
+                self.mechanism, self.epsilon, self.delta, self.num_steps
             )
-            state = loop.run(self.num_steps)
-        privacy = privacy_report(self.mechanism, self.epsilon, self.delta, self.num_steps)
+            if telemetry is not None and privacy is not None:
+                telemetry.gauge("privacy.epsilon_spent", privacy.basic.epsilon)
         return TrainingResult(
             history=state.history,
             final_parameters=cluster.parameters,
             privacy=privacy,
             config=self.describe(),
+            departed=departed,
         )
 
     def simulate(self, callbacks: Iterable[Callback] = ()):
@@ -651,14 +723,20 @@ class Experiment:
             all_callbacks.append(
                 AccuracyCallback(self.test_dataset, eval_every=self.eval_every)
             )
-        loop = SimulationLoop(
-            simulator=simulator,
-            model=self.model,
-            history=TrainingHistory(),
-            callbacks=all_callbacks,
-        )
-        state: LoopState = loop.run(self.num_steps)
-        privacy = privacy_report(self.mechanism, self.epsilon, self.delta, self.num_steps)
+        with self._telemetry_run("simulate") as telemetry:
+            simulator.telemetry = telemetry
+            loop = SimulationLoop(
+                simulator=simulator,
+                model=self.model,
+                history=TrainingHistory(),
+                callbacks=all_callbacks,
+            )
+            state: LoopState = loop.run(self.num_steps)
+            privacy = privacy_report(
+                self.mechanism, self.epsilon, self.delta, self.num_steps
+            )
+            if telemetry is not None and privacy is not None:
+                telemetry.gauge("privacy.epsilon_spent", privacy.basic.epsilon)
         rates = simulator.participation_rates
         per_worker = None
         if self.mechanism is not None and self.epsilon is not None:

@@ -77,12 +77,20 @@ class PrivacyReport:
 
 @dataclass
 class TrainingResult:
-    """Everything one training run produces."""
+    """Everything one training run produces.
+
+    ``departed`` is multiprocess-only degradation evidence:
+    ``shard_id -> reason`` for every shard that crashed, hung, or left
+    during the run (``None`` for in-process runs and clean ones).  The
+    CLI surfaces it in the run summary so a degraded run is legible
+    without opening the trace.
+    """
 
     history: TrainingHistory
     final_parameters: Vector = field(repr=False)
     privacy: PrivacyReport | None
     config: dict = field(repr=False)
+    departed: dict | None = None
 
     @property
     def final_loss(self) -> float:

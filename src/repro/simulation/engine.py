@@ -33,6 +33,7 @@ executions are indistinguishable bit for bit.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -181,10 +182,29 @@ class ClusterSimulator:
         self._computation_counts = np.zeros(self.num_honest, dtype=np.int64)
         self._sampling_rounds = 0
         self._dropped_arrivals = 0
+        self._telemetry = None
 
     # ------------------------------------------------------------------
     # Cluster-compatible read surface
     # ------------------------------------------------------------------
+
+    @property
+    def telemetry(self):
+        """The installed :class:`repro.telemetry.Telemetry`, or ``None``.
+
+        Telemetry only *observes* the simulation — spans around cohort
+        compute, attack crafting, and server steps, plus drop/round
+        counters.  It never draws from an RNG stream, so enabling it
+        cannot change the event schedule or any numerical result.
+        Because rounds can interleave under async policies, events are
+        stamped with the server's monotone ``step_count`` (the merged
+        trace's ``step``) and carry ``round`` as an attribute.
+        """
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, telemetry) -> None:
+        self._telemetry = telemetry
 
     @property
     def server(self) -> ParameterServer:
@@ -397,9 +417,21 @@ class ClusterSimulator:
         )
         parameters = self._server.parameters
         version = self._server.step_count
+        telemetry = self._telemetry
+        if telemetry is not None:
+            telemetry.set_step(version)
         if honest_ids:
             cohort = [self._honest_workers[worker_id] for worker_id in honest_ids]
-            submitted, clean = compute_cohort(cohort, parameters, round_index)
+            if telemetry is not None:
+                started = time.perf_counter_ns()
+                submitted, clean = compute_cohort(cohort, parameters, round_index)
+                telemetry.span_ns(
+                    "round.cohort",
+                    time.perf_counter_ns() - started,
+                    round=round_index,
+                )
+            else:
+                submitted, clean = compute_cohort(cohort, parameters, round_index)
             self._last_honest = (submitted, clean)
             self._computation_counts[list(honest_ids)] += 1
         else:
@@ -423,9 +455,20 @@ class ClusterSimulator:
                 num_byzantine=self._num_byzantine,
                 rng=self._attack_rng,
             )
-            byzantine_gradient = np.asarray(
-                self._attack.craft(context), dtype=np.float64
-            )
+            if telemetry is not None:
+                started = time.perf_counter_ns()
+                byzantine_gradient = np.asarray(
+                    self._attack.craft(context), dtype=np.float64
+                )
+                telemetry.span_ns(
+                    "round.attack",
+                    time.perf_counter_ns() - started,
+                    round=round_index,
+                )
+            else:
+                byzantine_gradient = np.asarray(
+                    self._attack.craft(context), dtype=np.float64
+                )
             if byzantine_gradient.shape != parameters.shape:
                 raise ConfigurationError(
                     f"attack produced shape {byzantine_gradient.shape}, "
@@ -492,6 +535,10 @@ class ClusterSimulator:
         )
         if dropped:
             self._dropped_arrivals += 1
+            if self._telemetry is not None:
+                self._telemetry.counter(
+                    "network.dropped", round=event.round_index
+                )
             gradient = np.zeros(self._dimension)
         else:
             gradient = event.gradient
@@ -526,9 +573,23 @@ class ClusterSimulator:
         return result
 
     def _complete(self, completion: RoundCompletion) -> SimStepResult:
-        aggregated = self._server.step(
-            completion.matrix, update_scale=completion.update_scale
-        )
+        telemetry = self._telemetry
+        if telemetry is not None:
+            telemetry.set_step(self._server.step_count)
+            started = time.perf_counter_ns()
+            aggregated = self._server.step(
+                completion.matrix, update_scale=completion.update_scale
+            )
+            telemetry.span_ns(
+                "round.server",
+                time.perf_counter_ns() - started,
+                round=completion.round_index,
+            )
+            telemetry.counter("rounds")
+        else:
+            aggregated = self._server.step(
+                completion.matrix, update_scale=completion.update_scale
+            )
         record = self._rounds.get(completion.round_index)
         if record is not None:
             submitted, clean = record.submitted, record.clean

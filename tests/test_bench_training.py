@@ -5,6 +5,7 @@ import pytest
 
 from repro.distributed.benchmark import (
     SCHEMA,
+    TELEMETRY_OVERHEAD_LIMIT,
     TrainingBenchCase,
     check_speedup_regressions,
     default_training_grid,
@@ -45,6 +46,20 @@ class TestRunCase:
         )
         result = run_case(case, repeats=1)
         assert result.outputs_identical
+
+    def test_telemetry_cell_measures_paired_overhead(self):
+        result = run_case(_tiny_case(name="tiny-telemetry", telemetry=True), repeats=2)
+        assert result.outputs_identical  # telemetry on ≡ telemetry off
+        assert result.telemetry_overhead_fraction is not None
+        assert np.isfinite(result.telemetry_overhead_fraction)
+        entry = result.to_dict()
+        assert entry["telemetry_overhead_fraction"] == (
+            result.telemetry_overhead_fraction
+        )
+
+    def test_non_telemetry_cells_report_no_overhead(self):
+        result = run_case(_tiny_case(), repeats=1)
+        assert result.telemetry_overhead_fraction is None
 
     def test_payload_schema(self):
         payload = run_training_benchmarks([_tiny_case()], repeats=1)
@@ -164,6 +179,30 @@ class TestRegressionGuard:
         with pytest.raises(ValueError, match="tolerance"):
             check_speedup_regressions({}, {}, tolerance=1.5)
 
+    def test_telemetry_overhead_within_limit_passes(self):
+        current = _payload([("a-telemetry", 0.99, True)])
+        current["results"][0]["telemetry_overhead_fraction"] = 0.01
+        baseline = _payload([("a-telemetry", 1.0, True)])
+        assert check_speedup_regressions(current, baseline) == []
+
+    def test_telemetry_overhead_beyond_limit_fails(self):
+        current = _payload([("a-telemetry", 0.99, True)])
+        current["results"][0]["telemetry_overhead_fraction"] = (
+            TELEMETRY_OVERHEAD_LIMIT + 0.05
+        )
+        baseline = _payload([("a-telemetry", 1.0, True)])
+        failures = check_speedup_regressions(current, baseline)
+        assert len(failures) == 1
+        assert "telemetry overhead" in failures[0]
+
+    def test_telemetry_cells_skip_the_speedup_rule(self):
+        """The on/off throughput ratio is noise-dominated; only the
+        paired overhead estimate is guarded."""
+        current = _payload([("a-telemetry", 0.5, True)])
+        current["results"][0]["telemetry_overhead_fraction"] = -0.02
+        baseline = _payload([("a-telemetry", 1.0, True)])
+        assert check_speedup_regressions(current, baseline) == []
+
 
 class TestCommittedBaseline:
     """The committed BENCH_training.json stays consistent with the code."""
@@ -191,6 +230,15 @@ class TestCommittedBaseline:
                 assert entry["speedup"] < 1.0
                 assert np.isfinite(entry["ipc_overhead_ms"])
                 assert entry["ipc_overhead_ms"] > 0.0
+            elif entry.get("telemetry_overhead_fraction") is not None:
+                # Telemetry cells compare on/off, not engine/reference:
+                # the "speedup" is a noisy ~1.0 ratio; the guarded
+                # quantity is the paired overhead estimate.
+                assert 0.5 < entry["speedup"] < 2.0
+                assert (
+                    entry["telemetry_overhead_fraction"]
+                    <= TELEMETRY_OVERHEAD_LIMIT
+                )
             else:
                 assert entry["speedup"] > 1.0
 

@@ -48,14 +48,14 @@ class TestLoadRunFile:
     def test_single_object(self, tmp_path):
         path = tmp_path / "one.json"
         path.write_text(json.dumps(tiny_cell()))
-        configs, model_spec, data_seed = load_run_file(path)
+        configs, model_spec, data_seed, telemetry = load_run_file(path)
         assert [c.name for c in configs] == ["smoke"]
-        assert model_spec is None and data_seed is None
+        assert model_spec is None and data_seed is None and telemetry is None
 
     def test_list_of_cells(self, tmp_path):
         path = tmp_path / "list.json"
         path.write_text(json.dumps([tiny_cell("a"), tiny_cell("b")]))
-        configs, _, _ = load_run_file(path)
+        configs, _, _, _ = load_run_file(path)
         assert [c.name for c in configs] == ["a", "b"]
         assert all(isinstance(c, ExperimentConfig) for c in configs)
 
@@ -67,13 +67,15 @@ class TestLoadRunFile:
                     "configs": [tiny_cell()],
                     "model": {"name": "logistic", "loss_kind": "mse"},
                     "data_seed": 3,
+                    "telemetry": "out/trace.jsonl",
                 }
             )
         )
-        configs, model_spec, data_seed = load_run_file(path)
+        configs, model_spec, data_seed, telemetry = load_run_file(path)
         assert len(configs) == 1
         assert model_spec == {"name": "logistic", "loss_kind": "mse"}
         assert data_seed == 3
+        assert telemetry == "out/trace.jsonl"
 
 
 class TestRunCommand:

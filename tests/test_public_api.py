@@ -33,6 +33,7 @@ PUBLIC_MODULES = [
     "repro.optim",
     "repro.privacy",
     "repro.rng",
+    "repro.telemetry",
     "repro.typing",
 ]
 

@@ -1,0 +1,248 @@
+"""Telemetry across the execution surfaces: bit-identity and coverage.
+
+The plane's two core promises, checked end to end on the in-process
+engine (per-round and fused paths) and the event-driven simulator:
+
+* **enabled is bit-identical** — a run observed by telemetry produces
+  exactly the parameters, losses, and accuracies of an unobserved run
+  (telemetry never draws randomness), including every committed golden
+  trace;
+* **disabled is free** — an uninstrumented ``Cluster.step`` never
+  enters a single ``repro.telemetry`` frame (zero extra hops beyond
+  the ``is None`` attribute check).
+"""
+
+import sys
+
+import pytest
+
+from repro.data.phishing import make_phishing_dataset
+from repro.models.logistic import LogisticRegressionModel
+from repro.pipeline.builder import Experiment
+from repro.telemetry import (
+    MemorySink,
+    Telemetry,
+    read_trace,
+    summarize_trace,
+    validate_events,
+)
+
+from tests.test_golden_traces import CASES as GOLDEN_CASES
+from tests.test_golden_traces import GOLDEN_PATH, _run_case
+
+
+def make_experiment(**overrides):
+    settings = dict(
+        model=LogisticRegressionModel(6),
+        train_dataset=make_phishing_dataset(seed=0, num_points=150, num_features=6),
+        num_steps=5,
+        n=9,
+        f=3,
+        gar="krum",
+        attack="little",
+        batch_size=10,
+        eval_every=2,
+        seed=11,
+    )
+    settings.update(overrides)
+    return Experiment(**settings)
+
+
+def observed_run(**overrides):
+    sink = MemorySink()
+    telemetry = Telemetry(sinks=[sink])
+    result = make_experiment(telemetry=telemetry, **overrides).run()
+    return result, sink
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {},  # fused engine (no callbacks attached)
+            {"epsilon": 0.5},
+            {"drop_probability": 0.3},
+            {  # per-round path: the accuracy callback disables fusion
+                "test_dataset": make_phishing_dataset(
+                    seed=1, num_points=40, num_features=6
+                )
+            },
+        ],
+        ids=["fused", "fused-dp", "fused-lossy", "per-round"],
+    )
+    def test_run_unchanged_by_telemetry(self, overrides):
+        baseline = make_experiment(**overrides).run()
+        observed, sink = observed_run(**overrides)
+        assert (
+            observed.final_parameters.tolist()
+            == baseline.final_parameters.tolist()
+        )
+        assert list(observed.history.losses) == list(baseline.history.losses)
+        assert list(observed.history.accuracies) == list(baseline.history.accuracies)
+        assert len(sink.events) > 0
+
+    def test_simulate_unchanged_by_telemetry(self):
+        baseline = make_experiment().simulate()
+        sink = MemorySink()
+        observed = make_experiment(telemetry=Telemetry(sinks=[sink])).simulate()
+        assert (
+            observed.final_parameters.tolist()
+            == baseline.final_parameters.tolist()
+        )
+        assert list(observed.history.losses) == list(baseline.history.losses)
+        assert len(sink.events) > 0
+
+
+class TestGoldenReplayWithTelemetry:
+    """Satellite: every committed golden trace replays bit-identically
+    while a telemetry handle observes the run."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+    def test_golden_case_bit_identical_under_telemetry(self, name):
+        import json
+
+        golden = json.loads(GOLDEN_PATH.read_text())
+        sink = MemorySink()
+        overrides = dict(GOLDEN_CASES[name], telemetry=Telemetry(sinks=[sink]))
+        actual = _run_case(overrides)
+        assert actual == golden[name]
+        validate_events(sink.events)
+        assert sink.by_kind("span")  # the run was actually observed
+
+
+class TestTraceContents:
+    def test_fused_run_emits_valid_trace_with_block_spans(self):
+        _, sink = observed_run()
+        events = validate_events(sink.events)
+        assert events[0]["meta"]["mode"] == "train"
+        assert events[0]["meta"]["gar"] == "krum"
+        span_names = {event["name"] for event in sink.by_kind("span")}
+        # The fused engine's per-block phases, each tagged with the
+        # rounds the block covered.
+        assert {"round.cohort", "round.attack", "round.server"} <= span_names
+        block_span = sink.named("round.cohort")[0]
+        assert block_span["attrs"]["rounds"] >= 1
+        summary = summarize_trace(sink.events)
+        assert summary["counters"]["rounds"] == 5
+        assert summary["gauges"]["rounds_per_sec"] > 0
+
+    def test_per_round_run_emits_one_span_per_round(self):
+        test_set = make_phishing_dataset(seed=1, num_points=40, num_features=6)
+        _, sink = observed_run(test_dataset=test_set)
+        validate_events(sink.events)
+        assert len(sink.named("round.server")) == 5
+        assert len(sink.named("round.cohort")) == 5
+        winner_gauges = sink.named("gar.winner_index")
+        assert winner_gauges  # krum selects a single input each round
+        for event in winner_gauges:
+            assert 0 <= event["value"] < 9
+
+    def test_dropped_messages_counted_on_lossy_network(self):
+        _, sink = observed_run(drop_probability=0.5)
+        summary = summarize_trace(sink.events)
+        assert summary["counters"]["network.dropped"] > 0
+
+    def test_epsilon_gauge_reported_for_dp_runs(self):
+        result, sink = observed_run(epsilon=0.5)
+        summary = summarize_trace(sink.events)
+        assert (
+            summary["gauges"]["privacy.epsilon_spent"]
+            == result.privacy.basic.epsilon
+        )
+        _, nodp_sink = observed_run()
+        assert "privacy.epsilon_spent" not in summarize_trace(nodp_sink.events)["gauges"]
+
+    def test_simulator_trace_stamps_server_steps(self):
+        sink = MemorySink()
+        make_experiment(telemetry=Telemetry(sinks=[sink])).simulate()
+        events = validate_events(sink.events)
+        assert events[0]["meta"]["mode"] == "simulate"
+        span_names = {event["name"] for event in sink.by_kind("span")}
+        assert {"round.cohort", "round.server"} <= span_names
+        summary = summarize_trace(sink.events)
+        assert summary["counters"]["rounds"] == 5
+
+    def test_path_spec_writes_jsonl_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        result = make_experiment(telemetry=path).run()
+        baseline = make_experiment().run()
+        assert result.final_parameters.tolist() == baseline.final_parameters.tolist()
+        events = validate_events(read_trace(path))
+        assert events[-1]["kind"] == "run_end"
+
+    def test_shared_instance_observes_several_runs(self):
+        """A caller-owned handle is flushed, not closed, between runs."""
+        sink = MemorySink()
+        telemetry = Telemetry(sinks=[sink])
+        make_experiment(num_steps=2, telemetry=telemetry).run()
+        first_total = len(sink.events)
+        make_experiment(num_steps=2, telemetry=telemetry).run()
+        assert len(sink.events) > first_total
+
+    def test_rejects_bogus_telemetry_spec(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="telemetry must be"):
+            make_experiment(telemetry=object())
+
+
+class TestOffPathOverhead:
+    """Satellite: with no handle installed, the hot path executes zero
+    telemetry frames — the cost is one attribute-is-None check."""
+
+    def test_uninstrumented_step_never_enters_telemetry_code(self):
+        experiment = make_experiment()
+        cluster = experiment.build_cluster()
+        assert cluster.telemetry is None
+        cluster.step()  # warm caches outside the profiled region
+        telemetry_frames = []
+
+        def profiler(frame, event, arg):
+            if event == "call" and "repro/telemetry" in frame.f_code.co_filename:
+                telemetry_frames.append(frame.f_code.co_name)
+
+        sys.setprofile(profiler)
+        try:
+            cluster.step()
+        finally:
+            sys.setprofile(None)
+        assert telemetry_frames == []
+
+    def test_uninstrumented_fused_run_never_enters_telemetry_code(self):
+        experiment = make_experiment()
+        cluster = experiment.build_cluster()
+        engine = cluster.engine
+        assert engine.supports_fused
+        engine.run(1)
+        telemetry_frames = []
+
+        def profiler(frame, event, arg):
+            if event == "call" and "repro/telemetry" in frame.f_code.co_filename:
+                telemetry_frames.append(frame.f_code.co_name)
+
+        sys.setprofile(profiler)
+        try:
+            engine.run(2)
+        finally:
+            sys.setprofile(None)
+        assert telemetry_frames == []
+
+    def test_instrumented_step_is_the_observed_twin(self):
+        """Sanity check on the guard above: with a handle installed the
+        same profiler *does* see telemetry frames."""
+        experiment = make_experiment()
+        cluster = experiment.build_cluster()
+        cluster.telemetry = Telemetry(sinks=[MemorySink()])
+        cluster.step()
+        telemetry_frames = []
+
+        def profiler(frame, event, arg):
+            if event == "call" and "repro/telemetry" in frame.f_code.co_filename:
+                telemetry_frames.append(frame.f_code.co_name)
+
+        sys.setprofile(profiler)
+        try:
+            cluster.step()
+        finally:
+            sys.setprofile(None)
+        assert telemetry_frames != []
