@@ -120,7 +120,7 @@ from repro.telemetry import (
     validate_events,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AccuracyCallback",

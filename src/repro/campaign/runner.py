@@ -125,7 +125,9 @@ def _vn_payload(callback: VNRatioCallback | None) -> dict | None:
         return None
 
 
-def _base_record(job: CellJob, history, final_parameters, privacy) -> dict:
+def _base_record(
+    job: CellJob, history, final_parameters, privacy, bytes_on_wire=None
+) -> dict:
     accuracies = history.accuracies
     return {
         "schema": STORE_SCHEMA,
@@ -140,6 +142,7 @@ def _base_record(job: CellJob, history, final_parameters, privacy) -> dict:
         "min_loss": float(history.min_loss) if len(history) else None,
         "final_parameters": np.asarray(final_parameters, dtype=np.float64).tolist(),
         "privacy": privacy.to_dict() if privacy is not None else None,
+        "bytes_on_wire": int(bytes_on_wire) if bytes_on_wire is not None else None,
         "vn": None,
         "simulation": None,
         "telemetry": job.telemetry,
@@ -165,7 +168,13 @@ def execute_cell(job: CellJob) -> dict:
     )
     if job.mode == "simulate":
         result: SimulationResult = experiment.simulate()
-        record = _base_record(job, result.history, result.final_parameters, result.privacy)
+        record = _base_record(
+            job,
+            result.history,
+            result.final_parameters,
+            result.privacy,
+            bytes_on_wire=result.bytes_on_wire,
+        )
         worst_epsilon = None
         if result.per_worker_privacy:
             worst_epsilon = max(
@@ -189,7 +198,11 @@ def execute_cell(job: CellJob) -> dict:
         experiment.callbacks.append(vn_callback)
     training = experiment.run()
     record = _base_record(
-        job, training.history, training.final_parameters, training.privacy
+        job,
+        training.history,
+        training.final_parameters,
+        training.privacy,
+        bytes_on_wire=training.bytes_on_wire,
     )
     record["vn"] = _vn_payload(vn_callback)
     return record

@@ -49,6 +49,9 @@ def _canonical_config_payload(config: ExperimentConfig) -> dict:
     ``round_timeout``): the multiprocess backend is bit-identical to
     in-process, so *where* a cell ran is not part of its numerical
     identity — and keys minted before those fields existed stay valid.
+    The wire codec (``codec``/``codec_kwargs``) is the opposite case: a
+    lossy codec changes what the server aggregates, so it stays in the
+    identity — while the *measured* byte counts live only in records.
     The ``*_kwargs`` pair lists are sorted by key so that two specs
     spelling the same kwargs in a different order collide, as they
     should.
@@ -58,7 +61,12 @@ def _canonical_config_payload(config: ExperimentConfig) -> dict:
     payload.pop("seeds")
     for backend_field in ("backend", "num_shards", "round_timeout"):
         payload.pop(backend_field, None)
-    for kwargs_field in ("attack_kwargs", "policy_kwargs", "latency_kwargs"):
+    for kwargs_field in (
+        "attack_kwargs",
+        "policy_kwargs",
+        "latency_kwargs",
+        "codec_kwargs",
+    ):
         payload[kwargs_field] = sorted(payload[kwargs_field], key=lambda pair: pair[0])
     return payload
 

@@ -1,0 +1,27 @@
+"""Wire-path gradient compression (the ``codec`` registry family).
+
+Codecs sit between worker submission and server aggregation on every
+execution path — the synchronous :class:`~repro.distributed.cluster.Cluster`
+and its fused engine, the multiprocess wire plane, and the
+discrete-event simulator — encoding each message deterministically per
+``(step, worker)`` so all three replay a compressed run bit-identically.
+See :mod:`repro.compression.base` for the contract and the byte-count
+conventions shared with the accounting tests.
+"""
+
+from repro.compression.base import GradientCodec
+from repro.compression.dgauss import DiscreteGaussianCodec, sample_discrete_gaussian
+from repro.compression.identity import IdentityCodec
+from repro.compression.quantize import StochasticQuantizationCodec
+from repro.compression.sign import SignCodec
+from repro.compression.sparsify import TopKCodec
+
+__all__ = [
+    "DiscreteGaussianCodec",
+    "GradientCodec",
+    "IdentityCodec",
+    "SignCodec",
+    "StochasticQuantizationCodec",
+    "TopKCodec",
+    "sample_discrete_gaussian",
+]

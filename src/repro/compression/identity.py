@@ -1,0 +1,47 @@
+"""The identity codec: raw floats on the wire.
+
+The do-nothing member of the family, kept for two reasons: it prices
+the uncompressed baseline (8 bytes per coordinate, the cost every
+other codec is measured against), and it pins the integration contract
+— a run with ``codec="identity"`` must be bit-identical to a run with
+no codec at all, which the golden-trace and differential suites
+enforce.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.compression.base import FLOAT_BYTES, GradientCodec
+from repro.typing import Matrix, Vector
+
+__all__ = ["IdentityCodec"]
+
+
+class IdentityCodec(GradientCodec):
+    """Sends every coordinate as a raw 8-byte float."""
+
+    name = "identity"
+    lossless = True
+    stochastic = False
+
+    def encode_row(self, vector: Vector, step: int, worker: int) -> tuple[Vector, int]:
+        """Return the vector unchanged; 8 bytes per coordinate."""
+        del step, worker
+        return vector, FLOAT_BYTES * int(vector.shape[-1])
+
+    def encode_block(
+        self, matrix: Matrix, step: int, workers: Sequence[int]
+    ) -> tuple[Matrix, np.ndarray]:
+        """Return the block *as the same object* — the engine's fast path.
+
+        Returning the identical matrix (not a copy) lets callers skip
+        the write-back entirely, so an identity-codec round does not
+        even pay a memcpy over the no-codec round it must match.
+        """
+        del step
+        return matrix, np.full(
+            len(workers), FLOAT_BYTES * int(matrix.shape[-1]), dtype=np.int64
+        )

@@ -1,0 +1,43 @@
+"""SignSGD-style sign compression: one bit per coordinate plus a scale.
+
+Each message carries the sign bitmask of the gradient and a single
+8-byte scale — the mean absolute value — so the server reconstructs
+``±scale`` per coordinate (the L1-normalised variant of signSGD, which
+keeps the update magnitude comparable to the uncompressed gradient).
+Deterministic and extremely cheap on the wire: ``ceil(d/8) + 8`` bytes,
+a ~38x reduction at d = 100.
+
+Biased by construction (the reconstruction is never the input unless
+every coordinate shares one magnitude), which is exactly why the
+benchmark pairs its bytes-on-wire win with the measured accuracy delta.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import FLOAT_BYTES, GradientCodec
+from repro.typing import Vector
+
+__all__ = ["SignCodec"]
+
+
+class SignCodec(GradientCodec):
+    """Sends sign bits and one mean-magnitude scale per message."""
+
+    name = "sign"
+    lossless = False
+    stochastic = False
+
+    def encode_row(self, vector: Vector, step: int, worker: int) -> tuple[Vector, int]:
+        """Reconstruct ``sign(v) * mean|v|`` (zeros encode as +).
+
+        Bytes: packed sign bitmask (``ceil(d/8)``) + the 8-byte scale.
+        """
+        del step, worker
+        dimension = int(vector.shape[-1])
+        nbytes = -(-dimension // 8) + FLOAT_BYTES
+        scale = float(np.abs(vector).mean()) if dimension else 0.0
+        if scale == 0.0:
+            return np.zeros_like(vector), nbytes
+        return np.where(vector < 0.0, -scale, scale), nbytes

@@ -1,0 +1,91 @@
+"""Top-k sparsification: keep the k largest-magnitude coordinates.
+
+The classic bandwidth reducer — the wire message is k (index, value)
+pairs, everything else reconstructs to zero.  Deterministic: ties in
+magnitude break by coordinate order (stable argsort), so the encoding
+is a pure function of the input vector and the codec draws no
+randomness at all.
+
+The reconstruction error is the best possible for any k-sparse
+approximation: ``||enc(v) - v||² = sum of the d-k smallest squared
+magnitudes ≤ (1 - k/d) ||v||²`` — the bound the property suite checks.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.compression.base import FLOAT_BYTES, INDEX_BYTES, GradientCodec
+from repro.exceptions import ConfigurationError
+from repro.typing import Vector
+
+__all__ = ["TopKCodec"]
+
+
+class TopKCodec(GradientCodec):
+    """Keeps the ``k`` largest-magnitude coordinates per message.
+
+    Parameters
+    ----------
+    k:
+        Exact number of coordinates to keep.  ``None`` (default)
+        derives it from ``fraction``.
+    fraction:
+        Fraction of coordinates kept when ``k`` is ``None``:
+        ``k = max(1, ceil(fraction * d))``.  The default 1/8 keeps one
+        coordinate in eight — a ~5.3x bytes-on-wire reduction once the
+        4-byte indices are paid for.
+    """
+
+    name = "top-k"
+    lossless = False
+    stochastic = False
+
+    def __init__(
+        self,
+        k: int | None = None,
+        fraction: float = 0.125,
+        rng: np.random.Generator | None = None,
+        *,
+        seed: int | None = None,
+    ):
+        super().__init__(rng, seed=seed)
+        if k is not None and int(k) < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        if not 0.0 < float(fraction) <= 1.0:
+            raise ConfigurationError(f"fraction must be in (0, 1], got {fraction}")
+        self._k = int(k) if k is not None else None
+        self._fraction = float(fraction)
+
+    @property
+    def k(self) -> int | None:
+        """The fixed support size, or ``None`` when fraction-derived."""
+        return self._k
+
+    @property
+    def fraction(self) -> float:
+        """The fraction of coordinates kept when ``k`` is unset."""
+        return self._fraction
+
+    def support_size(self, dimension: int) -> int:
+        """The number of coordinates kept for a ``dimension``-long vector."""
+        if self._k is not None:
+            return min(self._k, int(dimension))
+        return max(1, math.ceil(self._fraction * int(dimension)))
+
+    def encode_row(self, vector: Vector, step: int, worker: int) -> tuple[Vector, int]:
+        """Zero all but the k largest-magnitude coordinates.
+
+        Bytes: k 8-byte values + k 4-byte indices.
+        """
+        del step, worker
+        dimension = int(vector.shape[-1])
+        k = self.support_size(dimension)
+        if k >= dimension:
+            return vector.copy(), dimension * (FLOAT_BYTES + INDEX_BYTES)
+        keep = np.argsort(-np.abs(vector), kind="stable")[:k]
+        encoded = np.zeros_like(vector)
+        encoded[keep] = vector[keep]
+        return encoded, k * (FLOAT_BYTES + INDEX_BYTES)

@@ -91,6 +91,12 @@ class TrainingBenchCase:
     #: fused engine with telemetry off.  The cell's overhead fraction is
     #: what the disabled-overhead CI guard pins below 3 %.
     telemetry: bool = False
+    #: Wire codec name: the cell then measures the codec-enabled fused
+    #: engine (engine side) against the raw-wire fused engine
+    #: (reference side), recording throughput × bytes-on-wire × final
+    #: accuracy together so the compression trade-off is one row.
+    codec: str | None = None
+    codec_kwargs: tuple[tuple[str, object], ...] = ()
 
     @property
     def dimension(self) -> int:
@@ -121,6 +127,8 @@ class TrainingBenchCase:
             seed=self.seed,
             backend=self.backend,
             num_shards=self.num_shards,
+            codec=self.codec,
+            codec_kwargs=dict(self.codec_kwargs) or None,
         )
 
 
@@ -146,6 +154,14 @@ class TrainingBenchResult:
     #: pair lower-bounds the true overhead while a real regression
     #: shows up in every pair.  Negative values are timing noise.
     telemetry_overhead_fraction: float | None = None
+    #: Codec cells only: total exact encoded bytes over the timed run,
+    #: the raw-wire/encoded reduction factor (raw = ``rounds * n * d *
+    #: 8`` bytes), and the held-out accuracies of the codec run and of
+    #: the raw reference it is traded against.
+    bytes_on_wire: int | None = None
+    wire_reduction: float | None = None
+    final_accuracy: float | None = None
+    reference_accuracy: float | None = None
 
     @property
     def speedup(self) -> float:
@@ -182,6 +198,21 @@ class TrainingBenchResult:
                 else None
             ),
             "telemetry_overhead_fraction": self.telemetry_overhead_fraction,
+            "codec": case.codec,
+            "bytes_on_wire": self.bytes_on_wire,
+            "bytes_per_round": (
+                self.bytes_on_wire / case.rounds
+                if self.bytes_on_wire is not None
+                else None
+            ),
+            "wire_reduction": self.wire_reduction,
+            "final_accuracy": self.final_accuracy,
+            "accuracy_delta": (
+                self.final_accuracy - self.reference_accuracy
+                if self.final_accuracy is not None
+                and self.reference_accuracy is not None
+                else None
+            ),
             "outputs_identical": self.outputs_identical,
         }
 
@@ -209,6 +240,11 @@ def default_training_grid() -> list[TrainingBenchCase]:
         TrainingBenchCase("krum-dp-momentum-telemetry", "krum", 25, 11, 99, 50, 400, epsilon=0.5, telemetry=True),
         TrainingBenchCase("mp-krum-dp-momentum", "krum", 25, 11, 99, 50, 200, epsilon=0.5, backend="multiprocess"),
         TrainingBenchCase("mp-krum-dp-momentum-d1000", "krum", 25, 11, 999, 50, 100, epsilon=0.5, backend="multiprocess"),
+        TrainingBenchCase("krum-dp-codec-identity", "krum", 25, 11, 99, 50, 200, epsilon=0.5, codec="identity"),
+        TrainingBenchCase("krum-dp-codec-topk", "krum", 25, 11, 99, 50, 200, epsilon=0.5, codec="top-k"),
+        TrainingBenchCase("krum-dp-codec-sign", "krum", 25, 11, 99, 50, 200, epsilon=0.5, codec="sign"),
+        TrainingBenchCase("krum-dp-codec-dgauss", "krum", 25, 11, 99, 50, 200, epsilon=0.5, codec="discrete-gaussian"),
+        TrainingBenchCase("average-dp-codec-qsgd", "average", 25, 0, 99, 50, 200, epsilon=0.5, attack=None, codec="qsgd"),
     ]
 
 
@@ -218,6 +254,8 @@ _SMOKE_CELLS = (
     "krum-nodp-momentum",
     "average-dp-momentum",
     "krum-dp-momentum-telemetry",
+    "krum-dp-codec-identity",
+    "krum-dp-codec-sign",
 )
 
 
@@ -243,6 +281,8 @@ def run_case(case: TrainingBenchCase, repeats: int = 3) -> TrainingBenchResult:
     """
     if case.telemetry:
         return _run_telemetry_case(case, repeats)
+    if case.codec is not None:
+        return _run_codec_case(case, repeats)
     if case.backend == "multiprocess":
         return _run_multiprocess_case(case, repeats)
     engine_best = float("inf")
@@ -326,6 +366,89 @@ def _run_telemetry_case(case: TrainingBenchCase, repeats: int) -> TrainingBenchR
         engine_rounds_per_sec=case.rounds / on_best,
         outputs_identical=outputs_identical,
         telemetry_overhead_fraction=min(pair_overheads),
+    )
+
+
+def _run_codec_case(case: TrainingBenchCase, repeats: int) -> TrainingBenchResult:
+    """Time a codec cell against its raw-wire fused-engine twin.
+
+    Reference = the identical cell with no codec; engine = the
+    codec-enabled fused engine.  The speedup column then reads as the
+    throughput cost of encoding, and the cell additionally records the
+    exact bytes-on-wire total, the reduction factor over the raw wire
+    (``rounds * n * d * 8`` bytes) and both runs' held-out accuracies.
+
+    ``outputs_identical`` is the cell's correctness bit, with
+    codec-dependent meaning: for the lossless identity codec it asserts
+    bit-identity *against the raw reference* (the acceptance criterion
+    of the compression pipeline); for lossy codecs it asserts
+    *determinism* — a second identically-seeded codec run must
+    reproduce the first bit for bit.
+    """
+    from dataclasses import replace
+
+    raw_case = replace(case, codec=None, codec_kwargs=())
+    test_set = make_phishing_dataset(
+        seed=1, num_points=500, num_features=case.num_features
+    )
+    engine_best = float("inf")
+    reference_best = float("inf")
+    outputs_identical = True
+    bytes_on_wire = None
+    final_accuracy = None
+    reference_accuracy = None
+    watch = Stopwatch()
+    for repeat in range(max(1, repeats)):
+        coded = case.build_experiment()
+        coded_cluster = coded.build_cluster()
+        coded_history = TrainingHistory()
+        watch.restart()
+        coded_cluster.engine.run(case.rounds, history=coded_history)
+        engine_best = min(engine_best, watch.elapsed_seconds())
+
+        raw = raw_case.build_experiment()
+        raw_cluster = raw.build_cluster()
+        raw_history = TrainingHistory()
+        watch.restart()
+        raw_cluster.engine.run(case.rounds, history=raw_history)
+        reference_best = min(reference_best, watch.elapsed_seconds())
+
+        if repeat == 0:
+            bytes_on_wire = coded_cluster.bytes_on_wire_total
+            model = coded.model
+            final_accuracy = model.accuracy(
+                coded_cluster.parameters, test_set.features, test_set.labels
+            )
+            reference_accuracy = model.accuracy(
+                raw_cluster.parameters, test_set.features, test_set.labels
+            )
+            if coded_cluster.codec.lossless:
+                outputs_identical = bool(
+                    coded_history.losses.tolist() == raw_history.losses.tolist()
+                    and coded_cluster.parameters.tolist()
+                    == raw_cluster.parameters.tolist()
+                )
+            else:
+                rerun = case.build_experiment()
+                rerun_cluster = rerun.build_cluster()
+                rerun_history = TrainingHistory()
+                rerun_cluster.engine.run(case.rounds, history=rerun_history)
+                outputs_identical = bool(
+                    rerun_history.losses.tolist() == coded_history.losses.tolist()
+                    and rerun_cluster.parameters.tolist()
+                    == coded_cluster.parameters.tolist()
+                    and rerun_cluster.bytes_on_wire_total == bytes_on_wire
+                )
+    raw_bytes = case.rounds * case.n * case.dimension * 8
+    return TrainingBenchResult(
+        case=case,
+        reference_rounds_per_sec=case.rounds / reference_best,
+        engine_rounds_per_sec=case.rounds / engine_best,
+        outputs_identical=outputs_identical,
+        bytes_on_wire=bytes_on_wire,
+        wire_reduction=raw_bytes / bytes_on_wire if bytes_on_wire else None,
+        final_accuracy=final_accuracy,
+        reference_accuracy=reference_accuracy,
     )
 
 
@@ -413,13 +536,15 @@ def format_training_table(payload: dict) -> str:
     rows = [
         f"{'cell':<26}{'gar':>10}{'n':>4}{'f':>4}{'d':>6}{'b':>5}"
         f"{'dp':>9}{'mom':>6}{'bk':>4}{'ref r/s':>10}{'engine r/s':>12}"
-        f"{'speedup':>9}{'ipc ms':>8}"
+        f"{'speedup':>9}{'ipc ms':>8}{'wire x':>8}"
     ]
     for entry in payload["results"]:
         dp = "-" if entry["epsilon"] is None else f"{entry['noise_kind'][:5]}"
         backend = "mp" if entry.get("backend") == "multiprocess" else "in"
         overhead = entry.get("ipc_overhead_ms")
         ipc = "-" if overhead is None else f"{overhead:.2f}"
+        reduction = entry.get("wire_reduction")
+        wire = "-" if reduction is None else f"{reduction:.1f}"
         flag = "" if entry.get("outputs_identical", True) else "  MISMATCH"
         rows.append(
             f"{entry['name']:<26}{entry['gar']:>10}{entry['n']:>4}{entry['f']:>4}"
@@ -427,7 +552,7 @@ def format_training_table(payload: dict) -> str:
             f"{backend:>4}"
             f"{entry['reference_rounds_per_sec']:>10.0f}"
             f"{entry['engine_rounds_per_sec']:>12.0f}"
-            f"{entry['speedup']:>8.2f}x{ipc:>8}{flag}"
+            f"{entry['speedup']:>8.2f}x{ipc:>8}{wire:>8}{flag}"
         )
     return "\n".join(rows)
 

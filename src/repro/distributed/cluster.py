@@ -34,6 +34,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.attacks.base import AttackContext, ByzantineAttack
+from repro.compression.base import GradientCodec
 from repro.distributed.network import PerfectNetwork
 from repro.distributed.server import ParameterServer
 from repro.distributed.worker import HonestWorker, compute_cohort
@@ -83,6 +84,12 @@ class StepResult:
     honest_submitted: Matrix | None = field(repr=False, default=None)
     honest_clean: Matrix | None = field(repr=False, default=None)
     byzantine_gradient: Vector | None = field(repr=False, default=None)
+    #: Exact encoded bytes this round's n messages occupied on the wire
+    #: (``None`` when the run has no codec).  With a codec,
+    #: ``honest_submitted`` holds the *encoded* wire matrix — what the
+    #: adversary observed and the server aggregated — while
+    #: ``honest_clean`` stays pre-noise, pre-encoding.
+    bytes_on_wire: int | None = None
 
     @property
     def recorded(self) -> bool:
@@ -110,6 +117,7 @@ class Cluster:
         attack: ByzantineAttack | None = None,
         attack_rng: np.random.Generator | None = None,
         network: PerfectNetwork | None = None,
+        codec: GradientCodec | None = None,
     ):
         honest_workers = list(honest_workers)
         if not honest_workers:
@@ -140,6 +148,8 @@ class Cluster:
         self._attack = attack
         self._attack_rng = attack_rng
         self._network = network if network is not None else PerfectNetwork()
+        self._codec = codec
+        self._bytes_on_wire_total = 0
         self._step = 0
         self._engine = None
         # Null telemetry by default: the hot path pays exactly one
@@ -183,6 +193,39 @@ class Cluster:
         return self._step
 
     @property
+    def codec(self) -> GradientCodec | None:
+        """The wire codec encoding submissions (or ``None``)."""
+        return self._codec
+
+    @property
+    def bytes_on_wire_total(self) -> int:
+        """Cumulative encoded bytes across all rounds (0 without a codec)."""
+        return self._bytes_on_wire_total
+
+    def _encode_honest(self, honest_submitted: Matrix) -> tuple[Matrix, int]:
+        """Encode the honest block under worker ids ``0..H-1``."""
+        encoded, row_bytes = self._codec.encode_block(
+            honest_submitted, self._step, range(len(self._honest_workers))
+        )
+        return encoded, int(row_bytes.sum())
+
+    def _encode_byzantine(self, byzantine_block: Matrix) -> tuple[Matrix, int]:
+        """Encode the Byzantine copies under worker ids ``H..n-1``.
+
+        Each of the ``f`` identical submissions is encoded as its own
+        message — stochastic codecs give every copy its own stream, so
+        the server may receive *distinct* quantizations of one crafted
+        gradient, exactly as on a real wire.
+        """
+        num_honest = len(self._honest_workers)
+        encoded, row_bytes = self._codec.encode_block(
+            byzantine_block,
+            self._step,
+            range(num_honest, num_honest + self._num_byzantine),
+        )
+        return encoded, int(row_bytes.sum())
+
+    @property
     def engine(self):
         """This cluster's fused :class:`repro.distributed.engine.RoundEngine`.
 
@@ -223,6 +266,12 @@ class Cluster:
             self._honest_workers, parameters, self._step
         )
 
+        bytes_on_wire: int | None = None
+        if self._codec is not None:
+            # The adversary observes what actually crossed the wire, so
+            # encoding happens before the attack crafts its gradient.
+            honest_submitted, bytes_on_wire = self._encode_honest(honest_submitted)
+
         byzantine_gradient: Vector | None = None
         if self._num_byzantine > 0:
             assert self._attack is not None and self._attack_rng is not None
@@ -243,18 +292,26 @@ class Cluster:
                     f"expected {parameters.shape}"
                 )
             byzantine_block = np.tile(byzantine_gradient, (self._num_byzantine, 1))
+            if self._codec is not None:
+                byzantine_block, byzantine_bytes = self._encode_byzantine(
+                    byzantine_block
+                )
+                bytes_on_wire += byzantine_bytes
             all_gradients = np.vstack([honest_submitted, byzantine_block])
         else:
             all_gradients = honest_submitted
 
         delivered = self._network.deliver(all_gradients, self._step)
         aggregated = self._server.step(delivered)
+        if bytes_on_wire is not None:
+            self._bytes_on_wire_total += bytes_on_wire
         return StepResult(
             step=self._step,
             aggregated=aggregated,
             honest_submitted=honest_submitted if record else None,
             honest_clean=honest_clean if record else None,
             byzantine_gradient=byzantine_gradient,
+            bytes_on_wire=bytes_on_wire,
         )
 
     def _instrumented_step(self, record: bool = True) -> StepResult:
@@ -278,6 +335,12 @@ class Cluster:
         )
         telemetry.span_ns("round.cohort", time.perf_counter_ns() - started)
 
+        bytes_on_wire: int | None = None
+        if self._codec is not None:
+            started = time.perf_counter_ns()
+            honest_submitted, bytes_on_wire = self._encode_honest(honest_submitted)
+            telemetry.span_ns("round.codec", time.perf_counter_ns() - started)
+
         byzantine_gradient: Vector | None = None
         if self._num_byzantine > 0:
             assert self._attack is not None and self._attack_rng is not None
@@ -299,6 +362,11 @@ class Cluster:
                     f"expected {parameters.shape}"
                 )
             byzantine_block = np.tile(byzantine_gradient, (self._num_byzantine, 1))
+            if self._codec is not None:
+                byzantine_block, byzantine_bytes = self._encode_byzantine(
+                    byzantine_block
+                )
+                bytes_on_wire += byzantine_bytes
             all_gradients = np.vstack([honest_submitted, byzantine_block])
             telemetry.span_ns("round.attack", time.perf_counter_ns() - started)
         else:
@@ -317,12 +385,16 @@ class Cluster:
         aggregated = self._server.step(delivered)
         telemetry.span_ns("round.server", time.perf_counter_ns() - started)
         _emit_round_metrics(telemetry, delivered, aggregated, len(self._honest_workers))
+        if bytes_on_wire is not None:
+            self._bytes_on_wire_total += bytes_on_wire
+            telemetry.counter("wire.bytes", bytes_on_wire)
         return StepResult(
             step=self._step,
             aggregated=aggregated,
             honest_submitted=honest_submitted if record else None,
             honest_clean=honest_clean if record else None,
             byzantine_gradient=byzantine_gradient,
+            bytes_on_wire=bytes_on_wire,
         )
 
     def run(self, num_steps: int) -> StepResult:

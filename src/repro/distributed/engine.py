@@ -120,6 +120,7 @@ class RoundEngine:
         self._attack = cluster._attack
         self._attack_rng = cluster._attack_rng
         self._num_byzantine = cluster._num_byzantine
+        self._codec = cluster._codec
         self._reason = self._probe()
         self._buffers_ready = False
 
@@ -474,6 +475,7 @@ class RoundEngine:
                     self._dropped_before = getattr(
                         self._network, "dropped_total", None
                     )
+                    self._wire_bytes_before = self._cluster._bytes_on_wire_total
                     predraw_started = time.perf_counter_ns()
                 # Blockwise pre-draw: every worker's private streams are
                 # consumed exactly as the per-round path would, just all
@@ -553,6 +555,9 @@ class RoundEngine:
             dropped = self._network.dropped_total - self._dropped_before
             if dropped:
                 telemetry.counter("network.dropped", dropped)
+        wire_bytes = self._cluster._bytes_on_wire_total - self._wire_bytes_before
+        if wire_bytes:
+            telemetry.counter("wire.bytes", wire_bytes)
 
     def _fused_round(
         self,
@@ -657,6 +662,20 @@ class RoundEngine:
             if lap is not None:
                 lap.mark("round.momentum")
 
+        # Wire codec: encode the honest block in place (identity's
+        # block fast path returns the same object, so the no-codec and
+        # identity rounds execute byte-identical buffer operations).
+        round_bytes = None
+        if self._codec is not None:
+            encoded, row_bytes = self._codec.encode_block(
+                submitted, step, range(num_honest)
+            )
+            if encoded is not submitted:
+                submitted[:] = encoded
+            round_bytes = int(row_bytes.sum())
+            if lap is not None:
+                lap.mark("round.codec")
+
         byzantine_gradient = None
         if self._num_byzantine > 0:
             # The context gets fresh per-round copies, exactly like the
@@ -682,8 +701,21 @@ class RoundEngine:
                     f"expected {parameters.shape}"
                 )
             self._all_gradients[num_honest:] = byzantine_gradient
+            if self._codec is not None:
+                byzantine_rows = self._all_gradients[num_honest:]
+                encoded, row_bytes = self._codec.encode_block(
+                    byzantine_rows,
+                    step,
+                    range(num_honest, num_honest + self._num_byzantine),
+                )
+                if encoded is not byzantine_rows:
+                    byzantine_rows[:] = encoded
+                round_bytes += int(row_bytes.sum())
             if lap is not None:
                 lap.mark("round.attack")
+
+        if round_bytes is not None:
+            cluster._bytes_on_wire_total += round_bytes
 
         delivered = self._network.deliver(self._all_gradients, step)
         if lap is not None:
@@ -714,4 +746,5 @@ class RoundEngine:
             honest_submitted=submitted.copy() if record else None,
             honest_clean=clean.copy() if record else None,
             byzantine_gradient=byzantine_gradient,
+            bytes_on_wire=round_bytes,
         )

@@ -19,16 +19,52 @@ round at once and the latter one arrival at a time.
 
 from __future__ import annotations
 
+import abc
+
 import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.rng import SeedTree
 from repro.typing import Matrix
 
-__all__ = ["LossyNetwork", "PerfectNetwork"]
+__all__ = ["LossyNetwork", "Network", "PerfectNetwork"]
 
 
-class PerfectNetwork:
+class Network(abc.ABC):
+    """The transport contract every network model implements.
+
+    One shared protocol instead of duck typing, so the cluster, the
+    fused engine, the simulator and the wire-path codec stage all code
+    against the same three members — and a future transport (latency
+    models, reordering, per-link loss) slots in by subclassing.  The
+    registry-driven conformance test walks every registered ``network``
+    component and checks it against this contract.
+
+    * :meth:`deliver` maps one round's stacked submissions (row ``w`` is
+      worker ``w``'s message) to what the server receives; a message
+      that does not arrive is the zero vector (Section 2.1).
+    * :meth:`drops_message` is the per-message verdict, a pure function
+      of ``(step, worker)`` and the network's own seed — never of query
+      order — so the event-driven simulator asking one arrival at a
+      time agrees with :meth:`deliver` zeroing a whole round at once.
+    * :attr:`drop_probability` is the marginal per-message drop rate.
+    """
+
+    @abc.abstractmethod
+    def deliver(self, gradients: Matrix, step: int) -> Matrix:
+        """What the server receives for one round's submissions."""
+
+    @abc.abstractmethod
+    def drops_message(self, step: int, worker: int) -> bool:
+        """Whether the message ``(step, worker)`` is dropped."""
+
+    @property
+    @abc.abstractmethod
+    def drop_probability(self) -> float:
+        """Marginal per-message drop probability."""
+
+
+class PerfectNetwork(Network):
     """Delivers every gradient unchanged."""
 
     def deliver(self, gradients: Matrix, step: int) -> Matrix:
@@ -47,7 +83,7 @@ class PerfectNetwork:
         return 0.0
 
 
-class LossyNetwork:
+class LossyNetwork(Network):
     """Drops each message independently with probability ``drop_probability``.
 
     Parameters

@@ -43,6 +43,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.attacks.base import AttackContext, ByzantineAttack
+from repro.compression.base import GradientCodec
 from repro.distributed.cluster import StepResult, _emit_round_metrics
 from repro.distributed.network import PerfectNetwork
 from repro.distributed.runtime.context import multiprocessing_context
@@ -80,6 +81,7 @@ class MultiprocessCluster:
         attack: ByzantineAttack | None = None,
         attack_rng: np.random.Generator | None = None,
         network: PerfectNetwork | None = None,
+        codec: GradientCodec | None = None,
         round_timeout: float = 30.0,
         join_timeout: float = 30.0,
         start_method: str | None = None,
@@ -130,6 +132,10 @@ class MultiprocessCluster:
         self._attack = attack
         self._attack_rng = attack_rng
         self._network = network if network is not None else PerfectNetwork()
+        # The shards encode their own rows (each spec carries the codec);
+        # the chief's copy encodes the Byzantine block and accounts bytes.
+        self._codec = codec
+        self._bytes_on_wire_total = 0
         self._round_timeout = float(round_timeout)
         self._join_timeout = float(join_timeout)
         self._start_method = start_method
@@ -191,6 +197,16 @@ class MultiprocessCluster:
     def step_count(self) -> int:
         """Rounds completed so far."""
         return self._step
+
+    @property
+    def codec(self) -> GradientCodec | None:
+        """The wire codec encoding submissions (or ``None``)."""
+        return self._codec
+
+    @property
+    def bytes_on_wire_total(self) -> int:
+        """Cumulative encoded bytes across all rounds (0 without a codec)."""
+        return self._bytes_on_wire_total
 
     @property
     def last_honest_losses(self) -> np.ndarray | None:
@@ -467,15 +483,26 @@ class MultiprocessCluster:
         honest_submitted = np.array(self._plane.wire)
         honest_clean = np.array(self._plane.clean)
         losses = np.array(self._plane.losses)
+        row_bytes = (
+            np.array(self._plane.wire_bytes) if self._codec is not None else None
+        )
         if self._dead_rows:
             honest_submitted[self._dead_rows] = 0.0
             honest_clean[self._dead_rows] = 0.0
+            if row_bytes is not None:
+                # A departed worker's message was never produced this
+                # round — zero bytes (its plane row is stale from its
+                # last live round).
+                row_bytes[self._dead_rows] = 0.0
             live_rows = np.setdiff1d(
                 np.arange(self._num_honest), np.asarray(self._dead_rows)
             )
             self._last_honest_losses = losses[live_rows] if live_rows.size else None
         else:
             self._last_honest_losses = losses
+        bytes_on_wire: int | None = (
+            int(row_bytes.sum()) if row_bytes is not None else None
+        )
         if telemetry is not None:
             now = time.perf_counter_ns()
             telemetry.span_ns("round.copyout", now - phase_started)
@@ -501,6 +528,13 @@ class MultiprocessCluster:
                     f"expected {parameters.shape}"
                 )
             byzantine_block = np.tile(byzantine_gradient, (self._num_byzantine, 1))
+            if self._codec is not None:
+                byzantine_block, byzantine_bytes = self._codec.encode_block(
+                    byzantine_block,
+                    self._step,
+                    range(self._num_honest, self._num_honest + self._num_byzantine),
+                )
+                bytes_on_wire += int(byzantine_bytes.sum())
             all_gradients = np.vstack([honest_submitted, byzantine_block])
         else:
             all_gradients = honest_submitted
@@ -523,12 +557,17 @@ class MultiprocessCluster:
         if telemetry is not None:
             telemetry.span_ns("round.server", time.perf_counter_ns() - phase_started)
             _emit_round_metrics(telemetry, delivered, aggregated, self._num_honest)
+        if bytes_on_wire is not None:
+            self._bytes_on_wire_total += bytes_on_wire
+            if telemetry is not None:
+                telemetry.counter("wire.bytes", bytes_on_wire)
         return StepResult(
             step=self._step,
             aggregated=aggregated,
             honest_submitted=honest_submitted if record else None,
             honest_clean=honest_clean if record else None,
             byzantine_gradient=byzantine_gradient,
+            bytes_on_wire=bytes_on_wire,
         )
 
     def _drain_shard_events(self) -> None:

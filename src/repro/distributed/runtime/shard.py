@@ -42,6 +42,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.compression.base import GradientCodec
 from repro.data.batching import BatchSampler
 from repro.data.datasets import Dataset
 from repro.distributed.runtime.wire import PlaneSpec, WirePlane
@@ -89,6 +90,11 @@ class WorkerShardSpec:
     mechanism: NoiseMechanism | None = None
     clip_mode: str = "batch"
     momentum: float = 0.0
+    #: Wire codec (picklable: its state is one root seed).  The shard
+    #: encodes its own rows before writing them to the plane, so the
+    #: chief — and the observing adversary — only ever see what
+    #: actually crossed the wire.
+    codec: GradientCodec | None = None
     fail_step: int | None = None
     fail_mode: str = "die"
 
@@ -211,6 +217,15 @@ def shard_main(
                 parameters = np.array(plane.parameters)
                 submitted, clean = compute_cohort(workers, parameters, step)
                 losses = _batch_losses(spec.model, parameters, workers)
+                if spec.codec is not None:
+                    # Same values, same (step, worker) ids as the
+                    # in-process path — the codec's per-message streams
+                    # make the shard's rows bit-identical to the
+                    # chief-side whole-cohort encode.
+                    submitted, row_bytes = spec.codec.encode_block(
+                        submitted, step, spec.worker_ids
+                    )
+                    plane.wire_bytes[rows] = row_bytes
                 plane.wire[rows] = submitted
                 plane.clean[rows] = clean
                 plane.losses[rows] = losses

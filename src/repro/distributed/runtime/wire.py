@@ -1,7 +1,7 @@
 """Shared-memory wire plane between the chief and its worker processes.
 
 One :class:`WirePlane` is one ``multiprocessing.shared_memory`` segment
-laid out as four float64 arrays:
+laid out as five float64 arrays:
 
 * ``parameters`` — the ``(d,)`` model parameters, written by the chief
   before each round and read (copied) by every worker process;
@@ -11,7 +11,12 @@ laid out as four float64 arrays:
   attack's view and the VN-ratio instrumentation — never visible to a
   real server, exactly like the in-process cluster's ``honest_clean``);
 * ``losses`` — the ``(H,)`` per-worker training losses of the sampled
-  batches at the round's (pre-update) parameters.
+  batches at the round's (pre-update) parameters;
+* ``wire_bytes`` — the ``(H,)`` exact encoded byte counts of the
+  round's wire messages when the run carries a codec (zeros
+  otherwise).  Stored as float64 so the plane stays a single-dtype
+  layout; byte counts are integers well below 2**53, so the values are
+  exact.
 
 Gradients therefore cross the process boundary as plain memory writes:
 no per-round pickling, no sockets — the per-round IPC is a handful of
@@ -132,9 +137,9 @@ class PlaneSpec:
 
     @property
     def size_bytes(self) -> int:
-        """Total segment size: params + wire + clean + losses."""
+        """Total segment size: params + wire + clean + losses + wire_bytes."""
         h, d = self.num_honest, self.dimension
-        return _FLOAT.itemsize * (d + 2 * h * d + h)
+        return _FLOAT.itemsize * (d + 2 * h * d + 2 * h)
 
 
 class WirePlane:
@@ -160,6 +165,10 @@ class WirePlane:
         self._clean = np.ndarray((h, d), dtype=_FLOAT, buffer=segment.buf, offset=offset)
         offset += h * d * item
         self._losses = np.ndarray((h,), dtype=_FLOAT, buffer=segment.buf, offset=offset)
+        offset += h * item
+        self._wire_bytes = np.ndarray(
+            (h,), dtype=_FLOAT, buffer=segment.buf, offset=offset
+        )
 
     # ------------------------------------------------------------------
     # construction
@@ -184,6 +193,7 @@ class WirePlane:
         plane._wire[:] = 0.0
         plane._clean[:] = 0.0
         plane._losses[:] = 0.0
+        plane._wire_bytes[:] = 0.0
         plane._parameters[:] = 0.0
         _register_active(plane)
         return plane
@@ -225,6 +235,11 @@ class WirePlane:
         return self._losses
 
     @property
+    def wire_bytes(self) -> np.ndarray:
+        """Live ``(H,)`` per-worker encoded-byte-count view."""
+        return self._wire_bytes
+
+    @property
     def closed(self) -> bool:
         """Whether this mapping has been released."""
         return self._segment is None
@@ -242,6 +257,7 @@ class WirePlane:
         if self._segment is None:
             return
         self._parameters = self._wire = self._clean = self._losses = None
+        self._wire_bytes = None
         segment, self._segment = self._segment, None
         segment.close()
         if self._owner:

@@ -57,6 +57,8 @@ def train(
     eval_every: int = 50,
     seed: int = 1,
     record_gradients: bool = False,
+    codec: str | dict | None = None,
+    codec_kwargs: dict | None = None,
     callbacks=(),
     telemetry=None,
 ) -> TrainingResult:
@@ -87,6 +89,10 @@ def train(
       :class:`repro.telemetry.Telemetry` instance or a path (the run
       then writes a schema-versioned JSONL trace there).  Telemetry
       never draws randomness — results are bit-identical either way.
+    * ``codec`` inserts a wire-compression codec (``"identity"``,
+      ``"top-k"``, ``"sign"``, ``"qsgd"``, ``"discrete-gaussian"``)
+      between worker submission and server aggregation; the result's
+      ``bytes_on_wire`` then reports the exact encoded traffic.
     * ``gar``, ``attack`` and the other component arguments also accept
       ``{"name": ..., **kwargs}`` registry specs, and ``callbacks``
       (:class:`repro.pipeline.Callback` instances) hook into the
@@ -127,6 +133,8 @@ def train(
         eval_every=eval_every,
         seed=seed,
         record_gradients=record_gradients,
+        codec=codec,
+        codec_kwargs=codec_kwargs,
         callbacks=callbacks,
         telemetry=telemetry,
     )

@@ -163,6 +163,13 @@ def build_parser() -> argparse.ArgumentParser:
         "file's; results are bit-identical either way)",
     )
     run.add_argument(
+        "--codec",
+        default=None,
+        metavar="NAME",
+        help="wire-compression codec for every cell (overrides the config "
+        "file's \"codec\" key; see `repro components` for names)",
+    )
+    run.add_argument(
         "--save", type=Path, default=None, help="write full outcomes JSON here"
     )
     run.add_argument("--output", type=Path, default=None, help="write the summary here")
@@ -605,6 +612,10 @@ def _dispatch(arguments: argparse.Namespace) -> int:
         if arguments.backend is not None:
             configs = [
                 config.with_updates(backend=arguments.backend) for config in configs
+            ]
+        if arguments.codec is not None:
+            configs = [
+                config.with_updates(codec=arguments.codec) for config in configs
             ]
         data_seed = _resolve_data_seed(arguments.data_seed, file_data_seed)
         telemetry = _resolve_telemetry(arguments.telemetry, file_telemetry)

@@ -51,6 +51,11 @@ class ExperimentConfig:
     latency_kwargs: tuple[tuple[str, object], ...] = ()
     participation_rate: float = 1.0
     participation_kind: str = "poisson"
+    # Wire-compression codec (a semantic knob: lossy codecs change what
+    # the server aggregates, so — unlike the backend fields below — it
+    # IS part of the campaign cell key).
+    codec: str | None = None
+    codec_kwargs: tuple[tuple[str, object], ...] = ()
     # Execution backend knobs (where the rounds run, not what they
     # compute: the multiprocess backend is bit-identical to in-process,
     # so these fields are excluded from campaign cell keys).
@@ -123,6 +128,8 @@ class ExperimentConfig:
             "drop_probability": self.drop_probability,
             "eval_every": self.eval_every,
             "seed": seed,
+            "codec": self.codec,
+            "codec_kwargs": dict(self.codec_kwargs) or None,
             "backend": self.backend,
             "num_shards": self.num_shards,
             "round_timeout": self.round_timeout,
@@ -155,6 +162,7 @@ class ExperimentConfig:
         payload["attack_kwargs"] = [list(pair) for pair in self.attack_kwargs]
         payload["policy_kwargs"] = [list(pair) for pair in self.policy_kwargs]
         payload["latency_kwargs"] = [list(pair) for pair in self.latency_kwargs]
+        payload["codec_kwargs"] = [list(pair) for pair in self.codec_kwargs]
         return payload
 
     @classmethod
@@ -172,7 +180,12 @@ class ExperimentConfig:
             )
         if "seeds" in data:
             data["seeds"] = tuple(int(seed) for seed in data["seeds"])
-        for kwargs_field in ("attack_kwargs", "policy_kwargs", "latency_kwargs"):
+        for kwargs_field in (
+            "attack_kwargs",
+            "policy_kwargs",
+            "latency_kwargs",
+            "codec_kwargs",
+        ):
             if kwargs_field not in data:
                 continue
             kwargs = data[kwargs_field]
@@ -196,6 +209,8 @@ class ExperimentConfig:
             )
         if self.backend != "inprocess":
             extras += f", backend={self.backend}"
+        if self.codec is not None:
+            extras += f", codec={self.codec}"
         return (
             f"{self.name}: {self.gar} (n={self.n}, f={self.f}), {attack}, "
             f"b={self.batch_size}, {dp}, T={self.num_steps}, "

@@ -152,6 +152,8 @@ class Experiment:
         policy_kwargs: dict | None = None,
         latency=None,
         latency_kwargs: dict | None = None,
+        codec=None,
+        codec_kwargs: dict | None = None,
         participation_rate: float = 1.0,
         participation_kind: str = "poisson",
         backend: str = "inprocess",
@@ -248,6 +250,13 @@ class Experiment:
                     f"latency must be one of {REGISTRY.available('latency')}, "
                     f"got {latency_name!r}"
                 )
+        if isinstance(codec, (str, dict)):
+            codec_name = ComponentRegistry.parse_spec(codec)[0]
+            if not REGISTRY.has("codec", codec_name):
+                raise ConfigurationError(
+                    f"codec must be one of {REGISTRY.available('codec')}, "
+                    f"got {codec_name!r}"
+                )
         if not 0.0 < participation_rate <= 1.0:
             raise ConfigurationError(
                 f"participation_rate must be in (0, 1], got {participation_rate}"
@@ -303,6 +312,8 @@ class Experiment:
         self.policy_kwargs = dict(policy_kwargs or {})
         self.latency_spec = latency
         self.latency_kwargs = dict(latency_kwargs or {})
+        self.codec_spec = codec
+        self.codec_kwargs = dict(codec_kwargs or {})
         self.participation_rate = float(participation_rate)
         self.participation_kind = participation_kind
         self.backend = backend
@@ -326,6 +337,7 @@ class Experiment:
         self._workers: list[HonestWorker] | None = None
         self._server: ParameterServer | None = None
         self._network = None
+        self._codec = None
         self._cluster: Cluster | None = None
         self._mp_cluster: MultiprocessCluster | None = None
         self._simulator = None
@@ -440,6 +452,28 @@ class Experiment:
                 self._network = spec
         return self._network
 
+    def build_codec(self):
+        """The wire codec: a registry spec/instance, or ``None`` (raw wire).
+
+        Stochastic codecs that arrive without an explicit ``seed`` get
+        their root seed from the seed tree's ``"codec"`` stream, so
+        sync, simulator and multiprocess builds of the same experiment
+        encode identically.
+        """
+        if self.codec_spec is None:
+            return None
+        if self._codec is None:
+            spec = self.codec_spec
+            if isinstance(spec, (str, dict)):
+                name, spec_kwargs = ComponentRegistry.parse_spec(spec)
+                kwargs = {**self.codec_kwargs, **spec_kwargs}
+                if "seed" not in kwargs:
+                    kwargs.setdefault("rng", self.seeds.generator("codec"))
+                self._codec = REGISTRY.build("codec", {"name": name, **kwargs})
+            else:
+                self._codec = spec
+        return self._codec
+
     def build_cluster(self) -> Cluster:
         """Stage 4: wire workers, adversary, network and server together."""
         if self._cluster is None:
@@ -452,6 +486,7 @@ class Experiment:
                     self.seeds.generator("attack") if self.attack is not None else None
                 ),
                 network=self.build_network(),
+                codec=self.build_codec(),
             )
         return self._cluster
 
@@ -470,6 +505,7 @@ class Experiment:
         num_shards = self.num_honest if self.num_shards is None else self.num_shards
         num_shards = min(num_shards, self.num_honest)
         base, extra = divmod(self.num_honest, num_shards)
+        codec = self.build_codec()
         specs = []
         start = 0
         for shard_id in range(num_shards):
@@ -487,6 +523,7 @@ class Experiment:
                     mechanism=self.mechanism,
                     clip_mode=self.clip_mode,
                     momentum=worker_momentum,
+                    codec=codec,
                 )
             )
             start += size
@@ -514,6 +551,7 @@ class Experiment:
                     self.seeds.generator("attack") if self.attack is not None else None
                 ),
                 network=self.build_network(),
+                codec=self.build_codec(),
                 round_timeout=self.round_timeout,
             )
         return self._mp_cluster
@@ -570,6 +608,7 @@ class Experiment:
                     self.seeds.generator("attack") if self.attack is not None else None
                 ),
                 network=self.build_network(),
+                codec=self.build_codec(),
                 policy=policy,
                 latency=latency,
                 participation=make_participation(
@@ -589,6 +628,7 @@ class Experiment:
         self._workers = None
         self._server = None
         self._network = None
+        self._codec = None
         self._cluster = None
         self._mp_cluster = None
         self._simulator = None
@@ -693,6 +733,9 @@ class Experiment:
             privacy=privacy,
             config=self.describe(),
             departed=departed,
+            bytes_on_wire=(
+                cluster.bytes_on_wire_total if cluster.codec is not None else None
+            ),
         )
 
     def simulate(self, callbacks: Iterable[Callback] = ()):
@@ -785,6 +828,9 @@ class Experiment:
             rounds=simulator.round_count,
             policy_stats=simulator.stats(),
             config=config,
+            bytes_on_wire=(
+                simulator.bytes_on_wire_total if simulator.codec is not None else None
+            ),
         )
 
     def describe(self) -> dict:
@@ -809,7 +855,16 @@ class Experiment:
             "seed": self.seed,
             "model_dimension": self.model.dimension,
             "backend": self.backend,
+            "codec": self._codec_name(),
         }
+
+    def _codec_name(self) -> str | None:
+        """The configured codec's registry name (``None`` when raw)."""
+        if self.codec_spec is None:
+            return None
+        if isinstance(self.codec_spec, (str, dict)):
+            return ComponentRegistry.parse_spec(self.codec_spec)[0]
+        return getattr(self.codec_spec, "name", type(self.codec_spec).__name__)
 
     def __repr__(self) -> str:
         dp = f"epsilon={self.epsilon}" if self.epsilon is not None else "no-DP"

@@ -46,6 +46,7 @@ BUILTIN_FAMILIES = (
     "network",
     "latency",
     "policy",
+    "codec",
 )
 
 #: Legacy alias kept for the trainer's historical error message.
@@ -274,6 +275,23 @@ def _register_builtins(registry: ComponentRegistry) -> None:
         registry.register("latency", latency_cls.name, latency_cls)
     for policy_cls in (SyncPolicy, BufferedSemiSyncPolicy, AsyncStalenessPolicy):
         registry.register("policy", policy_cls.name, policy_cls)
+
+    from repro.compression import (
+        DiscreteGaussianCodec,
+        IdentityCodec,
+        SignCodec,
+        StochasticQuantizationCodec,
+        TopKCodec,
+    )
+
+    for codec_cls in (
+        IdentityCodec,
+        TopKCodec,
+        SignCodec,
+        StochasticQuantizationCodec,
+        DiscreteGaussianCodec,
+    ):
+        registry.register("codec", codec_cls.name, codec_cls)
 
 
 #: The process-wide default registry, lazily seeded with the built-ins.

@@ -84,6 +84,10 @@ class TrainingResult:
     during the run (``None`` for in-process runs and clean ones).  The
     CLI surfaces it in the run summary so a degraded run is legible
     without opening the trace.
+
+    ``bytes_on_wire`` is the run's total exact encoded wire traffic
+    (honest + Byzantine submissions) when a codec was configured;
+    ``None`` on raw-wire runs.
     """
 
     history: TrainingHistory
@@ -91,6 +95,7 @@ class TrainingResult:
     privacy: PrivacyReport | None
     config: dict = field(repr=False)
     departed: dict | None = None
+    bytes_on_wire: int | None = None
 
     @property
     def final_loss(self) -> float:

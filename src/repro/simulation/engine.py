@@ -86,6 +86,7 @@ class _RoundRecord:
     clean: np.ndarray
     byzantine_gradient: Vector | None
     pending_arrivals: int
+    bytes_on_wire: int | None = None
 
 
 class ClusterSimulator:
@@ -111,6 +112,7 @@ class ClusterSimulator:
         attack: ByzantineAttack | None = None,
         attack_rng: np.random.Generator | None = None,
         network=None,
+        codec=None,
         policy: ServerPolicy | None = None,
         latency: LatencyModel | None = None,
         participation: ParticipationSampler | None = None,
@@ -162,6 +164,8 @@ class ClusterSimulator:
         self._attack = attack
         self._attack_rng = attack_rng
         self._network = network if network is not None else PerfectNetwork()
+        self._codec = codec
+        self._bytes_on_wire_total = 0
         self._policy = policy if policy is not None else SyncPolicy()
         self._latency = latency if latency is not None else ConstantLatency(0.0)
         self._participation = (
@@ -235,6 +239,16 @@ class ClusterSimulator:
     def num_byzantine(self) -> int:
         """Number of Byzantine workers actually attacking."""
         return self._num_byzantine
+
+    @property
+    def codec(self):
+        """The wire codec encoding submissions (or ``None``)."""
+        return self._codec
+
+    @property
+    def bytes_on_wire_total(self) -> int:
+        """Cumulative encoded bytes across all rounds (0 without a codec)."""
+        return self._bytes_on_wire_total
 
     @property
     def step_count(self) -> int:
@@ -420,6 +434,7 @@ class ClusterSimulator:
         telemetry = self._telemetry
         if telemetry is not None:
             telemetry.set_step(version)
+        round_bytes: int | None = None
         if honest_ids:
             cohort = [self._honest_workers[worker_id] for worker_id in honest_ids]
             if telemetry is not None:
@@ -432,11 +447,32 @@ class ClusterSimulator:
                 )
             else:
                 submitted, clean = compute_cohort(cohort, parameters, round_index)
+            if self._codec is not None:
+                # Encoded before anything observes it: keyed on the
+                # round index and the *global* worker ids, so a partial
+                # cohort's rows match the synchronous cluster's
+                # whole-round encode bit for bit.
+                if telemetry is not None:
+                    started = time.perf_counter_ns()
+                    submitted, row_bytes = self._codec.encode_block(
+                        submitted, round_index, honest_ids
+                    )
+                    telemetry.span_ns(
+                        "round.codec",
+                        time.perf_counter_ns() - started,
+                        round=round_index,
+                    )
+                else:
+                    submitted, row_bytes = self._codec.encode_block(
+                        submitted, round_index, honest_ids
+                    )
+                round_bytes = int(row_bytes.sum())
             self._last_honest = (submitted, clean)
             self._computation_counts[list(honest_ids)] += 1
         else:
             submitted = np.zeros((0, self._dimension))
             clean = np.zeros((0, self._dimension))
+            round_bytes = 0 if self._codec is not None else None
 
         byzantine_gradient: Vector | None = None
         if byzantine_ids:
@@ -475,12 +511,30 @@ class ClusterSimulator:
                     f"expected {parameters.shape}"
                 )
 
+        # Each Byzantine copy is its own wire message: stochastic codecs
+        # give every copy its own (round, worker) stream, exactly like
+        # the synchronous cluster encoding rows H..n-1.
+        byzantine_wire: dict[int, Vector] = {}
+        if byzantine_ids and self._codec is not None:
+            assert byzantine_gradient is not None
+            for worker_id in byzantine_ids:
+                wire, nbytes = self._codec.encode_row(
+                    byzantine_gradient, round_index, worker_id
+                )
+                byzantine_wire[worker_id] = wire
+                round_bytes += int(nbytes)
+        if round_bytes is not None:
+            self._bytes_on_wire_total += round_bytes
+            if telemetry is not None:
+                telemetry.counter("wire.bytes", round_bytes, round=round_index)
+
         self._rounds[round_index] = _RoundRecord(
             honest_ids=honest_ids,
             submitted=submitted,
             clean=clean,
             byzantine_gradient=byzantine_gradient,
             pending_arrivals=len(honest_ids) + len(byzantine_ids),
+            bytes_on_wire=round_bytes,
         )
         for position, worker_id in enumerate(honest_ids):
             self._schedule_arrival(
@@ -489,7 +543,11 @@ class ClusterSimulator:
         for worker_id in byzantine_ids:
             assert byzantine_gradient is not None
             self._schedule_arrival(
-                wakes[0].time, round_index, worker_id, version, byzantine_gradient
+                wakes[0].time,
+                round_index,
+                worker_id,
+                version,
+                byzantine_wire.get(worker_id, byzantine_gradient),
             )
 
     def _observed_honest(self) -> tuple[np.ndarray, np.ndarray]:
@@ -594,9 +652,11 @@ class ClusterSimulator:
         if record is not None:
             submitted, clean = record.submitted, record.clean
             byzantine_gradient = record.byzantine_gradient
+            bytes_on_wire = record.bytes_on_wire
         else:  # pragma: no cover - completions always reference a live round
             submitted, clean = self._observed_honest()
             byzantine_gradient = None
+            bytes_on_wire = None
         # The workers whose gradients actually fed this update (honest
         # part): under semi-sync/async that is the *arrived* set, not
         # the round's whole woken cohort.
@@ -620,6 +680,7 @@ class ClusterSimulator:
             honest_submitted=submitted,
             honest_clean=clean,
             byzantine_gradient=byzantine_gradient,
+            bytes_on_wire=bytes_on_wire,
             virtual_time=self._clock,
             round_index=completion.round_index,
             update_scale=completion.update_scale,

@@ -45,6 +45,8 @@ class SimulationResult:
     rounds: int = 0
     policy_stats: dict = field(default_factory=dict, repr=False)
     config: dict = field(default_factory=dict, repr=False)
+    #: Total exact encoded wire traffic when a codec was configured.
+    bytes_on_wire: int | None = None
 
     @property
     def final_loss(self) -> float:

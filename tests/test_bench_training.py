@@ -239,6 +239,16 @@ class TestCommittedBaseline:
                     entry["telemetry_overhead_fraction"]
                     <= TELEMETRY_OVERHEAD_LIMIT
                 )
+            elif entry.get("codec") is not None:
+                # Codec cells compare codec-on vs the raw engine: the
+                # codec costs throughput (ratio at or below ~1), and the
+                # guarded quantities are the byte accounting and the
+                # wire reduction it buys.
+                assert 0.2 < entry["speedup"] < 2.0
+                assert entry["bytes_on_wire"] > 0
+                assert entry["wire_reduction"] >= 1.0
+                if entry["codec"] in ("sign", "top-k"):
+                    assert entry["wire_reduction"] >= 4.0
             else:
                 assert entry["speedup"] > 1.0
 

@@ -1,0 +1,163 @@
+"""Golden-trace and differential regression tests for compressed runs.
+
+Three layers of evidence that the wire-compression pipeline is exact:
+
+1. **Compressed golden traces** — seed-pinned short runs through a
+   lossy codec (Krum + top-k, average + stochastic quantization) must
+   reproduce the committed ``tests/golden/codec_traces.json`` bit for
+   bit, byte totals included.  Regenerate after an intentional change::
+
+       PYTHONPATH=src python -m pytest tests/test_golden_codecs.py --regen-golden
+
+2. **Identity ≡ raw** — the identity codec replayed over the existing
+   uncompressed golden cases (``tests/golden/traces.json``) must equal
+   the committed traces exactly: inserting the codec stage with a
+   lossless codec may not move a single bit anywhere in the pipeline.
+
+3. **In-process ≡ multiprocess** — a codec-enabled experiment produces
+   identical losses, byte totals and final parameters under both
+   backends, pinning the shard-side row encoding against the chief-side
+   whole-cohort encoding.
+
+Equality is exact float equality everywhere; no tolerances.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.data.phishing import make_phishing_dataset
+from repro.models.logistic import LogisticRegressionModel
+from repro.pipeline.builder import Experiment
+
+from tests.test_golden_traces import CASES as RAW_CASES
+from tests.test_golden_traces import GOLDEN_PATH as RAW_GOLDEN_PATH
+from tests.test_golden_traces import _run_case as _run_raw_case
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "codec_traces.json"
+
+#: name -> Experiment overrides for the compressed golden cells.  Both
+#: stochastic ingredients are exercised: top-k is deterministic but
+#: data-dependent, qsgd draws per-message randomness from the
+#: experiment seed tree.
+CASES = {
+    "krum-little-topk": dict(
+        gar="krum", attack="little", n=9, f=3, epsilon=0.5, codec="top-k"
+    ),
+    "average-noattack-qsgd": dict(
+        gar="average", attack=None, n=9, f=0, epsilon=0.5, codec="qsgd"
+    ),
+}
+
+
+def _experiment(overrides: dict) -> Experiment:
+    return Experiment(
+        model=LogisticRegressionModel(10),
+        train_dataset=make_phishing_dataset(seed=0, num_points=240, num_features=10),
+        test_dataset=make_phishing_dataset(seed=1, num_points=60, num_features=10),
+        num_steps=6,
+        batch_size=10,
+        eval_every=3,
+        seed=7,
+        **overrides,
+    )
+
+
+def _run_case(overrides: dict) -> dict:
+    result = _experiment(overrides).run()
+    return {
+        "loss_steps": [int(step) for step in result.history.loss_steps],
+        "losses": [float(loss) for loss in result.history.losses],
+        "accuracy_steps": [int(step) for step in result.history.accuracy_steps],
+        "accuracies": [float(acc) for acc in result.history.accuracies],
+        "final_parameters": [float(value) for value in result.final_parameters],
+        "bytes_on_wire": int(result.bytes_on_wire),
+    }
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"missing golden fixture {GOLDEN_PATH}; record it with "
+            "--regen-golden"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_regen_golden(request):
+    """Not a test of behaviour: rewrites the fixture when asked to."""
+    if not request.config.getoption("--regen-golden"):
+        pytest.skip("pass --regen-golden to re-record the codec traces")
+    traces = {name: _run_case(overrides) for name, overrides in CASES.items()}
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(traces, indent=2) + "\n")
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_compressed_trace_bit_identical(name, golden, request):
+    if request.config.getoption("--regen-golden"):
+        pytest.skip("regenerating, not asserting")
+    assert name in golden, f"no golden trace for {name}; run --regen-golden"
+    expected = golden[name]
+    actual = _run_case(CASES[name])
+    assert actual["loss_steps"] == expected["loss_steps"]
+    assert actual["accuracy_steps"] == expected["accuracy_steps"]
+    assert actual["losses"] == expected["losses"]
+    assert actual["accuracies"] == expected["accuracies"]
+    assert actual["final_parameters"] == expected["final_parameters"]
+    assert actual["bytes_on_wire"] == expected["bytes_on_wire"]
+
+
+def test_golden_covers_all_cases(golden):
+    assert set(golden) == set(CASES)
+
+
+@pytest.mark.parametrize("name", sorted(RAW_CASES))
+def test_identity_codec_matches_committed_raw_traces(name):
+    """Identity-compressed runs must replay the *uncompressed* goldens.
+
+    The strongest statement of losslessness available: the committed
+    ``traces.json`` was recorded with no codec stage at all, so
+    equality here proves the inserted encode step (buffer handling,
+    ordering, telemetry accounting) is numerically invisible.
+    """
+    committed = json.loads(RAW_GOLDEN_PATH.read_text())[name]
+    actual = _run_raw_case({**RAW_CASES[name], "codec": "identity"})
+    assert actual["losses"] == committed["losses"]
+    assert actual["accuracies"] == committed["accuracies"]
+    assert actual["final_parameters"] == committed["final_parameters"]
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_compressed_run_bit_identical_across_backends(name):
+    """In-process and multiprocess agree on every compressed number."""
+    inprocess = _experiment(CASES[name]).run()
+    multiprocess = _experiment(
+        {**CASES[name], "backend": "multiprocess", "num_shards": 3}
+    ).run()
+    assert (
+        multiprocess.history.losses.tolist() == inprocess.history.losses.tolist()
+    )
+    assert (
+        multiprocess.history.accuracies.tolist()
+        == inprocess.history.accuracies.tolist()
+    )
+    assert (
+        multiprocess.final_parameters.tolist()
+        == inprocess.final_parameters.tolist()
+    )
+    assert multiprocess.bytes_on_wire == inprocess.bytes_on_wire
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_compressed_run_bit_identical_on_simulator(name):
+    """The zero-latency sync simulator replays compressed runs exactly."""
+    trained = _experiment(CASES[name]).run()
+    simulated = _experiment(CASES[name]).simulate()
+    assert simulated.history.losses.tolist() == trained.history.losses.tolist()
+    assert (
+        simulated.final_parameters.tolist() == trained.final_parameters.tolist()
+    )
+    assert simulated.bytes_on_wire == trained.bytes_on_wire

@@ -1,0 +1,86 @@
+"""Registry-driven conformance test for the shared ``Network`` protocol.
+
+Every component registered under the ``network`` family must subclass
+:class:`repro.distributed.network.Network` and honour its contract:
+``deliver`` agrees with per-message ``drops_message`` verdicts,
+verdicts are query-order independent, and ``drop_probability`` reports
+the marginal rate.  Walking the registry (instead of naming classes)
+means a future transport added to the family is conformance-tested the
+day it is registered.
+"""
+
+import inspect
+
+import numpy as np
+import pytest
+
+from repro.distributed.network import LossyNetwork, Network, PerfectNetwork
+from repro.pipeline.registry import REGISTRY
+from repro.rng import generator_from_seed
+
+
+def _build(name: str) -> Network:
+    """One seeded instance of a registered network component."""
+    kwargs = {}
+    factory = REGISTRY.get("network", name)
+    parameters = inspect.signature(factory).parameters
+    if "rng" in parameters:
+        kwargs["rng"] = generator_from_seed(123)
+    if "drop_probability" in parameters:
+        kwargs["drop_probability"] = 0.4
+    return factory(**kwargs)
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY.available("network")))
+class TestNetworkConformance:
+    def test_is_a_network_subclass(self, name):
+        network = _build(name)
+        assert isinstance(network, Network)
+
+    def test_implements_the_protocol(self, name):
+        network = _build(name)
+        assert callable(network.deliver)
+        assert callable(network.drops_message)
+        assert 0.0 <= network.drop_probability <= 1.0
+
+    def test_deliver_agrees_with_per_message_verdicts(self, name):
+        """A delivered round is exactly the per-message verdicts applied."""
+        network = _build(name)
+        gradients = np.arange(40.0).reshape(8, 5) + 1.0
+        for step in range(5):
+            delivered = network.deliver(gradients.copy(), step)
+            for worker in range(8):
+                if network.drops_message(step, worker):
+                    assert delivered[worker].tolist() == [0.0] * 5
+                else:
+                    assert delivered[worker].tolist() == gradients[worker].tolist()
+
+    def test_verdicts_are_query_order_independent(self, name):
+        """(step, worker) verdicts never depend on what was asked before."""
+        first = _build(name)
+        forward = [
+            first.drops_message(step, worker)
+            for step in range(4)
+            for worker in range(6)
+        ]
+        second = _build(name)
+        backward = [
+            second.drops_message(step, worker)
+            for step in reversed(range(4))
+            for worker in reversed(range(6))
+        ]
+        assert forward == list(reversed(backward))
+
+
+def test_registry_family_is_exactly_the_known_transports():
+    assert set(REGISTRY.available("network")) == {"perfect", "lossy"}
+
+
+def test_network_cannot_be_instantiated_directly():
+    with pytest.raises(TypeError):
+        Network()
+
+
+def test_concrete_networks_subclass_the_protocol():
+    assert issubclass(PerfectNetwork, Network)
+    assert issubclass(LossyNetwork, Network)

@@ -1,0 +1,281 @@
+"""Property-based tests (hypothesis) for the wire-codec family.
+
+Five families of properties, run against randomly drawn vectors:
+
+* **Losslessness** — codecs advertising ``lossless = True`` must
+  reconstruct their input bit for bit (and report the raw float size).
+* **Unbiasedness** — stochastic quantization is an unbiased estimator:
+  the mean reconstruction over many independently-seeded codecs
+  converges to the input (checked within a CLT-scaled tolerance).
+  Discrete-Gaussian stochastic rounding shares the property.
+* **Top-k structure** — the sparsified vector has exactly
+  ``min(k, d)`` nonzero support drawn from the largest-|coordinate|
+  entries, surviving coordinates are copied verbatim, and the
+  reconstruction error never exceeds the norm of the dropped tail.
+* **Per-message determinism** — the encoding of message ``(step,
+  worker)`` is a pure function of the codec's seed, never of the
+  order in which messages are encoded or of which other messages were
+  encoded first (the invariant that makes sync, simulator and
+  multiprocess replays of a compressed run bit-identical — the same
+  one ``LossyNetwork.drops_message`` pins for packet drops).
+* **Batch ≡ per-row** — ``encode_block`` equals looping
+  ``encode_row``, bit for bit, including for codecs that override the
+  block path (QSGD's sliced per-step stream).
+
+Byte counts are checked against the documented closed forms wherever
+they are data-independent.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    DiscreteGaussianCodec,
+    GradientCodec,
+    IdentityCodec,
+    SignCodec,
+    StochasticQuantizationCodec,
+    TopKCodec,
+)
+from repro.exceptions import ConfigurationError
+from repro.pipeline.registry import REGISTRY
+
+#: One representative instance per registered codec, identically
+#: parameterised everywhere in this module.
+CODEC_FACTORIES = {
+    "identity": lambda: IdentityCodec(),
+    "top-k": lambda: TopKCodec(fraction=0.25),
+    "sign": lambda: SignCodec(),
+    "qsgd": lambda: StochasticQuantizationCodec(levels=8, seed=99),
+    "discrete-gaussian": lambda: DiscreteGaussianCodec(
+        granularity=1.0 / 64, sigma=1.0, seed=99
+    ),
+}
+
+
+def _vector(d):
+    return st.lists(
+        st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False, width=32),
+        min_size=d,
+        max_size=d,
+    ).map(lambda rows: np.asarray(rows, dtype=np.float64))
+
+
+def test_every_registered_codec_is_covered():
+    assert set(CODEC_FACTORIES) == set(REGISTRY.available("codec"))
+
+
+class TestLosslessness:
+    @given(vector=_vector(13))
+    @settings(max_examples=30, deadline=None)
+    def test_lossless_codecs_reconstruct_bit_for_bit(self, vector):
+        for name, factory in CODEC_FACTORIES.items():
+            codec = factory()
+            if not codec.lossless:
+                continue
+            wire, nbytes = codec.encode_row(vector, step=3, worker=2)
+            assert wire.tolist() == vector.tolist(), name
+            assert nbytes == 8 * vector.size, name
+
+    def test_identity_block_is_the_same_object(self):
+        """The engine's zero-copy fast path relies on object identity."""
+        codec = IdentityCodec()
+        matrix = np.arange(12.0).reshape(3, 4)
+        encoded, nbytes = codec.encode_block(matrix, 0, [0, 1, 2])
+        assert encoded is matrix
+        assert nbytes.tolist() == [32, 32, 32]
+
+
+class TestUnbiasedness:
+    @given(vector=_vector(8))
+    @settings(max_examples=10, deadline=None)
+    def test_qsgd_mean_over_seeds_converges_to_input(self, vector):
+        trials = 400
+        total = np.zeros_like(vector)
+        for seed in range(trials):
+            codec = StochasticQuantizationCodec(levels=4, seed=seed)
+            wire, _ = codec.encode_row(vector, step=0, worker=0)
+            total += wire
+        mean = total / trials
+        # Each coordinate is scale/levels-quantized: the rounding term
+        # is bounded by one bin, so the CLT bound on the empirical mean
+        # is (bin width) * 4 / sqrt(trials).
+        bin_width = np.abs(vector).max() / 4 if np.abs(vector).max() else 0.0
+        tolerance = bin_width * 4 / math.sqrt(trials) + 1e-12
+        assert np.all(np.abs(mean - vector) <= tolerance)
+
+    @given(vector=_vector(8))
+    @settings(max_examples=10, deadline=None)
+    def test_discrete_gaussian_rounding_is_unbiased(self, vector):
+        trials = 400
+        granularity = 1.0 / 32
+        total = np.zeros_like(vector)
+        for seed in range(trials):
+            codec = DiscreteGaussianCodec(
+                granularity=granularity, sigma=0.0, seed=seed
+            )
+            wire, _ = codec.encode_row(vector, step=0, worker=0)
+            total += wire
+        mean = total / trials
+        # Stochastic rounding to the granularity grid, zero-mean noise
+        # off: per-coordinate error is one grid cell, CLT-scaled.
+        tolerance = granularity * 4 / math.sqrt(trials) + 1e-12
+        assert np.all(np.abs(mean - vector) <= tolerance)
+
+
+class TestTopKStructure:
+    @given(vector=_vector(17), fraction=st.sampled_from([0.1, 0.25, 0.5, 1.0]))
+    @settings(max_examples=40, deadline=None)
+    def test_support_size_and_byte_count(self, vector, fraction):
+        codec = TopKCodec(fraction=fraction)
+        k = codec.support_size(vector.size)
+        wire, nbytes = codec.encode_row(vector, step=0, worker=0)
+        assert k == max(1, math.ceil(fraction * vector.size))
+        assert np.count_nonzero(wire) <= k  # kept entries may be zero
+        if k >= vector.size:
+            assert nbytes == 12 * vector.size
+        else:
+            assert nbytes == 12 * k
+
+    @given(vector=_vector(17))
+    @settings(max_examples=40, deadline=None)
+    def test_survivors_are_the_largest_and_copied_verbatim(self, vector):
+        codec = TopKCodec(k=5)
+        wire, _ = codec.encode_row(vector, step=0, worker=0)
+        kept = np.nonzero(wire)[0]
+        assert all(wire[i] == vector[i] for i in kept)
+        # Every surviving magnitude >= every dropped magnitude.
+        dropped = np.setdiff1d(np.arange(vector.size), kept)
+        surviving_magnitudes = np.abs(vector[kept])
+        if kept.size and dropped.size:
+            # Dropped entries that are exactly zero contribute nothing;
+            # a kept zero only happens when everything left is zero.
+            assert surviving_magnitudes.min() >= np.abs(
+                np.delete(vector, kept)
+            ).max() - 1e-15 or np.count_nonzero(vector) <= 5
+
+    @given(vector=_vector(17))
+    @settings(max_examples=40, deadline=None)
+    def test_error_bounded_by_dropped_tail_norm(self, vector):
+        codec = TopKCodec(k=5)
+        wire, _ = codec.encode_row(vector, step=0, worker=0)
+        error = np.linalg.norm(vector - wire)
+        tail = np.sort(np.abs(vector))[:-5]
+        assert error <= np.linalg.norm(tail) + 1e-12
+
+
+class TestPerMessageDeterminism:
+    """Message (step, worker) encodes identically whatever else happened.
+
+    The exact invariant the three execution paths rely on: the sync
+    cluster encodes whole rounds at once, the simulator encodes partial
+    cohorts one wake at a time, the multiprocess runtime encodes
+    per-shard row blocks — all must agree bit for bit.
+    """
+
+    @pytest.mark.parametrize("name", sorted(CODEC_FACTORIES))
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_independent_of_encoding_order(self, name, data):
+        vector = data.draw(_vector(9))
+        other = data.draw(_vector(9))
+        fresh = CODEC_FACTORIES[name]()
+        baseline, baseline_bytes = fresh.encode_row(vector, step=7, worker=3)
+
+        # Same codec object, after encoding unrelated messages first —
+        # including the same worker at other steps and other workers at
+        # the same step.
+        warmed = CODEC_FACTORIES[name]()
+        warmed.encode_row(other, step=7, worker=0)
+        warmed.encode_row(other, step=2, worker=3)
+        warmed.encode_block(np.stack([other, vector]), 5, [1, 2])
+        replay, replay_bytes = warmed.encode_row(vector, step=7, worker=3)
+
+        assert replay.tolist() == baseline.tolist()
+        assert replay_bytes == baseline_bytes
+
+    @pytest.mark.parametrize("name", sorted(CODEC_FACTORIES))
+    def test_does_not_mutate_the_input(self, name):
+        codec = CODEC_FACTORIES[name]()
+        vector = np.linspace(-2.0, 2.0, 11)
+        copy = vector.copy()
+        codec.encode_row(vector, step=1, worker=1)
+        codec.encode_block(np.stack([vector, copy]), 2, [0, 1])
+        assert vector.tolist() == copy.tolist()
+
+
+class TestBatchEqualsPerRow:
+    @pytest.mark.parametrize("name", sorted(CODEC_FACTORIES))
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_encode_block_matches_row_loop(self, name, data):
+        rows = [data.draw(_vector(7)) for _ in range(4)]
+        matrix = np.stack(rows)
+        workers = [0, 1, 3, 6]  # gaps: worker ids need not be dense
+        step = data.draw(st.integers(0, 50))
+
+        block_codec = CODEC_FACTORIES[name]()
+        encoded, nbytes = block_codec.encode_block(matrix, step, workers)
+
+        row_codec = CODEC_FACTORIES[name]()
+        for row, worker in enumerate(workers):
+            wire, count = row_codec.encode_row(matrix[row], step, worker)
+            assert encoded[row].tolist() == wire.tolist(), name
+            assert nbytes[row] == count, name
+
+    def test_block_shape_mismatch_raises(self):
+        codec = SignCodec()
+        with pytest.raises(ConfigurationError):
+            codec.encode_block(np.zeros((3, 4)), 0, [0, 1])
+
+
+class TestConstruction:
+    def test_stochastic_codecs_require_seed_or_rng(self):
+        with pytest.raises(ConfigurationError):
+            StochasticQuantizationCodec()
+        with pytest.raises(ConfigurationError):
+            DiscreteGaussianCodec()
+
+    def test_rng_first_draw_fixes_the_seed(self):
+        rng = np.random.default_rng(5)
+        expected = int(np.random.default_rng(5).integers(0, 2**63))
+        codec = StochasticQuantizationCodec(rng=rng)
+        assert codec.seed == expected
+
+    def test_codecs_are_picklable(self):
+        """Shard specs ship codecs across process boundaries."""
+        import pickle
+
+        for name, factory in CODEC_FACTORIES.items():
+            codec = factory()
+            clone = pickle.loads(pickle.dumps(codec))
+            vector = np.linspace(-1.0, 1.0, 9)
+            assert (
+                clone.encode_row(vector, 4, 2)[0].tolist()
+                == codec.encode_row(vector, 4, 2)[0].tolist()
+            ), name
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            TopKCodec(k=0)
+        with pytest.raises(ConfigurationError):
+            TopKCodec(fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            TopKCodec(fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            StochasticQuantizationCodec(levels=0, seed=1)
+        with pytest.raises(ConfigurationError):
+            DiscreteGaussianCodec(granularity=0.0, seed=1)
+        with pytest.raises(ConfigurationError):
+            DiscreteGaussianCodec(sigma=-1.0, seed=1)
+
+
+class TestGradientCodecBase:
+    def test_encode_row_is_abstract(self):
+        codec = GradientCodec()
+        with pytest.raises(NotImplementedError):
+            codec.encode_row(np.zeros(3), 0, 0)

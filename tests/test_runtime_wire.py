@@ -33,8 +33,9 @@ SRC = str(Path(__file__).resolve().parent.parent / "src")
 def test_spec_layout():
     spec = PlaneSpec(session="abc123", num_honest=3, dimension=5)
     assert spec.segment_name == f"{SEGMENT_PREFIX}-abc123"
-    # params (5) + wire (15) + clean (15) + losses (3), float64.
-    assert spec.size_bytes == 8 * (5 + 15 + 15 + 3)
+    # params (5) + wire (15) + clean (15) + losses (3) + wire_bytes (3),
+    # float64.
+    assert spec.size_bytes == 8 * (5 + 15 + 15 + 3 + 3)
 
 
 def test_create_validates_shape():
