@@ -24,6 +24,13 @@ The package is organised as:
 * :mod:`repro.experiments` — configs and runners regenerating every
   table and figure; :mod:`repro.analysis` — leakage and variance
   extras; :mod:`repro.metrics` — histories and aggregation.
+* :mod:`repro.faults` — the deterministic fault-injection and recovery
+  plane: seed-deterministic :class:`FaultPlan` schedules (crash, hang,
+  slow, drop, corrupt, rejoin) applied identically by every backend,
+  shard respawn with seed-stream fast-forward in the multiprocess
+  runtime, atomic training checkpoints with bit-identical resume, and
+  campaign retry-with-backoff + quarantine
+  (``Experiment(faults=...)``, ``repro run --faults``).
 * :mod:`repro.telemetry` — the unified observability plane: structured
   tracing (schema-versioned JSONL), a typed metrics registry, and
   per-round phase profiling across the engine, the multiprocess
@@ -73,12 +80,21 @@ from repro.exceptions import (
     AggregationError,
     ConfigurationError,
     DataError,
+    DegradedRunError,
     PrivacyError,
     ReproError,
     ResilienceError,
     TrainingError,
 )
 from repro.experiments import ExperimentConfig, phishing_environment, run_config, run_grid
+from repro.faults import (
+    FaultEvent,
+    FaultPlan,
+    build_fault_plan,
+    load_checkpoint,
+    sample_fault_plan,
+    save_checkpoint,
+)
 from repro.gars import available_gars, get_gar
 from repro.models import LogisticRegressionModel, MeanEstimationModel
 from repro.pipeline import (
@@ -120,7 +136,7 @@ from repro.telemetry import (
     validate_events,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "AccuracyCallback",
@@ -136,9 +152,12 @@ __all__ = [
     "ConstantLatency",
     "DataError",
     "Dataset",
+    "DegradedRunError",
     "EarlyStopping",
     "Experiment",
     "ExperimentConfig",
+    "FaultEvent",
+    "FaultPlan",
     "GaussianMechanism",
     "JsonlSink",
     "LaplaceMechanism",
@@ -170,12 +189,14 @@ __all__ = [
     "available_components",
     "available_gars",
     "build_component",
+    "build_fault_plan",
     "cell_key",
     "certify_vn_condition",
     "component_families",
     "empirical_vn_ratio",
     "get_attack",
     "get_gar",
+    "load_checkpoint",
     "make_phishing_dataset",
     "master_condition_can_hold",
     "min_batch_size_for_gar",
@@ -187,6 +208,8 @@ __all__ = [
     "run_config",
     "run_grid",
     "run_jobs",
+    "sample_fault_plan",
+    "save_checkpoint",
     "summarize_trace",
     "theorem1_bounds",
     "theorem1_rate",

@@ -45,14 +45,21 @@ CAMPAIGN_METRICS = (
 def cell_results(
     matrix: ScenarioMatrix, store: ResultStore
 ) -> list[tuple[CampaignCell, list[dict]]]:
-    """Each cell with its completed records (seed order, missing skipped)."""
+    """Each cell with its completed records (seed order, missing skipped).
+
+    Quarantine records (permanently failed runs, see
+    :func:`repro.campaign.runner.run_campaign`) carry no history and are
+    excluded: the report treats a quarantined seed like a missing one.
+    """
     results = []
     for cell in matrix.cells:
         records = []
         for seed in cell.config.seeds:
             key = job_key(cell, seed, matrix)
             if store.has(key):
-                records.append(store.load(key))
+                record = store.load(key)
+                if not record.get("quarantined"):
+                    records.append(record)
         results.append((cell, records))
     return results
 

@@ -16,10 +16,19 @@ cells, :meth:`~repro.pipeline.builder.Experiment.simulate` for
 campaign execution is bit-identical to calling ``run_config`` /
 ``simulate`` by hand (the differential suite enforces this, parallel
 and serial, cold and warm cache).
+
+Transiently failing runs are retried with seed-deterministic
+exponential backoff; a run that fails every attempt (or degrades under
+its fault plan) is *quarantined* — a structured failure record lands
+under its store key so the campaign finishes and resumes skip the
+known-bad cell — instead of aborting the whole campaign.
+Deterministic misconfiguration (the :class:`ReproError` taxonomy)
+still aborts loudly.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -29,13 +38,14 @@ import numpy as np
 from repro.campaign.matrix import CampaignCell, ScenarioMatrix
 from repro.campaign.store import STORE_SCHEMA, ResultStore, cell_key
 from repro.data.datasets import Dataset
-from repro.exceptions import ReproError
+from repro.exceptions import ConfigurationError, DegradedRunError, ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import build_environment
 from repro.models.base import Model
 from repro.pipeline.builder import Experiment
 from repro.pipeline.callbacks import VNRatioCallback
 from repro.pipeline.parallel import map_tasks
+from repro.rng import SeedTree
 from repro.simulation.run import SimulationResult
 
 __all__ = [
@@ -93,6 +103,7 @@ class CampaignRunSummary:
     skipped: int
     store_root: str
     diverged: list[tuple[str, int]] = field(default_factory=list)
+    quarantined: list[tuple[str, int]] = field(default_factory=list)
 
     def describe(self) -> str:
         """One-line progress summary."""
@@ -103,6 +114,11 @@ class CampaignRunSummary:
         if self.diverged:
             cells = ", ".join(f"{name}/seed{seed}" for name, seed in self.diverged)
             line += f"; non-finite results: {cells}"
+        if self.quarantined:
+            cells = ", ".join(
+                f"{name}/seed{seed}" for name, seed in self.quarantined
+            )
+            line += f"; quarantined: {cells}"
         return line
 
 
@@ -208,18 +224,72 @@ def execute_cell(job: CellJob) -> dict:
     return record
 
 
+def _quarantine_record(job: CellJob, error: BaseException, attempts: int) -> dict:
+    """The structured failure record stored for a permanently failing run.
+
+    Shares the store schema and identity fields with healthy records but
+    carries ``"quarantined": True`` and no history/parameters — reports
+    skip it, resumes treat the key as settled (delete the record file to
+    force a re-run).
+    """
+    return {
+        "schema": STORE_SCHEMA,
+        "key": job.key,
+        "name": job.name,
+        "seed": int(job.seed),
+        "mode": job.mode,
+        "config": job.config.to_dict(),
+        "quarantined": True,
+        "error": {"type": type(error).__name__, "message": str(error)},
+        "attempts": int(attempts),
+        "telemetry": job.telemetry,
+    }
+
+
 @dataclass(frozen=True)
 class _KeyedExecute:
-    """Pairs each result with its job's store key.
+    """Pairs each result with its job's store key, retrying transients.
 
     Needed because results may arrive out of submission order; a frozen
     dataclass (not a closure) so pool workers can pickle it.
+
+    Failures are retried up to ``retries`` times with exponential
+    backoff; the jitter is drawn from the run's own :class:`SeedTree`
+    under the ``"retry"`` path (never wall-clock or the global RNG), so
+    a replayed campaign sleeps the exact same schedule.  A run that
+    fails every attempt resolves to a quarantine record instead of
+    raising, so one bad cell cannot abort the campaign.
+
+    The package's own :class:`ReproError` taxonomy is deterministic
+    (bad configs, unknown components): retrying cannot help and
+    quarantining would silently bury a usage error, so it propagates —
+    as does ``KeyboardInterrupt`` (a genuine kill).  The one exception
+    is :class:`DegradedRunError`: a cell whose fault plan leaves no
+    honest worker is a *result* of the scenario, quarantined
+    immediately without retry.
     """
 
     execute: Callable[["CellJob"], dict]
+    retries: int = 2
+    backoff: float = 0.25
 
     def __call__(self, job: "CellJob") -> tuple[str, dict]:
-        return job.key, self.execute(job)
+        attempts = self.retries + 1
+        for attempt in range(1, attempts + 1):
+            try:
+                return job.key, self.execute(job)
+            except DegradedRunError as error:
+                return job.key, _quarantine_record(job, error, attempt)
+            except ReproError:
+                raise
+            except Exception as error:
+                if attempt == attempts:
+                    return job.key, _quarantine_record(job, error, attempts)
+                jitter = SeedTree(job.seed).generator(
+                    "retry", job.key, attempt
+                ).random()
+                time.sleep(self.backoff * 2 ** (attempt - 1) * (0.5 + jitter))
+        raise AssertionError("unreachable")  # pragma: no cover
 
 
 def plan_campaign(
@@ -298,6 +368,8 @@ def run_campaign(
     verbose: bool = False,
     execute: Callable[[CellJob], dict] | None = None,
     telemetry: str | None = None,
+    retries: int = 2,
+    retry_backoff: float = 0.25,
 ) -> CampaignRunSummary:
     """Execute every pending run of the campaign, persisting as it goes.
 
@@ -319,9 +391,21 @@ def run_campaign(
     ``telemetry`` names a trace directory (see :func:`plan_campaign`):
     every executed run writes ``<telemetry>/<key>.jsonl`` and its store
     record carries the path under the ``"telemetry"`` key.
+
+    ``retries`` transient-failure re-attempts per run (exponential
+    backoff starting at ``retry_backoff`` seconds, jitter drawn from the
+    run's seed — deterministic, never wall-clock).  A run failing every
+    attempt is *quarantined*: a structured failure record is stored
+    under its key (so resumes skip it) and the campaign continues.
     """
     if execute is None:
         execute = execute_cell  # resolved late so tests can monkeypatch it
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if retry_backoff < 0:
+        raise ConfigurationError(
+            f"retry_backoff must be >= 0, got {retry_backoff}"
+        )
     plan = plan_campaign(matrix, store, smoke=smoke, telemetry=telemetry)
     if verbose:
         print(
@@ -344,7 +428,7 @@ def run_campaign(
     # when chunksize=1; the heuristic default trades a coarser crash
     # granularity for amortised IPC on swarms of tiny cells).
     for key, record in map_tasks(
-        _KeyedExecute(execute),
+        _KeyedExecute(execute, retries=retries, backoff=retry_backoff),
         plan.pending,
         max_workers=max_workers,
         chunksize=chunksize,
@@ -353,11 +437,18 @@ def run_campaign(
         store.save(key, record)
         summary.executed += 1
         job = jobs_by_key[key]
+        if record.get("quarantined"):
+            summary.quarantined.append((job.name, job.seed))
+            continue
         final_loss = record.get("final_loss")
         if final_loss is not None and not np.isfinite(final_loss):
             summary.diverged.append((job.name, job.seed))
     for name, seed, key in plan.completed:
-        final_loss = store.load(key).get("final_loss")
+        record = store.load(key)
+        if record.get("quarantined"):
+            summary.quarantined.append((name, seed))
+            continue
+        final_loss = record.get("final_loss")
         if final_loss is not None and not np.isfinite(final_loss):
             summary.diverged.append((name, seed))
     # Out-of-order completion must not leak into the summary: report
@@ -366,4 +457,5 @@ def run_campaign(
     for index, (name, seed, _) in enumerate(plan.completed):
         plan_order[(name, seed)] = len(plan.pending) + index
     summary.diverged.sort(key=plan_order.__getitem__)
+    summary.quarantined.sort(key=plan_order.__getitem__)
     return summary

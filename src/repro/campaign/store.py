@@ -61,13 +61,25 @@ def _canonical_config_payload(config: ExperimentConfig) -> dict:
     payload.pop("seeds")
     for backend_field in ("backend", "num_shards", "round_timeout"):
         payload.pop(backend_field, None)
+    # Checkpointing is run infrastructure (never part of the numbers);
+    # the fault plan IS numerically meaningful, but only when set —
+    # popping falsy values keeps every pre-fault-plane key stable.
+    for infra_field in ("checkpoint", "checkpoint_every"):
+        payload.pop(infra_field, None)
+    for fault_field in ("faults", "faults_kwargs"):
+        if not payload.get(fault_field):
+            payload.pop(fault_field, None)
     for kwargs_field in (
         "attack_kwargs",
         "policy_kwargs",
         "latency_kwargs",
         "codec_kwargs",
+        "faults_kwargs",
     ):
-        payload[kwargs_field] = sorted(payload[kwargs_field], key=lambda pair: pair[0])
+        if kwargs_field in payload:
+            payload[kwargs_field] = sorted(
+                payload[kwargs_field], key=lambda pair: pair[0]
+            )
     return payload
 
 

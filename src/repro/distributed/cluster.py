@@ -38,7 +38,9 @@ from repro.compression.base import GradientCodec
 from repro.distributed.network import PerfectNetwork
 from repro.distributed.server import ParameterServer
 from repro.distributed.worker import HonestWorker, compute_cohort
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, DegradedRunError
+from repro.faults.apply import apply_wire_faults, reset_absent_momentum
+from repro.faults.plan import ResolvedFaultPlan
 from repro.typing import Matrix, Vector
 
 __all__ = ["Cluster", "StepResult"]
@@ -118,6 +120,7 @@ class Cluster:
         attack_rng: np.random.Generator | None = None,
         network: PerfectNetwork | None = None,
         codec: GradientCodec | None = None,
+        faults: ResolvedFaultPlan | None = None,
     ):
         honest_workers = list(honest_workers)
         if not honest_workers:
@@ -149,6 +152,14 @@ class Cluster:
         self._attack_rng = attack_rng
         self._network = network if network is not None else PerfectNetwork()
         self._codec = codec
+        if faults is not None and faults.num_honest != len(honest_workers):
+            raise ConfigurationError(
+                f"fault plan resolved for {faults.num_honest} honest workers "
+                f"but the cluster has {len(honest_workers)}"
+            )
+        # Fault plans target only honest workers; the Byzantine block is
+        # adversary-controlled and out of the fault plane's scope.
+        self._faults = faults
         self._bytes_on_wire_total = 0
         self._step = 0
         self._engine = None
@@ -202,12 +213,18 @@ class Cluster:
         """Cumulative encoded bytes across all rounds (0 without a codec)."""
         return self._bytes_on_wire_total
 
-    def _encode_honest(self, honest_submitted: Matrix) -> tuple[Matrix, int]:
-        """Encode the honest block under worker ids ``0..H-1``."""
-        encoded, row_bytes = self._codec.encode_block(
+    def _encode_honest(self, honest_submitted: Matrix) -> tuple[Matrix, np.ndarray]:
+        """Encode the honest block under worker ids ``0..H-1``.
+
+        Returns the encoded matrix and *per-row* byte counts: under a
+        fault plan, rows of absent workers never reached the wire, so
+        their bytes are zeroed before the round total is summed —
+        matching the multiprocess chief, which zeroes the dead shards'
+        ``wire_bytes`` rows.
+        """
+        return self._codec.encode_block(
             honest_submitted, self._step, range(len(self._honest_workers))
         )
-        return encoded, int(row_bytes.sum())
 
     def _encode_byzantine(self, byzantine_block: Matrix) -> tuple[Matrix, int]:
         """Encode the Byzantine copies under worker ids ``H..n-1``.
@@ -224,6 +241,46 @@ class Cluster:
             range(num_honest, num_honest + self._num_byzantine),
         )
         return encoded, int(row_bytes.sum())
+
+    @property
+    def faults(self) -> ResolvedFaultPlan | None:
+        """The resolved fault plan driving this cluster (or ``None``)."""
+        return self._faults
+
+    def _apply_faults(
+        self, submitted, clean, row_bytes=None, telemetry=None
+    ) -> tuple[int, ...]:
+        """Apply this round's scheduled faults, in place.
+
+        Zeroes absent/dropped rows, scales corrupted rows, clears the
+        momentum of absent workers, and zeroes absent rows' wire bytes
+        (a dead worker sent nothing).  Publishes ``last_live_workers``
+        so the loop excludes absent workers from the honest loss mean —
+        the exact rows the multiprocess chief drops from the plane's
+        loss vector.  Raises :class:`DegradedRunError` when the plan
+        leaves no honest worker live.
+        """
+        resolved = self._faults
+        live = resolved.live_workers(self._step)
+        if not live:
+            raise DegradedRunError(
+                f"round {self._step}: every honest worker has departed under "
+                "the fault plan; refusing to aggregate attack-only submissions"
+            )
+        zeroed, corrupted = apply_wire_faults(resolved, self._step, submitted, clean)
+        absent = reset_absent_momentum(resolved, self._step, self._honest_workers)
+        if row_bytes is not None:
+            for worker in sorted(absent):
+                row_bytes[worker] = 0
+        self.last_live_workers = live
+        if telemetry is not None and (zeroed or corrupted):
+            telemetry.counter(
+                "fault.injected",
+                len(zeroed) + len(corrupted),
+                zeroed=sorted(zeroed),
+                corrupted=sorted(corrupted),
+            )
+        return live
 
     @property
     def engine(self):
@@ -266,11 +323,20 @@ class Cluster:
             self._honest_workers, parameters, self._step
         )
 
-        bytes_on_wire: int | None = None
+        honest_row_bytes: np.ndarray | None = None
         if self._codec is not None:
             # The adversary observes what actually crossed the wire, so
             # encoding happens before the attack crafts its gradient.
-            honest_submitted, bytes_on_wire = self._encode_honest(honest_submitted)
+            honest_submitted, honest_row_bytes = self._encode_honest(honest_submitted)
+
+        if self._faults is not None:
+            # Faults land after the codec and before the attack: the
+            # adversary observes exactly what survived the wire.
+            self._apply_faults(honest_submitted, honest_clean, honest_row_bytes)
+
+        bytes_on_wire: int | None = None
+        if honest_row_bytes is not None:
+            bytes_on_wire = int(honest_row_bytes.sum())
 
         byzantine_gradient: Vector | None = None
         if self._num_byzantine > 0:
@@ -335,11 +401,20 @@ class Cluster:
         )
         telemetry.span_ns("round.cohort", time.perf_counter_ns() - started)
 
-        bytes_on_wire: int | None = None
+        honest_row_bytes: np.ndarray | None = None
         if self._codec is not None:
             started = time.perf_counter_ns()
-            honest_submitted, bytes_on_wire = self._encode_honest(honest_submitted)
+            honest_submitted, honest_row_bytes = self._encode_honest(honest_submitted)
             telemetry.span_ns("round.codec", time.perf_counter_ns() - started)
+
+        if self._faults is not None:
+            self._apply_faults(
+                honest_submitted, honest_clean, honest_row_bytes, telemetry
+            )
+
+        bytes_on_wire: int | None = None
+        if honest_row_bytes is not None:
+            bytes_on_wire = int(honest_row_bytes.sum())
 
         byzantine_gradient: Vector | None = None
         if self._num_byzantine > 0:

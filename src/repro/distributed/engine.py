@@ -130,6 +130,10 @@ class RoundEngine:
 
     def _probe(self) -> str | None:
         """Why the fused path cannot run, or ``None`` when it can."""
+        if getattr(self._cluster, "_faults", None) is not None:
+            # Fault plans zero rows and momentum per round; the fused
+            # block pipeline has no per-round injection point.
+            return "a fault plan is active (faults apply per round)"
         workers = self._workers
         for worker in workers:
             cls = type(worker)

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import queue as queue_module
 import time
+from dataclasses import replace
 from typing import Sequence
 
 import numpy as np
@@ -50,7 +51,9 @@ from repro.distributed.runtime.context import multiprocessing_context
 from repro.distributed.runtime.shard import WorkerShardSpec, shard_main
 from repro.distributed.runtime.wire import WirePlane
 from repro.distributed.server import ParameterServer
-from repro.exceptions import ConfigurationError, TrainingError
+from repro.exceptions import ConfigurationError, DegradedRunError, TrainingError
+from repro.faults.apply import apply_wire_faults
+from repro.faults.plan import ResolvedFaultPlan
 from repro.typing import Vector
 
 __all__ = ["MultiprocessCluster"]
@@ -86,6 +89,7 @@ class MultiprocessCluster:
         join_timeout: float = 30.0,
         start_method: str | None = None,
         telemetry=None,
+        faults: ResolvedFaultPlan | None = None,
     ):
         shard_specs = list(shard_specs)
         if not shard_specs:
@@ -124,6 +128,25 @@ class MultiprocessCluster:
             raise ConfigurationError(f"round_timeout must be > 0, got {round_timeout}")
         if join_timeout <= 0:
             raise ConfigurationError(f"join_timeout must be > 0, got {join_timeout}")
+        if faults is not None:
+            if faults.num_honest != num_honest:
+                raise ConfigurationError(
+                    f"fault plan resolved for {faults.num_honest} honest "
+                    f"workers but the cluster has {num_honest}"
+                )
+            if faults.num_shards != len(shard_specs):
+                raise ConfigurationError(
+                    f"fault plan targets {faults.num_shards} shards but the "
+                    f"cluster launches {len(shard_specs)}; configure the "
+                    "experiment with num_shards matching the plan"
+                )
+            for spec in shard_specs:
+                if tuple(faults.partition[spec.shard_id]) != tuple(spec.worker_ids):
+                    raise ConfigurationError(
+                        f"shard {spec.shard_id} owns workers {spec.worker_ids} "
+                        f"but the fault plan's partition maps it to "
+                        f"{faults.partition[spec.shard_id]}"
+                    )
 
         self._server = server
         self._shard_specs = shard_specs
@@ -149,6 +172,13 @@ class MultiprocessCluster:
         self._departed: dict[int, str] = {}
         self._dead_rows: list[int] = []
         self._last_honest_losses: np.ndarray | None = None
+        self._faults = faults
+        self._context = None
+        # Full membership history: (step, shard_id, event, detail) rows.
+        # Unlike ``departed`` (the *current* state, cleared on rejoin),
+        # this log survives respawns, so a crash->rejoin run keeps its
+        # complete fault narrative.
+        self._membership_log: list[tuple[int, int, str, str]] = []
         # Chief-side telemetry source; when set, start() also creates
         # the shared shard->chief event queue the merge drains.
         self._telemetry = telemetry
@@ -220,8 +250,26 @@ class MultiprocessCluster:
 
     @property
     def departed(self) -> dict[int, str]:
-        """``shard_id -> reason`` for every departed shard (a copy)."""
+        """``shard_id -> reason`` for every *currently* departed shard.
+
+        A shard respawned by the fault plane no longer appears here;
+        :attr:`membership_log` keeps the full history.
+        """
         return dict(self._departed)
+
+    @property
+    def membership_log(self) -> list[tuple[int, int, str, str]]:
+        """``(step, shard_id, event, detail)`` membership history rows.
+
+        ``event`` is ``"departed"`` or ``"respawned"``; entries survive
+        rejoins, unlike :attr:`departed`.
+        """
+        return list(self._membership_log)
+
+    @property
+    def faults(self) -> ResolvedFaultPlan | None:
+        """The resolved fault plan driving this run, or ``None``."""
+        return self._faults
 
     @property
     def departed_workers(self) -> list[int]:
@@ -265,6 +313,7 @@ class MultiprocessCluster:
         if self._started:
             return
         context = multiprocessing_context(self._start_method)
+        self._context = context
         dimension = int(self._server.parameters_view.shape[0])
         self._plane = WirePlane.create(self._num_honest, dimension)
         self._results = context.Queue()
@@ -276,22 +325,14 @@ class MultiprocessCluster:
             self._telemetry_queue = context.Queue()
         try:
             for spec in self._shard_specs:
-                commands = context.Queue()
-                process = context.Process(
-                    target=shard_main,
-                    args=(
-                        spec,
-                        self._plane.spec,
-                        commands,
-                        self._results,
-                        self._telemetry_queue,
-                    ),
-                    daemon=True,
-                    name=f"repro-shard-{spec.shard_id}",
-                )
-                process.start()
-                self._commands[spec.shard_id] = commands
-                self._processes[spec.shard_id] = process
+                if self._faults is not None:
+                    # The plan owns the failure seam: translate this
+                    # shard's first outage and slow events into spec
+                    # fields (overriding any manually-set seam).
+                    spec = replace(
+                        spec, **self._faults.shard_spec_fields(spec.shard_id)
+                    )
+                self._launch(spec)
             self._await_joins()
         except BaseException:
             self._started = True  # so shutdown tears down the partial launch
@@ -304,6 +345,25 @@ class MultiprocessCluster:
             )
             self.shutdown()
             raise TrainingError(f"no worker shard joined the runtime ({reasons})")
+
+    def _launch(self, spec: WorkerShardSpec) -> None:
+        """Spawn one shard process and register its queues."""
+        commands = self._context.Queue()
+        process = self._context.Process(
+            target=shard_main,
+            args=(
+                spec,
+                self._plane.spec,
+                commands,
+                self._results,
+                self._telemetry_queue,
+            ),
+            daemon=True,
+            name=f"repro-shard-{spec.shard_id}",
+        )
+        process.start()
+        self._commands[spec.shard_id] = commands
+        self._processes[spec.shard_id] = process
 
     def _await_joins(self) -> None:
         waiting = {spec.shard_id for spec in self._shard_specs}
@@ -415,6 +475,7 @@ class MultiprocessCluster:
         if shard_id in self._departed:
             return
         self._departed[shard_id] = reason
+        self._membership_log.append((self._step, shard_id, "departed", reason))
         spec = next(s for s in self._shard_specs if s.shard_id == shard_id)
         self._dead_rows = sorted(set(self._dead_rows) | set(spec.worker_ids))
         process = self._processes.get(shard_id)
@@ -437,6 +498,82 @@ class MultiprocessCluster:
             )
             self._telemetry.counter("shard.departed")
 
+    def _respawn(self, shard_id: int) -> None:
+        """Relaunch a departed shard for the fault plan's rejoin round.
+
+        The fresh process rebuilds the shard's workers, fast-forwards
+        their seed streams through rounds ``1..self._step - 1`` (see
+        :func:`repro.distributed.runtime.shard._fast_forward`), and
+        joins before this round's command is published.  On success the
+        shard's rows rejoin the protocol; on failure the shard stays
+        departed and the run degrades as usual.
+        """
+        assert self._faults is not None
+        spec = next(s for s in self._shard_specs if s.shard_id == shard_id)
+        fields = self._faults.shard_spec_fields(shard_id, start_round=self._step)
+        old_commands = self._commands.pop(shard_id, None)
+        if old_commands is not None:
+            try:
+                old_commands.close()
+                old_commands.cancel_join_thread()
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        old_process = self._processes.pop(shard_id, None)
+        if old_process is not None and old_process.is_alive():  # pragma: no cover
+            old_process.kill()
+            old_process.join(timeout=1.0)
+        self._launch(replace(spec, **fields))
+        process = self._processes[shard_id]
+        deadline = time.monotonic() + self._join_timeout
+        joined = False
+        failure = "failed to join in time"
+        while time.monotonic() < deadline:
+            try:
+                message = self._results.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                if not process.is_alive():
+                    failure = f"respawn died (code {process.exitcode})"
+                    break
+                continue
+            if message[0] == "join" and message[1] == shard_id:
+                joined = True
+                break
+            if message[0] == "error" and message[1] == shard_id:
+                failure = f"respawn error: {message[2]}"
+                break
+            # Stray messages from other shards (none expected between
+            # rounds) are dropped, matching _collect's join handling.
+        if not joined:
+            reason = f"respawn failed: {failure}"
+            self._departed[shard_id] = reason
+            self._membership_log.append((self._step, shard_id, "departed", reason))
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=1.0)
+            if self._telemetry is not None:
+                self._telemetry.warning(
+                    "shard.respawn_failed",
+                    f"shard {shard_id} respawn at step {self._step} failed: "
+                    f"{failure}",
+                    shard=shard_id,
+                    reason=failure,
+                )
+            return
+        self._departed.pop(shard_id, None)
+        self._dead_rows = sorted(set(self._dead_rows) - set(spec.worker_ids))
+        self._membership_log.append(
+            (self._step, shard_id, "respawned", f"pid {process.pid}")
+        )
+        if self._telemetry is not None:
+            self._telemetry.mark(
+                "shard.respawned",
+                shard=shard_id,
+                step=self._step,
+                pid=process.pid,
+                workers=list(spec.worker_ids),
+            )
+            self._telemetry.counter("shard.respawned")
+
     # ------------------------------------------------------------------
     # rounds
     # ------------------------------------------------------------------
@@ -454,6 +591,10 @@ class MultiprocessCluster:
         if not self._started:
             self.start()
         self._step += 1
+        if self._faults is not None:
+            for shard_id in self._faults.rejoining_shards(self._step):
+                if shard_id in self._departed:
+                    self._respawn(shard_id)
         # Inline-gated telemetry: unlike Cluster.step's duplicated twin,
         # the per-round cost here is dominated by IPC, so a handful of
         # `is not None` branches in one body is the clearer trade.
@@ -480,26 +621,56 @@ class MultiprocessCluster:
             self._drain_shard_events()
             phase_started = time.perf_counter_ns()
 
+        # Absent = really-dead shards plus (belt-and-braces) anyone the
+        # fault plan says is down this round — in normal fault-plane
+        # operation the two sets coincide, because the plan's outages
+        # fire through the spec's failure seam.
+        absent = set(self._dead_rows)
+        if self._faults is not None:
+            absent |= self._faults.absent_workers(self._step)
+        if len(absent) >= self._num_honest:
+            raise DegradedRunError(
+                f"round {self._step}: every honest worker has departed; "
+                "refusing to aggregate attack-only submissions"
+            )
+        dead_rows = sorted(absent)
         honest_submitted = np.array(self._plane.wire)
         honest_clean = np.array(self._plane.clean)
         losses = np.array(self._plane.losses)
         row_bytes = (
             np.array(self._plane.wire_bytes) if self._codec is not None else None
         )
-        if self._dead_rows:
-            honest_submitted[self._dead_rows] = 0.0
-            honest_clean[self._dead_rows] = 0.0
+        if dead_rows:
+            honest_submitted[dead_rows] = 0.0
+            honest_clean[dead_rows] = 0.0
             if row_bytes is not None:
                 # A departed worker's message was never produced this
                 # round — zero bytes (its plane row is stale from its
                 # last live round).
-                row_bytes[self._dead_rows] = 0.0
+                row_bytes[dead_rows] = 0.0
             live_rows = np.setdiff1d(
-                np.arange(self._num_honest), np.asarray(self._dead_rows)
+                np.arange(self._num_honest), np.asarray(dead_rows)
             )
             self._last_honest_losses = losses[live_rows] if live_rows.size else None
         else:
             self._last_honest_losses = losses
+        if self._faults is not None:
+            # Chief-side worker faults (drop_round / corrupt_payload):
+            # the same helper, on the same already-encoded rows, as the
+            # in-process and simulated backends — identical float ops.
+            # (Absent rows are re-zeroed, a no-op; dropped workers keep
+            # their loss and wire-bytes rows: the message was sent and
+            # then lost.)
+            zeroed, corrupted = apply_wire_faults(
+                self._faults, self._step, honest_submitted, honest_clean
+            )
+            if telemetry is not None and (zeroed or corrupted):
+                telemetry.counter(
+                    "fault.injected",
+                    len(zeroed) + len(corrupted),
+                    zeroed=sorted(zeroed),
+                    corrupted=sorted(corrupted),
+                )
         bytes_on_wire: int | None = (
             int(row_bytes.sum()) if row_bytes is not None else None
         )

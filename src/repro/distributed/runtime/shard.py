@@ -97,6 +97,17 @@ class WorkerShardSpec:
     codec: GradientCodec | None = None
     fail_step: int | None = None
     fail_mode: str = "die"
+    #: Respawn support: a shard spawned with ``start_step > 0`` fast
+    #: forwards its workers' seed streams through the missed rounds
+    #: ``1..start_step`` (one ``compute_cohort`` pass per round — the
+    #: draws are value-independent, so zero parameters suffice) and
+    #: resets momentum, so its first served round is bit-identical to a
+    #: shard that lived through the outage in-process.
+    start_step: int = 0
+    #: ``(step, factor)`` pairs from the fault plan's ``slow`` events:
+    #: the shard sleeps ``0.01 * factor`` seconds at those rounds before
+    #: writing its rows.  Wall-clock only — never touches the numbers.
+    slow_steps: tuple[tuple[int, float], ...] = ()
 
     def __post_init__(self) -> None:
         if not self.worker_ids:
@@ -120,6 +131,15 @@ class WorkerShardSpec:
             raise ConfigurationError(
                 f"fail_mode must be one of {FAIL_MODES}, got {self.fail_mode!r}"
             )
+        if self.start_step < 0:
+            raise ConfigurationError(
+                f"start_step must be >= 0, got {self.start_step}"
+            )
+        for step, factor in self.slow_steps:
+            if step < 1 or factor <= 0 or not np.isfinite(factor):
+                raise ConfigurationError(
+                    f"invalid slow event (step={step}, factor={factor})"
+                )
 
     @property
     def rows(self) -> slice:
@@ -187,14 +207,20 @@ def shard_main(
     if telemetry_queue is not None:
         from repro.telemetry import QueueSink, Telemetry
 
-        telemetry = Telemetry(
-            sinks=[QueueSink(telemetry_queue)], src=f"shard:{spec.shard_id}"
-        )
+        # A respawned incarnation is a new process with a fresh event
+        # counter: it gets its own src so the merged trace's per-source
+        # seq ordering (validate_events) still holds after a rejoin.
+        src = f"shard:{spec.shard_id}"
+        if spec.start_step > 0:
+            src = f"{src}.r{spec.start_step}"
+        telemetry = Telemetry(sinks=[QueueSink(telemetry_queue)], src=src)
     try:
         with WirePlane.attach(plane_spec) as plane:
             if spec.fail_step == 0:
                 _inject_failure(spec)
             workers = spec.build_workers()
+            if spec.start_step > 0:
+                _fast_forward(spec, workers, plane)
             rows = spec.rows
             if telemetry is not None:
                 telemetry.mark(
@@ -217,6 +243,9 @@ def shard_main(
                 parameters = np.array(plane.parameters)
                 submitted, clean = compute_cohort(workers, parameters, step)
                 losses = _batch_losses(spec.model, parameters, workers)
+                for slow_step, factor in spec.slow_steps:
+                    if slow_step == step:
+                        time.sleep(0.01 * factor)
                 if spec.codec is not None:
                     # Same values, same (step, worker) ids as the
                     # in-process path — the codec's per-message streams
@@ -254,6 +283,24 @@ def shard_main(
             results.put(("error", spec.shard_id, f"{type(error).__name__}: {error}"))
         except Exception:  # pragma: no cover - queue already torn down
             pass
+
+
+def _fast_forward(spec: WorkerShardSpec, workers, plane: WirePlane) -> None:
+    """Replay the seed-stream consumption of rounds ``1..start_step``.
+
+    ``compute_cohort`` draws exactly one batch per worker and one noise
+    vector per DP worker per round, independent of any values, so one
+    pass per missed round at zero parameters advances every stream to
+    where the in-process run left it.  Momentum is then reset: a worker
+    absent through the outage accumulated none (the in-process engine
+    zeroes its buffers each absent round), and ``None`` buffers restart
+    the ``v <- m*v + g`` recursion from the same all-zeros base.
+    """
+    zeros = np.zeros_like(np.asarray(plane.parameters))
+    for step in range(1, spec.start_step + 1):
+        compute_cohort(workers, zeros, step)
+    for worker in workers:
+        worker.reset()
 
 
 def _batch_losses(model: Model, parameters: np.ndarray, workers) -> np.ndarray:

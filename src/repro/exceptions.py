@@ -48,3 +48,12 @@ class TrainingError(ReproError):
     Raised, for instance, when the model parameters become non-finite
     (NaN or infinity), which indicates divergence.
     """
+
+
+class DegradedRunError(TrainingError):
+    """Every honest worker has departed: the round would aggregate only
+    Byzantine submissions (or all-zero rows), which silently trains the
+    model on attacker-controlled data.  Raised by every execution
+    backend instead of continuing; ``repro run`` maps it to exit code 1
+    (a degraded result, distinct from a configuration error).
+    """

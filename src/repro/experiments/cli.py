@@ -29,8 +29,10 @@ and runs it against a content-addressed, resumable result store
 its registered names.
 
 Exit codes: 0 on success, 1 when runs completed but produced non-finite
-losses (divergence), 2 on expected errors (bad files, invalid configs,
-unknown components).
+losses (divergence), when a fault plan left no honest worker alive
+(:class:`~repro.exceptions.DegradedRunError`), or when a campaign
+quarantined permanently failing cells, 2 on expected errors (bad files,
+invalid configs, unknown components).
 """
 
 from __future__ import annotations
@@ -42,7 +44,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.exceptions import ReproError
+from repro.exceptions import DegradedRunError, ReproError
 from repro.experiments.ascii_plot import ascii_line_plot
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import FIGURE_BATCH_SIZES, figure_configs
@@ -170,6 +172,14 @@ def build_parser() -> argparse.ArgumentParser:
         "file's \"codec\" key; see `repro components` for names)",
     )
     run.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="fault plan for every cell: a model name (e.g. \"random\") or "
+        "an inline JSON plan/spec object (overrides the config file's "
+        "\"faults\" key)",
+    )
+    run.add_argument(
         "--save", type=Path, default=None, help="write full outcomes JSON here"
     )
     run.add_argument("--output", type=Path, default=None, help="write the summary here")
@@ -255,6 +265,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--output", type=Path, default=None, help="write the report here"
+    )
+    campaign.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="transient-failure re-attempts per (cell, seed) run before "
+        "the run is quarantined (default 2)",
     )
     campaign.add_argument(
         "--telemetry",
@@ -360,6 +377,14 @@ def load_run_file(
         data_seed,
         telemetry,
     )
+
+
+def _parse_faults(value: str) -> str | dict:
+    """A ``--faults`` value: inline JSON object, or a fault-model name."""
+    text = value.strip()
+    if text.startswith("{"):
+        return json.loads(text)
+    return text
 
 
 def _resolve_telemetry(flag_value, file_value) -> str | None:
@@ -492,6 +517,12 @@ def main(argv: list[str] | None = None) -> int:
     """
     try:
         return _dispatch(build_parser().parse_args(argv))
+    except DegradedRunError as error:
+        # A run that lost every honest worker is a *result* (the fault
+        # plan was too aggressive), not a usage error: exit 1, like
+        # divergence, so chaos harnesses can tell the two apart.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     except (ReproError, OSError, json.JSONDecodeError, ValueError, TypeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -617,6 +648,11 @@ def _dispatch(arguments: argparse.Namespace) -> int:
             configs = [
                 config.with_updates(codec=arguments.codec) for config in configs
             ]
+        if arguments.faults is not None:
+            faults = _parse_faults(arguments.faults)
+            configs = [
+                config.with_updates(faults=faults) for config in configs
+            ]
         data_seed = _resolve_data_seed(arguments.data_seed, file_data_seed)
         telemetry = _resolve_telemetry(arguments.telemetry, file_telemetry)
         model, train_set, test_set = _build_environment(model_spec, data_seed)
@@ -733,10 +769,11 @@ def _dispatch(arguments: argparse.Namespace) -> int:
             telemetry=(
                 str(arguments.telemetry) if arguments.telemetry is not None else None
             ),
+            retries=arguments.retries,
         )
         print(summary.describe())
         _emit(render_campaign_report(effective, store), arguments.output)
-        return 1 if summary.diverged else 0
+        return 1 if summary.diverged or summary.quarantined else 0
 
     if arguments.command == "trace":
         from repro.telemetry import read_trace, render_trace_summary, summarize_trace

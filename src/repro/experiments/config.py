@@ -62,6 +62,16 @@ class ExperimentConfig:
     backend: str = "inprocess"
     num_shards: int | None = None
     round_timeout: float = 30.0
+    # Fault-injection plan: a model name ("random") or a full plan dict
+    # ({"events": [...], "num_shards": k}).  A semantic knob when set —
+    # faulty rounds change what the server aggregates — so it IS part
+    # of the campaign cell key (when set; absent/None keeps old keys).
+    faults: str | dict | None = None
+    faults_kwargs: tuple[tuple[str, object], ...] = ()
+    # Checkpointing is run infrastructure (where snapshots land, not
+    # what the run computes): excluded from campaign cell keys.
+    checkpoint: str | None = None
+    checkpoint_every: int = 1
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -87,6 +97,21 @@ class ExperimentConfig:
         if self.round_timeout <= 0:
             raise ConfigurationError(
                 f"round_timeout must be > 0, got {self.round_timeout}"
+            )
+        if self.faults is not None and not isinstance(self.faults, (str, dict)):
+            raise ConfigurationError(
+                "faults must be a model name or a plan dict, got "
+                f"{type(self.faults).__name__}"
+            )
+        if self.faults is None and self.faults_kwargs:
+            raise ConfigurationError("faults_kwargs require faults")
+        if self.checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.checkpoint is not None and self.backend != "inprocess":
+            raise ConfigurationError(
+                "checkpoint requires the inprocess backend"
             )
 
     @property
@@ -133,6 +158,10 @@ class ExperimentConfig:
             "backend": self.backend,
             "num_shards": self.num_shards,
             "round_timeout": self.round_timeout,
+            "faults": self.faults,
+            "faults_kwargs": dict(self.faults_kwargs) or None,
+            "checkpoint": self.checkpoint,
+            "checkpoint_every": self.checkpoint_every,
         }
 
     def simulation_kwargs(self) -> dict:
@@ -163,6 +192,7 @@ class ExperimentConfig:
         payload["policy_kwargs"] = [list(pair) for pair in self.policy_kwargs]
         payload["latency_kwargs"] = [list(pair) for pair in self.latency_kwargs]
         payload["codec_kwargs"] = [list(pair) for pair in self.codec_kwargs]
+        payload["faults_kwargs"] = [list(pair) for pair in self.faults_kwargs]
         return payload
 
     @classmethod
@@ -185,6 +215,7 @@ class ExperimentConfig:
             "policy_kwargs",
             "latency_kwargs",
             "codec_kwargs",
+            "faults_kwargs",
         ):
             if kwargs_field not in data:
                 continue
@@ -211,6 +242,9 @@ class ExperimentConfig:
             extras += f", backend={self.backend}"
         if self.codec is not None:
             extras += f", codec={self.codec}"
+        if self.faults is not None:
+            faults = self.faults if isinstance(self.faults, str) else "schedule"
+            extras += f", faults={faults}"
         return (
             f"{self.name}: {self.gar} (n={self.n}, f={self.f}), {attack}, "
             f"b={self.batch_size}, {dp}, T={self.num_steps}, "

@@ -1,0 +1,58 @@
+"""Deterministic fault injection and recovery.
+
+The fault plane makes adversity a first-class, reproducible scenario
+axis: a :class:`FaultPlan` (explicit schedule or rate-sampled from the
+experiment SeedTree at path ``"faults"``) is applied identically by
+every execution backend — the in-process ``Cluster``, the
+discrete-event ``ClusterSimulator``, and the ``MultiprocessCluster``
+where crashes and hangs are *real* process deaths followed by chief
+respawn and seed-stream fast-forward.  Recovery is part of the plane:
+shard rejoin (multiprocess), atomic training checkpoints with
+bit-identical :meth:`TrainingLoop.resume`, and campaign
+retry-with-backoff + quarantine.
+"""
+
+from repro.faults.apply import apply_wire_faults, reset_absent_momentum
+from repro.faults.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    capture_cluster_state,
+    load_checkpoint,
+    restore_cluster_state,
+    save_checkpoint,
+)
+from repro.faults.models import (
+    FAULT_MODEL_NAMES,
+    build_fault_plan,
+    sample_fault_plan,
+)
+from repro.faults.plan import (
+    FAULT_KINDS,
+    SHARD_KINDS,
+    WORKER_KINDS,
+    FaultEvent,
+    FaultPlan,
+    ResolvedFaultPlan,
+    ShardOutage,
+    shard_partition,
+)
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "FAULT_KINDS",
+    "FAULT_MODEL_NAMES",
+    "FaultEvent",
+    "FaultPlan",
+    "ResolvedFaultPlan",
+    "SHARD_KINDS",
+    "ShardOutage",
+    "WORKER_KINDS",
+    "apply_wire_faults",
+    "build_fault_plan",
+    "capture_cluster_state",
+    "load_checkpoint",
+    "reset_absent_momentum",
+    "restore_cluster_state",
+    "sample_fault_plan",
+    "save_checkpoint",
+    "shard_partition",
+]

@@ -1,0 +1,77 @@
+"""Uniform fault application — the one place rows are zeroed/corrupted.
+
+Every backend calls these two helpers at the same relative point of the
+round pipeline (after the codec encode, before the adversary observes),
+so the float operations — and therefore the parameter traces — are
+identical whether the faults are simulated (rows zeroed in place) or
+real (a shard process actually died and its rows were zeroed by the
+chief).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.plan import ResolvedFaultPlan
+
+__all__ = ["apply_wire_faults", "reset_absent_momentum"]
+
+
+def apply_wire_faults(
+    resolved: ResolvedFaultPlan,
+    step: int,
+    submitted: np.ndarray,
+    clean: np.ndarray,
+    worker_ids=None,
+) -> tuple[frozenset, dict]:
+    """Zero absent/dropped rows and scale corrupted rows, in place.
+
+    ``submitted``/``clean`` are the honest round matrices.  By default
+    row ``i`` belongs to worker ``i``; backends whose matrices cover a
+    partial cohort (the event-driven simulator) pass ``worker_ids``, the
+    global worker id of each row.  Returns the ``(zeroed_workers,
+    corrupted_workers)`` actually present in the matrices so the caller
+    can emit telemetry and exclude rows from loss accounting.
+    """
+    if worker_ids is None:
+        rows = {worker: worker for worker in range(submitted.shape[0])}
+    else:
+        rows = {worker: row for row, worker in enumerate(worker_ids)}
+    zeroed = frozenset(
+        worker for worker in resolved.zeroed_workers(step) if worker in rows
+    )
+    for worker in sorted(zeroed):
+        row = rows[worker]
+        submitted[row, :] = 0.0
+        clean[row, :] = 0.0
+    all_corrupted = resolved.corrupted_workers(step)
+    corrupted = {
+        worker: all_corrupted[worker]
+        for worker in sorted(all_corrupted)
+        if worker in rows
+    }
+    for worker, factor in corrupted.items():
+        row = rows[worker]
+        submitted[row, :] *= factor
+        clean[row, :] *= factor
+    return zeroed, corrupted
+
+
+def reset_absent_momentum(
+    resolved: ResolvedFaultPlan, step: int, workers
+) -> frozenset:
+    """Clear the momentum buffers of workers absent this round.
+
+    An absent worker accumulates no velocity while away, so when it
+    returns its momentum base is zero — exactly the state of the fresh
+    workers a respawned multiprocess shard rebuilds.  Zeroing the live
+    buffers (rather than dropping them) keeps the subsequent
+    ``v <- m*v + g`` updates bit-identical to a fresh buffer.
+    """
+    absent = resolved.absent_workers(step)
+    for index in sorted(absent):
+        worker = workers[index]
+        if worker._velocity_submitted is not None:
+            worker._velocity_submitted[:] = 0.0
+            worker._velocity_clean[:] = 0.0
+    return absent

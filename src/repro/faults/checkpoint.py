@@ -1,0 +1,165 @@
+"""Atomic training checkpoints: full state, bit-identical resume.
+
+A checkpoint captures *everything* the next round reads — model
+parameters, server/optimizer momentum, per-worker momentum buffers, and
+the exact ``bit_generator`` state of every live RNG stream (batch
+samplers, DP noise, attack) — as one JSON document.  Python floats
+round-trip through JSON exactly (``repr`` is the shortest round-trip
+representation of a float64), and PCG64 state dicts are plain ints, so
+a restored run replays the uninterrupted run bit for bit; the
+differential suite pins this.
+
+Stateless-by-construction components need no capture: the lossy
+network and the wire codecs derive per-``(step, worker)`` streams from
+a root seed, so their behaviour is a pure function of data already in
+the checkpoint.
+
+Writes are atomic (temp file + ``os.replace``, the ResultStore idiom),
+so a crash mid-save leaves the previous checkpoint intact — which is
+the whole point.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, TrainingError
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "capture_cluster_state",
+    "load_checkpoint",
+    "restore_cluster_state",
+    "save_checkpoint",
+]
+
+CHECKPOINT_SCHEMA = "repro.checkpoint/1"
+
+
+def _generator_state(generator: np.random.Generator) -> dict:
+    """The JSON-safe ``bit_generator`` state of a live stream."""
+    return generator.bit_generator.state
+
+
+def _restore_generator(generator: np.random.Generator, state: dict) -> None:
+    generator.bit_generator.state = state
+
+
+def _vector(value) -> list | None:
+    return None if value is None else np.asarray(value, dtype=np.float64).tolist()
+
+
+def _array_or_none(value) -> np.ndarray | None:
+    return None if value is None else np.asarray(value, dtype=np.float64)
+
+
+def capture_cluster_state(cluster) -> dict:
+    """Snapshot an in-process ``Cluster``'s complete mutable state.
+
+    Friend-module access by design: the checkpoint is the one consumer
+    allowed to reach into the round pipeline's private state, exactly
+    like ``compute_cohort`` reaches into the workers it vectorizes.
+    """
+    server = cluster._server
+    optimizer = server._optimizer
+    workers = []
+    for worker in cluster._honest_workers:
+        workers.append(
+            {
+                "velocity_submitted": _vector(worker._velocity_submitted),
+                "velocity_clean": _vector(worker._velocity_clean),
+                "sampler_rng": _generator_state(worker._sampler._rng),
+                "noise_rng": _generator_state(worker._noise_rng),
+            }
+        )
+    return {
+        "step": cluster._step,
+        "bytes_on_wire_total": cluster._bytes_on_wire_total,
+        "server": {
+            "parameters": server._parameters.tolist(),
+            "step": server._step,
+            "received_log": [matrix.tolist() for matrix in server._received_log],
+        },
+        "optimizer": {
+            "velocity": _vector(optimizer._velocity),
+            "step_count": optimizer._step_count,
+        },
+        "workers": workers,
+        "attack_rng": (
+            None
+            if cluster._attack_rng is None
+            else _generator_state(cluster._attack_rng)
+        ),
+    }
+
+
+def restore_cluster_state(cluster, state: dict) -> None:
+    """Inverse of :func:`capture_cluster_state`, in place."""
+    if len(state["workers"]) != len(cluster._honest_workers):
+        raise ConfigurationError(
+            f"checkpoint has {len(state['workers'])} workers but the cluster "
+            f"has {len(cluster._honest_workers)}"
+        )
+    server = cluster._server
+    optimizer = server._optimizer
+    parameters = np.asarray(state["server"]["parameters"], dtype=np.float64)
+    if parameters.shape != server._parameters.shape:
+        raise ConfigurationError(
+            f"checkpoint parameter shape {parameters.shape} does not match "
+            f"the model's {server._parameters.shape}"
+        )
+    server._parameters[:] = parameters
+    server._step = int(state["server"]["step"])
+    server._received_log = [
+        np.asarray(matrix, dtype=np.float64)
+        for matrix in state["server"].get("received_log", ())
+    ]
+    optimizer._velocity = _array_or_none(state["optimizer"]["velocity"])
+    optimizer._step_count = int(state["optimizer"]["step_count"])
+    for worker, snapshot in zip(cluster._honest_workers, state["workers"]):
+        worker._velocity_submitted = _array_or_none(snapshot["velocity_submitted"])
+        worker._velocity_clean = _array_or_none(snapshot["velocity_clean"])
+        _restore_generator(worker._sampler._rng, snapshot["sampler_rng"])
+        _restore_generator(worker._noise_rng, snapshot["noise_rng"])
+    if state["attack_rng"] is not None:
+        if cluster._attack_rng is None:
+            raise ConfigurationError(
+                "checkpoint carries an attack RNG state but the cluster has "
+                "no attack"
+            )
+        _restore_generator(cluster._attack_rng, state["attack_rng"])
+    cluster._step = int(state["step"])
+    cluster._bytes_on_wire_total = int(state["bytes_on_wire_total"])
+
+
+def save_checkpoint(path: str | Path, payload: dict) -> None:
+    """Atomically write ``payload`` (stamped with the schema) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = dict(payload)
+    document["schema"] = CHECKPOINT_SCHEMA
+    temp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    temp.write_text(json.dumps(document), encoding="utf-8")
+    os.replace(temp, path)
+
+
+def load_checkpoint(path: str | Path) -> dict:
+    """Read and schema-check a checkpoint written by :func:`save_checkpoint`."""
+    path = Path(path)
+    if not path.exists():
+        raise TrainingError(f"no checkpoint at {path}")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise TrainingError(f"corrupt checkpoint {path}: {error}") from None
+    schema = payload.get("schema")
+    if schema != CHECKPOINT_SCHEMA:
+        raise TrainingError(
+            f"checkpoint {path} has schema {schema!r}, expected "
+            f"{CHECKPOINT_SCHEMA!r}"
+        )
+    return payload

@@ -38,6 +38,7 @@ from repro.distributed.runtime import BACKENDS, MultiprocessCluster, WorkerShard
 from repro.distributed.server import ParameterServer
 from repro.distributed.worker import HonestWorker
 from repro.exceptions import ConfigurationError
+from repro.faults import build_fault_plan
 from repro.gars import GAR, get_gar
 from repro.gars.average import AverageGAR
 from repro.metrics.history import TrainingHistory
@@ -160,6 +161,10 @@ class Experiment:
         num_shards: int | None = None,
         round_timeout: float = 30.0,
         telemetry=None,
+        faults=None,
+        faults_kwargs: dict | None = None,
+        checkpoint: str | Path | None = None,
+        checkpoint_every: int = 1,
     ):
         if num_steps < 1:
             raise ConfigurationError(f"num_steps must be >= 1, got {num_steps}")
@@ -194,6 +199,15 @@ class Experiment:
         num_honest = n - num_byzantine
         if num_honest < 1:
             raise ConfigurationError("need at least one honest worker")
+        if checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if checkpoint is not None and backend != "inprocess":
+            raise ConfigurationError(
+                "checkpointing requires the inprocess backend (shard-process "
+                "state lives behind the fault plane's respawn path instead)"
+            )
 
         self.seeds = SeedTree(seed)
         self.gar = _resolve_gar(gar, n, f, gar_kwargs)
@@ -319,6 +333,44 @@ class Experiment:
         self.backend = backend
         self.num_shards = num_shards if num_shards is None else int(num_shards)
         self.round_timeout = float(round_timeout)
+        self.checkpoint = None if checkpoint is None else str(checkpoint)
+        self.checkpoint_every = int(checkpoint_every)
+        self.faults_spec = faults
+        self.faults_kwargs = dict(faults_kwargs or {})
+        self.fault_plan = None
+        self._resolved_faults = None
+        if faults is not None:
+            spec = faults
+            if isinstance(spec, str):
+                spec = {"name": spec, **self.faults_kwargs}
+            elif isinstance(spec, dict):
+                spec = {**self.faults_kwargs, **spec}
+            elif self.faults_kwargs:
+                raise ConfigurationError(
+                    "faults_kwargs only apply when faults is given by name/spec"
+                )
+            plan = build_fault_plan(
+                spec,
+                num_rounds=self.num_steps,
+                num_workers=self.num_honest,
+                seeds=self.seeds,
+            )
+            if backend == "multiprocess":
+                effective_shards = (
+                    self.num_honest
+                    if self.num_shards is None
+                    else min(self.num_shards, self.num_honest)
+                )
+                if plan.num_shards != effective_shards:
+                    raise ConfigurationError(
+                        f"fault plan targets {plan.num_shards} shards but the "
+                        f"multiprocess backend launches {effective_shards}; "
+                        "set num_shards to match the plan"
+                    )
+            self.fault_plan = plan
+            self._resolved_faults = plan.resolve(self.num_honest)
+        elif faults_kwargs:
+            raise ConfigurationError("faults_kwargs require faults")
         # None | Telemetry instance | trace path.  A path means each
         # run()/simulate() opens a fresh run-owned handle writing one
         # JSONL trace there; an instance is caller-owned (we open/close
@@ -487,6 +539,7 @@ class Experiment:
                 ),
                 network=self.build_network(),
                 codec=self.build_codec(),
+                faults=self._resolved_faults,
             )
         return self._cluster
 
@@ -553,6 +606,7 @@ class Experiment:
                 network=self.build_network(),
                 codec=self.build_codec(),
                 round_timeout=self.round_timeout,
+                faults=self._resolved_faults,
             )
         return self._mp_cluster
 
@@ -615,6 +669,7 @@ class Experiment:
                     self.participation_kind, self.participation_rate
                 ),
                 seeds=self.seeds.child("simulation"),
+                faults=self._resolved_faults,
             )
         return self._simulator
 
@@ -719,6 +774,8 @@ class Experiment:
                     model=self.model,
                     history=TrainingHistory(),
                     callbacks=all_callbacks,
+                    checkpoint=self.checkpoint,
+                    checkpoint_every=self.checkpoint_every,
                 )
                 state = loop.run(self.num_steps)
                 departed = None
@@ -733,6 +790,54 @@ class Experiment:
             privacy=privacy,
             config=self.describe(),
             departed=departed,
+            bytes_on_wire=(
+                cluster.bytes_on_wire_total if cluster.codec is not None else None
+            ),
+        )
+
+    def resume(self, callbacks: Iterable[Callback] = ()) -> TrainingResult:
+        """Restore this experiment's checkpoint and finish the run.
+
+        Build the experiment exactly as :meth:`run` would (same
+        arguments, same seed), then let
+        :meth:`repro.pipeline.loop.TrainingLoop.resume` restore every
+        parameter, momentum buffer and RNG stream from the snapshot at
+        ``checkpoint`` and execute the remaining rounds.  The completed
+        history and final parameters are bit-identical to an
+        uninterrupted :meth:`run` (the differential suite pins this).
+        """
+        if self.checkpoint is None:
+            raise ConfigurationError("resume() requires checkpoint=")
+        if self._server is not None and self._server.step_count > 0:
+            self.reset()
+        all_callbacks = CallbackList([*self.callbacks, *callbacks])
+        if self.test_dataset is not None:
+            all_callbacks.append(
+                AccuracyCallback(self.test_dataset, eval_every=self.eval_every)
+            )
+        with self._telemetry_run("resume") as telemetry:
+            cluster = self.build_cluster()
+            cluster.telemetry = telemetry
+            loop = TrainingLoop(
+                cluster=cluster,
+                model=self.model,
+                history=TrainingHistory(),
+                callbacks=all_callbacks,
+                checkpoint=self.checkpoint,
+                checkpoint_every=self.checkpoint_every,
+            )
+            state = loop.resume(self.num_steps)
+            privacy = privacy_report(
+                self.mechanism, self.epsilon, self.delta, self.num_steps
+            )
+            if telemetry is not None and privacy is not None:
+                telemetry.gauge("privacy.epsilon_spent", privacy.basic.epsilon)
+        return TrainingResult(
+            history=state.history,
+            final_parameters=cluster.parameters,
+            privacy=privacy,
+            config=self.describe(),
+            departed=None,
             bytes_on_wire=(
                 cluster.bytes_on_wire_total if cluster.codec is not None else None
             ),
@@ -856,6 +961,9 @@ class Experiment:
             "model_dimension": self.model.dimension,
             "backend": self.backend,
             "codec": self._codec_name(),
+            "faults": (
+                None if self.fault_plan is None else self.fault_plan.to_dict()
+            ),
         }
 
     def _codec_name(self) -> str | None:

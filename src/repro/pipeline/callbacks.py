@@ -140,7 +140,10 @@ class AccuracyCallback(Callback):
         self._eval_every = int(eval_every)
 
     def on_train_start(self, state) -> None:
-        self._evaluate(state, step=0)
+        # A resumed loop re-enters training mid-run (step > 0); its
+        # step-0 accuracy is already in the restored history.
+        if state.step == 0:
+            self._evaluate(state, step=0)
 
     def on_step_end(self, state, result) -> None:
         if state.step % self._eval_every == 0:

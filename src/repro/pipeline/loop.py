@@ -90,13 +90,21 @@ class TrainingLoop:
         model: Model,
         history: TrainingHistory | None = None,
         callbacks: Iterable[Callback] = (),
+        checkpoint: str | None = None,
+        checkpoint_every: int = 1,
     ):
+        if checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
         self._cluster = cluster
         self._model = model
         self._history = history if history is not None else TrainingHistory()
         self._callbacks = (
             callbacks if isinstance(callbacks, CallbackList) else CallbackList(callbacks)
         )
+        self._checkpoint = None if checkpoint is None else str(checkpoint)
+        self._checkpoint_every = int(checkpoint_every)
 
     @property
     def history(self) -> TrainingHistory:
@@ -107,6 +115,11 @@ class TrainingLoop:
     def callbacks(self) -> CallbackList:
         """The composed callback list."""
         return self._callbacks
+
+    @property
+    def checkpoint_path(self) -> str | None:
+        """Where periodic checkpoints are written (``None`` disables)."""
+        return self._checkpoint
 
     def run(self, num_steps: int, record: bool | None = None) -> LoopState:
         """Run up to ``num_steps`` rounds; returns the final state.
@@ -143,6 +156,9 @@ class TrainingLoop:
         engine = getattr(self._cluster, "engine", None)
         if (
             len(callbacks) == 0
+            # Checkpointing snapshots per-round state the fused engine
+            # deliberately keeps in private buffers: step per round.
+            and self._checkpoint is None
             and engine is not None
             and engine.supports_fused
             # A probe model differing from the cohort's would record a
@@ -155,9 +171,51 @@ class TrainingLoop:
             )
             callbacks.on_train_end(state)
             return state
+        self._run_rounds(state, num_steps, record)
+        return state
+
+    def resume(self, num_steps: int, record: bool | None = None) -> LoopState:
+        """Restore the loop's checkpoint and finish the run.
+
+        Requires a freshly-built loop (same configuration, same seed)
+        whose ``checkpoint`` path holds a snapshot written by
+        :meth:`run`.  Every RNG stream, momentum buffer and parameter
+        is restored bit-for-bit, so the completed run is identical to
+        one that never stopped (the differential suite pins this).
+        Returns the final state, exactly like :meth:`run`.
+        """
+        from repro.faults.checkpoint import load_checkpoint, restore_cluster_state
+
+        if self._checkpoint is None:
+            raise ConfigurationError("resume() needs a checkpoint path")
+        if num_steps < 1:
+            raise ConfigurationError(f"num_steps must be >= 1, got {num_steps}")
+        payload = load_checkpoint(self._checkpoint)
+        restore_cluster_state(self._cluster, payload["cluster"])
+        restored = TrainingHistory.from_dict(payload["history"])
+        # Replace the history contents in place so callers holding the
+        # loop's (or Experiment's) history reference see the restored run.
+        self._history.__dict__.update(restored.__dict__)
+        state = LoopState(
+            cluster=self._cluster,
+            model=self._model,
+            history=self._history,
+            callbacks=self._callbacks,
+            num_steps=int(num_steps),
+        )
+        if record is None:
+            record = len(self._callbacks) > 0 and self._callbacks.needs_step_matrices
+        remaining = num_steps - self._cluster.step_count
+        if remaining > 0:
+            self._run_rounds(state, remaining, record)
+        return state
+
+    def _run_rounds(self, state: LoopState, rounds: int, record: bool) -> None:
+        """The per-round loop shared by :meth:`run` and :meth:`resume`."""
+        callbacks = self._callbacks
         honest_workers = self._cluster.honest_workers
         callbacks.on_train_start(state)
-        for _ in range(num_steps):
+        for _ in range(rounds):
             if callbacks.should_stop(state):
                 state.stopped_early = True
                 break
@@ -167,8 +225,28 @@ class TrainingLoop:
             state.last_result = result
             self._record_honest_loss(parameters_before, honest_workers)
             callbacks.on_step_end(state, result)
+            if (
+                self._checkpoint is not None
+                and self._cluster.step_count % self._checkpoint_every == 0
+            ):
+                self._save_checkpoint()
         callbacks.on_train_end(state)
-        return state
+
+    def _save_checkpoint(self) -> None:
+        """Snapshot the full training state atomically (see repro.faults)."""
+        from repro.faults.checkpoint import capture_cluster_state, save_checkpoint
+
+        save_checkpoint(
+            self._checkpoint,
+            {
+                "step": self._cluster.step_count,
+                "cluster": capture_cluster_state(self._cluster),
+                "history": self._history.to_dict(),
+            },
+        )
+        telemetry = getattr(self._cluster, "telemetry", None)
+        if telemetry is not None:
+            telemetry.counter("checkpoint.saved", step=self._cluster.step_count)
 
     def _record_honest_loss(self, parameters, honest_workers) -> None:
         """Record the honest-batch loss (see :func:`record_honest_loss`).
@@ -189,6 +267,12 @@ class TrainingLoop:
                     self._cluster.step_count, float(np.mean(losses))
                 )
             return
+        # Under a fault plan the cluster publishes which workers were
+        # live this round; absent workers leave the honest mean, exactly
+        # as a dead shard's rows leave the multiprocess loss vector.
+        live = getattr(self._cluster, "last_live_workers", None)
+        if live is not None:
+            honest_workers = [honest_workers[index] for index in live]
         record_honest_loss(
             self._model,
             self._history,

@@ -44,7 +44,9 @@ from repro.distributed.cluster import StepResult
 from repro.distributed.network import PerfectNetwork
 from repro.distributed.server import ParameterServer
 from repro.distributed.worker import HonestWorker, compute_cohort
-from repro.exceptions import ConfigurationError, TrainingError
+from repro.exceptions import ConfigurationError, DegradedRunError, TrainingError
+from repro.faults.apply import apply_wire_faults, reset_absent_momentum
+from repro.faults.plan import ResolvedFaultPlan
 from repro.rng import SeedTree
 from repro.simulation.events import (
     EventQueue,
@@ -117,6 +119,7 @@ class ClusterSimulator:
         latency: LatencyModel | None = None,
         participation: ParticipationSampler | None = None,
         seeds: SeedTree | None = None,
+        faults: ResolvedFaultPlan | None = None,
         max_events_per_step: int = 100_000,
     ):
         honest_workers = list(honest_workers)
@@ -146,6 +149,11 @@ class ClusterSimulator:
             raise ConfigurationError(
                 f"max_events_per_step must be >= 1, got {max_events_per_step}"
             )
+        if faults is not None and faults.num_honest != len(honest_workers):
+            raise ConfigurationError(
+                f"fault plan resolved for {faults.num_honest} honest workers "
+                f"but the simulation has {len(honest_workers)}"
+            )
         if (
             policy is not None
             and not policy.barrier
@@ -172,6 +180,7 @@ class ClusterSimulator:
             participation if participation is not None else FullParticipation()
         )
         self._seeds = seeds if seeds is not None else SeedTree(0)
+        self._faults = faults
         self._max_events_per_step = int(max_events_per_step)
         self._dimension = int(server.parameters.shape[0])
         self._policy.bind(self.n, self.num_honest, self._dimension)
@@ -209,6 +218,11 @@ class ClusterSimulator:
     @telemetry.setter
     def telemetry(self, telemetry) -> None:
         self._telemetry = telemetry
+
+    @property
+    def faults(self) -> ResolvedFaultPlan | None:
+        """The resolved fault plan applied each round, or ``None``."""
+        return self._faults
 
     @property
     def server(self) -> ParameterServer:
@@ -447,6 +461,7 @@ class ClusterSimulator:
                 )
             else:
                 submitted, clean = compute_cohort(cohort, parameters, round_index)
+            row_bytes = None
             if self._codec is not None:
                 # Encoded before anything observes it: keyed on the
                 # round index and the *global* worker ids, so a partial
@@ -466,6 +481,39 @@ class ClusterSimulator:
                     submitted, row_bytes = self._codec.encode_block(
                         submitted, round_index, honest_ids
                     )
+            if self._faults is not None:
+                # Same relative pipeline point as Cluster._apply_faults:
+                # after the codec encode, before the adversary observes.
+                # The matrices are position-indexed by the cohort, so the
+                # helper maps rows through the global honest_ids.
+                resolved = self._faults
+                if not resolved.live_workers(round_index):
+                    raise DegradedRunError(
+                        f"round {round_index}: every honest worker has "
+                        "departed under the fault plan; refusing to "
+                        "aggregate attack-only submissions"
+                    )
+                zeroed, corrupted = apply_wire_faults(
+                    resolved, round_index, submitted, clean, honest_ids
+                )
+                absent = reset_absent_momentum(
+                    resolved, round_index, self._honest_workers
+                )
+                if row_bytes is not None:
+                    # A dead worker sent nothing; a dropped round's
+                    # message was sent and then lost, so its bytes count.
+                    for position, worker_id in enumerate(honest_ids):
+                        if worker_id in absent:
+                            row_bytes[position] = 0
+                if telemetry is not None and (zeroed or corrupted):
+                    telemetry.counter(
+                        "fault.injected",
+                        len(zeroed) + len(corrupted),
+                        round=round_index,
+                        zeroed=sorted(zeroed),
+                        corrupted=sorted(corrupted),
+                    )
+            if row_bytes is not None:
                 round_bytes = int(row_bytes.sum())
             self._last_honest = (submitted, clean)
             self._computation_counts[list(honest_ids)] += 1
@@ -577,6 +625,10 @@ class ClusterSimulator:
                 f"latency model produced invalid delay {delay} for "
                 f"(round={round_index}, worker={worker_id})"
             )
+        if self._faults is not None and worker_id < self.num_honest:
+            # "slow" events stretch delivery only — they never touch the
+            # numbers (factor validated finite and > 0 at plan build).
+            delay *= self._faults.slow_factor(round_index, worker_id)
         self._queue.push(
             GradientArrival(
                 time=time + delay,
@@ -665,6 +717,19 @@ class ClusterSimulator:
             for worker_id in completion.arrived_workers
             if worker_id < self.num_honest
         )
+        if self._faults is not None:
+            # Plan-absent workers delivered only an all-zero row: they
+            # did not participate, and must leave the recorded honest
+            # loss exactly as a dead shard's rows leave the multiprocess
+            # loss vector.  (drop_round workers stay: their loss
+            # continues, only their message was lost.)
+            absent = self._faults.absent_workers(completion.round_index)
+            if absent:
+                participating = tuple(
+                    worker_id
+                    for worker_id in participating
+                    if worker_id not in absent
+                )
         next_round = self._round + 1
         self._round = next_round
         self._queue.push(

@@ -1,0 +1,220 @@
+"""Campaign retry-with-backoff and quarantine semantics.
+
+Transient failures retry with seed-deterministic exponential backoff;
+a run failing every attempt lands a structured quarantine record under
+its store key so the campaign completes and resumes skip the known-bad
+cell.  ``DegradedRunError`` quarantines immediately (the scenario's
+*result* is "this fault plan kills the run"), while the deterministic
+:class:`ReproError` taxonomy still aborts loudly.
+"""
+
+import pytest
+
+from repro.campaign.matrix import ScenarioMatrix
+from repro.campaign.report import render_campaign_report
+from repro.campaign.runner import execute_cell, run_campaign
+from repro.campaign.store import STORE_SCHEMA, ResultStore
+from repro.exceptions import ConfigurationError, DegradedRunError
+from repro.rng import SeedTree
+
+MATRIX = {
+    "name": "retry-test",
+    "model": {"name": "logistic", "loss_kind": "mse"},
+    "data_seed": 0,
+    "base": {
+        "num_steps": 2,
+        "n": 3,
+        "f": 1,
+        "batch_size": 5,
+        "eval_every": 1,
+        "seeds": [1, 2],
+    },
+    "axes": {"gar": ["mda"]},
+    "report": {"rows": "gar", "metrics": ["final_accuracy"]},
+}
+
+
+@pytest.fixture()
+def matrix():
+    return ScenarioMatrix.from_dict(MATRIX)
+
+
+class FlakyExecutor:
+    """Serial executor that fails one (seed) a set number of times."""
+
+    def __init__(self, fail_seed, failures, error=None):
+        self.fail_seed = fail_seed
+        self.failures = failures
+        self.error = error or RuntimeError("transient worker failure")
+        self.calls = []
+
+    def __call__(self, job):
+        self.calls.append((job.name, job.seed))
+        if (
+            job.seed == self.fail_seed
+            and self.calls.count((job.name, job.seed)) <= self.failures
+        ):
+            raise self.error
+        return execute_cell(job)
+
+
+class TestRetry:
+    def test_transient_failure_is_retried_to_success(self, matrix, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        flaky = FlakyExecutor(fail_seed=2, failures=2)
+        summary = run_campaign(
+            matrix, store, execute=flaky, retries=2, retry_backoff=0.0
+        )
+        assert summary.executed == 2
+        assert summary.quarantined == []
+        # Seed 1 ran once; seed 2 needed all three attempts.
+        assert flaky.calls.count(("gar=mda", 1)) == 1
+        assert flaky.calls.count(("gar=mda", 2)) == 3
+        # The eventual success stored a healthy record, not a quarantine.
+        records = [store.load(key) for key in store.keys()]
+        assert all(not record.get("quarantined") for record in records)
+
+    def test_exhausted_retries_quarantine_the_cell(self, matrix, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        flaky = FlakyExecutor(fail_seed=2, failures=10**6)
+        summary = run_campaign(
+            matrix, store, execute=flaky, retries=1, retry_backoff=0.0
+        )
+        assert summary.executed == 2  # the quarantine record counts as landed
+        assert summary.quarantined == [("gar=mda", 2)]
+        assert "quarantined: gar=mda/seed2" in summary.describe()
+        assert flaky.calls.count(("gar=mda", 2)) == 2  # retries + 1 attempts
+        [record] = [
+            store.load(key)
+            for key in store.keys()
+            if store.load(key).get("quarantined")
+        ]
+        assert record["schema"] == STORE_SCHEMA
+        assert record["seed"] == 2
+        assert record["quarantined"] is True
+        assert record["attempts"] == 2
+        assert record["error"]["type"] == "RuntimeError"
+        assert record["error"]["message"] == "transient worker failure"
+        assert "history" not in record  # failure record, not a result
+
+    def test_resume_skips_quarantined_cells(self, matrix, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        run_campaign(
+            matrix,
+            store,
+            execute=FlakyExecutor(fail_seed=2, failures=10**6),
+            retries=0,
+            retry_backoff=0.0,
+        )
+
+        def must_not_run(job):
+            raise AssertionError("quarantined cell was re-executed")
+
+        resumed = run_campaign(matrix, store, execute=must_not_run)
+        assert resumed.executed == 0
+        assert resumed.skipped == 2
+        # The cached quarantine record still surfaces in the summary.
+        assert resumed.quarantined == [("gar=mda", 2)]
+
+    def test_degraded_run_quarantines_without_retry(self, matrix, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        flaky = FlakyExecutor(
+            fail_seed=2,
+            failures=10**6,
+            error=DegradedRunError("every honest worker has departed"),
+        )
+        summary = run_campaign(
+            matrix, store, execute=flaky, retries=3, retry_backoff=0.0
+        )
+        # Retrying cannot change a deterministic fault plan: one attempt.
+        assert flaky.calls.count(("gar=mda", 2)) == 1
+        assert summary.quarantined == [("gar=mda", 2)]
+        [key] = [
+            key for key in store.keys() if store.load(key).get("quarantined")
+        ]
+        record = store.load(key)
+        assert record["error"]["type"] == "DegradedRunError"
+        assert record["attempts"] == 1
+
+    def test_repro_errors_propagate(self, matrix, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        flaky = FlakyExecutor(
+            fail_seed=1,
+            failures=10**6,
+            error=ConfigurationError("unknown GAR 'typo'"),
+        )
+        # Deterministic misconfiguration must abort, never quarantine.
+        with pytest.raises(ConfigurationError, match="typo"):
+            run_campaign(
+                matrix, store, execute=flaky, retries=3, retry_backoff=0.0
+            )
+        assert flaky.calls.count(("gar=mda", 1)) == 1
+
+    def test_report_treats_quarantined_seed_as_missing(self, matrix, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        run_campaign(
+            matrix,
+            store,
+            execute=FlakyExecutor(fail_seed=2, failures=10**6),
+            retries=0,
+            retry_backoff=0.0,
+        )
+        report = render_campaign_report(matrix, store)
+        # The healthy seed reports; the quarantined one drops out of the
+        # aggregate instead of poisoning it.
+        assert "retry-test" in report
+        assert "nan" not in report.lower()
+
+
+class TestBackoffJitter:
+    def _sleep_schedule(self, matrix, tmp_path, name):
+        store = ResultStore(tmp_path / name)
+        slept = []
+        flaky = FlakyExecutor(fail_seed=2, failures=10**6)
+        import repro.campaign.runner as runner_module
+
+        original_sleep = runner_module.time.sleep
+        runner_module.time.sleep = slept.append
+        try:
+            run_campaign(
+                matrix, store, execute=flaky, retries=2, retry_backoff=0.25
+            )
+        finally:
+            runner_module.time.sleep = original_sleep
+        return slept
+
+    def test_jitter_is_seeded_not_wall_clock(self, matrix, tmp_path):
+        first = self._sleep_schedule(matrix, tmp_path, "first")
+        second = self._sleep_schedule(matrix, tmp_path, "second")
+        # Replayed campaigns sleep the exact same schedule.
+        assert first == second
+        assert len(first) == 2  # two backoffs before the third attempt
+        # Exponential envelope with jitter in [0.5, 1.5) per attempt.
+        assert 0.125 <= first[0] < 0.375
+        assert 0.25 <= first[1] < 0.75
+
+    def test_jitter_matches_the_seed_tree_path(self, matrix, tmp_path):
+        from repro.campaign.runner import plan_campaign
+
+        plan = plan_campaign(matrix, ResultStore(tmp_path / "plan"))
+        job = next(job for job in plan.pending if job.seed == 2)
+        slept = self._sleep_schedule(matrix, tmp_path, "store")
+        expected = [
+            0.25
+            * 2 ** (attempt - 1)
+            * (0.5 + SeedTree(job.seed).generator("retry", job.key, attempt).random())
+            for attempt in (1, 2)
+        ]
+        assert slept == expected
+
+
+class TestValidation:
+    def test_negative_retries_rejected(self, matrix, tmp_path):
+        with pytest.raises(ConfigurationError, match="retries"):
+            run_campaign(matrix, ResultStore(tmp_path / "s"), retries=-1)
+
+    def test_negative_backoff_rejected(self, matrix, tmp_path):
+        with pytest.raises(ConfigurationError, match="retry_backoff"):
+            run_campaign(
+                matrix, ResultStore(tmp_path / "s"), retry_backoff=-0.1
+            )

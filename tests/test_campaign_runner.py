@@ -39,7 +39,9 @@ class CountingExecutor:
 
     def __call__(self, job):
         if self._crash_after is not None and len(self.calls) >= self._crash_after:
-            raise RuntimeError("simulated mid-campaign crash")
+            # KeyboardInterrupt, not an Exception: a genuine kill must
+            # bypass the runner's retry/quarantine net and abort.
+            raise KeyboardInterrupt("simulated mid-campaign kill")
         self.calls.append((job.name, job.seed))
         return execute_cell(job)
 
@@ -104,7 +106,7 @@ class TestRunCampaign:
         and the final report is byte-identical to an uninterrupted run."""
         interrupted_store = ResultStore(tmp_path / "interrupted")
         crashing = CountingExecutor(crash_after=3)
-        with pytest.raises(RuntimeError, match="crash"):
+        with pytest.raises(KeyboardInterrupt):
             run_campaign(matrix, interrupted_store, execute=crashing)
         assert len(interrupted_store) == 3  # the completed prefix survived
 

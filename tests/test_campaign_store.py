@@ -168,6 +168,29 @@ class TestResultStore:
 
         payload = _canonical_config_payload(config())
         field_names = {field.name for field in dataclasses.fields(ExperimentConfig)}
-        excluded = {"name", "seeds", "backend", "num_shards", "round_timeout"}
+        excluded = {
+            "name", "seeds", "backend", "num_shards", "round_timeout",
+            # Checkpointing is run infrastructure: always out of the key.
+            "checkpoint", "checkpoint_every",
+            # The fault plan is numerically meaningful but enters the
+            # key only when set, so pre-fault-plane keys stay stable.
+            "faults", "faults_kwargs",
+        }
         assert set(payload) == field_names - excluded
         assert STORE_SCHEMA == "repro.campaign-store/1"
+
+    def test_faults_enter_the_key_only_when_set(self):
+        from repro.campaign.store import _canonical_config_payload
+
+        faulty = config().with_updates(
+            faults="random", faults_kwargs=(("crash_rate", 0.1),)
+        )
+        payload = _canonical_config_payload(faulty)
+        assert payload["faults"] == "random"
+        assert payload["faults_kwargs"] == [["crash_rate", 0.1]]
+        assert cell_key(faulty, 1) != cell_key(config(), 1)
+        # Checkpointing never changes a key.
+        checkpointed = config().with_updates(
+            checkpoint="state.json", checkpoint_every=5
+        )
+        assert cell_key(checkpointed, 1) == cell_key(config(), 1)

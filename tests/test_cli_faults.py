@@ -1,0 +1,176 @@
+"""CLI surface of the fault plane: ``run --faults``, campaign ``--retries``.
+
+Exit-code contract: a fault plan that leaves no honest worker
+(:class:`DegradedRunError`) and a campaign with quarantined cells both
+exit 1 — results, like divergence — while malformed plans stay exit 2
+(usage errors).
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.store import ResultStore
+from repro.experiments.cli import _parse_faults, build_parser, main
+
+CELL = {
+    "name": "faulty",
+    "num_steps": 4,
+    "n": 3,
+    "f": 0,
+    "gar": "average",
+    "batch_size": 5,
+    "eval_every": 2,
+    "seeds": [1],
+}
+
+MATRIX = {
+    "name": "cli-retry",
+    "model": {"name": "logistic", "loss_kind": "mse"},
+    "data_seed": 0,
+    "base": {
+        "num_steps": 2,
+        "n": 3,
+        "f": 1,
+        "batch_size": 5,
+        "eval_every": 1,
+        "seeds": [1],
+    },
+    "axes": {"gar": ["mda"]},
+    "report": {"rows": "gar", "metrics": ["final_accuracy"]},
+}
+
+
+def write_cell(tmp_path, **overrides):
+    path = tmp_path / "config.json"
+    path.write_text(json.dumps(dict(CELL, **overrides)))
+    return path
+
+
+class TestParser:
+    def test_run_faults_flag(self):
+        arguments = build_parser().parse_args(
+            ["run", "grid.json", "--faults", "random"]
+        )
+        assert arguments.faults == "random"
+
+    def test_campaign_retries_default(self):
+        arguments = build_parser().parse_args(["campaign", "matrix.json"])
+        assert arguments.retries == 2
+
+    def test_parse_faults_json_object(self):
+        plan = _parse_faults(' {"events": [], "num_shards": 2} ')
+        assert plan == {"events": [], "num_shards": 2}
+
+    def test_parse_faults_model_name(self):
+        assert _parse_faults("random") == "random"
+
+
+class TestRunFaults:
+    def test_inline_plan_runs(self, tmp_path, capsys):
+        plan = {"events": [{"kind": "drop_round", "round": 2, "worker": 1}]}
+        code = main(
+            ["run", str(write_cell(tmp_path)), "--faults", json.dumps(plan)]
+        )
+        assert code == 0
+        assert "final loss" in capsys.readouterr().out
+
+    def test_flag_overrides_config_file(self, tmp_path, capsys):
+        # The file's plan would kill every shard; the flag replaces it.
+        lethal = {
+            "events": [
+                {"kind": "crash", "round": 2, "shard": 0},
+                {"kind": "crash", "round": 2, "shard": 1},
+                {"kind": "crash", "round": 2, "shard": 2},
+            ],
+            "num_shards": 3,
+        }
+        path = write_cell(tmp_path, faults=lethal)
+        benign = {"events": [{"kind": "slow", "round": 2, "worker": 0, "factor": 2.0}]}
+        assert main(["run", str(path), "--faults", json.dumps(benign)]) == 0
+        capsys.readouterr()
+
+    def test_degraded_run_exits_1(self, tmp_path, capsys):
+        lethal = {
+            "events": [
+                {"kind": "crash", "round": 2, "shard": 0},
+                {"kind": "crash", "round": 2, "shard": 1},
+                {"kind": "crash", "round": 2, "shard": 2},
+            ],
+            "num_shards": 3,
+        }
+        code = main(
+            ["run", str(write_cell(tmp_path)), "--faults", json.dumps(lethal)]
+        )
+        assert code == 1
+        errors = capsys.readouterr().err
+        assert "error:" in errors
+        assert "honest worker" in errors
+
+    def test_malformed_plan_exits_2(self, tmp_path, capsys):
+        bad = {"events": [{"kind": "meteor", "round": 1, "worker": 0}]}
+        code = main(
+            ["run", str(write_cell(tmp_path)), "--faults", json.dumps(bad)]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unparseable_plan_json_exits_2(self, tmp_path, capsys):
+        code = main(["run", str(write_cell(tmp_path)), "--faults", "{oops"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCampaignRetries:
+    @pytest.fixture()
+    def matrix_path(self, tmp_path):
+        path = tmp_path / "matrix.json"
+        path.write_text(json.dumps(MATRIX))
+        return path
+
+    def test_quarantined_campaign_exits_1(
+        self, matrix_path, tmp_path, capsys, monkeypatch
+    ):
+        import repro.campaign.runner as runner_module
+
+        def always_fails(job):
+            raise RuntimeError("worker box caught fire")
+
+        monkeypatch.setattr(runner_module, "execute_cell", always_fails)
+        store_dir = tmp_path / "store"
+        code = main(
+            ["campaign", str(matrix_path), "--store", str(store_dir),
+             "--retries", "0"]
+        )
+        assert code == 1
+        assert "quarantined" in capsys.readouterr().out
+        # The quarantine record landed in the store with the failure.
+        store = ResultStore(store_dir)
+        [record] = [store.load(key) for key in store.keys()]
+        assert record["quarantined"] is True
+        assert record["error"]["message"] == "worker box caught fire"
+
+    def test_resume_after_quarantine_stays_exit_1(
+        self, matrix_path, tmp_path, capsys, monkeypatch
+    ):
+        import repro.campaign.runner as runner_module
+
+        def always_fails(job):
+            raise RuntimeError("still on fire")
+
+        monkeypatch.setattr(runner_module, "execute_cell", always_fails)
+        store_dir = tmp_path / "store"
+        assert main(
+            ["campaign", str(matrix_path), "--store", str(store_dir),
+             "--retries", "0"]
+        ) == 1
+        monkeypatch.undo()
+        capsys.readouterr()
+        # The resume never re-runs the quarantined cell (the healthy
+        # executor is back, but the record is settled) and still flags it.
+        assert main(
+            ["campaign", str(matrix_path), "--store", str(store_dir)]
+        ) == 1
+        output = capsys.readouterr().out
+        assert "0 run(s) executed, 1 cached" in output
+        assert "quarantined" in output

@@ -1,0 +1,181 @@
+"""Golden fault traces: one plan, three backends, bit-identical.
+
+Each case pins a :class:`FaultPlan` (the ISSUE's crash→rejoin schedule
+plus worker-fault and momentum variants) on a seed-pinned environment
+and asserts every backend — in-process, discrete-event simulator,
+multiprocess runtime with *real* process deaths and chief respawn —
+reproduces the committed trace exactly: every recorded loss, every
+accuracy, the final parameter vector.  A fourth replay kills the run
+mid-way and resumes from its checkpoint; that completed trace must also
+match the golden, proving checkpoint-kill-resume ≡ uninterrupted.
+
+Regenerating after an *intentional* numerical change::
+
+    PYTHONPATH=src python -m pytest tests/test_faults_differential.py --regen-golden
+
+then commit the updated ``tests/golden/fault_traces.json``.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data.phishing import make_phishing_dataset
+from repro.models.logistic import LogisticRegressionModel
+from repro.pipeline.builder import Experiment
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "fault_traces.json"
+
+BACKENDS = ("inprocess", "simulator", "multiprocess")
+
+#: name -> {"faults": plan, "overrides": Experiment overrides}.
+CASES = {
+    # The acceptance schedule: a shard crashes, stays dark, rejoins.
+    "crash-rejoin": {
+        "faults": {
+            "events": [
+                {"kind": "crash", "round": 2, "shard": 1},
+                {"kind": "rejoin", "round": 4, "shard": 1},
+            ],
+            "num_shards": 2,
+        },
+    },
+    # Same outage with worker momentum: the rejoined shard restarts its
+    # velocity buffers, which the trace must pin.
+    "crash-rejoin-momentum": {
+        "faults": {
+            "events": [
+                {"kind": "crash", "round": 2, "shard": 1},
+                {"kind": "rejoin", "round": 4, "shard": 1},
+            ],
+            "num_shards": 2,
+        },
+        "overrides": {"momentum": 0.9},
+    },
+    # Worker-scoped wire faults: a dropped round, a corrupted payload
+    # and a slowdown (which must not alter a single bit).
+    "wire-faults": {
+        "faults": {
+            "events": [
+                {"kind": "drop_round", "round": 2, "worker": 1},
+                {"kind": "corrupt_payload", "round": 3, "worker": 2, "factor": 5.0},
+                {"kind": "slow", "round": 4, "worker": 0, "factor": 4.0},
+            ],
+            "num_shards": 2,
+        },
+    },
+}
+
+
+def make_experiment(case: dict, backend: str = "inprocess", **extra) -> Experiment:
+    plan = case["faults"]
+    settings = dict(
+        model=LogisticRegressionModel(6),
+        train_dataset=make_phishing_dataset(seed=0, num_points=120, num_features=6),
+        test_dataset=make_phishing_dataset(seed=1, num_points=40, num_features=6),
+        num_steps=6,
+        n=4,
+        f=0,
+        gar="average",
+        batch_size=10,
+        eval_every=3,
+        seed=3,
+        faults=plan,
+    )
+    settings.update(case.get("overrides", {}))
+    if backend == "multiprocess":
+        settings.update(backend="multiprocess", num_shards=plan["num_shards"])
+    settings.update(extra)
+    return Experiment(**settings)
+
+
+def _trace(result) -> dict:
+    history = result.history
+    return {
+        "loss_steps": [int(step) for step in history.loss_steps],
+        "losses": [float(loss) for loss in history.losses],
+        "accuracy_steps": [int(step) for step in history.accuracy_steps],
+        "accuracies": [float(acc) for acc in history.accuracies],
+        "final_parameters": [float(value) for value in result.final_parameters],
+    }
+
+
+def _run_backend(case: dict, backend: str) -> dict:
+    experiment = make_experiment(case, backend)
+    if backend == "simulator":
+        return _trace(experiment.simulate())
+    return _trace(experiment.run())
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"missing golden fixture {GOLDEN_PATH}; record it with "
+            "--regen-golden"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_regen_golden(request):
+    """Not a test of behaviour: rewrites the fixture when asked to."""
+    if not request.config.getoption("--regen-golden"):
+        pytest.skip("pass --regen-golden to re-record the fault traces")
+    traces = {
+        name: _run_backend(case, "inprocess") for name, case in CASES.items()
+    }
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(traces, indent=2) + "\n")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_backend_matches_golden(name, backend, golden, request):
+    if request.config.getoption("--regen-golden"):
+        pytest.skip("regenerating, not asserting")
+    assert name in golden, f"no golden trace for {name}; run --regen-golden"
+    expected = golden[name]
+    actual = _run_backend(CASES[name], backend)
+    assert actual["loss_steps"] == expected["loss_steps"]
+    assert actual["accuracy_steps"] == expected["accuracy_steps"]
+    # Bit-identical: exact float equality, not allclose.
+    assert actual["losses"] == expected["losses"]
+    assert actual["accuracies"] == expected["accuracies"]
+    assert actual["final_parameters"] == expected["final_parameters"]
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_kill_resume_matches_golden(name, golden, tmp_path, request):
+    """Checkpoint-kill-resume under a fault plan ≡ the uninterrupted trace."""
+    if request.config.getoption("--regen-golden"):
+        pytest.skip("regenerating, not asserting")
+    case = CASES[name]
+    ckpt = tmp_path / "state.json"
+    # The "killed" run stops after round 4 (snapshot at 4)...
+    make_experiment(
+        case, num_steps=4, checkpoint=ckpt, checkpoint_every=2
+    ).run()
+    # ...and the resumed run finishes rounds 5-6 from the snapshot.
+    resumed = make_experiment(
+        case, checkpoint=ckpt, checkpoint_every=2
+    ).resume()
+    actual = _trace(resumed)
+    expected = golden[name]
+    assert actual["losses"] == expected["losses"]
+    assert actual["accuracies"] == expected["accuracies"]
+    assert actual["final_parameters"] == expected["final_parameters"]
+
+
+def test_golden_covers_all_cases(golden):
+    """The fixture and the case table must not drift apart."""
+    assert sorted(golden) == sorted(CASES)
+
+
+def test_traces_are_nontrivial(golden):
+    """Guard against recording a degenerate (all-zero / empty) trace."""
+    for name, trace in golden.items():
+        assert len(trace["losses"]) == 6, name
+        assert any(value != 0.0 for value in trace["final_parameters"]), name
+        assert np.all(np.isfinite(trace["losses"])), name
